@@ -1,0 +1,83 @@
+// Ablation: the Sec. 2.2 spec-adaptation claims.
+//   "To increase the effective quantizer resolution, we can simply add more
+//    slices. To widen the signal bandwidth, we can increase the clock
+//    frequency. To increase SQNR, we can boost the loop gain..."
+#include "bench/bench_common.h"
+#include "dsp/signal_gen.h"
+#include "dsp/spectrum.h"
+#include "msim/modulator.h"
+
+using namespace vcoadc;
+
+namespace {
+
+double sndr_for_spec(const core::AdcSpec& spec, double bw_hz) {
+  msim::SimConfig cfg = spec.to_sim_config();
+  msim::VcoDsmModulator mod(cfg);
+  const std::size_t n = 1 << 15;
+  const double fin = dsp::coherent_freq(bw_hz / 5.0, cfg.fs_hz, n);
+  const double amp = mod.full_scale_diff() * 0.708;
+  const auto res = mod.run(dsp::make_sine(amp, fin), n);
+  const auto sp =
+      dsp::compute_spectrum(res.output, cfg.fs_hz, 1.0, dsp::WindowKind::kHann);
+  return dsp::analyze_sndr(sp, bw_hz, fin).sndr_db;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation - architecture scaling knobs",
+                "Sec. 2.2: slices -> resolution, fs -> BW, loop gain -> SQNR");
+
+  // Knob 1: slices.
+  util::Table ts("SNDR vs number of slices (fs 750 MHz, BW 5 MHz)");
+  ts.set_header({"slices", "SNDR [dB]"});
+  std::vector<double> sndr_by_slices;
+  for (int slices : {4, 8, 16, 32}) {
+    auto spec = core::AdcSpec::paper_40nm();
+    spec.num_slices = slices;
+    const double s = sndr_for_spec(spec, spec.bandwidth_hz);
+    sndr_by_slices.push_back(s);
+    ts.add_row({std::to_string(slices), bench::fmt("%.1f", s)});
+  }
+  ts.print(std::cout);
+
+  // Knob 2: clock frequency widens usable bandwidth at fixed OSR.
+  util::Table tf("SNDR in BW = fs/150 as the clock scales (fixed OSR 75)");
+  tf.set_header({"fs [MHz]", "BW [MHz]", "SNDR [dB]"});
+  std::vector<double> sndr_by_fs;
+  for (double fs : {250e6, 500e6, 750e6, 1500e6}) {
+    auto spec = core::AdcSpec::paper_40nm();
+    spec.fs_hz = fs;
+    spec.bandwidth_hz = fs / 150.0;
+    const double s = sndr_for_spec(spec, spec.bandwidth_hz);
+    sndr_by_fs.push_back(s);
+    tf.add_row({bench::fmt("%.0f", fs / 1e6),
+                bench::fmt("%.2f", spec.bandwidth_hz / 1e6),
+                bench::fmt("%.1f", s)});
+  }
+  tf.print(std::cout);
+
+  // Knob 3: loop gain (DAC feedback current / VCO tuning gain).
+  util::Table tg("SNDR vs loop gain (Kvco scaling)");
+  tg.set_header({"loop gain [LSB/clock/LSB]", "SNDR [dB]"});
+  std::vector<double> sndr_by_gain;
+  for (double g : {0.25, 0.5, 1.0, 2.0}) {
+    auto spec = core::AdcSpec::paper_40nm();
+    spec.loop_gain = g;
+    const double s = sndr_for_spec(spec, spec.bandwidth_hz);
+    sndr_by_gain.push_back(s);
+    tg.add_row({bench::fmt("%.2f", g), bench::fmt("%.1f", s)});
+  }
+  tg.print(std::cout);
+
+  bench::shape_check("doubling slices buys SNDR (4 -> 32 monotone, > +9 dB)",
+                     sndr_by_slices.back() > sndr_by_slices.front() + 9.0 &&
+                         sndr_by_slices[1] > sndr_by_slices[0] &&
+                         sndr_by_slices[2] > sndr_by_slices[1]);
+  bench::shape_check("SNDR holds (+/-4 dB) while fs scales BW 6x",
+                     std::fabs(sndr_by_fs.back() - sndr_by_fs.front()) < 4.0);
+  bench::shape_check("starved loop gain (0.25) loses > 3 dB vs nominal",
+                     sndr_by_gain[2] > sndr_by_gain[0] + 3.0);
+  return 0;
+}

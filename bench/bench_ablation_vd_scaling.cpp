@@ -1,0 +1,78 @@
+// Ablation: quantify the introduction's argument (Fig. 1 + Sec. 1) - a
+// conventional voltage-domain delta-sigma ADC built around an opamp
+// degrades as CMOS scales (intrinsic gain collapses, stacking impossible),
+// while the proposed time-domain ADC improves. Both are simulated at the
+// same fs/BW across nodes.
+#include "bench/bench_common.h"
+#include "baselines/opamp_dsm.h"
+#include "dsp/signal_gen.h"
+#include "dsp/spectrum.h"
+#include "msim/modulator.h"
+
+using namespace vcoadc;
+
+namespace {
+
+double vd_sndr(const tech::TechNode& node) {
+  baselines::OpampDsmAdc::Params p;
+  p.fs_hz = 150e6;
+  p.bw_hz = 2e6;
+  p.opamp_dc_gain = baselines::OpampDsmAdc::achievable_opamp_gain(node);
+  baselines::OpampDsmAdc adc(p);
+  const std::size_t n = 1 << 14;
+  const double fin = dsp::coherent_freq(300e3, p.fs_hz, n);
+  const auto y = adc.run(dsp::make_sine(0.7, fin), n);
+  const auto sp = dsp::compute_spectrum(y, p.fs_hz, 1.0, dsp::WindowKind::kHann);
+  return dsp::analyze_sndr(sp, p.bw_hz, fin).sndr_db;
+}
+
+double td_sndr(double node_nm) {
+  auto spec = core::AdcSpec::paper_40nm();
+  spec.node_nm = node_nm;
+  // Same converter spec across nodes; only the process changes.
+  spec.fs_hz = 150e6;
+  spec.bandwidth_hz = 2e6;
+  msim::SimConfig cfg = spec.to_sim_config();
+  msim::VcoDsmModulator mod(cfg);
+  const std::size_t n = 1 << 14;
+  const double fin = dsp::coherent_freq(300e3, cfg.fs_hz, n);
+  const auto res =
+      mod.run(dsp::make_sine(mod.full_scale_diff() * 0.708, fin), n);
+  const auto sp =
+      dsp::compute_spectrum(res.output, cfg.fs_hz, 1.0, dsp::WindowKind::kHann);
+  return dsp::analyze_sndr(sp, spec.bandwidth_hz, fin).sndr_db;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation - VD (opamp) vs TD (VCO) architecture vs scaling",
+                "Sec. 1 / Fig. 1: why TD-AMS, quantified");
+
+  const auto& db = tech::TechDatabase::standard();
+  util::Table t("SNDR at fs 150 MHz / BW 2 MHz across nodes");
+  t.set_header({"node", "opamp gain (achievable)", "VD opamp DSM [dB]",
+                "TD VCO DSM (this work) [dB]"});
+  std::vector<double> vd, td;
+  for (double node : {500.0, 180.0, 90.0, 40.0, 22.0}) {
+    const tech::TechNode tn = db.at(node);
+    const double gain = baselines::OpampDsmAdc::achievable_opamp_gain(tn);
+    vd.push_back(vd_sndr(tn));
+    td.push_back(td_sndr(node));
+    t.add_row({tn.name, bench::fmt("%.0f", gain),
+               bench::fmt("%.1f", vd.back()), bench::fmt("%.1f", td.back())});
+  }
+  t.add_footnote("VD integrator leak = 1/A_dc; A collapses with intrinsic "
+                 "gain and the 1-stage limit at low VDD");
+  t.add_footnote("TD loop unaffected: timing resolution improves with "
+                 "scaling (Fig. 1b)");
+  t.print(std::cout);
+
+  bench::shape_check("VD SNDR degrades monotonically from 500 nm to 22 nm",
+                     vd.front() > vd.back() + 6.0);
+  bench::shape_check("TD SNDR holds (+/-4 dB) across the same span",
+                     std::fabs(td.front() - td.back()) < 4.0);
+  bench::shape_check("crossover: VD wins at 500 nm or ties; TD wins at <=40 nm",
+                     td[3] > vd[3] + 6.0 && td[4] > vd[4] + 6.0);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the per-figure/per-table benchmark binaries.
+//
+// Every binary prints (a) what the paper reports, (b) what this
+// reproduction measures, and (c) the shape checks that must hold, so that
+// `for b in build/bench/*; do $b; done` produces a self-contained
+// experiment log (EXPERIMENTS.md is generated from these outputs).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/adc.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace vcoadc::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void shape_check(const std::string& what, bool ok) {
+  std::printf("  [shape %s] %s\n", ok ? "OK  " : "FAIL", what.c_str());
+}
+
+inline std::string fmt(const char* f, double v) {
+  return util::format(f, v);
+}
+
+/// Standard capture length for spectra (Fig. 16-18, Table 3/4).
+inline constexpr std::size_t kSpectrumSamples = 1 << 16;
+
+/// Runs the full post-layout-style report for one of the two paper nodes.
+inline core::NodeReport run_node(const core::AdcSpec& spec,
+                                 double fin_target_hz,
+                                 std::size_t n_samples = kSpectrumSamples) {
+  core::AdcDesign adc(spec);
+  core::SimulationOptions opts;
+  opts.n_samples = n_samples;
+  opts.fin_target_hz = fin_target_hz;
+  return adc.full_report(opts);
+}
+
+}  // namespace vcoadc::bench

@@ -1,0 +1,56 @@
+// Fig. 15 reproduction: power breakdown (digital vs analog share) of the
+// ADC in 40 nm and 180 nm. Paper: 73% / 27% at 40 nm, 88% / 12% at 180 nm;
+// the digital share must shrink as the process advances because only the
+// digital portion scales.
+#include "bench/bench_common.h"
+
+using namespace vcoadc;
+
+int main() {
+  bench::header("Fig. 15 - power breakdown (digital vs analog)",
+                "Fig. 15a (40 nm: 73%/27%), Fig. 15b (180 nm: 88%/12%)");
+
+  const auto rep40 = bench::run_node(core::AdcSpec::paper_40nm(), 1e6,
+                                     1 << 14);
+  const auto rep180 = bench::run_node(core::AdcSpec::paper_180nm(), 250e3,
+                                      1 << 14);
+
+  util::Table t("Power breakdown");
+  t.set_header({"component", "40 nm [mW]", "180 nm [mW]"});
+  auto row = [&](const char* name, double w40, double w180) {
+    t.add_row({name, bench::fmt("%.3f", w40 * 1e3),
+               bench::fmt("%.3f", w180 * 1e3)});
+  };
+  const auto& p40 = rep40.run.power;
+  const auto& p180 = rep180.run.power;
+  row("VCO ring inverters", p40.vco_w, p180.vco_w);
+  row("sampling logic (SAFF/XOR/clock)", p40.sampling_w, p180.sampling_w);
+  row("DAC drivers", p40.dac_drive_w, p180.dac_drive_w);
+  row("buffer switching", p40.buffer_sw_w, p180.buffer_sw_w);
+  row("signal wires", p40.wire_w, p180.wire_w);
+  row("leakage", p40.leakage_w, p180.leakage_w);
+  row("-- digital total", p40.digital_w(), p180.digital_w());
+  row("resistor DAC static", p40.dac_static_w, p180.dac_static_w);
+  row("buffer bias", p40.buffer_bias_w, p180.buffer_bias_w);
+  row("-- analog total", p40.analog_w(), p180.analog_w());
+  row("== total", p40.total_w(), p180.total_w());
+  t.print(std::cout);
+
+  std::printf("\ndigital share: 40 nm %.0f%% (paper 73%%), 180 nm %.0f%% (paper 88%%)\n",
+              p40.digital_fraction() * 100, p180.digital_fraction() * 100);
+  std::printf("\"since the digital portion still occupies %.0f%% of total power,\n"
+              " further power reduction is expected in more advanced process\"\n",
+              p40.digital_fraction() * 100);
+
+  bench::shape_check("digital dominates at both nodes",
+                     p40.digital_fraction() > 0.5 &&
+                         p180.digital_fraction() > 0.5);
+  bench::shape_check("digital share LARGER at 180 nm than at 40 nm "
+                     "(digital scales, analog does not)",
+                     p180.digital_fraction() > p40.digital_fraction());
+  bench::shape_check("40 nm digital share within 15 pts of paper's 73%",
+                     std::abs(p40.digital_fraction() - 0.73) < 0.15);
+  bench::shape_check("180 nm digital share within 10 pts of paper's 88%",
+                     std::abs(p180.digital_fraction() - 0.88) < 0.10);
+  return 0;
+}

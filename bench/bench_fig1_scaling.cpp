@@ -1,0 +1,85 @@
+// Fig. 1 reproduction: CMOS scaling trends.
+//   (a) power supply and transistor intrinsic gain vs gate length
+//   (b) f_T and FO4 inverter delay vs gate length
+// Plus the derived voltage-domain vs time-domain headroom divergence the
+// introduction builds its argument on.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "tech/scaling_model.h"
+#include "tech/tech_node.h"
+#include "util/ascii_plot.h"
+
+using namespace vcoadc;
+
+int main() {
+  bench::header("Fig. 1 - technology scaling trends",
+                "Fig. 1a (VDD, intrinsic gain), Fig. 1b (fT, FO4 delay)");
+
+  const auto& db = tech::TechDatabase::standard();
+  const auto rows = tech::scaling_trend(db);
+
+  util::Table t("Fig. 1 data (ITRS-trend calibrated node table)");
+  t.set_header({"L [nm]", "VDD [V]", "intrinsic gain", "fT [GHz]",
+                "FO4 [ps]"});
+  for (const auto& r : rows) {
+    t.add_row({bench::fmt("%.0f", r.gate_length_nm), bench::fmt("%.2f", r.vdd),
+               bench::fmt("%.0f", r.intrinsic_gain),
+               bench::fmt("%.0f", r.ft_ghz), bench::fmt("%.1f", r.fo4_ps)});
+  }
+  t.add_footnote("paper anchors: 0.5um -> gain 180, VDD 5 V, fT 16 GHz, FO4 140 ps");
+  t.add_footnote("              22 nm -> gain 6, VDD 1 V, fT 400 GHz, FO4 6 ps");
+  t.print(std::cout);
+
+  // Fitted exponents of the trends.
+  std::vector<double> ls, gains, fo4s, fts;
+  for (const auto& r : rows) {
+    ls.push_back(r.gate_length_nm);
+    gains.push_back(r.intrinsic_gain);
+    fo4s.push_back(r.fo4_ps);
+    fts.push_back(r.ft_ghz);
+  }
+  const auto fit_gain = tech::fit_power_law(ls, gains);
+  const auto fit_fo4 = tech::fit_power_law(ls, fo4s);
+  const auto fit_ft = tech::fit_power_law(ls, fts);
+  std::printf("\nfitted power laws (y = c * L^a):\n");
+  std::printf("  intrinsic gain: a = %+.2f (R^2 %.3f)\n", fit_gain.exponent,
+              fit_gain.r_squared);
+  std::printf("  FO4 delay:      a = %+.2f (R^2 %.3f)\n", fit_fo4.exponent,
+              fit_fo4.r_squared);
+  std::printf("  fT:             a = %+.2f (R^2 %.3f)\n", fit_ft.exponent,
+              fit_ft.r_squared);
+
+  const auto headroom = tech::domain_headroom_trend(db);
+  util::Table h("Voltage-domain vs time-domain headroom (normalized to 500 nm)");
+  h.set_header({"L [nm]", "VD headroom (VDD*gain)", "TD resolution (1/FO4)"});
+  for (const auto& r : headroom) {
+    h.add_row({bench::fmt("%.0f", r.gate_length_nm),
+               bench::fmt("%.4f", r.vd_headroom),
+               bench::fmt("%.1f", r.td_resolution)});
+  }
+  h.print(std::cout);
+
+  std::vector<double> x, vd, td;
+  for (const auto& r : headroom) {
+    x.push_back(r.gate_length_nm);
+    vd.push_back(util::db_power(r.vd_headroom));
+    td.push_back(util::db_power(r.td_resolution));
+  }
+  util::PlotOptions po;
+  po.log_x = true;
+  po.title = "VD headroom [dB, falling] vs L (log)";
+  po.x_label = "gate length [nm]";
+  std::printf("\n%s", util::ascii_plot(x, vd, po).c_str());
+  po.title = "TD resolution [dB, rising] vs L (log)";
+  std::printf("\n%s", util::ascii_plot(x, td, po).c_str());
+
+  bench::shape_check("intrinsic gain falls with scaling (a > 0 vs L)",
+                     fit_gain.exponent > 0.5);
+  bench::shape_check("FO4 delay falls with scaling", fit_fo4.exponent > 0.5);
+  bench::shape_check("fT rises with scaling", fit_ft.exponent < -0.5);
+  bench::shape_check(
+      "VD/TD divergence exceeds 1000x across 500 nm -> 22 nm",
+      headroom.back().td_resolution / headroom.back().vd_headroom > 1000.0);
+  return 0;
+}

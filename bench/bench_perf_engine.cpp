@@ -1,0 +1,63 @@
+// google-benchmark microbenchmarks of the library's engines: FFT throughput,
+// modulator simulation rate, netlist flatten, and the full synthesis flow.
+// These gate performance regressions in the substrate itself (a 2^16-point
+// Table 3 run must stay interactive).
+#include <benchmark/benchmark.h>
+
+#include "core/adc.h"
+#include "dsp/fft.h"
+#include "dsp/signal_gen.h"
+#include "msim/modulator.h"
+#include "netlist/generator.h"
+#include "synth/synthesis_flow.h"
+#include "util/rng.h"
+
+using namespace vcoadc;
+
+static void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<dsp::Complex> data(n);
+  for (auto& c : data) c = {rng.gaussian(), rng.gaussian()};
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft_in_place(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 16);
+
+static void BM_ModulatorClock(benchmark::State& state) {
+  auto spec = core::AdcSpec::paper_40nm();
+  msim::SimConfig cfg = spec.to_sim_config();
+  msim::VcoDsmModulator mod(cfg);
+  const auto sine = dsp::make_sine(0.5, 1e6);
+  for (auto _ : state) {
+    auto res = mod.run(sine, 256);
+    benchmark::DoNotOptimize(res.output.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ModulatorClock);
+
+static void BM_NetlistFlatten(benchmark::State& state) {
+  core::AdcDesign adc(core::AdcSpec::paper_40nm());
+  for (auto _ : state) {
+    auto flat = adc.netlist().flatten();
+    benchmark::DoNotOptimize(flat.data());
+  }
+}
+BENCHMARK(BM_NetlistFlatten);
+
+static void BM_SynthesisFlow(benchmark::State& state) {
+  core::AdcDesign adc(core::AdcSpec::paper_40nm());
+  for (auto _ : state) {
+    auto res = adc.synthesize();
+    benchmark::DoNotOptimize(res.stats.die_area_m2);
+  }
+}
+BENCHMARK(BM_SynthesisFlow);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table 3 reproduction: full performance comparison between the 40 nm and
+// 180 nm implementations - fs, BW, SNDR, power, area, Walden FOM - via the
+// complete flow (netlist -> synthesis -> post-layout-style simulation with
+// extracted wire load).
+#include "bench/bench_common.h"
+
+using namespace vcoadc;
+
+int main() {
+  bench::header("Table 3 - performance in 40 nm vs 180 nm",
+                "Table 3 (+ ENOB/FOM footnote formulas)");
+
+  const auto rep40 = bench::run_node(core::AdcSpec::paper_40nm(), 1e6);
+  const auto rep180 = bench::run_node(core::AdcSpec::paper_180nm(), 250e3);
+
+  util::Table t("Table 3 (paper value in parentheses)");
+  t.set_header({"Process", "fs [MHz]", "BW [MHz]", "SNDR [dB]", "Power [mW]",
+                "Area [mm^2]", "FOM [fJ/conv]"});
+  auto row = [&](const char* proc, const core::NodeReport& r, double fs,
+                 double bw, const char* paper) {
+    t.add_row({proc, bench::fmt("%.0f", fs / 1e6), bench::fmt("%.1f", bw / 1e6),
+               bench::fmt("%.1f", r.run.sndr.sndr_db),
+               bench::fmt("%.2f", r.run.power.total_w() * 1e3),
+               bench::fmt("%.4f", r.area_mm2),
+               bench::fmt("%.0f", r.run.fom_fj) + std::string("  ") + paper});
+  };
+  row("40 nm", rep40, 750e6, 5e6, "(paper: 69.5 dB, 1.37 mW, 0.012, 56.2)");
+  row("180 nm", rep180, 250e6, 1.4e6, "(paper: 69.5 dB, 5.45 mW, 0.151, 798)");
+  t.add_footnote("ENOB = (SNDR - 1.76)/6.02, FOM = P / (2^ENOB * 2 * BW)");
+  t.print(std::cout);
+
+  const double p_ratio =
+      rep180.run.power.total_w() / rep40.run.power.total_w();
+  const double a_ratio = rep180.area_mm2 / rep40.area_mm2;
+  const double f_ratio = rep180.run.fom_fj / rep40.run.fom_fj;
+  std::printf("\nscaling gains moving 180 nm -> 40 nm:  power %.1fx  "
+              "area %.1fx  FOM %.1fx\n", p_ratio, a_ratio, f_ratio);
+  std::printf("paper:                                power 4.0x  area 12.6x  "
+              "FOM 14.2x\n");
+
+  bench::shape_check("both nodes reach comparable SNDR (paper: equal 69.5)",
+                     std::fabs(rep40.run.sndr.sndr_db -
+                               rep180.run.sndr.sndr_db) < 6.0);
+  bench::shape_check("SNDR within 5 dB of 69.5 at both nodes",
+                     std::fabs(rep40.run.sndr.sndr_db - 69.5) < 5.0 &&
+                         std::fabs(rep180.run.sndr.sndr_db - 69.5) < 5.0);
+  bench::shape_check("40 nm wins power by >2.5x (paper 4.0x)", p_ratio > 2.5);
+  bench::shape_check("40 nm wins area by 6-25x (paper 12.6x)",
+                     a_ratio > 6.0 && a_ratio < 25.0);
+  bench::shape_check("40 nm wins FOM by >5x (paper 14.2x)", f_ratio > 5.0);
+  bench::shape_check("powers within ~2x of the paper's absolute numbers",
+                     rep40.run.power.total_w() > 0.68e-3 &&
+                         rep40.run.power.total_w() < 2.8e-3 &&
+                         rep180.run.power.total_w() > 2.7e-3 &&
+                         rep180.run.power.total_w() < 11e-3);
+  return 0;
+}

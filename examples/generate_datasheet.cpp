@@ -1,0 +1,19 @@
+// Generates the datasheet of the paper's two parts (Table 3's rows) via
+// the complete flow: netlist -> layout -> routing -> timing -> power grid
+// -> behavioral simulation -> Monte Carlo.
+#include <cstdio>
+
+#include "core/datasheet.h"
+
+int main() {
+  using namespace vcoadc;
+  for (const auto& spec :
+       {core::AdcSpec::paper_40nm(), core::AdcSpec::paper_180nm()}) {
+    core::DatasheetOptions opts;
+    opts.n_samples = 1 << 14;
+    opts.mc_runs = 5;
+    const core::Datasheet ds = core::generate_datasheet(spec, opts);
+    std::printf("%s\n", ds.render().c_str());
+  }
+  return 0;
+}

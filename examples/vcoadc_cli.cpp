@@ -1,0 +1,131 @@
+// vcoadc_cli: command-line front end of the generator.
+//
+//   vcoadc_cli <command> [options]
+//
+//   commands:
+//     simulate     behavioral run: SNDR/ENOB/power/FOM for a spec
+//     synthesize   layout synthesis: area/DRC/routing, writes artifacts
+//     datasheet    full-flow datasheet
+//     export       write verilog/spice/lef/liberty/gds/fp artifacts
+//
+//   options (all commands):
+//     --node=40         technology node [nm]
+//     --slices=16       number of slices
+//     --fs=750e6        modulator clock [Hz]
+//     --bw=5e6          signal bandwidth [Hz]
+//     --samples=16384   capture length for simulate/datasheet
+//     --out=.           artifact output directory
+#include <cstdio>
+#include <fstream>
+
+#include "core/adc.h"
+#include "core/datasheet.h"
+#include "netlist/lef.h"
+#include "netlist/liberty.h"
+#include "netlist/spice.h"
+#include "netlist/verilog_writer.h"
+#include "synth/gdsii.h"
+#include "util/cli.h"
+#include "util/units.h"
+
+using namespace vcoadc;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <simulate|synthesize|datasheet|export> "
+               "[--node=40] [--slices=16] [--fs=750e6] [--bw=5e6] "
+               "[--samples=16384] [--out=.]\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const auto unknown = args.unknown_flags(
+      {"node", "slices", "fs", "bw", "samples", "out"});
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag: %s\n", unknown[0].c_str());
+    return usage(argv[0]);
+  }
+  if (args.positional().size() != 1) return usage(argv[0]);
+  const std::string cmd = args.positional()[0];
+
+  core::AdcSpec spec = core::AdcSpec::paper_40nm();
+  spec.node_nm = args.get_double("node", 40);
+  spec.num_slices = args.get_int("slices", 16);
+  spec.fs_hz = args.get_double("fs", 750e6);
+  spec.bandwidth_hz = args.get_double("bw", 5e6);
+  const auto n_samples =
+      static_cast<std::size_t>(args.get_int("samples", 16384));
+  const std::string out_dir = args.get("out", ".");
+  const auto problems = spec.validate();
+  if (!problems.empty()) {
+    std::fprintf(stderr, "invalid spec:\n");
+    for (const auto& p : problems) std::fprintf(stderr, "  %s\n", p.c_str());
+    return 1;
+  }
+  std::printf("spec: %s\n", spec.describe().c_str());
+
+  if (cmd == "simulate") {
+    core::AdcDesign adc(spec);
+    core::SimulationOptions opts;
+    opts.n_samples = n_samples;
+    opts.fin_target_hz = spec.bandwidth_hz / 5.0;
+    const auto res = adc.simulate(opts);
+    std::printf("SNDR %.1f dB | ENOB %.2f | power %s | FOM %.0f fJ/conv\n",
+                res.sndr.sndr_db, res.sndr.enob,
+                util::si_format(res.power.total_w(), "W").c_str(),
+                res.fom_fj);
+    return 0;
+  }
+  if (cmd == "synthesize") {
+    core::AdcDesign adc(spec);
+    const auto res = adc.synthesize();
+    std::printf("area %.4f mm^2 | DRC %zu | routed %.0f um, %d vias, "
+                "%d overflow | HPWL %.0f um\n",
+                res.stats.die_area_m2 * 1e6, res.drc.violations.size(),
+                res.detailed_routing.total_wirelength_m * 1e6,
+                res.detailed_routing.total_vias,
+                res.detailed_routing.overflowed_edges,
+                res.routing.total_hpwl_m * 1e6);
+    std::ofstream(out_dir + "/adc.fp") << res.floorplan_spec;
+    std::ofstream(out_dir + "/adc_layout.txt")
+        << res.layout->render_ascii(100);
+    std::printf("wrote %s/adc.fp, %s/adc_layout.txt\n", out_dir.c_str(),
+                out_dir.c_str());
+    return 0;
+  }
+  if (cmd == "datasheet") {
+    core::DatasheetOptions opts;
+    opts.n_samples = n_samples;
+    const auto ds = core::generate_datasheet(spec, opts);
+    std::printf("%s", ds.render().c_str());
+    return 0;
+  }
+  if (cmd == "export") {
+    core::AdcDesign adc(spec);
+    const tech::TechNode node = spec.tech_node();
+    std::ofstream(out_dir + "/adc_top.v")
+        << netlist::write_verilog(adc.netlist());
+    std::ofstream(out_dir + "/adc_top.sp")
+        << netlist::write_spice(adc.netlist(), node);
+    std::ofstream(out_dir + "/stdcells.lef")
+        << netlist::write_lef(adc.library());
+    std::ofstream(out_dir + "/stdcells.lib")
+        << netlist::write_liberty(adc.library(), node);
+    const auto synth_res = adc.synthesize();
+    std::ofstream(out_dir + "/adc.fp") << synth_res.floorplan_spec;
+    const auto gds = synth::write_gdsii(*synth_res.layout, "vcoadc");
+    std::ofstream gf(out_dir + "/adc_top.gds", std::ios::binary);
+    gf.write(reinterpret_cast<const char*>(gds.data()),
+             static_cast<long>(gds.size()));
+    std::printf("wrote adc_top.v adc_top.sp stdcells.lef stdcells.lib "
+                "adc.fp adc_top.gds under %s\n", out_dir.c_str());
+    return 0;
+  }
+  return usage(argv[0]);
+}

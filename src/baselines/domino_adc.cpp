@@ -1,0 +1,41 @@
+#include "baselines/domino_adc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcoadc::baselines {
+
+DominoAdc::DominoAdc(const Params& p) : p_(p), rng_(p.seed) {
+  stage_delay_.reserve(static_cast<std::size_t>(p_.stages));
+  for (int i = 0; i < p_.stages; ++i) {
+    stage_delay_.push_back(
+        std::max(0.2, 1.0 + rng_.gaussian(0.0, p_.stage_mismatch)));
+  }
+  for (double d : stage_delay_) nominal_total_ += d;
+}
+
+std::vector<double> DominoAdc::run(const dsp::SignalFn& vin, std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  const double dt = 1.0 / p_.fs_hz;
+  // Conversion window sized so a zero input reaches mid-chain.
+  const double window = nominal_total_ / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = std::clamp(vin(static_cast<double>(i) * dt), -1.0, 1.0);
+    // Input speeds up / slows down every domino stage, with a quadratic
+    // term modelling the non-ideal V-to-delay law.
+    const double rate =
+        1.0 + 0.5 * u + p_.delay_nonlinearity * 0.25 * u * u;
+    double budget = window * rate * (1.0 + rng_.gaussian(0.0, p_.jitter_rel));
+    int reached = 0;
+    for (double d : stage_delay_) {
+      budget -= d;
+      if (budget < 0) break;
+      ++reached;
+    }
+    out.push_back(2.0 * reached / static_cast<double>(p_.stages) - 1.0);
+  }
+  return out;
+}
+
+}  // namespace vcoadc::baselines

@@ -1,0 +1,43 @@
+// Behavioral model of [17]: Weaver et al.'s domino-logic ADC (TCAS-II
+// 2011). The input voltage gates the discharge rate of a domino chain; a
+// counter samples how far the edge propagated in one clock period, giving a
+// voltage-to-time-to-code conversion. Per-stage delay mismatch and the
+// nonlinear V-to-delay law of the domino gates bound the linearity in the
+// ~34 dB SNDR regime of the published part.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/signal_gen.h"
+#include "util/rng.h"
+
+namespace vcoadc::baselines {
+
+class DominoAdc {
+ public:
+  struct Params {
+    double fs_hz = 50e6;
+    double bw_hz = 25e6;       ///< Nyquist converter
+    int stages = 160;          ///< domino chain length
+    double stage_mismatch = 0.02;  ///< per-stage delay sigma (relative)
+    /// Nonlinearity of the V-to-delay law: delay ~ 1/(1 + u + nl * u^2).
+    double delay_nonlinearity = 0.08;
+    double jitter_rel = 0.002;  ///< per-conversion timing noise (relative)
+    std::uint64_t seed = 13;
+  };
+
+  explicit DominoAdc(const Params& p);
+
+  std::vector<double> run(const dsp::SignalFn& vin, std::size_t n);
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  util::Rng rng_;
+  std::vector<double> stage_delay_;  ///< relative per-stage delays
+  double nominal_total_ = 0;
+};
+
+}  // namespace vcoadc::baselines

@@ -1,0 +1,40 @@
+#include "baselines/opamp_dsm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcoadc::baselines {
+
+OpampDsmAdc::OpampDsmAdc(const Params& p) : p_(p), rng_(p.seed) {}
+
+double OpampDsmAdc::achievable_opamp_gain(const tech::TechNode& node) {
+  const double stage = 0.7 * node.intrinsic_gain;
+  // Cascoding / two-stage topologies need voltage headroom; below ~2.5 V
+  // supply the practical opamp is a single gain stage (gain boosting
+  // "requires stacking transistors vertically", Sec. 1).
+  const double stages = (node.vdd >= 2.5) ? 2.0 : 1.0;
+  return std::pow(stage, stages);
+}
+
+std::vector<double> OpampDsmAdc::run(const dsp::SignalFn& vin, std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  const double dt = 1.0 / p_.fs_hz;
+  const double a = 1.0 - 1.0 / std::max(p_.opamp_dc_gain, 1.5);
+  const int levels = std::max(2, p_.quantizer_levels);
+  double feedback = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double u = vin(static_cast<double>(i) * dt);
+    if (p_.opamp_noise > 0) u += rng_.gaussian(0.0, p_.opamp_noise);
+    state_ = a * state_ + (u - feedback);
+    // Mid-tread uniform quantizer over [-2, 2] of integrator state.
+    const double step = 4.0 / (levels - 1);
+    const double q = std::clamp(
+        std::round(state_ / step) * step / 2.0, -1.0, 1.0);
+    feedback = q;
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace vcoadc::baselines

@@ -1,0 +1,50 @@
+// Behavioral model of the CONVENTIONAL voltage-domain delta-sigma ADC the
+// paper's introduction argues against: an active-RC first-order modulator
+// whose integrator is built around an opamp of finite DC gain.
+//
+// The integrator leak is 1/A_dc: with a transistor intrinsic gain of 180
+// (0.5 um) a two-stage opamp reaches A ~ 10^4 and the leak is negligible,
+// but at 22 nm (intrinsic gain 6, stacking impossible at 1 V) A collapses
+// to ~tens, the in-band quantization-noise suppression degrades, and SNDR
+// falls with every node - the Fig. 1a story, quantified. This is the
+// ablation benchmark bench_ablation_vd_scaling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/signal_gen.h"
+#include "tech/tech_node.h"
+#include "util/rng.h"
+
+namespace vcoadc::baselines {
+
+class OpampDsmAdc {
+ public:
+  struct Params {
+    double fs_hz = 150e6;
+    double bw_hz = 2e6;
+    double opamp_dc_gain = 1000.0;  ///< A: integrator leak = 1/A
+    int quantizer_levels = 16;
+    double opamp_noise = 0.0;       ///< input-referred / full scale
+    std::uint64_t seed = 17;
+  };
+
+  explicit OpampDsmAdc(const Params& p);
+
+  std::vector<double> run(const dsp::SignalFn& vin, std::size_t n);
+
+  const Params& params() const { return p_; }
+
+  /// Achievable opamp DC gain at a node: two gain stages when the supply
+  /// allows stacking (VDD >= 2.5 V), one otherwise, each contributing the
+  /// node's intrinsic gain (times a 0.7 topology factor).
+  static double achievable_opamp_gain(const tech::TechNode& node);
+
+ private:
+  Params p_;
+  util::Rng rng_;
+  double state_ = 0.0;
+};
+
+}  // namespace vcoadc::baselines

@@ -1,0 +1,41 @@
+#include "baselines/passive_dsm.h"
+
+namespace vcoadc::baselines {
+
+PassiveDsmAdc::PassiveDsmAdc(const Params& p) : p_(p), rng_(p.seed) {
+  // Uniform ladder with per-rung standard-cell comparator offsets.
+  thresholds_.reserve(static_cast<std::size_t>(p_.comparators));
+  for (int i = 0; i < p_.comparators; ++i) {
+    const double nominal =
+        p_.ladder_range *
+        (2.0 * (i + 1) / static_cast<double>(p_.comparators + 1) - 1.0);
+    thresholds_.push_back(nominal + rng_.gaussian(0.0, p_.offset_sigma));
+  }
+}
+
+std::vector<double> PassiveDsmAdc::run(const dsp::SignalFn& vin,
+                                       std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  const double dt = 1.0 / p_.fs_hz;
+  const double a = 1.0 - p_.integrator_leak;
+  double feedback = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = vin(static_cast<double>(i) * dt);
+    // Passive integrator: leaky accumulation of (input - feedback).
+    state_ = a * state_ + p_.integrator_gain * (u - feedback);
+    // Stochastic comparator bank quantizes the integrator state.
+    int count = 0;
+    for (double th : thresholds_) {
+      const double noise = rng_.gaussian(0.0, p_.comparator_noise);
+      if (state_ + noise > th) ++count;
+    }
+    const double y =
+        (2.0 * count - p_.comparators) / static_cast<double>(p_.comparators);
+    feedback = y;
+    out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace vcoadc::baselines

@@ -1,0 +1,50 @@
+// Behavioral model of [15]: Waters & Moon's fully synthesized delta-sigma
+// ADC (ASSCC 2015). Architecture essentials for the comparison:
+//   * a PASSIVE (switched-RC) first-order loop filter - no opamp, so the
+//     integrator is lossy: H(z) = b / (1 - a z^-1) with a < 1,
+//   * a bank of standard-cell comparators acting as a coarse stochastic
+//     quantizer (offsets spread the thresholds),
+//   * 1-bit-per-element DAC feedback.
+// The lossy integrator caps the in-band noise suppression, which is why the
+// published SNDR saturates in the mid-50s dB despite oversampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/signal_gen.h"
+#include "util/rng.h"
+
+namespace vcoadc::baselines {
+
+class PassiveDsmAdc {
+ public:
+  struct Params {
+    double fs_hz = 150e6;
+    double bw_hz = 2.34e6;
+    /// Passive integrator leak per sample (a = 1 - leak). ~0.02 for an RC
+    /// ratio ~50, the practical ceiling without an opamp.
+    double integrator_leak = 0.02;
+    double integrator_gain = 1.0;   ///< b: charge-sharing gain
+    int comparators = 15;           ///< quantizer ladder size (4-bit)
+    double ladder_range = 2.0;      ///< nominal ladder span (+/-)
+    double offset_sigma = 0.02;     ///< random offset on each rung
+    double comparator_noise = 0.003;///< input-referred noise / full scale
+    std::uint64_t seed = 7;
+  };
+
+  explicit PassiveDsmAdc(const Params& p);
+
+  /// Runs n samples against the input signal (full scale = 1.0).
+  std::vector<double> run(const dsp::SignalFn& vin, std::size_t n);
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  util::Rng rng_;
+  std::vector<double> thresholds_;
+  double state_ = 0.0;
+};
+
+}  // namespace vcoadc::baselines

@@ -1,0 +1,24 @@
+#include "baselines/published.h"
+
+namespace vcoadc::baselines {
+
+const std::vector<PublishedAdc>& table4_prior_works() {
+  static const std::vector<PublishedAdc> rows = {
+      {"[15] Waters ASSCC'15", "synthesized passive delta-sigma", 1.0, 65,
+       150e6, 2.34e6, 56.3, 0.872e-3, 0.014, 348.6},
+      {"[15] Waters ASSCC'15 (130nm)", "synthesized passive delta-sigma",
+       1.2, 130, 80e6, 2e6, 56.2, 0.983e-3, 0.046, 466.0},
+      {"[16] Weaver TCAS'14", "stochastic flash", 1.2, 90, 210e6, 105e6,
+       35.9, 34.8e-3, 0.18, 3255.0},
+      {"[17] Weaver TCAS-II'11", "domino-logic ADC", 1.3, 180, 50e6, 25e6,
+       34.2, 0.433e-3, 0.094, 204.0},
+  };
+  return rows;
+}
+
+PublishedAdc table4_this_work() {
+  return {"This work (paper)", "VCO-based CT delta-sigma", 1.1, 40,
+          750e6, 5e6, 69.5, 1.37e-3, 0.012, 56.2};
+}
+
+}  // namespace vcoadc::baselines

@@ -1,0 +1,34 @@
+// Published measurement numbers of the prior synthesis-friendly ADCs the
+// paper compares against in Table 4. These are the fabricated-chip results
+// quoted by the paper; our behavioral models of the same architectures
+// reproduce the SNDR column so the ranking can be *re-derived*, while
+// power/area stay as published (we cannot meaningfully re-measure someone
+// else's silicon with a behavioral model).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vcoadc::baselines {
+
+struct PublishedAdc {
+  std::string label;       ///< e.g. "[15] Waters ASSCC'15"
+  std::string architecture;
+  double supply_v = 0;
+  double process_nm = 0;
+  double fs_hz = 0;
+  double bw_hz = 0;
+  double sndr_db = 0;
+  double power_w = 0;
+  double area_mm2 = 0;
+  double fom_fj = 0;
+};
+
+/// The four prior-work columns of Table 4 (columns 2-5).
+const std::vector<PublishedAdc>& table4_prior_works();
+
+/// The paper's own reported column (column 1), for paper-vs-measured
+/// comparison in EXPERIMENTS.md.
+PublishedAdc table4_this_work();
+
+}  // namespace vcoadc::baselines

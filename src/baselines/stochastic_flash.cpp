@@ -1,0 +1,78 @@
+#include "baselines/stochastic_flash.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcoadc::baselines {
+namespace {
+
+/// Inverse standard normal CDF (Acklam's rational approximation); ample
+/// accuracy for linearizing a quantizer with thousands of elements.
+double inv_normal_cdf(double p) {
+  p = std::clamp(p, 1e-9, 1.0 - 1e-9);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00, 2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+StochasticFlashAdc::StochasticFlashAdc(const Params& p) : p_(p), rng_(p.seed) {
+  thresholds_.reserve(static_cast<std::size_t>(p_.comparators));
+  for (int i = 0; i < p_.comparators; ++i) {
+    thresholds_.push_back(rng_.gaussian(0.0, p_.offset_sigma));
+  }
+}
+
+std::vector<double> StochasticFlashAdc::run(const dsp::SignalFn& vin,
+                                            std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  const double dt = 1.0 / p_.fs_hz;
+  const double k = static_cast<double>(p_.comparators);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = vin(static_cast<double>(i) * dt);
+    int count = 0;
+    for (double th : thresholds_) {
+      const double noise = rng_.gaussian(0.0, p_.comparator_noise);
+      if (u + noise > th) ++count;
+    }
+    if (p_.linearize) {
+      // Digital correction: invert the Gaussian CDF of the ladder.
+      const double frac = (count + 0.5) / (k + 1.0);
+      out.push_back(inv_normal_cdf(frac) * p_.offset_sigma);
+    } else {
+      out.push_back((2.0 * count - k) / k);
+    }
+  }
+  return out;
+}
+
+}  // namespace vcoadc::baselines

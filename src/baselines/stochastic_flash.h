@@ -1,0 +1,44 @@
+// Behavioral model of [16]: Weaver et al.'s digitally synthesized
+// stochastic flash ADC (TCAS-I 2014). A large bank of identical standard-
+// cell comparators is deliberately left UNtrimmed; random device mismatch
+// spreads the thresholds into a Gaussian ladder, and the sum of comparator
+// outputs quantizes the input through the Gaussian CDF. The arcsine-like
+// CDF nonlinearity plus the sqrt(K) statistical noise cap the SNDR in the
+// mid-30s dB - the number Table 4 quotes - no matter the oversampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/signal_gen.h"
+#include "util/rng.h"
+
+namespace vcoadc::baselines {
+
+class StochasticFlashAdc {
+ public:
+  struct Params {
+    double fs_hz = 210e6;
+    double bw_hz = 105e6;         ///< Nyquist converter: BW = fs/2
+    int comparators = 1023;
+    double offset_sigma = 0.5;    ///< threshold spread / full scale
+    double comparator_noise = 0.02;
+    /// Linearize the CDF with the ideal inverse (the paper's digital
+    /// correction); leaves residual statistical + truncation error.
+    bool linearize = true;
+    std::uint64_t seed = 11;
+  };
+
+  explicit StochasticFlashAdc(const Params& p);
+
+  std::vector<double> run(const dsp::SignalFn& vin, std::size_t n);
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  util::Rng rng_;
+  std::vector<double> thresholds_;
+};
+
+}  // namespace vcoadc::baselines

@@ -1,0 +1,83 @@
+#include "core/adc.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "dsp/signal_gen.h"
+#include "netlist/generator.h"
+#include "util/units.h"
+
+namespace vcoadc::core {
+
+AdcDesign::AdcDesign(const AdcSpec& spec) : spec_(spec) {
+  const auto problems = spec_.validate();
+  if (!problems.empty()) {
+    std::fprintf(stderr, "AdcDesign: invalid spec (%s):\n",
+                 spec_.describe().c_str());
+    for (const auto& p : problems) std::fprintf(stderr, "  %s\n", p.c_str());
+    std::abort();
+  }
+  const tech::TechNode node = spec_.tech_node();
+  lib_ = std::make_unique<netlist::CellLibrary>(
+      netlist::make_standard_library(node));
+  netlist::add_resistor_cells(*lib_, node);
+  netlist::GeneratorConfig gen;
+  gen.num_slices = spec_.num_slices;
+  gen.dac_fragments = spec_.dac_fragments;
+  design_ = std::make_unique<netlist::Design>(
+      netlist::build_adc_design(*lib_, gen));
+}
+
+RunResult AdcDesign::simulate(const SimulationOptions& opts) const {
+  RunResult res;
+  const msim::SimConfig cfg = spec_.to_sim_config();
+
+  msim::VcoDsmModulator::Options mopts;
+  mopts.comparator = opts.comparator;
+  mopts.dac = opts.dac;
+  mopts.record_bits = opts.record_bits;
+  msim::VcoDsmModulator mod(cfg, mopts);
+
+  res.full_scale_v = mod.full_scale_diff();
+  res.fin_hz = dsp::coherent_freq(opts.fin_target_hz, cfg.fs_hz,
+                                  opts.n_samples);
+  res.amplitude_v =
+      res.full_scale_v * util::from_db_amplitude(opts.amplitude_dbfs);
+  res.mod = mod.run(dsp::make_sine(res.amplitude_v, res.fin_hz),
+                    opts.n_samples);
+
+  res.spectrum = dsp::compute_spectrum(res.mod.output, cfg.fs_hz, 1.0,
+                                       dsp::WindowKind::kHann);
+  res.sndr = dsp::analyze_sndr(res.spectrum, spec_.bandwidth_hz, res.fin_hz);
+  // Shaping slope fitted from just above the band edge to fs/4.
+  res.shaping = dsp::fit_noise_slope(res.spectrum, spec_.bandwidth_hz * 1.2,
+                                     cfg.fs_hz / 4.0);
+  res.idle_tones = dsp::find_idle_tones(res.spectrum, res.sndr,
+                                        res.fin_hz * 3.0,
+                                        spec_.bandwidth_hz, 12.0);
+
+  PowerModelOptions popts;
+  popts.wire_cap_f = opts.wire_cap_f;
+  res.power = estimate_power(spec_, *design_, res.mod, popts);
+  res.fom_fj = util::walden_fom_fj(res.power.total_w(), res.sndr.sndr_db,
+                                   spec_.bandwidth_hz);
+  return res;
+}
+
+synth::SynthesisResult AdcDesign::synthesize(
+    const synth::SynthesisOptions& opts) const {
+  return synth::synthesize(*design_, opts);
+}
+
+NodeReport AdcDesign::full_report(const SimulationOptions& opts) const {
+  NodeReport report;
+  report.synthesis = synthesize();
+  SimulationOptions with_wire = opts;
+  with_wire.wire_cap_f = report.synthesis.routing.wire_cap_f;
+  report.run = simulate(with_wire);
+  report.area_mm2 = report.synthesis.stats.die_area_m2 * 1e6;
+  return report;
+}
+
+}  // namespace vcoadc::core

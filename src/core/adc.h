@@ -1,0 +1,82 @@
+// AdcDesign: the top-level object of the library.
+//
+// From one AdcSpec it derives all three views the paper works with:
+//   * a behavioral simulation model (msim) -> waveforms, spectra, SNDR
+//   * a gate-level netlist (netlist)       -> Verilog, gate counts, power
+//   * a synthesized layout (synth)         -> floorplan, area, DRC
+// plus the combined metrics of Table 3 (power breakdown, Walden FOM).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/adc_spec.h"
+#include "core/power_model.h"
+#include "dsp/spectrum.h"
+#include "msim/modulator.h"
+#include "netlist/cell_library.h"
+#include "netlist/netlist.h"
+#include "synth/synthesis_flow.h"
+
+namespace vcoadc::core {
+
+struct SimulationOptions {
+  std::size_t n_samples = 1 << 16;
+  /// Input tone amplitude in dB below full scale. -3 dBFS keeps clear of
+  /// the first-order overload boundary (-20*log10(1 - 2/N) below FS).
+  double amplitude_dbfs = -3.0;
+  double fin_target_hz = 1e6;    ///< snapped to a coherent odd-cycle bin
+  msim::ComparatorKind comparator = msim::ComparatorKind::kNor3;
+  msim::DacKind dac = msim::DacKind::kResistor;
+  bool record_bits = false;
+  /// Wire capacitance fed to the power model (from a synthesis run); 0 ok.
+  double wire_cap_f = 0.0;
+};
+
+struct RunResult {
+  double fin_hz = 0;
+  double amplitude_v = 0;       ///< differential input amplitude
+  double full_scale_v = 0;
+  msim::ModulatorResult mod;
+  dsp::Spectrum spectrum;
+  dsp::SndrReport sndr;
+  dsp::SlopeFit shaping;        ///< fitted noise slope above the band edge
+  std::vector<dsp::IdleTone> idle_tones;  ///< in-band spur scan
+  PowerBreakdown power;
+  double fom_fj = 0;            ///< Walden FOM [fJ/conv-step]
+};
+
+/// Everything Table 3 needs for one node: simulation + layout.
+struct NodeReport {
+  RunResult run;
+  synth::SynthesisResult synthesis;
+  double area_mm2 = 0;
+};
+
+class AdcDesign {
+ public:
+  explicit AdcDesign(const AdcSpec& spec);
+
+  /// Runs the behavioral model and the full spectrum analysis.
+  RunResult simulate(const SimulationOptions& opts = {}) const;
+
+  /// Runs the Fig. 9 layout-synthesis flow on the generated netlist.
+  synth::SynthesisResult synthesize(
+      const synth::SynthesisOptions& opts = {}) const;
+
+  /// Synthesis + simulation with the layout's wire load folded into the
+  /// power model — the "post-layout" result of the paper's Sec. 4.
+  NodeReport full_report(const SimulationOptions& opts = {}) const;
+
+  const AdcSpec& spec() const { return spec_; }
+  const netlist::CellLibrary& library() const { return *lib_; }
+  const netlist::Design& netlist() const { return *design_; }
+
+ private:
+  AdcSpec spec_;
+  std::unique_ptr<netlist::CellLibrary> lib_;   // stable address for design_
+  std::unique_ptr<netlist::Design> design_;
+};
+
+}  // namespace vcoadc::core

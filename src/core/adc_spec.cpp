@@ -1,0 +1,148 @@
+#include "core/adc_spec.h"
+
+#include "util/strings.h"
+
+namespace vcoadc::core {
+
+AdcSpec AdcSpec::paper_40nm() {
+  AdcSpec spec;
+  spec.node_nm = 40;
+  // The paper leaves N unstated ("selected according to the effective
+  // quantizer resolution requirement"); 16 slices is what lands the 69.5 dB
+  // SNDR of Table 3 at OSR 75 with first-order shaping, with overload
+  // margin down to ~-1.2 dBFS (stable input of an N-level first-order loop
+  // is (1 - 2/N) of full scale).
+  spec.num_slices = 16;
+  spec.fs_hz = 750e6;
+  spec.bandwidth_hz = 5e6;
+  // Four 11k fragments in series per DAC keep the resistor static power at
+  // the paper's analog budget (Fig. 15a); Kvco absorbs the loop gain.
+  spec.dac_fragments = 4;
+  return spec;
+}
+
+AdcSpec AdcSpec::paper_180nm() {
+  AdcSpec spec;
+  spec.node_nm = 180;
+  spec.num_slices = 16;
+  spec.fs_hz = 250e6;
+  spec.bandwidth_hz = 1.4e6;
+  // The higher 180 nm reference voltage would overspend analog power
+  // through a 44k chain; eight fragments keep the DAC current comparable
+  // to the 40 nm design point.
+  spec.dac_fragments = 8;
+  return spec;
+}
+
+std::vector<std::string> AdcSpec::validate() const {
+  std::vector<std::string> problems;
+  const auto node = tech::TechDatabase::standard().find(node_nm);
+  if (!node.has_value()) {
+    problems.push_back(util::format("unknown technology node %.0f nm",
+                                    node_nm));
+  }
+  if (num_slices < 2) {
+    problems.push_back("num_slices must be >= 2 (pseudo-differential ring)");
+  }
+  if (fs_hz <= 0) problems.push_back("fs must be positive");
+  if (bandwidth_hz <= 0) problems.push_back("bandwidth must be positive");
+  if (bandwidth_hz > fs_hz / 2) {
+    problems.push_back("bandwidth exceeds fs/2 (not an oversampled design)");
+  } else if (fs_hz > 0 && osr() < 8) {
+    problems.push_back(util::format(
+        "OSR %.1f too low for first-order shaping (need >= 8)", osr()));
+  }
+  if (dac_fragments < 1) problems.push_back("dac_fragments must be >= 1");
+  if (loop_gain <= 0 || loop_gain > 4.0) {
+    problems.push_back("loop_gain outside the stable (0, 4] range");
+  }
+  if (node.has_value() && num_slices >= 2 && fs_hz > 0) {
+    // The ring must be realizable: centre frequency below the node's
+    // maximum ring rate at this stage count ("within the ADC performance
+    // boundary in a given process", Sec. 2.2).
+    const double f_center = vco_center_over_fs * fs_hz / pvt.process;
+    const double f_max = node->max_ring_freq_hz(num_slices);
+    if (f_center > 0.8 * f_max) {
+      problems.push_back(util::format(
+          "ring centre %.2f GHz exceeds 80%% of the %s ring limit %.2f GHz "
+          "- lower fs or the slice count",
+          f_center / 1e9, node->name.c_str(), f_max / 1e9));
+    }
+  }
+  if (pvt.voltage < 0.5 || pvt.voltage > 1.5) {
+    problems.push_back("pvt.voltage outside [0.5, 1.5] of nominal");
+  }
+  return problems;
+}
+
+tech::TechNode AdcSpec::tech_node() const {
+  return tech::TechDatabase::standard().at(node_nm);
+}
+
+msim::SimConfig AdcSpec::to_sim_config() const {
+  const tech::TechNode node = tech_node();
+  // Effective gate-delay multiplier: process corner plus a mild positive
+  // temperature coefficient (~0.1%/K around 300 K).
+  const double speed =
+      pvt.process * (1.0 + 0.001 * (pvt.temperature_k - 300.0));
+  const double vdd = node.vdd * pvt.voltage;
+
+  msim::SimConfig cfg;
+  cfg.num_slices = num_slices;
+  cfg.fs_hz = fs_hz;
+  cfg.substeps = 8;
+  cfg.vdd = vdd;
+  cfg.vrefp = vdd;            // reference tied to the supply, as in Fig. 8b
+  cfg.vctrl_mid = vdd / 2.0;
+  cfg.temperature_k = pvt.temperature_k;
+  cfg.seed = seed;
+
+  // Feedback network: one RES11K fragment chain per DAC (Sec. 3.1), input
+  // bank of num_slices fragments in parallel per side so full scale = VDD.
+  cfg.r_dac_ohms = 11000.0 * dac_fragments;
+  cfg.r_input_ohms = cfg.r_dac_ohms / num_slices;
+  cfg.g_vco_load_s = 5e-4;
+  cfg.c_node_f = 200e-15;
+  cfg.thermal_noise = with_nonidealities;
+
+  // VCO: centre frequency anchored to fs at the typical corner; a fast or
+  // slow process moves the free-running rate and the tuning gain together
+  // (both are gate-speed properties). Kvco's nominal value comes from the
+  // feedback network so the loop moves loop_gain quantizer LSBs of phase
+  // per clock per output LSB (VcoDsmModulator::loop_gain_lsb_per_clock).
+  cfg.vco_center_hz = vco_center_over_fs * fs_hz / speed;
+  const double g_in = 1.0 / cfg.r_input_ohms;
+  const double g_dac = num_slices / cfg.r_dac_ohms;
+  const double g_tot = g_in + g_dac + cfg.g_vco_load_s;
+  cfg.kvco_hz_per_v =
+      loop_gain * fs_hz * g_tot / (4.0 * g_dac * node.vdd) / speed;
+
+  if (with_nonidealities) {
+    // Mismatch magnitudes follow standard raw-matching lore: a few percent
+    // for gate delay / Kvco, per-mille for unsilicided resistors, and the
+    // node's comparator offset sigma from the tech model. Every timing
+    // aperture stretches with the corner's gate delay.
+    cfg.vco_stage_mismatch_sigma = 0.02;
+    cfg.vco_kvco_mismatch_sigma = 0.01;
+    cfg.r_dac_mismatch_sigma = 0.002;
+    cfg.comparator_offset_sigma_v = node.comparator_offset_sigma_v;
+    // Input-referred comparator noise is ~an order below the offset sigma
+    // for a regenerative latch of this size.
+    cfg.comparator_noise_sigma_v = node.comparator_offset_sigma_v / 10.0;
+    cfg.comparator_meta_window_s = node.fo4_delay_s * speed / 50.0;
+    cfg.buffer_delay_s = node.fo4_delay_s * speed;
+    cfg.clock_jitter_sigma_s = node.fo4_delay_s * speed / 40.0;
+    // White-FM oscillator noise; scales with the ring rate.
+    cfg.vco_white_fm_hz2_per_hz = 2e-8 * cfg.vco_center_hz;
+  }
+  return cfg;
+}
+
+std::string AdcSpec::describe() const {
+  return util::format(
+      "%s, %d slices, fs=%.3g MHz, BW=%.3g MHz (OSR %.0f), loop gain %.2f",
+      tech_node().name.c_str(), num_slices, fs_hz / 1e6, bandwidth_hz / 1e6,
+      osr(), loop_gain);
+}
+
+}  // namespace vcoadc::core

@@ -1,0 +1,71 @@
+// AdcSpec: the user-facing design point of the proposed ADC.
+//
+// A spec picks the technology node and the architecture knobs the paper
+// calls out in Sec. 2.2 ("easy adaptations to different specifications"):
+//   * more slices        -> higher effective quantizer resolution
+//   * higher clock       -> wider signal bandwidth
+//   * stronger loop gain -> higher SQNR
+// Everything else (VCO centre frequency, Kvco, resistor network, noise and
+// mismatch magnitudes) derives from the spec + TechNode, so the same spec
+// ports across nodes - which is the scaling-compatibility experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msim/sim_config.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::core {
+
+/// Process/voltage/temperature corner. Defaults are the typical corner.
+struct PvtCorner {
+  /// Gate-delay multiplier: <1 fast (FF), >1 slow (SS). Scales the ring
+  /// rate, edge slew, metastable aperture, buffer delay and jitter.
+  double process = 1.0;
+  /// Supply scale relative to the node's nominal VDD.
+  double voltage = 1.0;
+  double temperature_k = 300.0;
+};
+
+struct AdcSpec {
+  double node_nm = 40;        ///< technology node (must be in TechDatabase)
+  int num_slices = 8;         ///< N: slices == ring stages == DAC elements
+  double fs_hz = 750e6;       ///< modulator clock
+  double bandwidth_hz = 5e6;  ///< signal band for SNDR evaluation
+  /// Loop gain in quantizer LSBs of feedback phase movement per clock per
+  /// output LSB; 1.0 is the classic first-order operating point.
+  double loop_gain = 1.0;
+  /// Series high-res fragments per DAC resistor (Sec. 3.1 fragments).
+  int dac_fragments = 1;
+  /// VCO centre frequency as a multiple of fs. Default is deliberately far
+  /// from a small rational so the sampled ring phase doesn't orbit-lock.
+  double vco_center_over_fs = 2.724;
+  /// Enable the device non-idealities (mismatch, offset, jitter, noise).
+  bool with_nonidealities = true;
+  /// Operating corner (typical by default).
+  PvtCorner pvt;
+  std::uint64_t seed = 1;
+
+  /// The Table 3 operating points.
+  static AdcSpec paper_40nm();
+  static AdcSpec paper_180nm();
+
+  /// Oversampling ratio fs / (2 BW).
+  double osr() const { return fs_hz / (2.0 * bandwidth_hz); }
+
+  /// Checks the spec for nonsense (unknown node, slices < 2, fs/BW out of
+  /// range, ring rate beyond the node's capability, fragments < 1...).
+  /// Returns human-readable problems; empty = valid.
+  std::vector<std::string> validate() const;
+
+  /// Resolves the technology node (aborts if the node is unknown).
+  tech::TechNode tech_node() const;
+
+  /// Derives the behavioral simulator configuration for this spec.
+  msim::SimConfig to_sim_config() const;
+
+  std::string describe() const;
+};
+
+}  // namespace vcoadc::core

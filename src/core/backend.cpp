@@ -1,0 +1,112 @@
+#include "core/backend.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/decimator.h"
+
+namespace vcoadc::core {
+namespace {
+
+/// |H_cic(f)| at normalized input frequency f (cycles/sample), unity at DC.
+double cic_mag(int order, int rate, double f) {
+  if (f == 0.0) return 1.0;
+  const double num = std::sin(std::numbers::pi * f * rate);
+  const double den = rate * std::sin(std::numbers::pi * f);
+  if (den == 0.0) return 1.0;
+  return std::pow(std::fabs(num / den), order);
+}
+
+}  // namespace
+
+std::vector<double> design_cic_compensator(int cic_order, int cic_rate,
+                                           std::size_t taps,
+                                           double passband_frac) {
+  if (taps % 2 == 0) ++taps;  // linear phase needs symmetry around a center
+  const std::size_t half = taps / 2;
+
+  // Least-squares fit of a symmetric FIR to the target magnitude
+  // 1/|H_cic| over the passband of the POST-CIC rate. A symmetric odd FIR
+  // has response  H(w) = c0 + 2 * sum_k ck cos(k w).
+  constexpr int kSamples = 64;
+  // Normal equations for the (half+1) cosine coefficients.
+  std::vector<std::vector<double>> ata(half + 1,
+                                       std::vector<double>(half + 1, 0.0));
+  std::vector<double> atb(half + 1, 0.0);
+  for (int s = 0; s < kSamples; ++s) {
+    const double f_out = passband_frac * (s + 0.5) / kSamples;  // post-CIC
+    const double f_in = f_out / cic_rate;                       // pre-CIC
+    const double target = 1.0 / cic_mag(cic_order, cic_rate, f_in);
+    const double w = 2.0 * std::numbers::pi * f_out;
+    std::vector<double> basis(half + 1);
+    basis[0] = 1.0;
+    for (std::size_t k = 1; k <= half; ++k) {
+      basis[k] = 2.0 * std::cos(w * static_cast<double>(k));
+    }
+    for (std::size_t i = 0; i <= half; ++i) {
+      atb[i] += basis[i] * target;
+      for (std::size_t j = 0; j <= half; ++j) {
+        ata[i][j] += basis[i] * basis[j];
+      }
+    }
+  }
+  // Gaussian elimination (the system is tiny and well conditioned).
+  const std::size_t n = half + 1;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(ata[r][col]) > std::fabs(ata[piv][col])) piv = r;
+    }
+    std::swap(ata[col], ata[piv]);
+    std::swap(atb[col], atb[piv]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col || ata[col][col] == 0.0) continue;
+      const double factor = ata[r][col] / ata[col][col];
+      for (std::size_t c = col; c < n; ++c) ata[r][c] -= factor * ata[col][c];
+      atb[r] -= factor * atb[col];
+    }
+  }
+  std::vector<double> c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = (ata[i][i] != 0.0) ? atb[i] / ata[i][i] : 0.0;
+  }
+  // Assemble the symmetric impulse response.
+  std::vector<double> h(taps, 0.0);
+  h[half] = c[0];
+  for (std::size_t k = 1; k <= half; ++k) {
+    h[half - k] = c[k];
+    h[half + k] = c[k];
+  }
+  return h;
+}
+
+DigitalBackend::DigitalBackend(const AdcSpec& spec, const BackendConfig& cfg)
+    : cfg_(cfg), fs_hz_(spec.fs_hz) {
+  cic_rate_ = cfg.cic_rate;
+  if (cic_rate_ <= 0) {
+    // Largest power of two <= OSR/4: with fir_rate = 4 the total
+    // decimation is a power of two, so a capture that was coherent at the
+    // modulator rate stays coherent after decimation.
+    const int limit = std::max(1, static_cast<int>(spec.osr()) / 4);
+    cic_rate_ = 1;
+    while (cic_rate_ * 2 <= limit) cic_rate_ *= 2;
+  }
+  if (cfg_.droop_compensation) {
+    comp_ = design_cic_compensator(cfg_.cic_order, cic_rate_, cfg_.comp_taps);
+  }
+}
+
+std::vector<double> DigitalBackend::process(
+    const std::vector<double>& modulator_out) const {
+  dsp::CicDecimator cic(cfg_.cic_order, cic_rate_);
+  std::vector<double> mid = cic.process(modulator_out);
+  if (!comp_.empty()) {
+    mid = dsp::fir_decimate(mid, comp_, 1);  // rate 1: filter only
+  }
+  if (cfg_.fir_rate <= 1) return mid;
+  const double cutoff = 0.47 / static_cast<double>(cfg_.fir_rate);
+  const auto lp = dsp::design_lowpass_fir(cfg_.fir_taps, cutoff);
+  return dsp::fir_decimate(mid, lp, cfg_.fir_rate);
+}
+
+}  // namespace vcoadc::core

@@ -1,0 +1,55 @@
+// Digital back end of the ADC (Sec. 2.1): "with subsequent low pass
+// filtering and decimating in digital domain, the effect of quantization to
+// the in-band signal can be suppressed."
+//
+// A CIC decimator takes the modulator stream down by most of the OSR, a
+// droop-compensating FIR flattens the CIC's sinc^N passband, and a final
+// half-rate FIR decimation lands the output at ~2x the signal bandwidth.
+// The whole back end is plain digital logic - on silicon it would go
+// through the same digital synthesis flow as the rest of the ADC.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/adc_spec.h"
+
+namespace vcoadc::core {
+
+struct BackendConfig {
+  int cic_order = 3;
+  /// CIC rate change; 0 = derived from the spec's OSR (≈ OSR/4).
+  int cic_rate = 0;
+  int fir_rate = 4;
+  std::size_t fir_taps = 127;
+  bool droop_compensation = true;
+  std::size_t comp_taps = 15;
+};
+
+/// Designs a linear-phase FIR that equalizes the CIC's sinc^N droop over
+/// [0, passband_frac] of the post-CIC rate (least-squares frequency
+/// sampling). Odd tap count; unity DC gain.
+std::vector<double> design_cic_compensator(int cic_order, int cic_rate,
+                                           std::size_t taps,
+                                           double passband_frac = 0.2);
+
+class DigitalBackend {
+ public:
+  DigitalBackend(const AdcSpec& spec, const BackendConfig& cfg = {});
+
+  /// Filters and decimates a modulator output stream.
+  std::vector<double> process(const std::vector<double>& modulator_out) const;
+
+  int total_decimation() const { return cic_rate_ * cfg_.fir_rate; }
+  double output_rate_hz() const { return fs_hz_ / total_decimation(); }
+  int cic_rate() const { return cic_rate_; }
+  const std::vector<double>& compensator_taps() const { return comp_; }
+
+ private:
+  BackendConfig cfg_;
+  double fs_hz_;
+  int cic_rate_;
+  std::vector<double> comp_;  ///< droop compensator (empty if disabled)
+};
+
+}  // namespace vcoadc::core

@@ -1,0 +1,101 @@
+#include "core/datasheet.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace vcoadc::core {
+
+Datasheet generate_datasheet(const AdcSpec& spec,
+                             const DatasheetOptions& opts) {
+  Datasheet ds;
+  ds.spec = spec;
+
+  AdcDesign adc(spec);
+  auto synth_res = adc.synthesize();
+  ds.layout = synth_res.stats;
+  ds.drc = synth_res.drc;
+  ds.routing = synth_res.detailed_routing;
+  ds.area_mm2 = synth_res.stats.die_area_m2 * 1e6;
+
+  synth::TimingOptions topts;
+  topts.clock_period_s = 1.0 / spec.fs_hz;
+  topts.placement = &synth_res.layout->placement();
+  ds.timing = synth::analyze_timing(adc.netlist(), spec.tech_node(), topts);
+
+  const synth::PowerGrid grid =
+      synth::generate_power_grid(synth_res.layout->floorplan());
+  ds.power_grid = synth::check_power_grid(grid, synth_res.layout->flat(),
+                                          synth_res.layout->placement(),
+                                          synth_res.layout->floorplan());
+
+  SimulationOptions sim;
+  sim.n_samples = opts.n_samples;
+  sim.fin_target_hz = spec.bandwidth_hz / 5.0;
+  sim.wire_cap_f = synth_res.routing.wire_cap_f;
+  ds.nominal = adc.simulate(sim);
+
+  if (opts.mc_runs > 0) {
+    MonteCarloOptions mc;
+    mc.runs = opts.mc_runs;
+    mc.n_samples = std::min<std::size_t>(opts.n_samples, 1 << 13);
+    mc.fin_target_hz = sim.fin_target_hz;
+    ds.mc = monte_carlo_sndr(spec, mc);
+  }
+  return ds;
+}
+
+std::string Datasheet::render() const {
+  std::ostringstream os;
+  const auto& run = nominal;
+  os << "=====================================================\n";
+  os << " vcoadc synthesis-friendly VCO-based delta-sigma ADC\n";
+  os << "=====================================================\n";
+  os << "design point : " << spec.describe() << "\n";
+  os << "input range  : " << util::si_format(run.full_scale_v, "V")
+     << " differential (FS)\n\n";
+
+  os << "-- dynamic performance (behavioral, post-layout wire load) --\n";
+  os << util::format("  SNDR            %.1f dB (tone at %s, %.1f dBFS)\n",
+                     run.sndr.sndr_db,
+                     util::si_format(run.fin_hz, "Hz").c_str(),
+                     run.sndr.fundamental_dbfs);
+  os << util::format("  SNR / SFDR      %.1f / %.1f dB\n", run.sndr.snr_db,
+                     run.sndr.sfdr_db);
+  os << util::format("  ENOB            %.2f bits\n", run.sndr.enob);
+  os << util::format("  noise shaping   %.1f dB/dec\n",
+                     run.shaping.db_per_decade);
+  if (!mc.sndr_db.empty()) {
+    os << util::format("  SNDR (MC, n=%zu) %.1f .. %.1f dB (sigma %.2f)\n",
+                       mc.sndr_db.size(), mc.min_db, mc.max_db, mc.stddev_db);
+  }
+
+  os << "\n-- power --\n";
+  os << util::format("  total           %s (digital %.0f%%, analog %.0f%%)\n",
+                     util::si_format(run.power.total_w(), "W").c_str(),
+                     run.power.digital_fraction() * 100,
+                     (1 - run.power.digital_fraction()) * 100);
+  os << util::format("  Walden FOM      %.0f fJ/conv-step\n", run.fom_fj);
+
+  os << "\n-- physical (automatically synthesized layout) --\n";
+  os << util::format("  die area        %.4f mm^2 (%d cells, %d regions)\n",
+                     area_mm2, layout.num_cells, layout.num_regions);
+  os << util::format("  routing         %.1f um wire, %d vias, %d overflows\n",
+                     routing.total_wirelength_m * 1e6, routing.total_vias,
+                     routing.overflowed_edges);
+  os << util::format("  DRC             %zu violations\n",
+                     drc.violations.size());
+  os << util::format("  power grid      %s (max IR drop %.2f mV)\n",
+                     power_grid.clean() ? "clean" : "VIOLATIONS",
+                     power_grid.max_ir_drop_v * 1e3);
+
+  os << "\n-- timing --\n";
+  os << util::format("  critical path   %.1f ps (%d loops cut)\n",
+                     timing.critical_delay_s * 1e12, timing.loops_cut);
+  os << util::format("  slack @ fs      %+.1f ps (max clock %.2f GHz)\n",
+                     timing.slack_s * 1e12, timing.max_clock_hz / 1e9);
+  return os.str();
+}
+
+}  // namespace vcoadc::core

@@ -1,0 +1,43 @@
+// Datasheet generation: one call that takes an AdcSpec through simulation,
+// synthesis, timing, power-grid signoff and (optionally) Monte Carlo, and
+// renders the numbers a part's front page would carry. This is the
+// "product view" of the generator - what a downstream user reads before
+// instantiating the ADC in their SoC.
+#pragma once
+
+#include <string>
+
+#include "core/adc.h"
+#include "core/adc_spec.h"
+#include "core/monte_carlo.h"
+#include "synth/power_grid.h"
+#include "synth/sta.h"
+
+namespace vcoadc::core {
+
+struct DatasheetOptions {
+  std::size_t n_samples = 1 << 15;
+  /// Monte-Carlo runs for the min/max SNDR lines; 0 disables.
+  int mc_runs = 0;
+};
+
+struct Datasheet {
+  AdcSpec spec;
+  RunResult nominal;
+  synth::LayoutStats layout;
+  synth::DrcReport drc;
+  synth::MazeRouteResult routing;
+  synth::TimingReport timing;
+  synth::PowerGridCheck power_grid;
+  MonteCarloResult mc;  ///< empty when mc_runs == 0
+  double area_mm2 = 0;
+
+  /// Renders the datasheet as a text document.
+  std::string render() const;
+};
+
+/// Runs the full flow for a spec.
+Datasheet generate_datasheet(const AdcSpec& spec,
+                             const DatasheetOptions& opts = {});
+
+}  // namespace vcoadc::core

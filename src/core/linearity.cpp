@@ -1,0 +1,72 @@
+#include "core/linearity.h"
+
+#include <cmath>
+
+#include "dsp/signal_gen.h"
+
+namespace vcoadc::core {
+
+TransferCurve measure_transfer(const AdcSpec& spec,
+                               const TransferOptions& opts) {
+  TransferCurve curve;
+  const msim::SimConfig cfg = spec.to_sim_config();
+  msim::VcoDsmModulator::Options mopts;
+  mopts.mapping = opts.mapping;
+
+  // Full scale from a probe instance (mismatch draws are seed-fixed, so
+  // every point sees the same network).
+  const double fs = msim::VcoDsmModulator(cfg, mopts).full_scale_diff();
+  for (int k = 0; k < opts.points; ++k) {
+    const double frac =
+        -opts.span_of_fs +
+        2.0 * opts.span_of_fs * static_cast<double>(k) /
+            static_cast<double>(opts.points - 1);
+    msim::VcoDsmModulator mod(cfg, mopts);
+    const auto res =
+        mod.run(dsp::make_dc(frac * fs), opts.samples_per_point);
+    double mean = 0;
+    for (std::size_t i = opts.settle_samples; i < res.output.size(); ++i) {
+      mean += res.output[i];
+    }
+    mean /= static_cast<double>(res.output.size() - opts.settle_samples);
+    curve.input_v.push_back(frac * fs);
+    curve.output.push_back(mean);
+  }
+  return curve;
+}
+
+LinearityReport analyze_linearity(const TransferCurve& curve, double lsb) {
+  LinearityReport rep;
+  rep.lsb = lsb;
+  const std::size_t n = curve.input_v.size();
+  if (n < 3 || lsb <= 0) return rep;
+
+  // Least-squares line through the curve.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += curve.input_v[i];
+    sy += curve.output[i];
+    sxx += curve.input_v[i] * curve.input_v[i];
+    sxy += curve.input_v[i] * curve.output[i];
+  }
+  const double dn = static_cast<double>(n);
+  rep.gain = (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+  rep.offset = (sy - rep.gain * sx) / dn;
+
+  rep.inl_lsb.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ideal = rep.offset + rep.gain * curve.input_v[i];
+    rep.inl_lsb[i] = (curve.output[i] - ideal) / lsb;
+    rep.max_inl_lsb = std::max(rep.max_inl_lsb, std::fabs(rep.inl_lsb[i]));
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const double ideal_step =
+        rep.gain * (curve.input_v[i] - curve.input_v[i - 1]);
+    const double step = curve.output[i] - curve.output[i - 1];
+    rep.max_dnl_lsb =
+        std::max(rep.max_dnl_lsb, std::fabs(step - ideal_step) / lsb);
+  }
+  return rep;
+}
+
+}  // namespace vcoadc::core

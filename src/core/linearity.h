@@ -1,0 +1,46 @@
+// Static-linearity characterization: DC transfer curve, endpoint-fit INL
+// and step-size DNL of the converter. Complements the dynamic (SNDR)
+// metrics the paper reports - a generator that ships needs both, and the
+// intrinsic-CLA claim has a static face too: element mismatch that the
+// rotation shapes out of the spectrum also must not bend the DC transfer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/adc_spec.h"
+#include "msim/modulator.h"
+
+namespace vcoadc::core {
+
+struct TransferCurve {
+  std::vector<double> input_v;  ///< differential DC inputs
+  std::vector<double> output;   ///< mean normalized output per input
+};
+
+struct TransferOptions {
+  int points = 33;
+  std::size_t samples_per_point = 4096;
+  std::size_t settle_samples = 512;  ///< discarded per point
+  double span_of_fs = 0.85;          ///< sweep +/- this fraction of FS
+  msim::ElementMapping mapping = msim::ElementMapping::kIntrinsicRotation;
+};
+
+/// Measures the averaged DC transfer curve of the modulator at `spec`.
+TransferCurve measure_transfer(const AdcSpec& spec,
+                               const TransferOptions& opts = {});
+
+struct LinearityReport {
+  double gain = 0;          ///< best-fit output per input volt
+  double offset = 0;        ///< best-fit output at zero input
+  double max_inl_lsb = 0;   ///< worst |residual| in quantizer LSB
+  double max_dnl_lsb = 0;   ///< worst |step error| in quantizer LSB
+  std::vector<double> inl_lsb;  ///< per measured point
+  double lsb = 0;           ///< the LSB used (output units)
+};
+
+/// Endpoint/least-squares-fit linearity of a transfer curve; `lsb` is the
+/// quantizer step in output units (2/N for an N-slice modulator).
+LinearityReport analyze_linearity(const TransferCurve& curve, double lsb);
+
+}  // namespace vcoadc::core

@@ -1,0 +1,43 @@
+#include "core/migration.h"
+
+#include "tech/scaling_model.h"
+
+namespace vcoadc::core {
+
+MigrationResult migrate_design(const netlist::Design& src,
+                               const netlist::CellLibrary& target_lib) {
+  MigrationResult result{netlist::Design(&target_lib), {}, 0, 0, {}};
+
+  for (const netlist::Module& mod : src.modules()) {
+    netlist::Module& out = result.design.add_module(mod.name());
+    for (const auto& port : mod.ports()) out.add_port(port.name, port.dir);
+    for (const auto& net : mod.nets()) out.add_net(net);
+    for (const netlist::Instance& inst : mod.instances()) {
+      netlist::Instance copy = inst;
+      // Submodule references migrate by name; leaf cells remap by size.
+      if (const netlist::StdCell* cell = src.library().find(inst.master)) {
+        if (target_lib.contains(inst.master) &&
+            target_lib.at(inst.master).function == cell->function) {
+          ++result.exact_matches;
+        } else {
+          const auto drives = target_lib.drive_strengths(cell->function);
+          if (drives.empty()) {
+            result.unmappable.push_back(cell->function);
+          } else {
+            const int best = tech::closest_drive_strength(cell->drive, drives);
+            const auto name = target_lib.cell_for(cell->function, best);
+            result.remapped.push_back(
+                {mod.name(), inst.name, inst.master, *name, false});
+            copy.master = *name;
+            ++result.nearest_matches;
+          }
+        }
+      }
+      out.add_instance(std::move(copy));
+    }
+  }
+  result.design.set_top(src.top());
+  return result;
+}
+
+}  // namespace vcoadc::core

@@ -1,0 +1,41 @@
+// Design migration between technology nodes (Sec. 4): "The design migration
+// between 40-nm and 180-nm process is done automatically by transforming the
+// standard cells into their closest-size counterparts."
+//
+// migrate_design remaps every leaf instance of a gate-level design onto a
+// target library: exact (function, drive) match when available, otherwise
+// the closest drive strength in log space. Module structure, connectivity
+// and power-domain annotations are preserved untouched - that is the whole
+// point of expressing the AMS circuit in HDL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "netlist/netlist.h"
+
+namespace vcoadc::core {
+
+struct MigrationRecord {
+  std::string module;
+  std::string instance;
+  std::string from_cell;
+  std::string to_cell;
+  bool exact = false;
+};
+
+struct MigrationResult {
+  netlist::Design design;  ///< the migrated design over the target library
+  std::vector<MigrationRecord> remapped;  ///< only non-identity mappings
+  int exact_matches = 0;
+  int nearest_matches = 0;
+  std::vector<std::string> unmappable;  ///< functions absent from target lib
+};
+
+/// Migrates `src` onto `target_lib`. The returned design references
+/// `target_lib`, which must outlive it.
+MigrationResult migrate_design(const netlist::Design& src,
+                               const netlist::CellLibrary& target_lib);
+
+}  // namespace vcoadc::core

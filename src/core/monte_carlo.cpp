@@ -1,0 +1,79 @@
+#include "core/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcoadc::core {
+
+double MonteCarloResult::yield(double spec_db) const {
+  if (sndr_db.empty()) return 0.0;
+  int pass = 0;
+  for (double s : sndr_db) pass += (s >= spec_db);
+  return static_cast<double>(pass) / static_cast<double>(sndr_db.size());
+}
+
+MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
+                                  const MonteCarloOptions& opts) {
+  MonteCarloResult result;
+  result.sndr_db.reserve(static_cast<std::size_t>(opts.runs));
+  for (int run = 0; run < opts.runs; ++run) {
+    AdcSpec s = spec;
+    s.seed = opts.seed0 + static_cast<std::uint64_t>(run);
+    AdcDesign adc(s);
+    SimulationOptions sim;
+    sim.n_samples = opts.n_samples;
+    sim.amplitude_dbfs = opts.amplitude_dbfs;
+    sim.fin_target_hz = opts.fin_target_hz;
+    const RunResult r = adc.simulate(sim);
+    result.sndr_db.push_back(r.sndr.sndr_db);
+  }
+  const double n = static_cast<double>(result.sndr_db.size());
+  double sum = 0, sum2 = 0;
+  result.min_db = result.sndr_db.front();
+  result.max_db = result.sndr_db.front();
+  for (double s : result.sndr_db) {
+    sum += s;
+    sum2 += s * s;
+    result.min_db = std::min(result.min_db, s);
+    result.max_db = std::max(result.max_db, s);
+  }
+  result.mean_db = sum / n;
+  result.stddev_db =
+      std::sqrt(std::max(0.0, sum2 / n - result.mean_db * result.mean_db));
+  return result;
+}
+
+std::vector<CornerResult> corner_sweep(const AdcSpec& spec,
+                                       std::size_t n_samples) {
+  struct Corner {
+    const char* name;
+    PvtCorner pvt;
+  };
+  const Corner corners[] = {
+      {"TT  1.00V  27C", {1.00, 1.00, 300.0}},
+      {"FF  1.05V  -40C", {0.85, 1.05, 233.0}},
+      {"SS  0.95V  125C", {1.20, 0.95, 398.0}},
+      {"TT  0.90V  27C", {1.00, 0.90, 300.0}},
+      {"TT  1.10V  27C", {1.00, 1.10, 300.0}},
+      {"TT  1.00V  125C", {1.00, 1.00, 398.0}},
+  };
+  std::vector<CornerResult> results;
+  for (const Corner& c : corners) {
+    AdcSpec s = spec;
+    s.pvt = c.pvt;
+    AdcDesign adc(s);
+    SimulationOptions sim;
+    sim.n_samples = n_samples;
+    sim.fin_target_hz = spec.bandwidth_hz / 5.0;
+    const RunResult r = adc.simulate(sim);
+    CornerResult cr;
+    cr.name = c.name;
+    cr.pvt = c.pvt;
+    cr.sndr_db = r.sndr.sndr_db;
+    cr.power_w = r.power.total_w();
+    results.push_back(cr);
+  }
+  return results;
+}
+
+}  // namespace vcoadc::core

@@ -1,0 +1,57 @@
+// Monte-Carlo mismatch analysis and PVT-corner evaluation.
+//
+// The paper argues the architecture is "robust against random mismatches"
+// from a single post-layout run; a production generator must show it
+// statistically. monte_carlo_sndr re-draws every mismatch source (VCO
+// stage delays, Kvco, DAC resistors, comparator offsets) per run and
+// reports the SNDR distribution and the parametric yield against a target.
+//
+// PVT corners ride on AdcSpec::pvt: process (gate-delay multiplier),
+// voltage (supply scale) and temperature, evaluated by corner_sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/adc.h"
+#include "core/adc_spec.h"
+
+namespace vcoadc::core {
+
+struct MonteCarloOptions {
+  int runs = 20;
+  std::size_t n_samples = 1 << 13;
+  double amplitude_dbfs = -3.0;
+  double fin_target_hz = 1e6;
+  std::uint64_t seed0 = 1000;  ///< run i uses seed0 + i
+};
+
+struct MonteCarloResult {
+  std::vector<double> sndr_db;  ///< one per run
+  double mean_db = 0;
+  double stddev_db = 0;
+  double min_db = 0;
+  double max_db = 0;
+
+  /// Fraction of runs meeting `spec_db`.
+  double yield(double spec_db) const;
+};
+
+/// Runs `opts.runs` simulations with independent mismatch draws.
+MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
+                                  const MonteCarloOptions& opts = {});
+
+struct CornerResult {
+  std::string name;
+  PvtCorner pvt;
+  double sndr_db = 0;
+  double power_w = 0;
+};
+
+/// Evaluates the classic corner set (TT, FF, SS, plus low/high voltage and
+/// hot/cold temperature) at the spec's operating point.
+std::vector<CornerResult> corner_sweep(const AdcSpec& spec,
+                                       std::size_t n_samples = 1 << 13);
+
+}  // namespace vcoadc::core

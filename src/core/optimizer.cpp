@@ -1,0 +1,66 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+
+namespace vcoadc::core {
+
+OptimizeResult optimize_spec(const OptimizeTarget& target,
+                             const OptimizeOptions& opts) {
+  OptimizeResult result;
+
+  struct Candidate {
+    int slices;
+    double osr;
+    double prior;  // power prior ~ slices * fs
+  };
+  std::vector<Candidate> candidates;
+  for (int slices : opts.slice_choices) {
+    for (double osr : opts.osr_choices) {
+      const double fs = 2.0 * target.bandwidth_hz * osr;
+      candidates.push_back({slices, osr, static_cast<double>(slices) * fs});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.prior != b.prior) return a.prior < b.prior;
+              return a.slices < b.slices;
+            });
+
+  double best_power = 0;
+  for (const Candidate& c : candidates) {
+    AdcSpec spec = AdcSpec::paper_40nm();
+    spec.node_nm = target.node_nm;
+    spec.num_slices = c.slices;
+    spec.bandwidth_hz = target.bandwidth_hz;
+    spec.fs_hz = 2.0 * target.bandwidth_hz * c.osr;
+    spec.seed = opts.seed;
+
+    CandidateResult cr;
+    cr.spec = spec;
+    cr.valid = spec.validate().empty();
+    if (cr.valid) {
+      // Prune: the power prior grows monotonically within the sorted list
+      // only approximately, so only skip when a met design was strictly
+      // cheaper in prior terms than this candidate.
+      AdcDesign adc(spec);
+      SimulationOptions sim;
+      sim.n_samples = opts.n_samples;
+      sim.fin_target_hz = target.bandwidth_hz / 5.0;
+      const RunResult run = adc.simulate(sim);
+      cr.sndr_db = run.sndr.sndr_db;
+      cr.power_w = run.power.total_w();
+      cr.meets = cr.sndr_db >= target.min_sndr_db + target.margin_db;
+      if (cr.meets &&
+          (!result.best.has_value() || cr.power_w < best_power)) {
+        result.best = spec;
+        best_power = cr.power_w;
+        result.best_sndr_db = cr.sndr_db;
+      }
+    }
+    result.evaluated.push_back(std::move(cr));
+  }
+  result.best_power_w = best_power;
+  return result;
+}
+
+}  // namespace vcoadc::core

@@ -1,0 +1,97 @@
+#include "dsp/decimator.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace vcoadc::dsp {
+
+CicDecimator::CicDecimator(int order, int rate)
+    : order_(order),
+      rate_(rate),
+      integrators_(static_cast<std::size_t>(order), 0.0),
+      combs_(static_cast<std::size_t>(order), 0.0) {
+  assert(order >= 1 && rate >= 1);
+}
+
+double CicDecimator::dc_gain() const {
+  return std::pow(static_cast<double>(rate_), order_);
+}
+
+bool CicDecimator::push(double in, double* out) {
+  double acc = in;
+  for (double& integ : integrators_) {
+    integ += acc;
+    acc = integ;
+  }
+  if (++phase_ < rate_) return false;
+  phase_ = 0;
+  for (double& comb : combs_) {
+    const double prev = comb;
+    comb = acc;
+    acc -= prev;
+  }
+  *out = acc / dc_gain();
+  return true;
+}
+
+std::vector<double> CicDecimator::process(const std::vector<double>& in) {
+  std::vector<double> out;
+  out.reserve(in.size() / static_cast<std::size_t>(rate_) + 1);
+  double y = 0;
+  for (double v : in) {
+    if (push(v, &y)) out.push_back(y);
+  }
+  return out;
+}
+
+std::vector<double> design_lowpass_fir(std::size_t taps, double cutoff) {
+  assert(taps >= 3 && cutoff > 0.0 && cutoff < 0.5);
+  std::vector<double> h(taps);
+  const double m = static_cast<double>(taps - 1);
+  double sum = 0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double x = static_cast<double>(i) - m / 2.0;
+    const double sinc = (x == 0.0)
+                            ? 2.0 * cutoff
+                            : std::sin(2.0 * std::numbers::pi * cutoff * x) /
+                                  (std::numbers::pi * x);
+    const double hann =
+        0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) / m);
+    h[i] = sinc * hann;
+    sum += h[i];
+  }
+  for (double& v : h) v /= sum;  // unity DC gain
+  return h;
+}
+
+std::vector<double> fir_decimate(const std::vector<double>& in,
+                                 const std::vector<double>& taps, int rate) {
+  assert(rate >= 1);
+  std::vector<double> out;
+  if (in.empty()) return out;
+  out.reserve(in.size() / static_cast<std::size_t>(rate) + 1);
+  for (std::size_t n = 0; n < in.size(); n += static_cast<std::size_t>(rate)) {
+    double acc = 0;
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      if (k > n) break;
+      acc += taps[k] * in[n - k];
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<double> decimate_chain(const std::vector<double>& modulator_out,
+                                   int cic_order, int cic_rate, int fir_rate,
+                                   std::size_t fir_taps) {
+  CicDecimator cic(cic_order, cic_rate);
+  const std::vector<double> mid = cic.process(modulator_out);
+  if (fir_rate <= 1) return mid;
+  // Cut off just below the post-decimation Nyquist, leaving transition room.
+  const double cutoff = 0.45 / static_cast<double>(fir_rate);
+  const std::vector<double> taps = design_lowpass_fir(fir_taps, cutoff);
+  return fir_decimate(mid, taps, fir_rate);
+}
+
+}  // namespace vcoadc::dsp

@@ -1,0 +1,61 @@
+// Decimation filters for the digital back end of the delta-sigma ADC.
+//
+// Sec. 2.1 of the paper: "with subsequent low pass filtering and decimating
+// in digital domain, the effect of quantization to the in-band signal can be
+// suppressed." The modulator itself runs at fs; a CIC stage followed by a
+// compensating FIR brings the stream down to ~2x the signal bandwidth, which
+// is what a downstream user of the ADC would consume.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vcoadc::dsp {
+
+/// N-th order cascaded integrator-comb decimator with rate change R.
+///
+/// Streaming interface: push modulator samples, pull decimated samples.
+/// Uses double accumulators; for the orders/rates here (N <= 4, R <= 256)
+/// dynamic range is ample.
+class CicDecimator {
+ public:
+  CicDecimator(int order, int rate);
+
+  /// Processes one modulator-rate input sample; returns true when an output
+  /// sample was produced (written to *out).
+  bool push(double in, double* out);
+
+  /// Convenience: filters a whole block.
+  std::vector<double> process(const std::vector<double>& in);
+
+  /// DC gain of the filter (R^N); outputs from process() are already
+  /// divided by this so passband gain is ~1.
+  double dc_gain() const;
+
+  int order() const { return order_; }
+  int rate() const { return rate_; }
+
+ private:
+  int order_;
+  int rate_;
+  int phase_ = 0;
+  std::vector<double> integrators_;
+  std::vector<double> combs_;
+};
+
+/// Designs a windowed-sinc (Hann) linear-phase low-pass FIR.
+/// cutoff is normalized to the input sample rate (0 < cutoff < 0.5).
+std::vector<double> design_lowpass_fir(std::size_t taps, double cutoff);
+
+/// Applies an FIR and decimates by `rate` in one pass (polyphase order of
+/// operations; output delayed by the group delay of the filter).
+std::vector<double> fir_decimate(const std::vector<double>& in,
+                                 const std::vector<double>& taps, int rate);
+
+/// Full decimation chain: CIC (order, rate_cic) followed by a compensating
+/// FIR decimate-by-rate_fir. Total rate change = rate_cic * rate_fir.
+std::vector<double> decimate_chain(const std::vector<double>& modulator_out,
+                                   int cic_order, int cic_rate, int fir_rate,
+                                   std::size_t fir_taps = 63);
+
+}  // namespace vcoadc::dsp

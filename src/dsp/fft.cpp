@@ -1,0 +1,79 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace vcoadc::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_in_place(std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  assert(is_power_of_two(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Danielson-Lanczos butterflies. Twiddles are recomputed per stage via a
+  // complex rotation recurrence; for our sizes (<= 2^22) the accumulated
+  // error stays far below the simulation noise floor.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void ifft_in_place(std::vector<Complex>& data) {
+  for (Complex& c : data) c = std::conj(c);
+  fft_in_place(data);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (Complex& c : data) c = std::conj(c) * inv_n;
+}
+
+std::vector<Complex> fft_real(const std::vector<double>& x) {
+  assert(is_power_of_two(x.size()));
+  std::vector<Complex> data(x.begin(), x.end());
+  fft_in_place(data);
+  return data;
+}
+
+Complex goertzel(const std::vector<double>& x, std::size_t bin) {
+  const std::size_t n = x.size();
+  const double w = 2.0 * std::numbers::pi * static_cast<double>(bin) /
+                   static_cast<double>(n);
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double v : x) {
+    s0 = v + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  // X[k] with the conventional e^{-jwk} phase reference.
+  const Complex res = Complex(s1 - s2 * std::cos(w), s2 * std::sin(w));
+  return res * std::exp(Complex(0.0, -w * static_cast<double>(n - 1)));
+}
+
+}  // namespace vcoadc::dsp

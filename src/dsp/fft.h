@@ -1,0 +1,35 @@
+// Radix-2 iterative FFT, implemented from scratch (no external DSP
+// dependency). Used by the spectrum analyzer that reproduces the paper's
+// Fig. 17/18 output spectra and SNDR numbers.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace vcoadc::dsp {
+
+using Complex = std::complex<double>;
+
+/// True if n is a power of two (and non-zero).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place decimation-in-time radix-2 FFT. `data.size()` must be a power of
+/// two. Forward transform: X[k] = sum_n x[n] e^{-j 2 pi k n / N}.
+void fft_in_place(std::vector<Complex>& data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_in_place(std::vector<Complex>& data);
+
+/// Forward FFT of a real signal; returns the full complex spectrum of
+/// length equal to input length (which must be a power of two).
+std::vector<Complex> fft_real(const std::vector<double>& x);
+
+/// Single-bin DFT (Goertzel). Returns X[k] for the given bin; useful for
+/// cheap coherent tone measurements without a full transform.
+Complex goertzel(const std::vector<double>& x, std::size_t bin);
+
+}  // namespace vcoadc::dsp

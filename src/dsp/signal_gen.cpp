@@ -1,0 +1,57 @@
+#include "dsp/signal_gen.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vcoadc::dsp {
+
+std::size_t coherent_cycles(double target_hz, double fs_hz, std::size_t n) {
+  if (target_hz <= 0 || fs_hz <= 0 || n == 0) return 1;
+  auto k = static_cast<long long>(
+      std::llround(target_hz * static_cast<double>(n) / fs_hz));
+  if (k < 1) k = 1;
+  if (k % 2 == 0) ++k;  // odd cycle counts exercise every quantizer phase
+  return static_cast<std::size_t>(k);
+}
+
+double coherent_freq(double target_hz, double fs_hz, std::size_t n) {
+  return static_cast<double>(coherent_cycles(target_hz, fs_hz, n)) * fs_hz /
+         static_cast<double>(n);
+}
+
+SignalFn make_sine(double amplitude, double freq_hz, double phase_rad,
+                   double offset) {
+  return [=](double t) {
+    return offset +
+           amplitude * std::sin(2.0 * std::numbers::pi * freq_hz * t + phase_rad);
+  };
+}
+
+SignalFn make_two_tone(double amp1, double f1_hz, double amp2, double f2_hz,
+                       double offset) {
+  return [=](double t) {
+    return offset + amp1 * std::sin(2.0 * std::numbers::pi * f1_hz * t) +
+           amp2 * std::sin(2.0 * std::numbers::pi * f2_hz * t);
+  };
+}
+
+SignalFn make_dc(double level) {
+  return [=](double) { return level; };
+}
+
+SignalFn make_ramp(double start, double stop, double duration_s) {
+  return [=](double t) {
+    if (t <= 0) return start;
+    if (t >= duration_s) return stop;
+    return start + (stop - start) * t / duration_s;
+  };
+}
+
+std::vector<double> sample(const SignalFn& fn, double fs_hz, std::size_t n) {
+  std::vector<double> out(n);
+  const double dt = 1.0 / fs_hz;
+  for (std::size_t i = 0; i < n; ++i) out[i] = fn(static_cast<double>(i) * dt);
+  return out;
+}
+
+}  // namespace vcoadc::dsp

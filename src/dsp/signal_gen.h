@@ -1,0 +1,42 @@
+// Test-signal generation for simulations and benches.
+//
+// Coherent sampling helpers ensure the FFT sees an integer number of signal
+// periods (with an odd/co-prime cycle count so the tone never lands on the
+// same modulator phase twice), which is the standard ADC test practice the
+// paper's spectra imply.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vcoadc::dsp {
+
+/// A continuous-time scalar signal source.
+using SignalFn = std::function<double(double /*t_seconds*/)>;
+
+/// Picks the number of whole cycles k (odd, near `target_hz * n / fs`) such
+/// that fin = k * fs / n is coherent with an n-point capture.
+std::size_t coherent_cycles(double target_hz, double fs_hz, std::size_t n);
+
+/// The coherent frequency corresponding to coherent_cycles().
+double coherent_freq(double target_hz, double fs_hz, std::size_t n);
+
+/// sin(2 pi f t + phase) * amplitude + offset.
+SignalFn make_sine(double amplitude, double freq_hz, double phase_rad = 0.0,
+                   double offset = 0.0);
+
+/// Sum of two tones (intermodulation testing).
+SignalFn make_two_tone(double amp1, double f1_hz, double amp2, double f2_hz,
+                       double offset = 0.0);
+
+/// Constant (DC) input.
+SignalFn make_dc(double level);
+
+/// Linear ramp from `start` to `stop` over [0, duration].
+SignalFn make_ramp(double start, double stop, double duration_s);
+
+/// Samples a signal at fs into n points starting at t = 0.
+std::vector<double> sample(const SignalFn& fn, double fs_hz, std::size_t n);
+
+}  // namespace vcoadc::dsp

@@ -1,0 +1,83 @@
+// Spectrum analysis for delta-sigma ADC output streams.
+//
+// Produces everything the paper's evaluation section reads off a spectrum:
+//   * the dBFS periodogram itself (Fig. 17 / Fig. 18),
+//   * SNDR / SNR / SFDR / THD / ENOB over a signal bandwidth (Table 3/4),
+//   * the fitted noise-shaping slope in dB/decade (the "20dB/dec" annotation
+//     in Fig. 17),
+//   * an idle-tone detector (the "no idle tones are observed" claim of
+//     Fig. 18).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace vcoadc::dsp {
+
+/// One-sided amplitude spectrum in dB relative to full scale.
+struct Spectrum {
+  std::vector<double> freq_hz;   ///< bin centre frequencies, DC..fs/2
+  std::vector<double> power;     ///< linear tone power per bin (FS sine = 1.0)
+  std::vector<double> dbfs;      ///< 10*log10(power), floored at `floor_dbfs`
+  double fs_hz = 0;
+  double bin_hz = 0;
+  double enbw_bins = 1.0;        ///< window ENBW, for noise density readings
+  WindowKind window = WindowKind::kHann;
+  static constexpr double kFloorDbfs = -200.0;
+};
+
+/// Computes the one-sided periodogram of `x` (length must be a power of two)
+/// with the given window. `full_scale` is the amplitude of a full-scale sine
+/// (power is normalized so that such a sine reads 0 dBFS).
+Spectrum compute_spectrum(const std::vector<double>& x, double fs_hz,
+                          double full_scale, WindowKind window);
+
+/// Tone/noise decomposition of a spectrum over a signal band.
+struct SndrReport {
+  double fundamental_hz = 0;
+  double fundamental_dbfs = 0;
+  double signal_power = 0;       ///< linear
+  double nad_power = 0;          ///< noise+distortion power in band (linear)
+  double noise_power = 0;        ///< in-band noise excluding harmonics
+  double distortion_power = 0;   ///< in-band harmonic power (H2..H7)
+  double sndr_db = 0;
+  double snr_db = 0;
+  double thd_db = 0;             ///< relative to the fundamental
+  double sfdr_db = 0;            ///< fundamental to worst in-band spur
+  double enob = 0;
+};
+
+/// Analyses `spec` over [f_low, bw_hz]. The fundamental is the strongest bin
+/// in band (or the bin nearest `expected_tone_hz` when > 0). Leakage windows
+/// around the fundamental and harmonics are attributed per the window kind.
+SndrReport analyze_sndr(const Spectrum& spec, double bw_hz,
+                        double expected_tone_hz = 0.0);
+
+/// Linear fit of the noise floor (dB vs log10 f) between f_lo and f_hi,
+/// excluding tone bins; returns slope in dB/decade. For a 1st-order
+/// delta-sigma modulator this is ~+20 dB/dec above the signal band.
+struct SlopeFit {
+  double db_per_decade = 0;
+  double r_squared = 0;
+};
+SlopeFit fit_noise_slope(const Spectrum& spec, double f_lo, double f_hi);
+
+/// Idle-tone scan: looks for discrete spurs in [f_lo, f_hi] that stand more
+/// than `threshold_db` above the local median noise floor, excluding the
+/// fundamental/harmonic windows of `report`.
+struct IdleTone {
+  double freq_hz = 0;
+  double dbfs = 0;
+  double above_floor_db = 0;
+};
+std::vector<IdleTone> find_idle_tones(const Spectrum& spec,
+                                      const SndrReport& report, double f_lo,
+                                      double f_hi, double threshold_db = 10.0);
+
+/// In-band integrated noise density in dBFS/NBW terms: total in-band noise
+/// power expressed back as dB. Convenience for tabulating sweeps.
+double inband_noise_dbfs(const Spectrum& spec, double bw_hz);
+
+}  // namespace vcoadc::dsp

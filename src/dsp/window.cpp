@@ -1,0 +1,77 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vcoadc::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double den = static_cast<double>(n);  // periodic windows (DFT-even)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 2.0 * std::numbers::pi * static_cast<double>(i) / den;
+    switch (kind) {
+      case WindowKind::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(t);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(t);
+        break;
+      case WindowKind::kBlackmanHarris:
+        w[i] = 0.35875 - 0.48829 * std::cos(t) + 0.14128 * std::cos(2 * t) -
+               0.01168 * std::cos(3 * t);
+        break;
+    }
+  }
+  return w;
+}
+
+double coherent_gain(const std::vector<double>& w) {
+  if (w.empty()) return 1.0;
+  double s = 0;
+  for (double v : w) s += v;
+  return s / static_cast<double>(w.size());
+}
+
+double enbw_bins(const std::vector<double>& w) {
+  if (w.empty()) return 1.0;
+  double s = 0, s2 = 0;
+  for (double v : w) {
+    s += v;
+    s2 += v * v;
+  }
+  return static_cast<double>(w.size()) * s2 / (s * s);
+}
+
+int leakage_bins(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRect:
+      return 0;
+    case WindowKind::kHann:
+    case WindowKind::kHamming:
+      return 3;
+    case WindowKind::kBlackmanHarris:
+      return 5;
+  }
+  return 3;
+}
+
+std::string to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRect:
+      return "rect";
+    case WindowKind::kHann:
+      return "hann";
+    case WindowKind::kHamming:
+      return "hamming";
+    case WindowKind::kBlackmanHarris:
+      return "blackman-harris";
+  }
+  return "?";
+}
+
+}  // namespace vcoadc::dsp

@@ -1,0 +1,35 @@
+// Window functions for spectral analysis, with the normalization constants
+// needed to report calibrated dBFS spectra (coherent gain) and calibrated
+// noise power (equivalent noise bandwidth).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vcoadc::dsp {
+
+enum class WindowKind {
+  kRect,
+  kHann,
+  kHamming,
+  kBlackmanHarris,  ///< 4-term, -92 dB sidelobes; default for ADC spectra
+};
+
+/// Window samples w[0..n-1].
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Coherent gain: mean of the window (scales tone amplitudes).
+double coherent_gain(const std::vector<double>& w);
+
+/// Normalized equivalent noise bandwidth in bins:
+/// ENBW = N * sum(w^2) / (sum w)^2. Rect = 1, Hann = 1.5, BH4 ~ 2.0.
+double enbw_bins(const std::vector<double>& w);
+
+/// Number of bins on each side of a tone that carry significant leakage for
+/// this window (used when integrating tone power out of a spectrum).
+int leakage_bins(WindowKind kind);
+
+std::string to_string(WindowKind kind);
+
+}  // namespace vcoadc::dsp

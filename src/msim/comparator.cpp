@@ -1,0 +1,37 @@
+#include "msim/comparator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcoadc::msim {
+
+double common_mode_error_prob(ComparatorKind kind, double vcm, double vdd) {
+  // Smooth logistic roll-off around the topology's CM limit. Width ~50 mV.
+  auto logistic = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  constexpr double kWidth = 0.05;
+  switch (kind) {
+    case ComparatorKind::kStrongArm:
+      return 0.0;  // full-range AMS comparator
+    case ComparatorKind::kNand3: {
+      // NMOS input pair: needs vcm comfortably above ~0.45*VDD.
+      const double limit = 0.45 * vdd;
+      return 0.5 * logistic((limit - vcm) / kWidth);
+    }
+    case ComparatorKind::kNor3: {
+      // PMOS input pair: valid at low CM, degrades near the supply.
+      const double limit = 0.70 * vdd;
+      return 0.5 * logistic((vcm - limit) / kWidth);
+    }
+  }
+  return 0.0;
+}
+
+SamplingFrontEnd::SamplingFrontEnd(const Params& p, util::Rng rng)
+    : params_(p), rng_(rng) {
+  if (p.offset_sigma_v > 0.0) offset_v_ = rng_.gaussian(0.0, p.offset_sigma_v);
+  const double slew = std::max(p.tap_slew_v_per_s, 1.0);
+  offset_time_s_ = offset_v_ / slew;
+  cm_error_prob_ = common_mode_error_prob(p.kind, p.input_cm_v, p.vdd);
+}
+
+}  // namespace vcoadc::msim

@@ -1,0 +1,94 @@
+// Behavioral model of the sampling front end of one slice: replica buffer,
+// clocked regenerative comparator, and SR latch (the SAFF of Fig. 7).
+//
+// Three comparator variants are modelled, matching Sec. 2.2.1:
+//   * kStrongArm  - the conventional AMS strongARM latch (Fig. 6a); works at
+//                   any common mode but is NOT in a standard-cell library,
+//                   i.e. not synthesis friendly.
+//   * kNand3      - [16]'s cross-coupled 3-input NAND pair; synthesis
+//                   friendly but requires a HIGH input common mode. At the
+//                   0.25 V CM of the VCO buffer output it mis-decides.
+//   * kNor3       - the paper's proposal (Fig. 6b): cross-coupled 3-input
+//                   NOR pair; at low CM the extra NMOS pair is cut off and
+//                   the circuit is functionally a strongARM.
+//
+// Electrical non-idealities modelled: input-referred offset (converted to a
+// sampling-phase error through the tap slew rate), a metastable aperture
+// around tap edges, buffer delay, and per-edge clock jitter.
+#pragma once
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace vcoadc::msim {
+
+enum class ComparatorKind { kStrongArm, kNand3, kNor3 };
+
+/// Common-mode validity window: probability that one comparison mis-decides
+/// purely because the input CM starves the input pair of the chosen topology.
+/// 0 = always valid. The thresholds encode Sec. 2.2.1: NAND3 input pairs cut
+/// off below ~0.45*VDD; NOR3 (PMOS input) degrades only above ~0.7*VDD.
+double common_mode_error_prob(ComparatorKind kind, double vcm, double vdd);
+
+class SamplingFrontEnd {
+ public:
+  struct Params {
+    ComparatorKind kind = ComparatorKind::kNor3;
+    double offset_sigma_v = 0.0;  ///< per-instance offset draw
+    double noise_sigma_v = 0.0;   ///< input-referred noise per decision
+    double meta_window_s = 0.0;   ///< metastable aperture around a tap edge
+    double buffer_delay_s = 0.0;
+    double tap_slew_v_per_s = 1e9;
+    double input_cm_v = 0.25;     ///< buffer output CM (paper: ~0.25 V)
+    double vdd = 1.1;
+  };
+
+  SamplingFrontEnd(const Params& p, util::Rng rng);
+
+  /// Resolves one clocked comparison.
+  ///
+  /// `tap_level_at` must return the tap's logic level at a time offset
+  /// (seconds) relative to the nominal sampling instant; `time_to_edge_s`
+  /// is the distance from the sampling instant to the nearest tap edge.
+  /// Template keeps the hot path inlined without a std::function allocation.
+  template <typename LevelAt>
+  bool sample(LevelAt&& tap_level_at, double time_to_edge_s,
+              double clock_jitter_s) {
+    // The voltage offset shifts the effective decision instant by
+    // offset / slew; buffer delay and jitter shift it further. Per-decision
+    // input noise adds a fresh time perturbation the same way.
+    double t_eff = offset_time_s_ + params_.buffer_delay_s + clock_jitter_s;
+    if (params_.noise_sigma_v > 0.0) {
+      t_eff += rng_.gaussian(0.0, params_.noise_sigma_v) /
+               std::max(params_.tap_slew_v_per_s, 1.0);
+    }
+    bool level = tap_level_at(t_eff);
+    // Metastable aperture: if the edge is closer than the aperture, the
+    // regeneration starts from ~zero differential and resolves randomly.
+    if (params_.meta_window_s > 0.0 &&
+        time_to_edge_s < params_.meta_window_s) {
+      level = rng_.bernoulli(0.5);
+    }
+    // Common-mode starvation errors (NAND3 at low CM).
+    if (cm_error_prob_ > 0.0 && rng_.bernoulli(cm_error_prob_)) {
+      level = !level;
+    }
+    latched_ = level;  // SR latch holds the decision through reset
+    return latched_;
+  }
+
+  bool latched() const { return latched_; }
+  double offset_v() const { return offset_v_; }
+  double offset_time_s() const { return offset_time_s_; }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  double offset_v_ = 0.0;
+  double offset_time_s_ = 0.0;
+  double cm_error_prob_ = 0.0;
+  bool latched_ = false;
+};
+
+}  // namespace vcoadc::msim

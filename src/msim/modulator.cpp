@@ -1,0 +1,250 @@
+#include "msim/modulator.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "msim/noise.h"
+
+namespace vcoadc::msim {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double wrap_2pi(double p) {
+  double w = std::fmod(p, kTwoPi);
+  if (w < 0) w += kTwoPi;
+  return w;
+}
+
+}  // namespace
+
+VcoDsmModulator::VcoDsmModulator(const SimConfig& cfg, const Options& opts)
+    : cfg_(cfg),
+      opts_(opts),
+      rng_(cfg.seed),
+      vco1_(cfg.num_slices, cfg.vco_center_hz, cfg.kvco_hz_per_v,
+            cfg.vctrl_mid, std::numbers::pi / 2.0, cfg.vco_stage_mismatch_sigma,
+            1.0 + ((cfg.vco_kvco_mismatch_sigma > 0)
+                       ? util::Rng(cfg.seed ^ 0xa5a5).gaussian(
+                             0.0, cfg.vco_kvco_mismatch_sigma)
+                       : 0.0),
+            cfg.vco_white_fm_hz2_per_hz, util::Rng(cfg.seed).fork("vco1")),
+      vco2_(cfg.num_slices, cfg.vco_center_hz, cfg.kvco_hz_per_v,
+            cfg.vctrl_mid, 0.0, cfg.vco_stage_mismatch_sigma,
+            1.0 + ((cfg.vco_kvco_mismatch_sigma > 0)
+                       ? util::Rng(cfg.seed ^ 0x5a5a).gaussian(
+                             0.0, cfg.vco_kvco_mismatch_sigma)
+                       : 0.0),
+            cfg.vco_white_fm_hz2_per_hz, util::Rng(cfg.seed).fork("vco2")),
+      dac_p_(cfg.num_slices, cfg.r_dac_ohms, cfg.vrefp,
+             cfg.r_dac_mismatch_sigma, util::Rng(cfg.seed).fork("dacp")),
+      dac_n_(cfg.num_slices, cfg.r_dac_ohms, cfg.vrefp,
+             cfg.r_dac_mismatch_sigma, util::Rng(cfg.seed).fork("dacn")),
+      cs_dac_p_(opts.cs_params, util::Rng(cfg.seed).fork("csdacp")),
+      cs_dac_n_(opts.cs_params, util::Rng(cfg.seed).fork("csdacn")),
+      node_p_({.g_input_s = 1.0 / cfg.r_input_ohms,
+               .g_load_s = cfg.g_vco_load_s,
+               .c_node_f = cfg.c_node_f,
+               .thermal_noise = cfg.thermal_noise,
+               .temperature_k = cfg.temperature_k,
+               .v_init = cfg.vctrl_mid},
+              util::Rng(cfg.seed).fork("nodep")),
+      node_n_({.g_input_s = 1.0 / cfg.r_input_ohms,
+               .g_load_s = cfg.g_vco_load_s,
+               .c_node_f = cfg.c_node_f,
+               .thermal_noise = cfg.thermal_noise,
+               .temperature_k = cfg.temperature_k,
+               .v_init = cfg.vctrl_mid},
+              util::Rng(cfg.seed).fork("noden")) {
+  assert(cfg.num_slices >= 2);
+  assert(cfg.substeps >= 1);
+
+  // Tap edge slew seen by the comparators; a starved ring's edge rise time
+  // is about one stage delay of a ~0.5 V swing.
+  double slew = cfg.tap_slew_v_per_s;
+  if (slew <= 0.0) {
+    slew = 0.5 * 2.0 * cfg.num_slices * cfg.vco_center_hz;
+  }
+  SamplingFrontEnd::Params fp;
+  fp.kind = opts_.comparator;
+  fp.offset_sigma_v = cfg.comparator_offset_sigma_v;
+  fp.noise_sigma_v = cfg.comparator_noise_sigma_v;
+  fp.meta_window_s = cfg.comparator_meta_window_s;
+  fp.buffer_delay_s = cfg.buffer_delay_s;
+  fp.tap_slew_v_per_s = slew;
+  fp.input_cm_v = opts_.input_cm_v;
+  fp.vdd = cfg.vdd;
+  util::Rng fe_rng = util::Rng(cfg.seed).fork("frontend");
+  for (int i = 0; i < cfg.num_slices; ++i) {
+    fe1_.emplace_back(fp, fe_rng.fork("fe1"));
+    fe2_.emplace_back(fp, fe_rng.fork("fe2"));
+  }
+
+  // Input common mode that biases the nodes at vctrl_mid for midscale duty.
+  const double g_in = 1.0 / cfg.r_input_ohms;
+  if (opts_.dac == DacKind::kResistor) {
+    const double g_dac = dac_p_.total_conductance();
+    const double g_tot = g_in + g_dac + cfg.g_vco_load_s;
+    vcm_in_ = (cfg.vctrl_mid * g_tot - 0.5 * g_dac * cfg.vrefp) / g_in;
+  } else {
+    const double g_tot = g_in + cfg.g_vco_load_s + cs_dac_p_.total_conductance();
+    vcm_in_ = cfg.vctrl_mid * g_tot / g_in;
+  }
+}
+
+double VcoDsmModulator::full_scale_diff() const {
+  const double g_in = 1.0 / cfg_.r_input_ohms;
+  if (opts_.dac == DacKind::kResistor) {
+    return dac_p_.total_conductance() * cfg_.vrefp / g_in;
+  }
+  return 2.0 * cfg_.num_slices * cs_dac_p_.unit_current_a() / g_in;
+}
+
+double VcoDsmModulator::input_common_mode() const { return vcm_in_; }
+
+double VcoDsmModulator::loop_gain_lsb_per_clock() const {
+  const double g_in = 1.0 / cfg_.r_input_ohms;
+  double dv_node_range = 0.0;
+  if (opts_.dac == DacKind::kResistor) {
+    const double g_dac = dac_p_.total_conductance();
+    const double g_tot = g_in + g_dac + cfg_.g_vco_load_s;
+    dv_node_range = g_dac * cfg_.vrefp / g_tot;
+  } else {
+    const double g_tot = g_in + cfg_.g_vco_load_s + cs_dac_p_.total_conductance();
+    dv_node_range =
+        2.0 * cfg_.num_slices * cs_dac_p_.unit_current_a() / g_tot;
+  }
+  // Differential: both nodes move by +/- range/2 around midscale, so the
+  // full-swing differential frequency step is Kvco * 2 * range ... per bit:
+  const double dphi_full =
+      kTwoPi * cfg_.kvco_hz_per_v * 2.0 * dv_node_range / cfg_.fs_hz;
+  const double lsb = std::numbers::pi / cfg_.num_slices;
+  return dphi_full / lsb / cfg_.num_slices;  // per-LSB-of-feedback move
+}
+
+ModulatorResult VcoDsmModulator::run(const dsp::SignalFn& vin_diff,
+                                     std::size_t n_samples) {
+  const int n_slices = cfg_.num_slices;
+  const double ts = 1.0 / cfg_.fs_hz;
+  const double dt = ts / cfg_.substeps;
+
+  ModulatorResult res;
+  res.output.reserve(n_samples);
+  res.counts.reserve(n_samples);
+  if (opts_.record_bits) {
+    res.slice_bits.assign(static_cast<std::size_t>(n_slices), {});
+    for (auto& v : res.slice_bits) v.reserve(n_samples);
+  }
+
+  std::vector<bool> d(static_cast<std::size_t>(n_slices));
+  std::vector<bool> nd(static_cast<std::size_t>(n_slices));
+  for (int i = 0; i < n_slices; ++i) {
+    d[static_cast<std::size_t>(i)] = (i % 2) == 0;  // midscale start
+    nd[static_cast<std::size_t>(i)] = !d[static_cast<std::size_t>(i)];
+  }
+
+  JitterSource jitter(cfg_.clock_jitter_sigma_s,
+                      util::Rng(cfg_.seed).fork("clkjit"));
+
+  double acc_vp = 0, acc_vn = 0, acc_f1 = 0, acc_f2 = 0;
+  std::size_t toggles = 0;
+
+  const double g_dac_total_r = dac_p_.total_conductance();
+  const double g_dac_total_cs = cs_dac_p_.total_conductance();
+
+  for (std::size_t n = 0; n < n_samples; ++n) {
+    // Continuous-time interval: NRZ DAC holds d over the whole period.
+    for (int m = 0; m < cfg_.substeps; ++m) {
+      const double t = (static_cast<double>(n) +
+                        static_cast<double>(m) / cfg_.substeps) *
+                       ts;
+      const double vin = vin_diff(t);
+      const double vinp = vcm_in_ + 0.5 * vin;
+      const double vinn = vcm_in_ - 0.5 * vin;
+      if (cfg_.vref_ripple_amp_v > 0.0) {
+        const double vref =
+            cfg_.vrefp + cfg_.vref_ripple_amp_v *
+                             std::sin(kTwoPi * cfg_.vref_ripple_freq_hz * t);
+        dac_p_.set_vrefp(vref);
+        dac_n_.set_vrefp(vref);
+      }
+      const double vp = node_p_.voltage();
+      const double vn = node_n_.voltage();
+      double ip, in, g_fold;
+      if (opts_.dac == DacKind::kResistor) {
+        ip = dac_p_.current_into_node(nd, vp);
+        in = dac_n_.current_into_node(d, vn);
+        g_fold = g_dac_total_r;
+      } else {
+        ip = cs_dac_p_.current_into_node(nd, vp, dt);
+        in = cs_dac_n_.current_into_node(d, vn, dt);
+        g_fold = g_dac_total_cs;
+      }
+      node_p_.step(vinp, ip, g_fold, dt);
+      node_n_.step(vinn, in, g_fold, dt);
+      vco1_.advance(node_p_.voltage(), dt);
+      vco2_.advance(node_n_.voltage(), dt);
+      acc_vp += node_p_.voltage();
+      acc_vn += node_n_.voltage();
+      acc_f1 += vco1_.freq_hz(node_p_.voltage());
+      acc_f2 += vco2_.freq_hz(node_n_.voltage());
+    }
+
+    // Clock edge: retime every tap through its SAFF and XOR per slice.
+    const double jit = jitter.next_edge_jitter();
+    const double vp = node_p_.voltage();
+    const double vn = node_n_.voltage();
+    int count = 0;
+    for (int i = 0; i < n_slices; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      auto level1 = [&](double toff) {
+        const double ph =
+            vco1_.tap_phase(i) + kTwoPi * vco1_.freq_hz(vp) * toff;
+        return wrap_2pi(ph) < std::numbers::pi;
+      };
+      auto level2 = [&](double toff) {
+        const double ph =
+            vco2_.tap_phase(i) + kTwoPi * vco2_.freq_hz(vn) * toff;
+        return wrap_2pi(ph) < std::numbers::pi;
+      };
+      const bool s1 = fe1_[si].sample(level1, vco1_.time_to_edge(i, vp), jit);
+      const bool s2 = fe2_[si].sample(level2, vco2_.time_to_edge(i, vn), jit);
+      const bool di = s1 != s2;
+      if (di != d[si]) ++toggles;
+      d[si] = di;
+      nd[si] = !di;
+      if (di) ++count;
+      if (opts_.record_bits) res.slice_bits[si].push_back(di);
+    }
+    // Static thermometer re-encoding (ablation): the summed code drives
+    // elements 0..count-1 instead of the taps that produced it, exposing
+    // element mismatch as code-dependent (in-band) error.
+    if (opts_.mapping == ElementMapping::kStaticThermometer) {
+      for (int i = 0; i < n_slices; ++i) {
+        const std::size_t si = static_cast<std::size_t>(i);
+        d[si] = (i < count);
+        nd[si] = !d[si];
+      }
+    }
+    res.counts.push_back(count);
+    res.output.push_back((2.0 * count - n_slices) /
+                         static_cast<double>(n_slices));
+  }
+
+  const double steps =
+      static_cast<double>(n_samples) * static_cast<double>(cfg_.substeps);
+  if (steps > 0) {
+    res.mean_vctrlp = acc_vp / steps;
+    res.mean_vctrln = acc_vn / steps;
+    res.mean_freq1_hz = acc_f1 / steps;
+    res.mean_freq2_hz = acc_f2 / steps;
+  }
+  if (n_samples > 0) {
+    res.bit_toggle_rate =
+        static_cast<double>(toggles) / static_cast<double>(n_samples);
+  }
+  return res;
+}
+
+}  // namespace vcoadc::msim

@@ -1,0 +1,114 @@
+// Top-level behavioral model of the proposed N-slice VCO-based CT
+// delta-sigma modulator (Fig. 4).
+//
+// Signal path being simulated, per clock period (with `substeps` continuous-
+// time sub-intervals):
+//   1. The differential input drives the VCTRLP/VCTRLN nodes through the
+//      input resistors; each slice's resistor DAC injects feedback current
+//      (NRZ, bits held over the clock period).
+//   2. The two distributed N-stage rings integrate the node voltages into
+//      phase (the VCO-as-integrator).
+//   3. At each (jittered) clock edge, slice i samples ring tap i of both
+//      rings through its buffer + NOR3 SAFF and XORs them into bit d_i.
+//   4. d_i's inverter drives the DAC resistor: P-node sees !d_i, N-node
+//      sees d_i, closing the loop with negative feedback.
+//
+// The sum of slice bits is an N+1-level flash quantization of the ring
+// phase difference; tap rotation scrambles element usage (the intrinsic
+// clocked-level-averaging the architecture inherits from refs [5,6]), which
+// is what first-order-shapes VCO/DAC mismatch out of band (Fig. 17).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dsp/signal_gen.h"
+#include "msim/comparator.h"
+#include "msim/resistor_dac.h"
+#include "msim/ring_vco.h"
+#include "msim/sim_config.h"
+
+namespace vcoadc::msim {
+
+/// Which feedback DAC topology to simulate (Sec. 2.2.2 ablation).
+enum class DacKind { kResistor, kCurrentSteering };
+
+/// How quantizer decisions map onto DAC elements.
+///   kIntrinsicRotation - each tap's decision drives its own slice DAC; as
+///     the ring phase rotates, element usage rotates with it (the intrinsic
+///     clocked-level-averaging of refs [5,6] that shapes element mismatch).
+///   kStaticThermometer - the summed code re-encodes onto elements 0..k-1
+///     every cycle (a conventional thermometer DAC): element mismatch maps
+///     straight to code-dependent error, i.e. in-band distortion.
+enum class ElementMapping { kIntrinsicRotation, kStaticThermometer };
+
+struct ModulatorResult {
+  /// Normalized output y[n] = (count - N/2) / (N/2), in [-1, 1].
+  std::vector<double> output;
+  /// Raw per-sample slice-bit sums, in [0, N].
+  std::vector<int> counts;
+  /// Per-slice bit streams (only if record_bits was set).
+  std::vector<std::vector<bool>> slice_bits;
+  /// Mean control-node voltages over the run.
+  double mean_vctrlp = 0.0;
+  double mean_vctrln = 0.0;
+  /// Time-averaged ring frequencies [Hz] (for the power model).
+  double mean_freq1_hz = 0.0;
+  double mean_freq2_hz = 0.0;
+  /// Average per-sample toggle count of the slice bits (DAC/XOR activity).
+  double bit_toggle_rate = 0.0;
+};
+
+class VcoDsmModulator {
+ public:
+  struct Options {
+    ComparatorKind comparator = ComparatorKind::kNor3;
+    DacKind dac = DacKind::kResistor;
+    ElementMapping mapping = ElementMapping::kIntrinsicRotation;
+    CurrentSteeringDacBank::Params cs_params{};
+    bool record_bits = false;
+    /// Buffer-output common mode presented to the comparators [V].
+    double input_cm_v = 0.25;
+  };
+
+  explicit VcoDsmModulator(const SimConfig& cfg)
+      : VcoDsmModulator(cfg, Options{}) {}
+  VcoDsmModulator(const SimConfig& cfg, const Options& opts);
+
+  /// Runs `n_samples` clock periods against the differential input signal
+  /// (volts, differential; full scale is full_scale_diff()).
+  ModulatorResult run(const dsp::SignalFn& vin_diff, std::size_t n_samples);
+
+  /// Differential input amplitude that saturates the feedback DAC range:
+  /// FS = (sum G_dac) * VREFP / G_in. A sine of this amplitude is 0 dBFS.
+  double full_scale_diff() const;
+
+  /// Input-pin common mode that biases the control nodes at vctrl_mid when
+  /// the modulator idles at midscale duty.
+  double input_common_mode() const;
+
+  /// Loop-gain figure: feedback-induced phase-difference movement per clock
+  /// at full DAC swing, in units of the quantizer LSB (pi/N). Stable,
+  /// non-sluggish designs land around 1-4.
+  double loop_gain_lsb_per_clock() const;
+
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  SimConfig cfg_;
+  Options opts_;
+  util::Rng rng_;
+  RingVco vco1_;  // controlled by VCTRLP
+  RingVco vco2_;  // controlled by VCTRLN
+  ResistorDacBank dac_p_;
+  ResistorDacBank dac_n_;
+  CurrentSteeringDacBank cs_dac_p_;
+  CurrentSteeringDacBank cs_dac_n_;
+  ControlNode node_p_;
+  ControlNode node_n_;
+  std::vector<SamplingFrontEnd> fe1_;  // per-slice front end on ring 1
+  std::vector<SamplingFrontEnd> fe2_;
+  double vcm_in_ = 0.0;
+};
+
+}  // namespace vcoadc::msim

@@ -1,0 +1,38 @@
+#include "msim/noise.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vcoadc::msim {
+
+PinkNoise::PinkNoise(double amplitude, double f_lo, double f_hi, double dt,
+                     util::Rng rng)
+    : rng_(rng) {
+  if (amplitude <= 0.0 || f_lo <= 0.0 || f_hi <= f_lo) return;
+  // One OU stage per octave between f_lo and f_hi; equal per-stage variance
+  // yields ~1/f total PSD.
+  const int octaves =
+      std::max(1, static_cast<int>(std::ceil(std::log2(f_hi / f_lo))));
+  const double per_stage_var =
+      amplitude * amplitude / static_cast<double>(octaves);
+  for (int k = 0; k < octaves; ++k) {
+    const double f = f_lo * std::pow(2.0, k + 0.5);
+    const double tau = 1.0 / (2.0 * std::numbers::pi * f);
+    Stage s;
+    s.a = std::exp(-dt / tau);
+    s.sigma = std::sqrt(per_stage_var * (1.0 - s.a * s.a));
+    stages_.push_back(s);
+  }
+}
+
+double PinkNoise::step() {
+  double v = 0.0;
+  for (Stage& s : stages_) {
+    s.state = s.a * s.state + rng_.gaussian(0.0, s.sigma);
+    v += s.state;
+  }
+  value_ = v;
+  return v;
+}
+
+}  // namespace vcoadc::msim

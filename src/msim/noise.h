@@ -1,0 +1,50 @@
+// Auxiliary noise processes: sampling-clock jitter and 1/f (pink) noise.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vcoadc::msim {
+
+/// Gaussian per-edge clock jitter.
+class JitterSource {
+ public:
+  JitterSource(double sigma_s, util::Rng rng) : sigma_(sigma_s), rng_(rng) {}
+  /// Jitter of the next clock edge [s]; 0 if disabled.
+  double next_edge_jitter() {
+    return (sigma_ > 0.0) ? rng_.gaussian(0.0, sigma_) : 0.0;
+  }
+
+ private:
+  double sigma_;
+  util::Rng rng_;
+};
+
+/// Pink (1/f) noise via a sum of first-order Ornstein-Uhlenbeck processes
+/// with octave-spaced time constants — flat-in-octaves power, the standard
+/// cheap flicker model for behavioral circuit simulation.
+class PinkNoise {
+ public:
+  /// `amplitude` is the approximate RMS of the produced process; `f_lo` and
+  /// `f_hi` bound the 1/f region; `dt` is the update period.
+  PinkNoise(double amplitude, double f_lo, double f_hi, double dt,
+            util::Rng rng);
+
+  /// Advances one step of `dt` and returns the current value.
+  double step();
+
+  double value() const { return value_; }
+
+ private:
+  struct Stage {
+    double a = 0.0;      // exp(-dt/tau)
+    double sigma = 0.0;  // per-step injection
+    double state = 0.0;
+  };
+  std::vector<Stage> stages_;
+  util::Rng rng_;
+  double value_ = 0.0;
+};
+
+}  // namespace vcoadc::msim

@@ -1,0 +1,121 @@
+#include "msim/phase_noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.h"
+#include "dsp/window.h"
+
+namespace vcoadc::msim {
+
+double white_fm_theory_dbc(double k_hz2_per_hz, double offset_hz) {
+  // S_phi(f) = K / f^2 [rad^2/Hz]; L(f) = S_phi/2.
+  return 10.0 * std::log10(k_hz2_per_hz / (2.0 * offset_hz * offset_hz));
+}
+
+double PhaseNoiseResult::at(double offset_hz) const {
+  if (points.size() < 2) return std::nan("");
+  if (offset_hz < points.front().offset_hz ||
+      offset_hz > points.back().offset_hz) {
+    return std::nan("");
+  }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (offset_hz <= points[i].offset_hz) {
+      const auto& a = points[i - 1];
+      const auto& b = points[i];
+      const double t = (std::log10(offset_hz) - std::log10(a.offset_hz)) /
+                       (std::log10(b.offset_hz) - std::log10(a.offset_hz));
+      return a.dbc_per_hz + t * (b.dbc_per_hz - a.dbc_per_hz);
+    }
+  }
+  return points.back().dbc_per_hz;
+}
+
+PhaseNoiseResult measure_phase_noise(RingVco& vco, double vctrl,
+                                     double fs_hz, std::size_t n) {
+  PhaseNoiseResult result;
+  const double dt = 1.0 / fs_hz;
+
+  // Sample accumulated phase. RingVco::advance wraps its accumulator above
+  // 1e6 rad; the wrap preserves phase modulo 2*pi, so reconstruct each
+  // increment as the nominal step plus its 2*pi-wrapped residual (the
+  // per-step noise is orders of magnitude below pi).
+  std::vector<double> phase(n, 0.0);
+  double acc = 0.0;
+  double prev = vco.phase();
+  const double expected = 2.0 * std::numbers::pi * vco.freq_hz(vctrl) * dt;
+  for (std::size_t i = 0; i < n; ++i) {
+    vco.advance(vctrl, dt);
+    const double d = vco.phase() - prev;
+    prev = vco.phase();
+    acc += expected + std::remainder(d - expected, 2.0 * std::numbers::pi);
+    phase[i] = acc;
+  }
+
+  // Remove the best-fit carrier ramp (least squares line).
+  const double dn = static_cast<double>(n);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    sx += x;
+    sy += phase[i];
+    sxx += x * x;
+    sxy += x * phase[i];
+  }
+  const double slope = (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+  const double intercept = (sy - slope * sx) / dn;
+  result.carrier_hz = slope / (2.0 * std::numbers::pi * dt);
+  std::vector<double> dev(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dev[i] = phase[i] - (intercept + slope * static_cast<double>(i));
+  }
+
+  // Windowed periodogram of the phase deviation: S_phi(f) in rad^2/Hz.
+  const auto w = dsp::make_window(dsp::WindowKind::kHann, n);
+  double sum_w2 = 0;
+  for (double v : w) sum_w2 += v * v;
+  std::vector<dsp::Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = dev[i] * w[i];
+  dsp::fft_in_place(data);
+  const double bin_hz = fs_hz / dn;
+  const double scale = 2.0 / (fs_hz * sum_w2);  // one-sided PSD
+
+  // Log-spaced offsets, median-averaged in octave buckets to tame the
+  // chi-squared scatter of a single periodogram.
+  const std::size_t lo_bin = 4;
+  const std::size_t hi_bin = n / 2 - 1;
+  for (double f = lo_bin * bin_hz * 1.5; f < hi_bin * bin_hz / 1.5;
+       f *= 2.0) {
+    std::vector<double> vals;
+    for (std::size_t k = lo_bin; k <= hi_bin; ++k) {
+      const double fk = static_cast<double>(k) * bin_hz;
+      if (fk > f / 1.4 && fk < f * 1.4) {
+        vals.push_back(std::norm(data[k]) * scale);
+      }
+    }
+    if (vals.size() < 3) continue;
+    std::nth_element(vals.begin(), vals.begin() + vals.size() / 2,
+                     vals.end());
+    const double s_phi = vals[vals.size() / 2];
+    if (s_phi <= 0) continue;
+    result.points.push_back({f, 10.0 * std::log10(s_phi / 2.0)});
+  }
+
+  // Slope fit (dB vs log10 f).
+  if (result.points.size() >= 3) {
+    double fx = 0, fy = 0, fxx = 0, fxy = 0;
+    for (const auto& p : result.points) {
+      const double x = std::log10(p.offset_hz);
+      fx += x;
+      fy += p.dbc_per_hz;
+      fxx += x * x;
+      fxy += x * p.dbc_per_hz;
+    }
+    const double m = static_cast<double>(result.points.size());
+    result.slope_db_per_decade = (m * fxy - fx * fy) / (m * fxx - fx * fx);
+  }
+  return result;
+}
+
+}  // namespace vcoadc::msim

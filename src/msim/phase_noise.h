@@ -1,0 +1,40 @@
+// Phase-noise analysis of the ring VCO model.
+//
+// Measures single-sideband phase noise L(f_offset) = S_phi(f)/2 by sampling
+// the ring's accumulated phase, detrending the carrier ramp, and taking a
+// windowed periodogram of the residual. For the white-FM model used in the
+// simulator (S_freq = K [Hz^2/Hz]), theory says S_phi(f) = K/f^2, i.e.
+// L(f) = 10*log10(K / (2 f^2)) with the classic -20 dB/dec slope - the
+// analyzer validates that the model injects exactly the noise it claims.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "msim/ring_vco.h"
+
+namespace vcoadc::msim {
+
+struct PhaseNoisePoint {
+  double offset_hz = 0;
+  double dbc_per_hz = 0;  ///< L(f) in dBc/Hz
+};
+
+struct PhaseNoiseResult {
+  std::vector<PhaseNoisePoint> points;  ///< log-spaced offsets
+  double carrier_hz = 0;                ///< measured mean frequency
+  double slope_db_per_decade = 0;       ///< fitted over the points
+
+  /// L(f) interpolated at a given offset (log-log), NAN when out of range.
+  double at(double offset_hz) const;
+};
+
+/// Samples `n` phase points at rate `fs_hz` with the VCO held at `vctrl`.
+/// `n` must be a power of two.
+PhaseNoiseResult measure_phase_noise(RingVco& vco, double vctrl,
+                                     double fs_hz, std::size_t n);
+
+/// Theoretical L(f) of a white-FM oscillator with strength `k_hz2_per_hz`.
+double white_fm_theory_dbc(double k_hz2_per_hz, double offset_hz);
+
+}  // namespace vcoadc::msim

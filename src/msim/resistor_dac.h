@@ -1,0 +1,101 @@
+// Feedback DAC models and the control-node solver.
+//
+// The paper (Sec. 2.2.2, Fig. 8) argues for a resistor DAC - an inverter
+// driving a resistor to VREFP or ground - over a conventional current-
+// steering DAC, because resistors match well raw (no bias network, no
+// special P&R). Both are modelled here so the choice can be ablated:
+//   * ResistorDacBank  - per-slice resistor + inverter, ~0.1% raw matching,
+//     no bias noise; feedback current depends on the node voltage.
+//   * CurrentSteeringDacBank - per-slice current cell, percent-level
+//     matching plus a shared bias network contributing low-frequency noise.
+//
+// The ControlNode integrates the VCTRLP / VCTRLN node: a first-order RC
+// solved exactly per substep, with physically-scaled kT/C thermal noise.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vcoadc::msim {
+
+/// Bank of per-slice resistor DACs (Fig. 8b) driving one control node.
+class ResistorDacBank {
+ public:
+  /// `mismatch_sigma` is the relative sigma of each slice's resistor.
+  ResistorDacBank(int num_slices, double r_dac_ohms, double vrefp,
+                  double mismatch_sigma, util::Rng rng);
+
+  /// Sum of DAC currents into the node at node voltage `v_node`, for the
+  /// current slice bits. levels[i] true => resistor tied to VREFP (sourcing).
+  double current_into_node(const std::vector<bool>& levels,
+                           double v_node) const;
+
+  /// Total DAC-bank conductance seen by the node (levels-independent).
+  double total_conductance() const;
+
+  /// The per-slice conductances (for power models and tests).
+  const std::vector<double>& conductances() const { return g_; }
+  double vrefp() const { return vrefp_; }
+  /// Instantaneous reference update (ripple injection).
+  void set_vrefp(double v) { vrefp_ = v; }
+
+ private:
+  std::vector<double> g_;
+  double vrefp_;
+};
+
+/// Bank of current-steering DAC cells (Fig. 8a) for the ablation study.
+class CurrentSteeringDacBank {
+ public:
+  struct Params {
+    int num_slices = 8;
+    double unit_current_a = 50e-6;     ///< nominal cell current
+    double mismatch_sigma = 0.02;      ///< relative cell mismatch (~2%)
+    double output_conductance_s = 2e-6;///< finite cascode output conductance
+    double bias_flicker_rel = 0.0;     ///< relative 1/f bias-noise amplitude
+  };
+  CurrentSteeringDacBank(const Params& p, util::Rng rng);
+
+  /// Current into the node; levels[i] true => cell sources, else sinks.
+  /// Advances the bias-noise state by dt.
+  double current_into_node(const std::vector<bool>& levels, double v_node,
+                           double dt);
+
+  double total_conductance() const;
+  double unit_current_a() const { return params_.unit_current_a; }
+
+ private:
+  Params params_;
+  std::vector<double> cell_current_;
+  util::Rng rng_;
+  double bias_noise_state_ = 0.0;
+};
+
+/// First-order RC solver for one control node (VCTRLP or VCTRLN).
+class ControlNode {
+ public:
+  struct Params {
+    double g_input_s = 8e-4;   ///< 1/R_in
+    double g_load_s = 5e-4;    ///< VCO supply-current load conductance
+    double c_node_f = 200e-15;
+    bool thermal_noise = true;
+    double temperature_k = 300.0;
+    double v_init = 0.55;
+  };
+  ControlNode(const Params& p, util::Rng rng);
+
+  /// Advances the node by dt given the input-side voltage and the DAC
+  /// current (evaluated at the current node voltage by the caller).
+  void step(double v_input, double i_dac, double g_dac_total, double dt);
+
+  double voltage() const { return v_; }
+  void set_voltage(double v) { v_ = v; }
+
+ private:
+  Params params_;
+  util::Rng rng_;
+  double v_;
+};
+
+}  // namespace vcoadc::msim

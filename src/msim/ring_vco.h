@@ -1,0 +1,64 @@
+// Behavioral model of the supply-controlled pseudo-differential ring VCO
+// (Fig. 5: each stage is 4 cross-coupled inverters; the control voltage is
+// the stage supply).
+//
+// The ring is represented by its accumulated fundamental phase. An N-stage
+// differential ring offers N taps spaced pi/N apart in fundamental phase;
+// per-stage delay mismatch perturbs those tap offsets (which the delta-sigma
+// loop first-order shapes — the robustness claim of Sec. 2.2).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vcoadc::msim {
+
+class RingVco {
+ public:
+  /// `stage_mismatch_sigma` is the relative sigma of each stage's delay;
+  /// `initial_phase_rad` decorrelates the two rings of the pseudo-diff pair.
+  RingVco(int num_stages, double center_freq_hz, double kvco_hz_per_v,
+          double vctrl_mid_v, double initial_phase_rad,
+          double stage_mismatch_sigma, double kvco_gain_factor,
+          double white_fm_hz2_per_hz, util::Rng rng);
+
+  /// Instantaneous frequency for a control voltage [Hz]. Clamped at a small
+  /// positive floor: a supply-starved ring slows down but never runs
+  /// backwards.
+  double freq_hz(double vctrl) const;
+
+  /// Advances the ring by dt seconds at control voltage `vctrl`,
+  /// accumulating white-FM phase noise if configured.
+  void advance(double vctrl, double dt);
+
+  /// Fundamental phase of tap `i` (0..N-1) right now [rad].
+  double tap_phase(int tap) const;
+
+  /// Logic level of tap `i`: true while the (square-wave) tap is high.
+  bool tap_level(int tap) const;
+
+  /// Time until the next edge (either direction) of tap `i`, given the
+  /// current control voltage. Used for metastability modelling.
+  double time_to_edge(int tap, double vctrl) const;
+
+  double phase() const { return phase_; }
+  int num_stages() const { return num_stages_; }
+  double center_freq_hz() const { return f_center_; }
+  double kvco() const { return kvco_; }
+
+  /// The per-tap static phase offsets (nominal spacing + mismatch) [rad].
+  const std::vector<double>& tap_offsets() const { return tap_offsets_; }
+
+ private:
+  int num_stages_;
+  double f_center_;
+  double kvco_;
+  double vctrl_mid_;
+  double phase_;  // accumulated fundamental phase [rad]
+  double white_fm_;
+  std::vector<double> tap_offsets_;
+  util::Rng rng_;
+};
+
+}  // namespace vcoadc::msim

@@ -1,0 +1,75 @@
+// Parameter bundle for the behavioral mixed-signal simulation of the
+// proposed ADC (Fig. 4 architecture).
+//
+// The architecture being simulated, restated from Sec. 2.2 / Table 2:
+//   * Two N-stage pseudo-differential ring VCOs, supply-controlled by the
+//     VCTRLP / VCTRLN nodes. The ring is *distributed*: slice i contains
+//     stage i of both rings (the paper's Table 2 slice instantiates one
+//     VCO_cell of each ring), so the N stage taps give N quantizer phases.
+//   * Slice i retimes both ring taps through a buffer + SAFF (NOR3-based
+//     comparator, Fig. 6b/7) and XORs them into the slice bit d_i.
+//   * d_i drives the slice's resistor DAC (Fig. 8b): an inverter connects
+//     the DAC resistor to VREFP or ground, injecting feedback current into
+//     the shared control nodes, closing the first-order CT delta-sigma loop
+//     (the VCO phase is the loop integrator).
+//
+// All parameters are plain physical quantities; `core::AdcSpec` derives
+// defaults for a given technology node.
+#pragma once
+
+#include <cstdint>
+
+namespace vcoadc::msim {
+
+struct SimConfig {
+  // --- architecture ---
+  int num_slices = 8;        ///< N: ring stages == quantizer taps == DACs
+  double fs_hz = 750e6;      ///< modulator clock
+  int substeps = 8;          ///< CT solver substeps per clock period
+
+  // --- supplies / references ---
+  double vdd = 1.1;          ///< digital supply [V]
+  double vrefp = 1.1;        ///< DAC reference (tied to VDD in the paper)
+  double vctrl_mid = 0.55;   ///< control-node operating point [V]
+
+  // --- VCO ---
+  /// Ring frequency at vctrl_mid. Chosen away from rational multiples of fs
+  /// so the sampled ring phase sweeps uniformly instead of locking into a
+  /// short orbit (which would produce idle tones).
+  double vco_center_hz = 2.043e9;
+  double kvco_hz_per_v = 4.5e8;  ///< supply-tuning gain
+  double vco_white_fm_hz2_per_hz = 0.0;  ///< white-FM phase noise strength
+  double vco_stage_mismatch_sigma = 0.0; ///< relative per-stage delay sigma
+  double vco_kvco_mismatch_sigma = 0.0;  ///< relative Kvco mismatch (ring pair)
+
+  // --- feedback network (Fig. 8b) ---
+  double r_input_ohms = 1250.0;   ///< input resistor per side
+  double r_dac_ohms = 10000.0;    ///< DAC resistor per slice
+  double r_dac_mismatch_sigma = 0.0; ///< relative per-slice resistor sigma
+  double g_vco_load_s = 5e-4;     ///< VCO supply-current load conductance
+  double c_node_f = 200e-15;      ///< control-node capacitance
+  bool thermal_noise = true;      ///< kT/R noise at the control nodes
+  double temperature_k = 300.0;
+
+  // --- sampling front end (buffer + SAFF) ---
+  double comparator_offset_sigma_v = 0.0; ///< per-slice offset [V]
+  double comparator_noise_sigma_v = 0.0;  ///< input noise per decision [V]
+  double comparator_meta_window_s = 0.0;  ///< metastable aperture [s]
+  double buffer_delay_s = 0.0;            ///< replica-buffer delay
+  double clock_jitter_sigma_s = 0.0;      ///< sampling clock jitter
+
+  // --- supply/reference ripple (PSRR-style robustness testing) ---
+  /// Sinusoidal ripple on VREFP, common to both DAC banks. The pseudo-
+  /// differential feedback largely rejects it; the residual sets the
+  /// converter's reference sensitivity.
+  double vref_ripple_amp_v = 0.0;
+  double vref_ripple_freq_hz = 0.0;
+
+  // --- misc ---
+  std::uint64_t seed = 1;
+  /// Edge slope seen by the comparator, used to convert a voltage offset
+  /// into an equivalent sampling-phase offset [V/s]. 0 = derive from VCO.
+  double tap_slew_v_per_s = 0.0;
+};
+
+}  // namespace vcoadc::msim

@@ -1,0 +1,187 @@
+#include "netlist/cell_library.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vcoadc::netlist {
+
+std::string to_string(PortDir dir) {
+  switch (dir) {
+    case PortDir::kInput:
+      return "input";
+    case PortDir::kOutput:
+      return "output";
+    case PortDir::kInout:
+      return "inout";
+  }
+  return "?";
+}
+
+bool StdCell::has_pin(const std::string& pin_name) const {
+  return find_pin(pin_name) != nullptr;
+}
+
+const PinSpec* StdCell::find_pin(const std::string& pin_name) const {
+  for (const PinSpec& p : pins) {
+    if (p.name == pin_name) return &p;
+  }
+  return nullptr;
+}
+
+void CellLibrary::add(StdCell cell) {
+  if (contains(cell.name)) {
+    std::fprintf(stderr, "CellLibrary: duplicate cell '%s'\n",
+                 cell.name.c_str());
+    std::abort();
+  }
+  cells_.push_back(std::move(cell));
+}
+
+const StdCell* CellLibrary::find(const std::string& name) const {
+  for (const StdCell& c : cells_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const StdCell& CellLibrary::at(const std::string& name) const {
+  const StdCell* c = find(name);
+  if (c == nullptr) {
+    std::fprintf(stderr, "CellLibrary: unknown cell '%s'\n", name.c_str());
+    std::abort();
+  }
+  return *c;
+}
+
+std::vector<int> CellLibrary::drive_strengths(
+    const std::string& function) const {
+  std::vector<int> out;
+  for (const StdCell& c : cells_) {
+    if (c.function == function) out.push_back(c.drive);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::string> CellLibrary::cell_for(const std::string& function,
+                                                 int drive) const {
+  for (const StdCell& c : cells_) {
+    if (c.function == function && c.drive == drive) return c.name;
+  }
+  return std::nullopt;
+}
+
+double CellLibrary::row_height_m() const {
+  return cells_.empty() ? 0.0 : cells_.front().height_m;
+}
+
+namespace {
+
+/// Helper building one combinational master. Width is measured in placement
+/// sites (one site = one M1 pitch); bigger drives use proportionally more
+/// sites. Input cap scales with drive.
+StdCell make_gate(const tech::TechNode& node, const std::string& name,
+                  const std::string& function, int drive, int base_sites,
+                  const std::vector<PinSpec>& signal_pins) {
+  StdCell c;
+  c.name = name;
+  c.function = function;
+  c.drive = drive;
+  c.width_m = static_cast<double>(base_sites * drive) * node.m1_pitch_m;
+  c.height_m = node.cell_row_height_m;
+  c.pins = signal_pins;
+  c.pins.push_back({"VDD", PortDir::kInout});
+  c.pins.push_back({"VSS", PortDir::kInout});
+  c.input_cap_f = node.min_inv_input_cap_f * drive;
+  c.leakage_w = node.gate_leakage_w * drive;
+  return c;
+}
+
+}  // namespace
+
+CellLibrary make_standard_library(const tech::TechNode& node) {
+  CellLibrary lib("stdlib_" + node.name);
+  const PinSpec a{"A", PortDir::kInput};
+  const PinSpec b{"B", PortDir::kInput};
+  const PinSpec cc{"C", PortDir::kInput};
+  const PinSpec y{"Y", PortDir::kOutput};
+
+  for (int drive : {1, 2, 4, 8}) {
+    lib.add(make_gate(node, "INVX" + std::to_string(drive), "inv", drive, 3,
+                      {a, y}));
+  }
+  for (int drive : {1, 2, 4}) {
+    lib.add(make_gate(node, "BUFX" + std::to_string(drive), "buf", drive, 4,
+                      {a, y}));
+  }
+  for (int drive : {1, 2, 4}) {
+    lib.add(make_gate(node, "NAND2X" + std::to_string(drive), "nand2", drive,
+                      4, {a, b, y}));
+    lib.add(make_gate(node, "NOR2X" + std::to_string(drive), "nor2", drive, 4,
+                      {a, b, y}));
+  }
+  for (int drive : {1, 2, 4}) {
+    lib.add(make_gate(node, "NAND3X" + std::to_string(drive), "nand3", drive,
+                      5, {a, b, cc, y}));
+    lib.add(make_gate(node, "NOR3X" + std::to_string(drive), "nor3", drive, 5,
+                      {a, b, cc, y}));
+  }
+  for (int drive : {1, 2}) {
+    lib.add(make_gate(node, "XOR2X" + std::to_string(drive), "xor2", drive, 8,
+                      {a, b, y}));
+  }
+  // Transmission-gate latch used for retiming support logic.
+  lib.add(make_gate(node, "DLATX1", "dlat", 1, 10,
+                    {{"D", PortDir::kInput},
+                     {"G", PortDir::kInput},
+                     {"Q", PortDir::kOutput}}));
+  // Clock buffer (large drive for the clock tree).
+  lib.add(make_gate(node, "CLKBUFX8", "clkbuf", 8, 4, {a, y}));
+  return lib;
+}
+
+void add_resistor_cells(CellLibrary& lib, const tech::TechNode& node) {
+  // Fig. 11: two fragments. The low-resistivity poly cell realizes 1 kOhm in
+  // a cell of the digital row height; the high-resistivity implant realizes
+  // 11 kOhm in a similar footprint. Width follows squares = R / sheet_rho,
+  // folded into the row height (a fixed number of folds keeps the height at
+  // one row; the folds set the cell width).
+  struct Variant {
+    const char* name;
+    double ohms;
+    double sheet;
+  };
+  const Variant variants[] = {
+      {"RES1K", 1000.0, node.poly_sheet_ohms},
+      {"RES11K", 11000.0, node.hires_sheet_ohms},
+  };
+  for (const Variant& v : variants) {
+    StdCell c;
+    c.name = v.name;
+    c.function = "res";
+    c.drive = 1;
+    const double squares = v.ohms / v.sheet;
+    // Resistor geometry is matching-driven, not lithography-driven: the
+    // stripe width stays at ~0.4 um (plus 0.4 um spacing) in every node, so
+    // resistor area barely scales — one reason total ADC area shrinks less
+    // than pure gate area between nodes (Table 3: 12.6x, not 20x).
+    constexpr double kStripePitch = 0.5e-6;
+    const double folds =
+        std::max(1.0, std::floor(node.cell_row_height_m / kStripePitch));
+    const double stripes = std::max(1.0, std::ceil(squares / folds));
+    c.width_m = stripes * kStripePitch;
+    c.height_m = node.cell_row_height_m;
+    c.pins = {{"T1", PortDir::kInout}, {"T2", PortDir::kInout}};
+    c.input_cap_f = 0.0;
+    c.leakage_w = 0.0;
+    c.is_resistor = true;
+    c.resistance_ohms = v.ohms;
+    c.power_pin.clear();   // resistors have no supply pins; they go into
+    c.ground_pin.clear();  // component *groups*, not power domains
+    lib.add(c);
+  }
+}
+
+}  // namespace vcoadc::netlist

@@ -1,0 +1,92 @@
+// Standard-cell library model.
+//
+// Covers what the synthesis flow of Sec. 3 needs from a LEF/Liberty pair:
+// cell geometry (for placement), pin directions (for netlist checking and
+// routing estimation), input capacitance and leakage (for the power model).
+//
+// Sec. 3.1's "standard cell library modification" step is add_resistor_cells:
+// the resistor is decomposed into fragments that are added to the library as
+// special "resistor standard cells" (Fig. 11 shows the 1 kOhm low-res and
+// 11 kOhm high-res variants), with cell height equal to the digital row
+// height so the digital placer can legally place them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tech/tech_node.h"
+
+namespace vcoadc::netlist {
+
+enum class PortDir { kInput, kOutput, kInout };
+
+std::string to_string(PortDir dir);
+
+struct PinSpec {
+  std::string name;
+  PortDir dir = PortDir::kInput;
+};
+
+/// One library master ("standard cell").
+struct StdCell {
+  std::string name;       ///< e.g. "NOR3X4"
+  std::string function;   ///< e.g. "nor3", "inv", "res"
+  int drive = 1;          ///< drive strength (the X-number)
+  double width_m = 0;     ///< placement width
+  double height_m = 0;    ///< row height (all cells share it)
+  std::vector<PinSpec> pins;
+  double input_cap_f = 0; ///< capacitance per input pin
+  double leakage_w = 0;
+  bool is_resistor = false;
+  double resistance_ohms = 0;  ///< for resistor cells
+  /// Power/ground pin names. For this circuit these may be tied to analog
+  /// nets (VCTRLP etc.) rather than the global VDD - the reason the flow
+  /// needs power domains (Sec. 3.3).
+  std::string power_pin = "VDD";
+  std::string ground_pin = "VSS";
+
+  bool has_pin(const std::string& pin_name) const;
+  const PinSpec* find_pin(const std::string& pin_name) const;
+  double area_m2() const { return width_m * height_m; }
+};
+
+class CellLibrary {
+ public:
+  explicit CellLibrary(std::string name = "lib") : name_(std::move(name)) {}
+
+  /// Adds a master; aborts on duplicate names (a library invariant).
+  void add(StdCell cell);
+
+  const StdCell* find(const std::string& name) const;
+  const StdCell& at(const std::string& name) const;
+  bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+  /// All drive strengths available for a logic function, sorted ascending.
+  /// Used by the design-migration step (Sec. 4) to pick closest-size cells.
+  std::vector<int> drive_strengths(const std::string& function) const;
+
+  /// Name of the cell implementing `function` at drive `drive`, if present.
+  std::optional<std::string> cell_for(const std::string& function,
+                                      int drive) const;
+
+  const std::vector<StdCell>& cells() const { return cells_; }
+  const std::string& name() const { return name_; }
+  double row_height_m() const;
+
+ private:
+  std::string name_;
+  std::vector<StdCell> cells_;
+};
+
+/// Builds the digital portion of the library for a node: inverters, buffers,
+/// NAND/NOR/XOR gates and latch support cells at several drive strengths,
+/// with geometry and electricals derived from the TechNode.
+CellLibrary make_standard_library(const tech::TechNode& node);
+
+/// Sec. 3.1: adds the customized resistor standard cells. Two variants, as
+/// in Fig. 11: a low-resistivity 1 kOhm cell and a high-resistivity 11 kOhm
+/// cell, both at digital row height.
+void add_resistor_cells(CellLibrary& lib, const tech::TechNode& node);
+
+}  // namespace vcoadc::netlist

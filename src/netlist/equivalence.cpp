@@ -1,0 +1,85 @@
+#include "netlist/equivalence.h"
+
+#include <algorithm>
+#include <map>
+
+namespace vcoadc::netlist {
+namespace {
+
+constexpr std::size_t kMaxMismatches = 20;
+
+void note(EquivalenceResult& res, std::string msg) {
+  if (res.mismatches.size() < kMaxMismatches) {
+    res.mismatches.push_back(std::move(msg));
+  }
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const Design& a, const Design& b,
+                                    const EquivalenceOptions& opts) {
+  EquivalenceResult res;
+
+  // Top port lists must agree (order-insensitive).
+  const Module* top_a = a.find_module(a.top());
+  const Module* top_b = b.find_module(b.top());
+  if (top_a == nullptr || top_b == nullptr) {
+    note(res, "missing top module");
+    return res;
+  }
+  auto port_set = [](const Module& m) {
+    std::map<std::string, PortDir> ports;
+    for (const Port& p : m.ports()) ports[p.name] = p.dir;
+    return ports;
+  };
+  if (port_set(*top_a) != port_set(*top_b)) {
+    note(res, "top-level port lists differ");
+  }
+
+  // Index B's flattened instances by path.
+  std::map<std::string, FlatInstance> by_path;
+  for (FlatInstance& fi : [&] {
+         auto v = b.flatten();
+         return v;
+       }()) {
+    by_path[fi.path] = std::move(fi);
+  }
+
+  const auto flat_a = a.flatten();
+  res.instances_compared = static_cast<int>(flat_a.size());
+  if (flat_a.size() != by_path.size()) {
+    note(res, "instance counts differ: " + std::to_string(flat_a.size()) +
+                  " vs " + std::to_string(by_path.size()));
+  }
+
+  for (const FlatInstance& fa : flat_a) {
+    auto it = by_path.find(fa.path);
+    if (it == by_path.end()) {
+      note(res, fa.path + ": missing in second design");
+      continue;
+    }
+    const FlatInstance& fb = it->second;
+    if (fa.cell->function != fb.cell->function) {
+      note(res, fa.path + ": function " + fa.cell->function + " vs " +
+                    fb.cell->function);
+    } else if (opts.match_drive && fa.cell->drive != fb.cell->drive) {
+      note(res, fa.path + ": drive X" + std::to_string(fa.cell->drive) +
+                    " vs X" + std::to_string(fb.cell->drive));
+    }
+    if (fa.conn != fb.conn) {
+      note(res, fa.path + ": connectivity differs");
+    }
+    if (fa.power_domain != fb.power_domain || fa.group != fb.group) {
+      note(res, fa.path + ": power domain / group annotation differs");
+    }
+    by_path.erase(it);
+  }
+  for (const auto& [path, fi] : by_path) {
+    note(res, path + ": extra in second design");
+  }
+
+  res.equivalent = res.mismatches.empty();
+  return res;
+}
+
+}  // namespace vcoadc::netlist

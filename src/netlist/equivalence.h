@@ -1,0 +1,34 @@
+// Structural equivalence checking between two gate-level designs - the
+// lightweight LEC step a real flow runs after every netlist transformation
+// (schematic export -> Verilog parse-back, node migration, manual edits).
+//
+// Two designs are structurally equivalent when their flattened instance
+// sets match one-to-one on (hierarchical path, cell FUNCTION, pin->net
+// connectivity). Comparing functions rather than cell names makes the
+// check migration-aware: an INVX2 remapped to INVX1 on a sparse target
+// library still matches; an inverter swapped for a NAND does not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace vcoadc::netlist {
+
+struct EquivalenceOptions {
+  /// Require identical drive strengths, not just identical functions
+  /// (turn on for parse-back checks, off for migration checks).
+  bool match_drive = false;
+};
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  std::vector<std::string> mismatches;  ///< first ~20, human-readable
+  int instances_compared = 0;
+};
+
+EquivalenceResult check_equivalence(const Design& a, const Design& b,
+                                    const EquivalenceOptions& opts = {});
+
+}  // namespace vcoadc::netlist

@@ -1,0 +1,361 @@
+#include "netlist/generator.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace vcoadc::netlist {
+namespace {
+
+using util::format;
+
+Instance make_inst(std::string name, std::string master,
+                   std::map<std::string, std::string> conn,
+                   std::string pd = {}, std::string group = {}) {
+  Instance inst;
+  inst.name = std::move(name);
+  inst.master = std::move(master);
+  inst.conn = std::move(conn);
+  inst.power_domain = std::move(pd);
+  inst.group = std::move(group);
+  return inst;
+}
+
+/// Emits a series chain of `fragments` resistor cells between two nets,
+/// creating the intermediate nets in `mod` (Sec. 3.1 fragment decomposition).
+void add_resistor_chain(Module& mod, const std::string& name_prefix,
+                        const std::string& cell, int fragments,
+                        const std::string& from, const std::string& to,
+                        const std::string& group) {
+  std::string prev = from;
+  for (int f = 0; f < fragments; ++f) {
+    const std::string next =
+        (f + 1 == fragments) ? to : name_prefix + "_n" + std::to_string(f);
+    if (next != to) mod.add_net(next);
+    mod.add_instance(make_inst(name_prefix + "_" + std::to_string(f), cell,
+                               {{"T1", prev}, {"T2", next}}, {}, group));
+    prev = next;
+  }
+}
+
+/// Table 1: the synthesis-friendly comparator. Cross-coupled NOR3X4 pair
+/// regenerates on CLK low; NOR2X1 SR latch keeps the decision during reset.
+void build_comparator(Design& design) {
+  Module& m = design.add_module("comparator");
+  m.add_port("Q", PortDir::kOutput);
+  m.add_port("QB", PortDir::kOutput);
+  m.add_port("VDD", PortDir::kInout);
+  m.add_port("VSS", PortDir::kInout);
+  m.add_port("CLK", PortDir::kInput);
+  m.add_port("INM", PortDir::kInput);
+  m.add_port("INP", PortDir::kInput);
+  m.add_net("OUTP");
+  m.add_net("OUTM");
+  m.add_instance(make_inst("I0", "NOR3X4",
+                           {{"Y", "OUTP"},
+                            {"VDD", "VDD"},
+                            {"VSS", "VSS"},
+                            {"A", "OUTM"},
+                            {"B", "INP"},
+                            {"C", "CLK"}}));
+  m.add_instance(make_inst("I1", "NOR3X4",
+                           {{"Y", "OUTM"},
+                            {"VDD", "VDD"},
+                            {"VSS", "VSS"},
+                            {"A", "OUTP"},
+                            {"B", "INM"},
+                            {"C", "CLK"}}));
+  m.add_instance(make_inst("I2", "NOR2X1",
+                           {{"Y", "Q"},
+                            {"VDD", "VDD"},
+                            {"VSS", "VSS"},
+                            {"A", "OUTP"},
+                            {"B", "QB"}}));
+  m.add_instance(make_inst("I3", "NOR2X1",
+                           {{"Y", "QB"},
+                            {"VDD", "VDD"},
+                            {"VSS", "VSS"},
+                            {"A", "OUTM"},
+                            {"B", "Q"}}));
+}
+
+/// Fig. 5b: one ring stage from 4 inverters. The stage supply pin VCTRL is
+/// the analog control node - the inverters' VDD pins tie to it, which is
+/// exactly why this cell needs its own power domain in APR.
+void build_vco_cell(Design& design) {
+  Module& m = design.add_module("VCO_cell");
+  m.add_port("IP", PortDir::kInput);
+  m.add_port("IN", PortDir::kInput);
+  m.add_port("OP", PortDir::kOutput);
+  m.add_port("ON", PortDir::kOutput);
+  m.add_port("VCTRL", PortDir::kInout);
+  m.add_port("VSS", PortDir::kInout);
+  // Forward pair.
+  m.add_instance(make_inst(
+      "I0", "INVX2",
+      {{"A", "IP"}, {"Y", "ON"}, {"VDD", "VCTRL"}, {"VSS", "VSS"}}));
+  m.add_instance(make_inst(
+      "I1", "INVX2",
+      {{"A", "IN"}, {"Y", "OP"}, {"VDD", "VCTRL"}, {"VSS", "VSS"}}));
+  // Cross-coupled pair enforcing differential operation.
+  m.add_instance(make_inst(
+      "I2", "INVX1",
+      {{"A", "OP"}, {"Y", "ON"}, {"VDD", "VCTRL"}, {"VSS", "VSS"}}));
+  m.add_instance(make_inst(
+      "I3", "INVX1",
+      {{"A", "ON"}, {"Y", "OP"}, {"VDD", "VCTRL"}, {"VSS", "VSS"}}));
+}
+
+/// The kickback-isolation buffer: "similar to the VCO stage except that it
+/// has a fixed bias tail" (Sec. 2.2). Its supply pin ties to VBUF.
+void build_buf_cell(Design& design) {
+  Module& m = design.add_module("buf_cell");
+  m.add_port("BIP", PortDir::kInput);
+  m.add_port("BIN", PortDir::kInput);
+  m.add_port("BOP", PortDir::kOutput);
+  m.add_port("BON", PortDir::kOutput);
+  m.add_port("VCTRL", PortDir::kInout);  // the VBUF bias net
+  m.add_port("VSS", PortDir::kInout);
+  m.add_instance(make_inst(
+      "I0", "INVX2",
+      {{"A", "BIP"}, {"Y", "BON"}, {"VDD", "VCTRL"}, {"VSS", "VSS"}}));
+  m.add_instance(make_inst(
+      "I1", "INVX2",
+      {{"A", "BIN"}, {"Y", "BOP"}, {"VDD", "VCTRL"}, {"VSS", "VSS"}}));
+  m.add_instance(make_inst(
+      "I2", "INVX1",
+      {{"A", "BOP"}, {"Y", "BON"}, {"VDD", "VCTRL"}, {"VSS", "VSS"}}));
+  m.add_instance(make_inst(
+      "I3", "INVX1",
+      {{"A", "BON"}, {"Y", "BOP"}, {"VDD", "VCTRL"}, {"VSS", "VSS"}}));
+}
+
+/// The VDD power domain of one slice (Fig. 12): two SAFFs retiming the
+/// buffered ring taps, the XOR phase detector, and the DB inverter.
+void build_pd_vdd(Design& design) {
+  Module& m = design.add_module("pd_VDD");
+  m.add_port("BOP", PortDir::kInput);
+  m.add_port("BON", PortDir::kInput);
+  m.add_port("BOP2", PortDir::kInput);
+  m.add_port("BON2", PortDir::kInput);
+  m.add_port("CLK", PortDir::kInput);
+  m.add_port("D", PortDir::kOutput);
+  m.add_port("DB", PortDir::kOutput);
+  m.add_port("VDD", PortDir::kInout);
+  m.add_port("VSS", PortDir::kInout);
+  m.add_net("Q1");
+  m.add_net("Q1B");
+  m.add_net("Q2");
+  m.add_net("Q2B");
+  m.add_instance(make_inst("I0", "comparator",
+                           {{"Q", "Q1"},
+                            {"QB", "Q1B"},
+                            {"VDD", "VDD"},
+                            {"VSS", "VSS"},
+                            {"CLK", "CLK"},
+                            {"INP", "BOP"},
+                            {"INM", "BON"}}));
+  m.add_instance(make_inst("I1", "comparator",
+                           {{"Q", "Q2"},
+                            {"QB", "Q2B"},
+                            {"VDD", "VDD"},
+                            {"VSS", "VSS"},
+                            {"CLK", "CLK"},
+                            {"INP", "BOP2"},
+                            {"INM", "BON2"}}));
+  m.add_instance(make_inst(
+      "I2", "XOR2X1",
+      {{"A", "Q1"}, {"B", "Q2"}, {"Y", "D"}, {"VDD", "VDD"}, {"VSS", "VSS"}}));
+  m.add_instance(make_inst(
+      "I3", "INVX1",
+      {{"A", "D"}, {"Y", "DB"}, {"VDD", "VDD"}, {"VSS", "VSS"}}));
+}
+
+/// The VREFP power domain of one slice: the DAC drive inverters of Fig. 8b.
+/// Their "VDD" pin ties to VREFP so the resistor sources from the reference.
+void build_pd_vrefp(Design& design) {
+  Module& m = design.add_module("pd_VREFP");
+  m.add_port("D", PortDir::kInput);
+  m.add_port("DB", PortDir::kInput);
+  m.add_port("DAC_OUT", PortDir::kOutput);
+  m.add_port("DAC_OUT_B", PortDir::kOutput);
+  m.add_port("VREFP", PortDir::kInout);
+  m.add_port("VREFN", PortDir::kInout);
+  m.add_instance(make_inst(
+      "I0", "INVX2",
+      {{"A", "D"}, {"Y", "DAC_OUT"}, {"VDD", "VREFP"}, {"VSS", "VREFN"}}));
+  m.add_instance(make_inst("I1", "INVX2",
+                           {{"A", "DB"},
+                            {"Y", "DAC_OUT_B"},
+                            {"VDD", "VREFP"},
+                            {"VSS", "VREFN"}}));
+}
+
+/// Table 2: one slice. Port list follows the paper's Verilog, plus DOUT
+/// exported so the digital back end can consume the slice bit.
+void build_slice(Design& design, const GeneratorConfig& cfg) {
+  Module& m = design.add_module("ADC_slice");
+  for (const char* p : {"IN", "IN2", "IP", "IP2"}) {
+    m.add_port(p, PortDir::kInput);
+  }
+  for (const char* p : {"ON", "ON2", "OP", "OP2"}) {
+    m.add_port(p, PortDir::kOutput);
+  }
+  for (const char* p : {"VBUF", "VCTRLN", "VCTRLP", "VDD", "VREFP", "VSS"}) {
+    m.add_port(p, PortDir::kInout);
+  }
+  m.add_port("CLK", PortDir::kInput);
+  m.add_port("DOUT", PortDir::kOutput);
+  for (const char* n :
+       {"BON", "BOP", "BON2", "BOP2", "DB", "DAC_OUT", "DAC_OUT_B"}) {
+    m.add_net(n);
+  }
+
+  m.add_instance(make_inst("I0", "buf_cell",
+                           {{"BIN", "ON"},
+                            {"BIP", "OP"},
+                            {"BON", "BON"},
+                            {"BOP", "BOP"},
+                            {"VCTRL", "VBUF"},
+                            {"VSS", "VSS"}},
+                           kPdVbuf1));
+  m.add_instance(make_inst("I1", "buf_cell",
+                           {{"BIN", "ON2"},
+                            {"BIP", "OP2"},
+                            {"BON", "BON2"},
+                            {"BOP", "BOP2"},
+                            {"VCTRL", "VBUF"},
+                            {"VSS", "VSS"}},
+                           cfg.split_groups ? kPdVbuf2 : kPdVbuf1));
+  m.add_instance(make_inst("I2", "pd_VDD",
+                           {{"BON", "BON"},
+                            {"BON2", "BON2"},
+                            {"BOP", "BOP"},
+                            {"BOP2", "BOP2"},
+                            {"CLK", "CLK"},
+                            {"D", "DOUT"},
+                            {"DB", "DB"},
+                            {"VDD", "VDD"},
+                            {"VSS", "VSS"}},
+                           kPdVdd));
+  add_resistor_chain(m, "I3", cfg.dac_res_cell, cfg.dac_fragments,
+                     "DAC_OUT_B", "VCTRLN",
+                     cfg.split_groups ? kGrpDacRes2 : kGrpDacRes1);
+  add_resistor_chain(m, "I4", cfg.dac_res_cell, cfg.dac_fragments,
+                     "DAC_OUT", "VCTRLP", kGrpDacRes1);
+  m.add_instance(make_inst("I5", "pd_VREFP",
+                           {{"D", "DOUT"},
+                            {"DAC_OUT", "DAC_OUT"},
+                            {"DAC_OUT_B", "DAC_OUT_B"},
+                            {"DB", "DB"},
+                            {"VREFN", "VSS"},
+                            {"VREFP", "VREFP"}},
+                           kPdVrefp));
+  m.add_instance(make_inst("I6", "VCO_cell",
+                           {{"ON", "ON2"},
+                            {"OP", "OP2"},
+                            {"VCTRL", "VCTRLN"},
+                            {"VSS", "VSS"},
+                            {"IN", "IN2"},
+                            {"IP", "IP2"}},
+                           kPdVctrln));
+  m.add_instance(make_inst("I7", "VCO_cell",
+                           {{"ON", "ON"},
+                            {"OP", "OP"},
+                            {"VCTRL", "VCTRLP"},
+                            {"VSS", "VSS"},
+                            {"IN", "IN"},
+                            {"IP", "IP"}},
+                           kPdVctrlp));
+}
+
+/// Top level: N slices, rings closed across slices (with the polarity twist
+/// at the wrap that keeps a differential ring oscillating), per-side input
+/// resistor banks, and a buffered clock.
+void build_top(Design& design, const GeneratorConfig& cfg) {
+  Module& m = design.add_module(cfg.top_name);
+  m.add_port("CLK", PortDir::kInput);
+  m.add_port("VINP", PortDir::kInout);
+  m.add_port("VINN", PortDir::kInout);
+  m.add_port("VBUF", PortDir::kInout);
+  m.add_port("VDD", PortDir::kInout);
+  m.add_port("VREFP", PortDir::kInout);
+  m.add_port("VSS", PortDir::kInout);
+  for (int i = 0; i < cfg.num_slices; ++i) {
+    m.add_port(format("D%d", i), PortDir::kOutput);
+  }
+  m.add_net("VCTRLP");
+  m.add_net("VCTRLN");
+  m.add_net("CLK_BUF");
+
+  // Clock tree root.
+  m.add_instance(make_inst(
+      "ICLK", "CLKBUFX8",
+      {{"A", "CLK"}, {"Y", "CLK_BUF"}, {"VDD", "VDD"}, {"VSS", "VSS"}},
+      kPdVdd));
+
+  // Ring tap nets: R1P_i / R1N_i between slice i-1 and slice i (ring 1).
+  for (int i = 0; i < cfg.num_slices; ++i) {
+    m.add_net(format("R1P_%d", i));
+    m.add_net(format("R1N_%d", i));
+    m.add_net(format("R2P_%d", i));
+    m.add_net(format("R2N_%d", i));
+  }
+
+  for (int i = 0; i < cfg.num_slices; ++i) {
+    const int prev = (i + cfg.num_slices - 1) % cfg.num_slices;
+    // The wrap inverts polarity so an even-stage differential ring has the
+    // net inversion it needs to oscillate.
+    const bool twist = (i == 0);
+    const std::string ip = format(twist ? "R1N_%d" : "R1P_%d", prev);
+    const std::string in = format(twist ? "R1P_%d" : "R1N_%d", prev);
+    const std::string ip2 = format(twist ? "R2N_%d" : "R2P_%d", prev);
+    const std::string in2 = format(twist ? "R2P_%d" : "R2N_%d", prev);
+    m.add_instance(make_inst(format("slice%d", i), "ADC_slice",
+                             {{"CLK", "CLK_BUF"},
+                              {"IN", in},
+                              {"IN2", in2},
+                              {"IP", ip},
+                              {"IP2", ip2},
+                              {"ON", format("R1N_%d", i)},
+                              {"ON2", format("R2N_%d", i)},
+                              {"OP", format("R1P_%d", i)},
+                              {"OP2", format("R2P_%d", i)},
+                              {"VBUF", "VBUF"},
+                              {"VCTRLN", "VCTRLN"},
+                              {"VCTRLP", "VCTRLP"},
+                              {"VDD", "VDD"},
+                              {"VREFP", "VREFP"},
+                              {"VSS", "VSS"},
+                              {"DOUT", format("D%d", i)}}));
+  }
+
+  // Input resistor banks: num_slices parallel chains per side, each chain
+  // matching one DAC resistor, so the input conductance mirrors the DAC
+  // bank and full scale equals VREFP.
+  for (int i = 0; i < cfg.num_slices; ++i) {
+    add_resistor_chain(m, format("RINP%d", i), cfg.input_res_cell,
+                       cfg.dac_fragments, "VINP", "VCTRLP", kGrpInRes1);
+    add_resistor_chain(m, format("RINN%d", i), cfg.input_res_cell,
+                       cfg.dac_fragments, "VINN", "VCTRLN",
+                       cfg.split_groups ? kGrpInRes2 : kGrpInRes1);
+  }
+}
+
+}  // namespace
+
+Design build_adc_design(const CellLibrary& lib, const GeneratorConfig& cfg) {
+  assert(cfg.num_slices >= 2);
+  Design design(&lib);
+  build_comparator(design);
+  build_vco_cell(design);
+  build_buf_cell(design);
+  build_pd_vdd(design);
+  build_pd_vrefp(design);
+  build_slice(design, cfg);
+  build_top(design, cfg);
+  design.set_top(cfg.top_name);
+  return design;
+}
+
+}  // namespace vcoadc::netlist

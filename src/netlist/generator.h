@@ -1,0 +1,58 @@
+// HDL-generation phase (Sec. 3.2): builds the gate-level netlist of the
+// proposed ADC exactly along the paper's module decomposition:
+//
+//   comparator  - Table 1: two cross-coupled NOR3X4 + NOR2X1 SR latch
+//   VCO_cell    - Fig. 5b: one pseudo-differential ring stage out of 4
+//                 digital inverters, supply pin = the control node
+//   buf_cell    - the kickback-isolation buffer (same structure, fixed bias)
+//   pd_VDD      - the VDD-domain chunk of one slice: two SAFFs + XOR + INV
+//   pd_VREFP    - the VREFP-domain chunk: the DAC inverters (Fig. 8b)
+//   ADC_slice   - Table 2: buffers, pd_VDD, two res_cells, pd_VREFP, and
+//                 one VCO_cell of each ring
+//   <top>       - N slices with both rings closed across them, the input
+//                 resistor banks, and the clock tree
+//
+// Every instance is annotated with its power domain / component group per
+// Fig. 12, which is what the Sec. 3.3 floorplan generation consumes.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace vcoadc::netlist {
+
+struct GeneratorConfig {
+  int num_slices = 8;
+  std::string top_name = "adc_top";
+  /// DAC resistor: a SERIES CHAIN of `dac_fragments` high-res fragments per
+  /// slice per side (Sec. 3.1: "each resistor is decomposed into several
+  /// identical fragments").
+  std::string dac_res_cell = "RES11K";
+  int dac_fragments = 1;
+  /// Input resistor: `num_slices` parallel chains of `dac_fragments`
+  /// fragments per side, mirroring the DAC bank conductance so full scale
+  /// equals VREFP differentially.
+  std::string input_res_cell = "RES11K";
+  /// Split buffers and resistor groups in two, as the Fig. 14 floorplan does.
+  bool split_groups = true;
+};
+
+/// Power-domain / group naming used across netlist + synthesis.
+inline constexpr const char* kPdVdd = "PD_VDD";
+inline constexpr const char* kPdVrefp = "PD_VREFP";
+inline constexpr const char* kPdVctrlp = "PD_VCTRLP";
+inline constexpr const char* kPdVctrln = "PD_VCTRLN";
+inline constexpr const char* kPdVbuf1 = "PD_VBUF1";
+inline constexpr const char* kPdVbuf2 = "PD_VBUF2";
+inline constexpr const char* kGrpDacRes1 = "GRP_DAC_RES1";
+inline constexpr const char* kGrpDacRes2 = "GRP_DAC_RES2";
+inline constexpr const char* kGrpInRes1 = "GRP_IN_RES1";
+inline constexpr const char* kGrpInRes2 = "GRP_IN_RES2";
+
+/// Builds the full ADC design over `lib` (which must already contain the
+/// resistor cells; see add_resistor_cells). The returned design has its top
+/// set and passes Design::validate().
+Design build_adc_design(const CellLibrary& lib, const GeneratorConfig& cfg);
+
+}  // namespace vcoadc::netlist

@@ -1,0 +1,144 @@
+#include "netlist/lef.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace vcoadc::netlist {
+namespace {
+
+const char* lef_direction(PortDir dir) {
+  switch (dir) {
+    case PortDir::kInput:
+      return "INPUT";
+    case PortDir::kOutput:
+      return "OUTPUT";
+    case PortDir::kInout:
+      return "INOUT";
+  }
+  return "INOUT";
+}
+
+PortDir dir_from_lef(const std::string& s) {
+  if (s == "INPUT") return PortDir::kInput;
+  if (s == "OUTPUT") return PortDir::kOutput;
+  return PortDir::kInout;
+}
+
+}  // namespace
+
+std::string write_lef(const CellLibrary& lib) {
+  std::ostringstream os;
+  os << "VERSION 5.8 ;\n";
+  os << "BUSBITCHARS \"[]\" ;\n";
+  os << "DIVIDERCHAR \"/\" ;\n";
+  os << "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n\n";
+  for (const StdCell& cell : lib.cells()) {
+    os << "MACRO " << cell.name << "\n";
+    os << "  CLASS CORE ;\n";
+    os << util::format("  SIZE %.4f BY %.4f ;\n", cell.width_m * 1e6,
+                       cell.height_m * 1e6);
+    os << "  PROPERTY function \"" << cell.function << "\" ;\n";
+    os << util::format("  PROPERTY drive %d ;\n", cell.drive);
+    os << util::format("  PROPERTY input_cap_ff %.6f ;\n",
+                       cell.input_cap_f * 1e15);
+    os << util::format("  PROPERTY leakage_nw %.6f ;\n",
+                       cell.leakage_w * 1e9);
+    if (cell.is_resistor) {
+      os << util::format("  PROPERTY resistance_ohms %.1f ;\n",
+                         cell.resistance_ohms);
+    }
+    for (const PinSpec& pin : cell.pins) {
+      os << "  PIN " << pin.name << "\n";
+      os << "    DIRECTION " << lef_direction(pin.dir) << " ;\n";
+      if (pin.name == cell.power_pin) os << "    USE POWER ;\n";
+      if (pin.name == cell.ground_pin) os << "    USE GROUND ;\n";
+      os << "  END " << pin.name << "\n";
+    }
+    os << "END " << cell.name << "\n\n";
+  }
+  os << "END LIBRARY\n";
+  return os.str();
+}
+
+LefParseResult parse_lef(const std::string& text, CellLibrary& lib) {
+  LefParseResult res;
+  std::istringstream is(text);
+  std::string line;
+  StdCell cell;
+  bool in_macro = false;
+  std::string pin_name;
+  PortDir pin_dir = PortDir::kInout;
+  bool pin_power = false, pin_ground = false;
+  int line_no = 0;
+
+  auto fail = [&](const std::string& msg) {
+    res.ok = false;
+    res.error = util::format("line %d: %s", line_no, msg.c_str());
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto tokens = util::split(util::trim(line), " \t;");
+    if (tokens.empty()) continue;
+    const std::string& kw = tokens[0];
+    if (kw == "MACRO" && tokens.size() >= 2) {
+      cell = StdCell{};
+      cell.power_pin.clear();
+      cell.ground_pin.clear();
+      cell.name = tokens[1];
+      in_macro = true;
+    } else if (kw == "SIZE" && in_macro && tokens.size() >= 4) {
+      cell.width_m = std::atof(tokens[1].c_str()) * 1e-6;
+      cell.height_m = std::atof(tokens[3].c_str()) * 1e-6;
+    } else if (kw == "PROPERTY" && in_macro && tokens.size() >= 3) {
+      const std::string& key = tokens[1];
+      std::string value = tokens[2];
+      if (value.size() >= 2 && value.front() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      if (key == "function") cell.function = value;
+      if (key == "drive") cell.drive = std::atoi(value.c_str());
+      if (key == "input_cap_ff") {
+        cell.input_cap_f = std::atof(value.c_str()) * 1e-15;
+      }
+      if (key == "leakage_nw") cell.leakage_w = std::atof(value.c_str()) * 1e-9;
+      if (key == "resistance_ohms") {
+        cell.resistance_ohms = std::atof(value.c_str());
+        cell.is_resistor = true;
+      }
+    } else if (kw == "PIN" && in_macro && tokens.size() >= 2) {
+      pin_name = tokens[1];
+      pin_dir = PortDir::kInout;
+      pin_power = pin_ground = false;
+    } else if (kw == "DIRECTION" && in_macro && tokens.size() >= 2) {
+      pin_dir = dir_from_lef(tokens[1]);
+    } else if (kw == "USE" && in_macro && tokens.size() >= 2) {
+      if (tokens[1] == "POWER") pin_power = true;
+      if (tokens[1] == "GROUND") pin_ground = true;
+    } else if (kw == "END" && in_macro && tokens.size() >= 2) {
+      if (tokens[1] == pin_name && !pin_name.empty()) {
+        cell.pins.push_back({pin_name, pin_dir});
+        if (pin_power) cell.power_pin = pin_name;
+        if (pin_ground) cell.ground_pin = pin_name;
+        pin_name.clear();
+      } else if (tokens[1] == cell.name) {
+        if (cell.name.empty()) {
+          fail("END before MACRO");
+          return res;
+        }
+        lib.add(cell);
+        in_macro = false;
+      }
+    }
+  }
+  if (in_macro) {
+    fail("unterminated MACRO " + cell.name);
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace vcoadc::netlist

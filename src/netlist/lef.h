@@ -1,0 +1,29 @@
+// LEF (Library Exchange Format) subset writer and parser.
+//
+// Sec. 3.1: the modified standard-cell library (digital cells + the custom
+// resistor cells) is handed to the APR tool as "LEF and GDSII files". This
+// module serializes a CellLibrary to a LEF 5.x-style text (MACRO / CLASS /
+// SIZE / PIN DIRECTION / USE POWER|GROUND) and parses it back. The logical
+// attributes LEF does not carry (function, drive, input cap, resistance)
+// ride along as PROPERTY records so a round trip is lossless.
+#pragma once
+
+#include <string>
+
+#include "netlist/cell_library.h"
+
+namespace vcoadc::netlist {
+
+/// Serializes the library as LEF text.
+std::string write_lef(const CellLibrary& lib);
+
+struct LefParseResult {
+  bool ok = false;
+  std::string error;
+};
+
+/// Parses LEF text (the subset produced by write_lef) into `lib`.
+/// Cells are appended; duplicate names abort (library invariant).
+LefParseResult parse_lef(const std::string& text, CellLibrary& lib);
+
+}  // namespace vcoadc::netlist

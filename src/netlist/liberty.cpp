@@ -1,0 +1,176 @@
+#include "netlist/liberty.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace vcoadc::netlist {
+namespace {
+
+double function_delay_factor(const std::string& fn) {
+  if (fn == "inv") return 1.0;
+  if (fn == "buf" || fn == "clkbuf") return 2.0;
+  if (fn == "nand2" || fn == "nor2") return 1.4;
+  if (fn == "nand3" || fn == "nor3") return 1.8;
+  if (fn == "xor2") return 2.2;
+  if (fn == "dlat") return 2.5;
+  return 1.5;
+}
+
+}  // namespace
+
+double cell_intrinsic_delay(const StdCell& cell, const tech::TechNode& node) {
+  if (cell.is_resistor) return 0.0;
+  return node.fo4_delay_s / 4.0 * function_delay_factor(cell.function) /
+         std::max(1.0, std::sqrt(static_cast<double>(cell.drive)));
+}
+
+std::string write_liberty(const CellLibrary& lib,
+                          const tech::TechNode& node) {
+  std::ostringstream os;
+  os << "library (" << lib.name() << ") {\n";
+  os << "  time_unit : \"1ps\" ;\n";
+  os << "  capacitive_load_unit (1, ff) ;\n";
+  os << "  leakage_power_unit : \"1nW\" ;\n";
+  os << util::format("  nom_voltage : %.2f ;\n", node.vdd);
+  for (const StdCell& cell : lib.cells()) {
+    os << "  cell (" << cell.name << ") {\n";
+    os << util::format("    area : %.6f ;\n", cell.area_m2() * 1e12);
+    os << util::format("    property_width_um : %.6f ;\n",
+                       cell.width_m * 1e6);
+    os << util::format("    property_height_um : %.6f ;\n",
+                       cell.height_m * 1e6);
+    os << "    property_function : \"" << cell.function << "\" ;\n";
+    os << util::format("    property_drive : %d ;\n", cell.drive);
+    os << util::format("    cell_leakage_power : %.6f ;\n",
+                       cell.leakage_w * 1e9);
+    if (cell.is_resistor) {
+      os << util::format("    property_resistance_ohms : %.1f ;\n",
+                         cell.resistance_ohms);
+    }
+    const double delay_ps = cell_intrinsic_delay(cell, node) * 1e12;
+    for (const PinSpec& pin : cell.pins) {
+      os << "    pin (" << pin.name << ") {\n";
+      os << "      direction : " << to_string(pin.dir) << " ;\n";
+      if (pin.dir == PortDir::kInput) {
+        os << util::format("      capacitance : %.6f ;\n",
+                           cell.input_cap_f * 1e15);
+      }
+      if (pin.dir == PortDir::kOutput && delay_ps > 0) {
+        os << "      timing () {\n";
+        os << util::format("        intrinsic_rise : %.4f ;\n", delay_ps);
+        os << util::format("        intrinsic_fall : %.4f ;\n", delay_ps);
+        os << "      }\n";
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+LibertyParseResult parse_liberty(const std::string& text, CellLibrary& lib) {
+  LibertyParseResult res;
+  std::istringstream is(text);
+  std::string line;
+  StdCell cell;
+  bool in_cell = false;
+  std::string pin_name;
+  PortDir pin_dir = PortDir::kInout;
+  double pin_cap_ff = -1;
+  int depth = 0;
+  int cell_depth = -1, pin_depth = -1;
+  int line_no = 0;
+
+  auto strip_value = [](std::string v) {
+    v = std::string(util::trim(v));
+    if (!v.empty() && v.back() == ';') v.pop_back();
+    v = std::string(util::trim(v));
+    if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+      v = v.substr(1, v.size() - 2);
+    }
+    return v;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string t(util::trim(line));
+    if (t.empty()) continue;
+
+    if (util::starts_with(t, "cell ") || util::starts_with(t, "cell(")) {
+      cell = StdCell{};
+      cell.power_pin.clear();
+      cell.ground_pin.clear();
+      const auto open = t.find('(');
+      const auto close = t.find(')');
+      if (open == std::string::npos || close == std::string::npos) {
+        res.error = util::format("line %d: malformed cell()", line_no);
+        return res;
+      }
+      cell.name = std::string(util::trim(t.substr(open + 1, close - open - 1)));
+      in_cell = true;
+      cell_depth = depth;
+    } else if (in_cell &&
+               (util::starts_with(t, "pin ") || util::starts_with(t, "pin("))) {
+      const auto open = t.find('(');
+      const auto close = t.find(')');
+      pin_name = std::string(util::trim(t.substr(open + 1, close - open - 1)));
+      pin_dir = PortDir::kInout;
+      pin_cap_ff = -1;
+      pin_depth = depth;
+    } else if (in_cell) {
+      const auto colon = t.find(':');
+      if (colon != std::string::npos) {
+        const std::string key(util::trim(t.substr(0, colon)));
+        const std::string value = strip_value(t.substr(colon + 1));
+        if (key == "area") {
+          // area alone is redundant with width/height properties
+        } else if (key == "property_width_um") {
+          cell.width_m = std::atof(value.c_str()) * 1e-6;
+        } else if (key == "property_height_um") {
+          cell.height_m = std::atof(value.c_str()) * 1e-6;
+        } else if (key == "property_function") {
+          cell.function = value;
+        } else if (key == "property_drive") {
+          cell.drive = std::atoi(value.c_str());
+        } else if (key == "property_resistance_ohms") {
+          cell.resistance_ohms = std::atof(value.c_str());
+          cell.is_resistor = true;
+        } else if (key == "cell_leakage_power") {
+          cell.leakage_w = std::atof(value.c_str()) * 1e-9;
+        } else if (key == "direction" && !pin_name.empty()) {
+          if (value == "input") pin_dir = PortDir::kInput;
+          else if (value == "output") pin_dir = PortDir::kOutput;
+          else pin_dir = PortDir::kInout;
+        } else if (key == "capacitance" && !pin_name.empty()) {
+          pin_cap_ff = std::atof(value.c_str());
+        }
+      }
+    }
+
+    // Track braces AFTER interpreting the line.
+    for (char c : t) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (!pin_name.empty() && depth == pin_depth) {
+          cell.pins.push_back({pin_name, pin_dir});
+          if (pin_cap_ff > 0) cell.input_cap_f = pin_cap_ff * 1e-15;
+          // Heuristic: VDD/VREFP-style inout pins restore supply roles.
+          if (pin_name == "VDD") cell.power_pin = "VDD";
+          if (pin_name == "VSS") cell.ground_pin = "VSS";
+          pin_name.clear();
+        } else if (in_cell && depth == cell_depth) {
+          lib.add(cell);
+          in_cell = false;
+        }
+      }
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace vcoadc::netlist

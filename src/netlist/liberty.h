@@ -1,0 +1,33 @@
+// Liberty (.lib) subset writer and parser: the timing/power view of the
+// modified standard-cell library. Carries per-cell area, leakage, pin
+// directions and capacitances, and a single-number propagation delay per
+// cell (the linear-delay-model `intrinsic_rise`), which is what the STA
+// engine consumes.
+#pragma once
+
+#include <string>
+
+#include "netlist/cell_library.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::netlist {
+
+/// Serializes a Liberty view. Delays derive from `node` (FO4-based, scaled
+/// by function complexity / drive, matching the logic simulator's model).
+std::string write_liberty(const CellLibrary& lib, const tech::TechNode& node);
+
+struct LibertyParseResult {
+  bool ok = false;
+  std::string error;
+};
+
+/// Parses the write_liberty subset back into `lib` (geometry defaults to
+/// area^0.5 square cells if only area is present; width/height properties
+/// are emitted by the writer so round trips are exact).
+LibertyParseResult parse_liberty(const std::string& text, CellLibrary& lib);
+
+/// The intrinsic delay used for a cell by both the Liberty writer and the
+/// logic simulator / STA [s].
+double cell_intrinsic_delay(const StdCell& cell, const tech::TechNode& node);
+
+}  // namespace vcoadc::netlist

@@ -1,0 +1,199 @@
+#include "netlist/logic_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vcoadc::netlist {
+namespace {
+
+Logic logic_and(Logic a, Logic b) {
+  if (a == Logic::k0 || b == Logic::k0) return Logic::k0;
+  if (a == Logic::k1 && b == Logic::k1) return Logic::k1;
+  return Logic::kX;
+}
+
+Logic logic_or(Logic a, Logic b) {
+  if (a == Logic::k1 || b == Logic::k1) return Logic::k1;
+  if (a == Logic::k0 && b == Logic::k0) return Logic::k0;
+  return Logic::kX;
+}
+
+Logic logic_xor(Logic a, Logic b) {
+  if (a == Logic::kX || b == Logic::kX) return Logic::kX;
+  return (a == b) ? Logic::k0 : Logic::k1;
+}
+
+/// Relative delay of a function vs a 1x inverter.
+double function_delay_factor(const std::string& fn) {
+  if (fn == "inv") return 1.0;
+  if (fn == "buf" || fn == "clkbuf") return 2.0;
+  if (fn == "nand2" || fn == "nor2") return 1.4;
+  if (fn == "nand3" || fn == "nor3") return 1.8;
+  if (fn == "xor2") return 2.2;
+  if (fn == "dlat") return 2.5;
+  return 1.5;
+}
+
+}  // namespace
+
+char to_char(Logic v) {
+  switch (v) {
+    case Logic::k0:
+      return '0';
+    case Logic::k1:
+      return '1';
+    case Logic::kX:
+      return 'X';
+  }
+  return '?';
+}
+
+Logic logic_not(Logic v) {
+  if (v == Logic::k0) return Logic::k1;
+  if (v == Logic::k1) return Logic::k0;
+  return Logic::kX;
+}
+
+LogicSim::LogicSim(const Design& design, const tech::TechNode& node) {
+  const double inv_delay = node.fo4_delay_s / 4.0;
+  for (const FlatInstance& fi : design.flatten()) {
+    if (fi.cell->is_resistor) continue;  // analog-only element
+    Gate g;
+    g.cell = fi.cell;
+    // Drive strength shortens the delay (bigger devices, same load model).
+    g.delay = inv_delay * function_delay_factor(fi.cell->function) /
+              std::max(1.0, std::sqrt(static_cast<double>(fi.cell->drive)));
+    for (const PinSpec& pin : fi.cell->pins) {
+      auto it = fi.conn.find(pin.name);
+      if (it == fi.conn.end()) continue;
+      if (is_supply_net(it->second)) continue;
+      const int id = net_id(it->second);
+      if (pin.dir == PortDir::kOutput) {
+        g.output = id;
+      } else if (pin.dir == PortDir::kInput) {
+        g.inputs.push_back(id);
+        if (pin.name == "D") g.d_in = id;
+        if (pin.name == "G") g.g_in = id;
+      }
+    }
+    if (g.output < 0) continue;
+    const int gate_idx = static_cast<int>(gates_.size());
+    gates_.push_back(g);
+    for (int in : gates_.back().inputs) {
+      fanout_[static_cast<std::size_t>(in)].push_back(gate_idx);
+    }
+  }
+}
+
+int LogicSim::net_id(const std::string& name) {
+  auto it = net_ids_.find(name);
+  if (it != net_ids_.end()) return it->second;
+  const int id = static_cast<int>(net_names_.size());
+  net_ids_[name] = id;
+  net_names_.push_back(name);
+  values_.push_back(Logic::kX);
+  fanout_.emplace_back();
+  return id;
+}
+
+bool LogicSim::has_net(const std::string& net) const {
+  return net_ids_.count(net) != 0;
+}
+
+std::vector<std::string> LogicSim::net_names() const { return net_names_; }
+
+Logic LogicSim::eval_function(const Gate& g,
+                              const std::vector<Logic>& values) {
+  const std::string& fn = g.cell->function;
+  auto in = [&](std::size_t i) {
+    return values[static_cast<std::size_t>(g.inputs[i])];
+  };
+  if (fn == "inv") return logic_not(in(0));
+  if (fn == "buf" || fn == "clkbuf") return in(0);
+  if (fn == "nand2") return logic_not(logic_and(in(0), in(1)));
+  if (fn == "nor2") return logic_not(logic_or(in(0), in(1)));
+  if (fn == "nand3") {
+    return logic_not(logic_and(logic_and(in(0), in(1)), in(2)));
+  }
+  if (fn == "nor3") return logic_not(logic_or(logic_or(in(0), in(1)), in(2)));
+  if (fn == "xor2") return logic_xor(in(0), in(1));
+  if (fn == "dlat") {
+    // Transparent while G is high; holds otherwise (X gate -> X out unless
+    // D equals the held value, conservatively X).
+    const Logic gate = values[static_cast<std::size_t>(g.g_in)];
+    const Logic d = values[static_cast<std::size_t>(g.d_in)];
+    if (gate == Logic::k1) return d;
+    if (gate == Logic::k0) return values[static_cast<std::size_t>(g.output)];
+    return Logic::kX;
+  }
+  return Logic::kX;
+}
+
+void LogicSim::evaluate_and_schedule(int gate_idx) {
+  Gate& g = gates_[static_cast<std::size_t>(gate_idx)];
+  const Logic next = eval_function(g, values_);
+  // Inertial delay: a new evaluation supersedes any pending event.
+  ++g.seq;
+  if (next == values_[static_cast<std::size_t>(g.output)]) return;
+  queue_.push({now_ + g.delay, gate_idx, g.seq, next});
+}
+
+void LogicSim::commit(int net, Logic value) {
+  if (values_[static_cast<std::size_t>(net)] == value) return;
+  values_[static_cast<std::size_t>(net)] = value;
+  ++transitions_;
+  auto cb = callbacks_.find(net);
+  if (cb != callbacks_.end()) {
+    for (auto& fn : cb->second) fn(now_, value);
+  }
+  for (int gi : fanout_[static_cast<std::size_t>(net)]) {
+    evaluate_and_schedule(gi);
+  }
+}
+
+void LogicSim::set(const std::string& net, Logic value) {
+  const int id = net_id(net);
+  commit(id, value);
+}
+
+Logic LogicSim::get(const std::string& net) const {
+  auto it = net_ids_.find(net);
+  if (it == net_ids_.end()) return Logic::kX;
+  return values_[static_cast<std::size_t>(it->second)];
+}
+
+void LogicSim::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    const Gate& g = gates_[static_cast<std::size_t>(ev.gate)];
+    if (ev.seq != g.seq) continue;  // superseded (inertial)
+    now_ = ev.time;
+    commit(g.output, ev.value);
+  }
+  now_ = std::max(now_, t_end);
+}
+
+bool LogicSim::settle(double t_limit) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > t_limit) {
+      now_ = t_limit;
+      return false;
+    }
+    const Event ev = queue_.top();
+    queue_.pop();
+    const Gate& g = gates_[static_cast<std::size_t>(ev.gate)];
+    if (ev.seq != g.seq) continue;
+    now_ = ev.time;
+    commit(g.output, ev.value);
+  }
+  return true;
+}
+
+void LogicSim::on_change(const std::string& net,
+                         std::function<void(double, Logic)> cb) {
+  callbacks_[net_id(net)].push_back(std::move(cb));
+}
+
+}  // namespace vcoadc::netlist

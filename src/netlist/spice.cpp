@@ -1,0 +1,208 @@
+#include "netlist/spice.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace vcoadc::netlist {
+namespace {
+
+using util::format;
+
+/// Device geometry: drawn length = node L, widths scale with drive.
+struct Sizing {
+  double l_um;
+  double wn_um;  ///< NMOS width
+  double wp_um;  ///< PMOS width (2x for mobility)
+};
+
+Sizing sizing_for(const StdCell& cell, const tech::TechNode& node) {
+  Sizing s;
+  s.l_um = node.gate_length_nm * 1e-3;
+  s.wn_um = 4.0 * s.l_um * cell.drive;
+  s.wp_um = 2.0 * s.wn_um;
+  return s;
+}
+
+void emit_mos(std::ostringstream& os, int& idx, const std::string& d,
+              const std::string& g, const std::string& s,
+              const std::string& b, bool pmos, const Sizing& sz,
+              double w_scale = 1.0) {
+  os << format("M%d %s %s %s %s %s W=%.3fu L=%.3fu\n", idx++, d.c_str(),
+               g.c_str(), s.c_str(), b.c_str(), pmos ? "PCH" : "NCH",
+               (pmos ? sz.wp_um : sz.wn_um) * w_scale, sz.l_um);
+}
+
+/// Static CMOS inverter: 2 devices.
+void emit_inverter(std::ostringstream& os, int& idx, const std::string& a,
+                   const std::string& y, const std::string& vdd,
+                   const std::string& vss, const Sizing& sz) {
+  emit_mos(os, idx, y, a, vdd, vdd, true, sz);
+  emit_mos(os, idx, y, a, vss, vss, false, sz);
+}
+
+/// N-input NOR: N series PMOS, N parallel NMOS.
+void emit_nor(std::ostringstream& os, int& idx,
+              const std::vector<std::string>& ins, const std::string& y,
+              const std::string& vdd, const std::string& vss,
+              const Sizing& sz) {
+  // Series PMOS stack from VDD to Y; stack devices widened by fan-in.
+  std::string prev = vdd;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const std::string next =
+        (i + 1 == ins.size()) ? y : "sp" + std::to_string(idx);
+    emit_mos(os, idx, next, ins[i], prev, vdd, true, sz,
+             static_cast<double>(ins.size()));
+    prev = next;
+  }
+  for (const std::string& in : ins) {
+    emit_mos(os, idx, y, in, vss, vss, false, sz);
+  }
+}
+
+/// N-input NAND: N parallel PMOS, N series NMOS.
+void emit_nand(std::ostringstream& os, int& idx,
+               const std::vector<std::string>& ins, const std::string& y,
+               const std::string& vdd, const std::string& vss,
+               const Sizing& sz) {
+  for (const std::string& in : ins) {
+    emit_mos(os, idx, y, in, vdd, vdd, true, sz);
+  }
+  std::string prev = vss;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const std::string next =
+        (i + 1 == ins.size()) ? y : "sn" + std::to_string(idx);
+    emit_mos(os, idx, next, ins[i], prev, vss, false, sz,
+             static_cast<double>(ins.size()));
+    prev = next;
+  }
+}
+
+}  // namespace
+
+int spice_transistor_count(const StdCell& cell) {
+  if (cell.is_resistor) return 0;
+  const std::string& fn = cell.function;
+  if (fn == "inv") return 2;
+  if (fn == "buf" || fn == "clkbuf") return 4;
+  if (fn == "nand2" || fn == "nor2") return 4;
+  if (fn == "nand3" || fn == "nor3") return 6;
+  if (fn == "xor2") return 4 * 4;      // 4 NAND2
+  if (fn == "dlat") return 4 * 4 + 2;  // 4 NAND2 + input inverter
+  return 0;
+}
+
+std::string spice_cell_subckt(const StdCell& cell,
+                              const tech::TechNode& node) {
+  std::ostringstream os;
+  const Sizing sz = sizing_for(cell, node);
+  int idx = 1;
+
+  if (cell.is_resistor) {
+    os << ".SUBCKT " << cell.name << " T1 T2\n";
+    os << format("R1 T1 T2 %.1f\n", cell.resistance_ohms);
+    os << ".ENDS " << cell.name << "\n";
+    return os.str();
+  }
+
+  const std::string& fn = cell.function;
+  if (fn == "inv") {
+    os << ".SUBCKT " << cell.name << " A Y VDD VSS\n";
+    emit_inverter(os, idx, "A", "Y", "VDD", "VSS", sz);
+  } else if (fn == "buf" || fn == "clkbuf") {
+    os << ".SUBCKT " << cell.name << " A Y VDD VSS\n";
+    emit_inverter(os, idx, "A", "mid", "VDD", "VSS", sz);
+    emit_inverter(os, idx, "mid", "Y", "VDD", "VSS", sz);
+  } else if (fn == "nor2") {
+    os << ".SUBCKT " << cell.name << " A B Y VDD VSS\n";
+    emit_nor(os, idx, {"A", "B"}, "Y", "VDD", "VSS", sz);
+  } else if (fn == "nor3") {
+    os << ".SUBCKT " << cell.name << " A B C Y VDD VSS\n";
+    emit_nor(os, idx, {"A", "B", "C"}, "Y", "VDD", "VSS", sz);
+  } else if (fn == "nand2") {
+    os << ".SUBCKT " << cell.name << " A B Y VDD VSS\n";
+    emit_nand(os, idx, {"A", "B"}, "Y", "VDD", "VSS", sz);
+  } else if (fn == "nand3") {
+    os << ".SUBCKT " << cell.name << " A B C Y VDD VSS\n";
+    emit_nand(os, idx, {"A", "B", "C"}, "Y", "VDD", "VSS", sz);
+  } else if (fn == "xor2") {
+    // XOR2 out of 4 NAND2 stages.
+    os << ".SUBCKT " << cell.name << " A B Y VDD VSS\n";
+    emit_nand(os, idx, {"A", "B"}, "n1", "VDD", "VSS", sz);
+    emit_nand(os, idx, {"A", "n1"}, "n2", "VDD", "VSS", sz);
+    emit_nand(os, idx, {"B", "n1"}, "n3", "VDD", "VSS", sz);
+    emit_nand(os, idx, {"n2", "n3"}, "Y", "VDD", "VSS", sz);
+  } else if (fn == "dlat") {
+    // Gated D latch: S/R NANDs + cross-coupled NAND pair + D inverter.
+    os << ".SUBCKT " << cell.name << " D G Q VDD VSS\n";
+    emit_inverter(os, idx, "D", "db", "VDD", "VSS", sz);
+    emit_nand(os, idx, {"D", "G"}, "s", "VDD", "VSS", sz);
+    emit_nand(os, idx, {"db", "G"}, "r", "VDD", "VSS", sz);
+    emit_nand(os, idx, {"s", "qb"}, "Q", "VDD", "VSS", sz);
+    emit_nand(os, idx, {"r", "Q"}, "qb", "VDD", "VSS", sz);
+  } else {
+    return {};
+  }
+  os << ".ENDS " << cell.name << "\n";
+  return os.str();
+}
+
+std::string write_spice(const Design& design, const tech::TechNode& node,
+                        const SpiceOptions& opts) {
+  std::ostringstream os;
+  os << "* SPICE deck generated by vcoadc (top: " << design.top() << ")\n";
+  os << "* node: " << node.name << "\n\n";
+  if (opts.emit_models) {
+    const double vto = 0.25 * node.vdd;
+    os << format(".MODEL NCH NMOS (LEVEL=1 VTO=%.3f KP=200u LAMBDA=%.3f)\n",
+                 vto, 1.0 / node.intrinsic_gain);
+    os << format(".MODEL PCH PMOS (LEVEL=1 VTO=%.3f KP=100u LAMBDA=%.3f)\n\n",
+                 -vto, 1.0 / node.intrinsic_gain);
+  }
+
+  // Referenced library cells.
+  if (opts.emit_cell_subckts) {
+    std::set<std::string> emitted;
+    for (const Module& mod : design.modules()) {
+      for (const Instance& inst : mod.instances()) {
+        const StdCell* cell = design.library().find(inst.master);
+        if (cell == nullptr || emitted.count(cell->name)) continue;
+        emitted.insert(cell->name);
+        os << spice_cell_subckt(*cell, node) << "\n";
+      }
+    }
+  }
+
+  // One subckt per module, in stored (leaf-first) order.
+  for (const Module& mod : design.modules()) {
+    os << ".SUBCKT " << mod.name();
+    for (const Port& p : mod.ports()) os << " " << p.name;
+    os << "\n";
+    for (const Instance& inst : mod.instances()) {
+      os << "X" << inst.name;
+      // Pin order: master's declared order.
+      if (const StdCell* cell = design.library().find(inst.master)) {
+        for (const PinSpec& pin : cell->pins) {
+          auto it = inst.conn.find(pin.name);
+          os << " " << ((it != inst.conn.end()) ? it->second : "UNCONN");
+        }
+      } else if (const Module* sub = design.find_module(inst.master)) {
+        for (const Port& p : sub->ports()) {
+          auto it = inst.conn.find(p.name);
+          os << " " << ((it != inst.conn.end()) ? it->second : "UNCONN");
+        }
+      }
+      os << " " << inst.master << "\n";
+    }
+    os << ".ENDS " << mod.name() << "\n\n";
+  }
+  os << "XTOP";
+  if (const Module* top = design.find_module(design.top())) {
+    for (const Port& p : top->ports()) os << " " << p.name;
+  }
+  os << " " << design.top() << "\n.END\n";
+  return os.str();
+}
+
+}  // namespace vcoadc::netlist

@@ -1,0 +1,39 @@
+// SPICE netlist exporter.
+//
+// The paper's HDL-generation phase starts from a schematic ("it is a common
+// practice to design AMS circuits in schematic, our synthesis flow exports
+// the circuit netlist designed in schematic into gate-level HDL"). This
+// module provides the inverse artifact for verification: a hierarchical
+// SPICE deck of the generated design, with every digital master expanded
+// to transistor level (level-1 MOS models parameterized from the node) and
+// resistor cells as R elements - the Fig. 5a transistor view of what the
+// Verilog describes at gate level.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::netlist {
+
+struct SpiceOptions {
+  /// Emit .MODEL cards (level-1 NMOS/PMOS parameterized from the node).
+  bool emit_models = true;
+  /// Emit a transistor-level .SUBCKT for every referenced library cell.
+  bool emit_cell_subckts = true;
+};
+
+/// Exports the whole design (cell subckts + one subckt per module, top
+/// instantiated as XTOP).
+std::string write_spice(const Design& design, const tech::TechNode& node,
+                        const SpiceOptions& opts = {});
+
+/// Transistor-level subckt body for one library cell. Returns an empty
+/// string for functions without a transistor expansion (none currently).
+std::string spice_cell_subckt(const StdCell& cell, const tech::TechNode& node);
+
+/// Number of transistors in the expansion of a cell (0 for resistors).
+int spice_transistor_count(const StdCell& cell);
+
+}  // namespace vcoadc::netlist

@@ -1,0 +1,97 @@
+#include "netlist/vcd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vcoadc::netlist {
+namespace {
+
+/// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_id(int index) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+char vcd_value(Logic v) {
+  switch (v) {
+    case Logic::k0:
+      return '0';
+    case Logic::k1:
+      return '1';
+    case Logic::kX:
+      return 'x';
+  }
+  return 'x';
+}
+
+/// VCD var names may not contain whitespace; hierarchical '/' becomes '.'.
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (c == '/') c = '.';
+    if (c == ' ') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+void VcdWriter::watch(LogicSim& sim, const std::string& net) {
+  if (ids_.count(net)) return;
+  const int index = static_cast<int>(names_.size());
+  ids_[net] = index;
+  names_.push_back(net);
+  initial_.push_back(sim.get(net));
+  has_initial_.push_back(true);
+  sim.on_change(net, [this, index](double t, Logic v) {
+    changes_.push_back({t, index, v});
+  });
+}
+
+void VcdWriter::watch_all(LogicSim& sim,
+                          const std::vector<std::string>& nets) {
+  for (const std::string& n : nets) watch(sim, n);
+}
+
+std::string VcdWriter::render(const std::string& module_name) const {
+  std::ostringstream os;
+  os << "$date vcoadc logic simulation $end\n";
+  os << "$version vcoadc vcd writer $end\n";
+  os << "$timescale " << static_cast<long long>(timescale_s_ * 1e15 / 1000)
+     << "ps $end\n";
+  os << "$scope module " << module_name << " $end\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    os << "$var wire 1 " << vcd_id(static_cast<int>(i)) << " "
+       << sanitize(names_[i]) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  os << "$dumpvars\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    os << vcd_value(initial_[i]) << vcd_id(static_cast<int>(i)) << "\n";
+  }
+  os << "$end\n";
+
+  // Changes, sorted by time (stable for same-time groups).
+  std::vector<Change> sorted = changes_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Change& a, const Change& b) {
+                     return a.time_s < b.time_s;
+                   });
+  long long last_tick = -1;
+  for (const Change& c : sorted) {
+    const long long tick =
+        static_cast<long long>(std::llround(c.time_s / timescale_s_));
+    if (tick != last_tick) {
+      os << "#" << tick << "\n";
+      last_tick = tick;
+    }
+    os << vcd_value(c.value) << vcd_id(c.signal) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vcoadc::netlist

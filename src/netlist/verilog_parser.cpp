@@ -1,0 +1,309 @@
+#include "netlist/verilog_parser.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace vcoadc::netlist {
+namespace {
+
+enum class TokKind { kIdent, kPunct, kString, kEof };
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= text_.size()) return tok;  // kEof
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '\\') {
+      tok.kind = TokKind::kIdent;
+      // Escaped identifiers (\foo ) end at whitespace.
+      if (c == '\\') {
+        ++pos_;
+        while (pos_ < text_.size() &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+          tok.text += text_[pos_++];
+        }
+        return tok;
+      }
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '$') {
+          tok.text += d;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tok.kind = TokKind::kIdent;  // numeric literals treated as idents
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '\'' || text_[pos_] == '_')) {
+        tok.text += text_[pos_++];
+      }
+      return tok;
+    }
+    if (c == '"') {
+      tok.kind = TokKind::kString;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        tok.text += text_[pos_++];
+      }
+      if (pos_ < text_.size()) ++pos_;  // closing quote
+      return tok;
+    }
+    // Attribute delimiters are two-char tokens.
+    if (c == '(' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+      tok.kind = TokKind::kPunct;
+      tok.text = "(*";
+      pos_ += 2;
+      return tok;
+    }
+    if (c == '*' && pos_ + 1 < text_.size() && text_[pos_ + 1] == ')') {
+      tok.kind = TokKind::kPunct;
+      tok.text = "*)";
+      pos_ += 2;
+      return tok;
+    }
+    tok.kind = TokKind::kPunct;
+    tok.text = std::string(1, c);
+    ++pos_;
+    return tok;
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, Design& design)
+      : lexer_(text), design_(design) {
+    advance();
+  }
+
+  ParseResult run() {
+    while (cur_.kind != TokKind::kEof && ok_) {
+      if (is_ident("module")) {
+        parse_module();
+      } else {
+        fail("expected 'module'");
+      }
+    }
+    ParseResult res;
+    res.ok = ok_;
+    res.error = error_;
+    res.line = error_line_;
+    return res;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  bool is_ident(const char* kw) const {
+    return cur_.kind == TokKind::kIdent && cur_.text == kw;
+  }
+  bool is_punct(const char* p) const {
+    return cur_.kind == TokKind::kPunct && cur_.text == p;
+  }
+
+  void fail(const std::string& msg) {
+    if (!ok_) return;
+    ok_ = false;
+    error_ = msg + " (got '" + cur_.text + "')";
+    error_line_ = cur_.line;
+    cur_ = Token{};  // force EOF to stop the loop
+  }
+
+  static bool is_keyword(const std::string& s) {
+    return s == "module" || s == "endmodule" || s == "input" ||
+           s == "output" || s == "inout" || s == "wire";
+  }
+
+  std::string expect_ident(const char* what) {
+    if (cur_.kind != TokKind::kIdent) {
+      fail(std::string("expected ") + what);
+      return {};
+    }
+    if (is_keyword(cur_.text)) {
+      fail(std::string("expected ") + what +
+           " but found keyword (missing ';'?)");
+      return {};
+    }
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+
+  void expect_punct(const char* p) {
+    if (!is_punct(p)) {
+      fail(std::string("expected '") + p + "'");
+      return;
+    }
+    advance();
+  }
+
+  void parse_module() {
+    advance();  // 'module'
+    const std::string name = expect_ident("module name");
+    if (!ok_) return;
+    Module& mod = design_.add_module(name);
+    std::vector<std::string> header_ports;
+    if (is_punct("(")) {
+      advance();
+      while (ok_ && !is_punct(")")) {
+        header_ports.push_back(expect_ident("port name"));
+        if (is_punct(",")) advance();
+      }
+      expect_punct(")");
+    }
+    expect_punct(";");
+
+    // Body. Directions fill in as declarations are seen; header ports
+    // without a declaration default to inout.
+    std::map<std::string, PortDir> dirs;
+    std::string pending_pd, pending_group;
+    while (ok_ && !is_ident("endmodule")) {
+      if (cur_.kind == TokKind::kEof) {
+        fail("unexpected end of file inside module");
+        return;
+      }
+      if (is_ident("input") || is_ident("output") || is_ident("inout")) {
+        const PortDir dir = is_ident("input")    ? PortDir::kInput
+                            : is_ident("output") ? PortDir::kOutput
+                                                 : PortDir::kInout;
+        advance();
+        while (ok_ && !is_punct(";")) {
+          const std::string port = expect_ident("port name");
+          dirs[port] = dir;
+          if (is_punct(",")) advance();
+        }
+        expect_punct(";");
+      } else if (is_ident("wire")) {
+        advance();
+        while (ok_ && !is_punct(";")) {
+          mod.add_net(expect_ident("net name"));
+          if (is_punct(",")) advance();
+        }
+        expect_punct(";");
+      } else if (is_punct("(*")) {
+        advance();
+        while (ok_ && !is_punct("*)")) {
+          const std::string key = expect_ident("attribute name");
+          std::string value;
+          if (is_punct("=")) {
+            advance();
+            if (cur_.kind == TokKind::kString ||
+                cur_.kind == TokKind::kIdent) {
+              value = cur_.text;
+              advance();
+            } else {
+              fail("expected attribute value");
+            }
+          }
+          if (key == "power_domain") pending_pd = value;
+          if (key == "group") pending_group = value;
+          if (is_punct(",")) advance();
+        }
+        expect_punct("*)");
+      } else if (cur_.kind == TokKind::kIdent) {
+        // Instance: <master> <name> ( .pin(net), ... );
+        Instance inst;
+        inst.master = expect_ident("master name");
+        inst.name = expect_ident("instance name");
+        inst.power_domain = pending_pd;
+        inst.group = pending_group;
+        pending_pd.clear();
+        pending_group.clear();
+        expect_punct("(");
+        while (ok_ && !is_punct(")")) {
+          expect_punct(".");
+          const std::string pin = expect_ident("pin name");
+          expect_punct("(");
+          const std::string net = expect_ident("net name");
+          expect_punct(")");
+          inst.conn[pin] = net;
+          if (is_punct(",")) advance();
+        }
+        expect_punct(")");
+        expect_punct(";");
+        if (ok_) mod.add_instance(std::move(inst));
+      } else {
+        fail("unexpected token in module body");
+      }
+    }
+    if (!ok_) return;
+    advance();  // 'endmodule'
+
+    for (const std::string& port : header_ports) {
+      auto it = dirs.find(port);
+      mod.add_port(port, it != dirs.end() ? it->second : PortDir::kInout);
+    }
+    if (design_.top().empty()) design_.set_top(name);
+    last_module_ = name;
+  }
+
+  Lexer lexer_;
+  Design& design_;
+  Token cur_;
+  bool ok_ = true;
+  std::string error_;
+  int error_line_ = 0;
+  std::string last_module_;
+};
+
+}  // namespace
+
+ParseResult parse_verilog(const std::string& text, Design& design) {
+  const bool had_top = !design.top().empty();
+  Parser parser(text, design);
+  ParseResult res = parser.run();
+  if (res.ok && !had_top && !design.modules().empty()) {
+    design.set_top(design.modules().back().name());
+  }
+  return res;
+}
+
+}  // namespace vcoadc::netlist

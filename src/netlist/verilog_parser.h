@@ -1,0 +1,27 @@
+// Parser for the structural Verilog subset emitted by verilog_writer (and
+// by Cadence-style schematic-to-netlist exports like the paper's Table 1/2):
+// module headers with port lists, input/output/inout declarations, wire
+// declarations, attribute instances carrying power_domain/group, and named-
+// port-connection instantiations. No behavioural constructs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace vcoadc::netlist {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;      ///< first error, with line number
+  int line = 0;
+};
+
+/// Parses `text` into `design` (appending modules). The design's library is
+/// used only at validate() time, not during parsing, so cells need not be
+/// known to the parser. The last module in the file becomes the top unless
+/// the design already has one.
+ParseResult parse_verilog(const std::string& text, Design& design);
+
+}  // namespace vcoadc::netlist

@@ -1,0 +1,20 @@
+// Structural (gate-level) Verilog writer, producing netlists in the shape
+// of the paper's Table 1 / Table 2 listings. Power-domain and group
+// annotations are emitted as standard Verilog attribute instances
+// `(* power_domain = "...", group = "..." *)` so they survive a round trip
+// through the parser.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace vcoadc::netlist {
+
+/// Serializes one module.
+std::string write_module_verilog(const Design& design, const Module& mod);
+
+/// Serializes the whole design, leaf modules first.
+std::string write_verilog(const Design& design);
+
+}  // namespace vcoadc::netlist

@@ -1,0 +1,112 @@
+#include "synth/drc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace vcoadc::synth {
+
+std::string to_string(DrcKind kind) {
+  switch (kind) {
+    case DrcKind::kOverlap:
+      return "cell-overlap";
+    case DrcKind::kOutsideDie:
+      return "outside-die";
+    case DrcKind::kOutsideRegion:
+      return "outside-region";
+    case DrcKind::kOffRowGrid:
+      return "off-row-grid";
+    case DrcKind::kPowerRailShort:
+      return "power-rail-short";
+    case DrcKind::kRegionOverlap:
+      return "region-overlap";
+  }
+  return "?";
+}
+
+int DrcReport::count(DrcKind kind) const {
+  int n = 0;
+  for (const auto& v : violations) n += (v.kind == kind);
+  return n;
+}
+
+DrcReport run_drc(const std::vector<netlist::FlatInstance>& flat,
+                  const Placement& pl, const Floorplan& fp) {
+  DrcReport rep;
+  auto add = [&](DrcKind kind, std::string detail) {
+    rep.violations.push_back({kind, std::move(detail)});
+  };
+
+  // Region disjointness.
+  for (std::size_t i = 0; i < fp.regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < fp.regions.size(); ++j) {
+      if (fp.regions[i].rect.overlaps(fp.regions[j].rect)) {
+        add(DrcKind::kRegionOverlap,
+            fp.regions[i].spec.name + " overlaps " + fp.regions[j].spec.name);
+      }
+    }
+  }
+
+  // Per-cell geometric checks + row bucketing.
+  std::map<int, std::vector<int>> by_row;  // row index -> flat indices
+  for (std::size_t i = 0; i < pl.cells.size(); ++i) {
+    const PlacedCell& pc = pl.cells[i];
+    const auto& fi = flat[i];
+    if (!fp.die.contains(pc.rect)) {
+      add(DrcKind::kOutsideDie, fi.path + " at " + pc.rect.to_string());
+    }
+    // Region containment against the *assigned* power domain's region (if a
+    // region with that name exists in the floorplan).
+    const std::string want =
+        fi.cell->is_resistor ? fi.group : fi.power_domain;
+    if (const PlacedRegion* r = fp.find(want)) {
+      if (!r->rect.contains(pc.rect)) {
+        add(DrcKind::kOutsideRegion,
+            fi.path + " (" + want + ") at " + pc.rect.to_string());
+      }
+    }
+    const double row_pos = (pc.rect.y - fp.die.y) / fp.row_height_m;
+    if (std::fabs(row_pos - std::round(row_pos)) > 1e-6) {
+      add(DrcKind::kOffRowGrid, fi.path);
+    }
+    by_row[static_cast<int>(std::lround(row_pos))].push_back(
+        static_cast<int>(i));
+  }
+
+  // Overlaps + rail shorts, per row.
+  for (auto& [row, members] : by_row) {
+    std::sort(members.begin(), members.end(), [&](int a, int b) {
+      return pl.cells[static_cast<std::size_t>(a)].rect.x <
+             pl.cells[static_cast<std::size_t>(b)].rect.x;
+    });
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      const int a = members[k - 1];
+      const int b = members[k];
+      const PlacedCell& ca = pl.cells[static_cast<std::size_t>(a)];
+      const PlacedCell& cb = pl.cells[static_cast<std::size_t>(b)];
+      if (ca.rect.overlaps(cb.rect)) {
+        add(DrcKind::kOverlap,
+            flat[static_cast<std::size_t>(a)].path + " / " +
+                flat[static_cast<std::size_t>(b)].path);
+      }
+      // Rail short: two cells on the same row whose supply pins resolve to
+      // different P/G nets, with no region boundary between them. A region
+      // boundary breaks the rail, so only flag pairs in the same region.
+      const auto& fa = flat[static_cast<std::size_t>(a)];
+      const auto& fb = flat[static_cast<std::size_t>(b)];
+      if (ca.region != cb.region) continue;
+      const std::string pda = fa.cell->is_resistor ? "" : fa.power_domain;
+      const std::string pdb = fb.cell->is_resistor ? "" : fb.power_domain;
+      if (!pda.empty() && !pdb.empty() && pda != pdb) {
+        add(DrcKind::kPowerRailShort,
+            fa.path + " (" + pda + ") abuts " + fb.path + " (" + pdb +
+                ") on row " + std::to_string(row));
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace vcoadc::synth

@@ -1,0 +1,329 @@
+#include "synth/gdsii.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "util/strings.h"
+
+namespace vcoadc::synth {
+namespace {
+
+// GDSII record types (high byte) + data types (low byte).
+enum Rec : std::uint16_t {
+  kHeader = 0x0002,
+  kBgnLib = 0x0102,
+  kLibName = 0x0206,
+  kUnits = 0x0305,
+  kEndLib = 0x0400,
+  kBgnStr = 0x0502,
+  kStrName = 0x0606,
+  kEndStr = 0x0700,
+  kBoundary = 0x0800,
+  kSref = 0x0A00,
+  kLayer = 0x0D02,
+  kDatatype = 0x0E02,
+  kXy = 0x1003,
+  kEndEl = 0x1100,
+  kSname = 0x1206,
+};
+
+/// Database unit: 1 nm.
+constexpr double kMetersPerDb = 1e-9;
+constexpr double kUserPerDb = 1e-3;  // user unit = um
+
+class Writer {
+ public:
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  void record(std::uint16_t rec, const std::vector<std::uint8_t>& payload) {
+    const std::size_t len = 4 + payload.size();
+    push16(static_cast<std::uint16_t>(len));
+    push16(rec);
+    bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+  }
+
+  void record16(std::uint16_t rec, std::vector<std::int16_t> vals) {
+    std::vector<std::uint8_t> p;
+    for (std::int16_t v : vals) {
+      p.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+      p.push_back(static_cast<std::uint8_t>(v & 0xff));
+    }
+    record(rec, p);
+  }
+
+  void record32(std::uint16_t rec, const std::vector<std::int32_t>& vals) {
+    std::vector<std::uint8_t> p;
+    for (std::int32_t v : vals) {
+      p.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+      p.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+      p.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+      p.push_back(static_cast<std::uint8_t>(v & 0xff));
+    }
+    record(rec, p);
+  }
+
+  void record_string(std::uint16_t rec, std::string s) {
+    if (s.size() % 2) s.push_back('\0');  // even-length padding
+    record(rec, std::vector<std::uint8_t>(s.begin(), s.end()));
+  }
+
+  void record_reals(std::uint16_t rec, const std::vector<double>& vals) {
+    std::vector<std::uint8_t> p;
+    for (double v : vals) {
+      const auto r = to_real8(v);
+      p.insert(p.end(), r.begin(), r.end());
+    }
+    record(rec, p);
+  }
+
+ private:
+  void push16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+
+  /// GDSII 8-byte excess-64 base-16 real.
+  static std::array<std::uint8_t, 8> to_real8(double v) {
+    std::array<std::uint8_t, 8> out{};
+    if (v == 0.0) return out;
+    std::uint8_t sign = 0;
+    if (v < 0) {
+      sign = 0x80;
+      v = -v;
+    }
+    int exp16 = 0;
+    while (v >= 1.0) {
+      v /= 16.0;
+      ++exp16;
+    }
+    while (v < 1.0 / 16.0) {
+      v *= 16.0;
+      --exp16;
+    }
+    out[0] = static_cast<std::uint8_t>(sign | ((exp16 + 64) & 0x7f));
+    for (int i = 1; i < 8; ++i) {
+      v *= 256.0;
+      const auto byte = static_cast<std::uint8_t>(v);
+      out[static_cast<std::size_t>(i)] = byte;
+      v -= byte;
+    }
+    return out;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+std::int32_t to_db(double meters) {
+  return static_cast<std::int32_t>(std::llround(meters / kMetersPerDb));
+}
+
+void write_box(Writer& w, int layer, double x, double y, double bw,
+               double bh) {
+  w.record(kBoundary, {});
+  w.record16(kLayer, {static_cast<std::int16_t>(layer)});
+  w.record16(kDatatype, {0});
+  const std::int32_t x0 = to_db(x), y0 = to_db(y);
+  const std::int32_t x1 = to_db(x + bw), y1 = to_db(y + bh);
+  w.record32(kXy, {x0, y0, x1, y0, x1, y1, x0, y1, x0, y0});
+  w.record(kEndEl, {});
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool next(std::uint16_t* rec, std::vector<std::uint8_t>* payload) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    const std::uint16_t len =
+        static_cast<std::uint16_t>((bytes_[pos_] << 8) | bytes_[pos_ + 1]);
+    *rec = static_cast<std::uint16_t>((bytes_[pos_ + 2] << 8) |
+                                      bytes_[pos_ + 3]);
+    if (len < 4 || pos_ + len > bytes_.size()) return false;
+    payload->assign(bytes_.begin() + static_cast<long>(pos_ + 4),
+                    bytes_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+  bool done() const { return pos_ >= bytes_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::int16_t read16(const std::vector<std::uint8_t>& p, std::size_t off) {
+  return static_cast<std::int16_t>((p[off] << 8) | p[off + 1]);
+}
+
+std::int32_t read32(const std::vector<std::uint8_t>& p, std::size_t off) {
+  return static_cast<std::int32_t>((p[off] << 24) | (p[off + 1] << 16) |
+                                   (p[off + 2] << 8) | p[off + 3]);
+}
+
+double read_real8(const std::vector<std::uint8_t>& p, std::size_t off) {
+  const std::uint8_t first = p[off];
+  const bool neg = (first & 0x80) != 0;
+  const int exp16 = (first & 0x7f) - 64;
+  double mantissa = 0;
+  double scale = 1.0 / 256.0;
+  for (int i = 1; i < 8; ++i) {
+    mantissa += p[off + static_cast<std::size_t>(i)] * scale;
+    scale /= 256.0;
+  }
+  double v = mantissa * std::pow(16.0, exp16);
+  return neg ? -v : v;
+}
+
+std::string read_string(const std::vector<std::uint8_t>& p) {
+  std::string s(p.begin(), p.end());
+  while (!s.empty() && s.back() == '\0') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> write_gdsii(const Layout& layout,
+                                      const std::string& lib_name,
+                                      const GdsLayers& layers) {
+  Writer w;
+  w.record16(kHeader, {600});  // stream version 6
+  // BGNLIB: 12 int16 timestamps (fixed epoch for reproducibility).
+  w.record16(kBgnLib, std::vector<std::int16_t>(12, 0));
+  w.record_string(kLibName, lib_name);
+  w.record_reals(kUnits, {kUserPerDb, kMetersPerDb});
+
+  // One structure per referenced master.
+  std::set<const netlist::StdCell*> masters;
+  for (const auto& fi : layout.flat()) masters.insert(fi.cell);
+  for (const netlist::StdCell* cell : masters) {
+    w.record16(kBgnStr, std::vector<std::int16_t>(12, 0));
+    w.record_string(kStrName, cell->name);
+    write_box(w, layers.cell_outline, 0, 0, cell->width_m, cell->height_m);
+    w.record(kEndStr, {});
+  }
+
+  // Top structure: die + regions + cell placements.
+  w.record16(kBgnStr, std::vector<std::int16_t>(12, 0));
+  w.record_string(kStrName, "TOP");
+  const Floorplan& fp = layout.floorplan();
+  write_box(w, layers.die, fp.die.x, fp.die.y, fp.die.w, fp.die.h);
+  for (const PlacedRegion& r : fp.regions) {
+    write_box(w, layers.region, r.rect.x, r.rect.y, r.rect.w, r.rect.h);
+  }
+  for (std::size_t i = 0; i < layout.flat().size(); ++i) {
+    const PlacedCell& pc = layout.placement().cells[i];
+    w.record(kSref, {});
+    w.record_string(kSname, layout.flat()[i].cell->name);
+    w.record32(kXy, {to_db(pc.rect.x), to_db(pc.rect.y)});
+    w.record(kEndEl, {});
+  }
+  w.record(kEndStr, {});
+  w.record(kEndLib, {});
+  return w.take();
+}
+
+const GdsStructure* GdsLibrary::find(const std::string& name) const {
+  for (const GdsStructure& s : structures) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+GdsParseResult read_gdsii(const std::vector<std::uint8_t>& bytes) {
+  GdsParseResult res;
+  Reader reader(bytes);
+  std::uint16_t rec = 0;
+  std::vector<std::uint8_t> payload;
+
+  GdsStructure* cur_struct = nullptr;
+  GdsBoundary pending_boundary;
+  GdsSref pending_sref;
+  enum class Element { kNone, kBoundary, kSref } element = Element::kNone;
+  bool saw_header = false, saw_endlib = false;
+
+  while (reader.next(&rec, &payload)) {
+    switch (rec) {
+      case kHeader:
+        saw_header = true;
+        break;
+      case kLibName:
+        res.library.name = read_string(payload);
+        break;
+      case kUnits:
+        if (payload.size() >= 16) {
+          res.library.user_unit = read_real8(payload, 0);
+          res.library.meters_per_db = read_real8(payload, 8);
+        }
+        break;
+      case kBgnStr:
+        res.library.structures.emplace_back();
+        cur_struct = &res.library.structures.back();
+        break;
+      case kStrName:
+        if (cur_struct != nullptr) cur_struct->name = read_string(payload);
+        break;
+      case kEndStr:
+        cur_struct = nullptr;
+        break;
+      case kBoundary:
+        element = Element::kBoundary;
+        pending_boundary = GdsBoundary{};
+        break;
+      case kSref:
+        element = Element::kSref;
+        pending_sref = GdsSref{};
+        break;
+      case kLayer:
+        if (element == Element::kBoundary && payload.size() >= 2) {
+          pending_boundary.layer = read16(payload, 0);
+        }
+        break;
+      case kSname:
+        if (element == Element::kSref) {
+          pending_sref.structure = read_string(payload);
+        }
+        break;
+      case kXy:
+        if (element == Element::kBoundary) {
+          for (std::size_t off = 0; off + 8 <= payload.size(); off += 8) {
+            pending_boundary.xy.emplace_back(read32(payload, off),
+                                             read32(payload, off + 4));
+          }
+        } else if (element == Element::kSref && payload.size() >= 8) {
+          pending_sref.x = read32(payload, 0);
+          pending_sref.y = read32(payload, 4);
+        }
+        break;
+      case kEndEl:
+        if (cur_struct != nullptr) {
+          if (element == Element::kBoundary) {
+            cur_struct->boundaries.push_back(pending_boundary);
+          } else if (element == Element::kSref) {
+            cur_struct->srefs.push_back(pending_sref);
+          }
+        }
+        element = Element::kNone;
+        break;
+      case kEndLib:
+        saw_endlib = true;
+        break;
+      default:
+        break;  // records we don't model (TEXT, PATH, ...) are skipped
+    }
+  }
+  if (!saw_header) {
+    res.error = "missing HEADER record";
+    return res;
+  }
+  if (!saw_endlib) {
+    res.error = "missing ENDLIB record (truncated stream?)";
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace vcoadc::synth

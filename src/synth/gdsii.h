@@ -1,0 +1,71 @@
+// Binary GDSII stream writer and reader.
+//
+// Sec. 3.1: "we can export their layouts in GDSII format, merge them with
+// the existing standard cell library". This module emits a real GDSII
+// stream (record-structured binary: HEADER/BGNLIB/UNITS/BGNSTR/BOUNDARY/
+// SREF/ENDSTR/ENDLIB with 8-byte excess-64 reals and big-endian integers)
+// for a synthesized Layout: one structure per referenced cell master (its
+// abutment box on the outline layer) and one top structure instantiating
+// every placed cell via SREF, with floorplan regions as boundaries on a
+// regions layer. The reader parses any stream this writer produces (and
+// the common subset of foundry streams).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "synth/layout.h"
+
+namespace vcoadc::synth {
+
+/// Layer assignment used by the writer.
+struct GdsLayers {
+  int cell_outline = 10;
+  int region = 20;
+  int die = 0;
+};
+
+/// Serializes the layout as a binary GDSII stream.
+std::vector<std::uint8_t> write_gdsii(const Layout& layout,
+                                      const std::string& lib_name,
+                                      const GdsLayers& layers = {});
+
+// --- reader-side data model ---
+
+struct GdsBoundary {
+  int layer = 0;
+  std::vector<std::pair<std::int32_t, std::int32_t>> xy;  ///< DB units
+};
+
+struct GdsSref {
+  std::string structure;
+  std::int32_t x = 0, y = 0;  ///< DB units
+};
+
+struct GdsStructure {
+  std::string name;
+  std::vector<GdsBoundary> boundaries;
+  std::vector<GdsSref> srefs;
+};
+
+struct GdsLibrary {
+  std::string name;
+  double user_unit = 1e-3;   ///< metres per DB unit * 1e? (UNITS record)
+  double meters_per_db = 1e-9;
+  std::vector<GdsStructure> structures;
+
+  const GdsStructure* find(const std::string& name) const;
+};
+
+struct GdsParseResult {
+  bool ok = false;
+  std::string error;
+  GdsLibrary library;
+};
+
+/// Parses a binary GDSII stream.
+GdsParseResult read_gdsii(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace vcoadc::synth

@@ -1,0 +1,50 @@
+#include "synth/geometry.h"
+
+#include <cstdio>
+
+namespace vcoadc::synth {
+
+bool Rect::contains(const Rect& other, double eps) const {
+  return other.x >= x - eps && other.y >= y - eps &&
+         other.x2() <= x2() + eps && other.y2() <= y2() + eps;
+}
+
+bool Rect::overlaps(const Rect& other, double eps) const {
+  return other.x < x2() - eps && x < other.x2() - eps &&
+         other.y < y2() - eps && y < other.y2() - eps;
+}
+
+Rect Rect::intersect(const Rect& other) const {
+  const double nx = std::max(x, other.x);
+  const double ny = std::max(y, other.y);
+  const double nx2 = std::min(x2(), other.x2());
+  const double ny2 = std::min(y2(), other.y2());
+  if (nx2 <= nx || ny2 <= ny) return {};
+  return {nx, ny, nx2 - nx, ny2 - ny};
+}
+
+std::string Rect::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "(%.3g, %.3g, %.3g x %.3g)", x, y, w, h);
+  return buf;
+}
+
+void BBox::expand(Point p) {
+  if (empty) {
+    xmin = xmax = p.x;
+    ymin = ymax = p.y;
+    empty = false;
+    return;
+  }
+  xmin = std::min(xmin, p.x);
+  xmax = std::max(xmax, p.x);
+  ymin = std::min(ymin, p.y);
+  ymax = std::max(ymax, p.y);
+}
+
+double BBox::half_perimeter() const {
+  if (empty) return 0;
+  return (xmax - xmin) + (ymax - ymin);
+}
+
+}  // namespace vcoadc::synth

@@ -1,0 +1,42 @@
+// Plane geometry primitives for the layout engine. All coordinates are in
+// metres (layout-space), consistent with the TechNode geometry fields.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace vcoadc::synth {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+struct Rect {
+  double x = 0;  ///< lower-left corner
+  double y = 0;
+  double w = 0;
+  double h = 0;
+
+  double x2() const { return x + w; }
+  double y2() const { return y + h; }
+  double area() const { return w * h; }
+  Point center() const { return {x + w / 2, y + h / 2}; }
+
+  bool contains(const Rect& other, double eps = 1e-12) const;
+  bool overlaps(const Rect& other, double eps = 1e-12) const;
+  Rect intersect(const Rect& other) const;
+
+  std::string to_string() const;
+};
+
+/// Bounding box accumulator for HPWL computation.
+struct BBox {
+  double xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+  bool empty = true;
+
+  void expand(Point p);
+  double half_perimeter() const;
+};
+
+}  // namespace vcoadc::synth

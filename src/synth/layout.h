@@ -1,0 +1,47 @@
+// Layout database and serialization: the "resulting layout" of Fig. 9.
+// Includes a GDS-like text writer and an ASCII floorplan renderer that
+// reproduces the Fig. 13/14 screenshots in terminal form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "synth/floorplan.h"
+#include "synth/placer.h"
+
+namespace vcoadc::synth {
+
+struct LayoutStats {
+  double die_area_m2 = 0;
+  double cell_area_m2 = 0;
+  double utilization = 0;      ///< cell area / die area
+  int num_cells = 0;
+  int num_rows = 0;
+  int num_regions = 0;
+};
+
+class Layout {
+ public:
+  Layout(std::vector<netlist::FlatInstance> flat, Floorplan fp, Placement pl);
+
+  LayoutStats stats() const;
+
+  /// GDS-like text stream: one record per region and per placed cell.
+  std::string write_gds_text(const std::string& design_name) const;
+
+  /// ASCII rendering of the floorplan with region labels (Fig. 14 analog).
+  /// `width` is the output width in characters.
+  std::string render_ascii(int width = 100) const;
+
+  const Floorplan& floorplan() const { return fp_; }
+  const Placement& placement() const { return pl_; }
+  const std::vector<netlist::FlatInstance>& flat() const { return flat_; }
+
+ private:
+  std::vector<netlist::FlatInstance> flat_;
+  Floorplan fp_;
+  Placement pl_;
+};
+
+}  // namespace vcoadc::synth

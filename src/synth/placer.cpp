@@ -1,0 +1,278 @@
+#include "synth/placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace vcoadc::synth {
+namespace {
+
+/// Net -> member flat indices, signal nets only.
+std::map<std::string, std::vector<int>> build_signal_nets(
+    const std::vector<netlist::FlatInstance>& flat) {
+  std::map<std::string, std::vector<int>> nets;
+  for (int i = 0; i < static_cast<int>(flat.size()); ++i) {
+    for (const auto& [pin, net] : flat[static_cast<std::size_t>(i)].conn) {
+      if (is_supply_net(net)) continue;
+      nets[net].push_back(i);
+    }
+  }
+  // Single-pin nets contribute nothing.
+  for (auto it = nets.begin(); it != nets.end();) {
+    std::sort(it->second.begin(), it->second.end());
+    it->second.erase(std::unique(it->second.begin(), it->second.end()),
+                     it->second.end());
+    if (it->second.size() < 2) {
+      it = nets.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return nets;
+}
+
+/// Orders `members` by iterative barycenter over their shared nets.
+std::vector<int> connectivity_order(
+    const std::vector<int>& members,
+    const std::map<std::string, std::vector<int>>& nets, int passes) {
+  std::map<int, double> pos;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    pos[members[i]] = static_cast<double>(i);
+  }
+  std::map<int, std::vector<int>> adj;
+  for (const auto& [name, cells] : nets) {
+    std::vector<int> local;
+    for (int c : cells) {
+      if (pos.count(c)) local.push_back(c);
+    }
+    if (local.size() < 2) continue;
+    for (int c : local) {
+      for (int d : local) {
+        if (c != d) adj[c].push_back(d);
+      }
+    }
+  }
+  std::vector<int> order = members;
+  for (int p = 0; p < passes; ++p) {
+    std::map<int, double> next = pos;
+    for (int m : order) {
+      auto it = adj.find(m);
+      if (it == adj.end() || it->second.empty()) continue;
+      double s = 0;
+      for (int d : it->second) s += pos[d];
+      next[m] = 0.5 * pos[m] + 0.5 * s / static_cast<double>(it->second.size());
+    }
+    pos = std::move(next);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return pos[a] < pos[b]; });
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      pos[order[i]] = static_cast<double>(i);
+    }
+  }
+  return order;
+}
+
+struct RegionRows {
+  std::vector<double> row_y;  // absolute y of each row bottom
+  double x0 = 0, x1 = 0;      // usable x span
+};
+
+RegionRows make_rows(const Rect& region, const Rect& die, double row_h) {
+  RegionRows rows;
+  rows.x0 = region.x;
+  rows.x1 = region.x2();
+  // Rows align to the global die row grid.
+  double y = die.y + std::ceil((region.y - die.y) / row_h - 1e-9) * row_h;
+  for (; y + row_h <= region.y2() + 1e-12; y += row_h) {
+    rows.row_y.push_back(y);
+  }
+  return rows;
+}
+
+/// Packs `order` into a region's rows, serpentine. Returns overflow flag.
+bool pack_region(const std::vector<netlist::FlatInstance>& flat,
+                 const PlacedRegion& region, const RegionRows& rows,
+                 const std::vector<int>& order, const Floorplan& fp,
+                 Placement& pl) {
+  const double row_h = fp.row_height_m;
+  const double site = fp.site_width_m;
+  bool overflow = false;
+  std::size_t row = 0;
+  double cursor = rows.x0;
+  std::vector<std::vector<int>> row_members(rows.row_y.size());
+  for (int idx : order) {
+    const auto& cell = *flat[static_cast<std::size_t>(idx)].cell;
+    const double w = std::ceil(cell.width_m / site - 1e-9) * site;
+    if (cursor + w > rows.x1 + 1e-12 && cursor > rows.x0) {
+      ++row;
+      cursor = rows.x0;
+      if (row >= rows.row_y.size()) {
+        row = rows.row_y.size() - 1;
+        cursor = rows.x1;  // spill past the edge; DRC reports it
+        overflow = true;
+      }
+    }
+    PlacedCell& pc = pl.cells[static_cast<std::size_t>(idx)];
+    pc.rect = {cursor, rows.row_y[row], w, row_h};
+    pc.row =
+        static_cast<int>(std::lround((rows.row_y[row] - fp.die.y) / row_h));
+    pc.region = region.spec.name;
+    cursor += w;
+    row_members[row].push_back(idx);
+  }
+  // Mirror odd rows so consecutive order indices stay spatially adjacent.
+  for (std::size_t r = 1; r < row_members.size(); r += 2) {
+    for (int idx : row_members[r]) {
+      PlacedCell& pc = pl.cells[static_cast<std::size_t>(idx)];
+      const double mirrored = rows.x0 + (rows.x1 - pc.rect.x2());
+      pc.rect.x = std::max(rows.x0, std::floor(mirrored / site + 0.5) * site);
+    }
+  }
+  return overflow;
+}
+
+double placement_hpwl(const std::map<std::string, std::vector<int>>& nets,
+                      const Placement& pl) {
+  double total = 0;
+  for (const auto& [name, cells] : nets) {
+    BBox bb;
+    for (int c : cells) {
+      bb.expand(pl.cells[static_cast<std::size_t>(c)].rect.center());
+    }
+    total += bb.half_perimeter();
+  }
+  return total;
+}
+
+}  // namespace
+
+bool is_supply_net(const std::string& net) {
+  return netlist::is_supply_net(net);
+}
+
+Placement place(const std::vector<netlist::FlatInstance>& flat,
+                const Floorplan& fp, const PlacementOptions& opts) {
+  const auto nets = build_signal_nets(flat);
+
+  // Region list: either the real floorplan regions or one die-wide region
+  // reproducing the naive (PD-oblivious) flow.
+  std::vector<PlacedRegion> regions;
+  if (opts.respect_regions) {
+    regions = fp.regions;
+  } else {
+    PlacedRegion all;
+    all.spec.name = "DIE";
+    for (const PlacedRegion& r : fp.regions) {
+      for (int m : r.spec.members) all.spec.members.push_back(m);
+    }
+    std::sort(all.spec.members.begin(), all.spec.members.end());
+    all.rect = fp.die;
+    regions.push_back(std::move(all));
+  }
+
+  auto pack_all = [&](bool use_barycenter) {
+    Placement pl;
+    pl.cells.resize(flat.size());
+    for (int i = 0; i < static_cast<int>(flat.size()); ++i) {
+      pl.cells[static_cast<std::size_t>(i)].flat_index = i;
+    }
+    for (const PlacedRegion& region : regions) {
+      const RegionRows rows = make_rows(region.rect, fp.die, fp.row_height_m);
+      if (rows.row_y.empty()) {
+        pl.overflow = true;
+        continue;
+      }
+      const std::vector<int> order =
+          use_barycenter
+              ? connectivity_order(region.spec.members, nets,
+                                   opts.barycenter_passes)
+              : region.spec.members;
+      pl.overflow |= pack_region(flat, region, rows, order, fp, pl);
+    }
+    return pl;
+  };
+
+  // Pack with both orderings and keep the better starting point.
+  Placement natural = pack_all(false);
+  Placement pl = natural;
+  if (opts.barycenter_passes > 0) {
+    Placement bary = pack_all(true);
+    if (placement_hpwl(nets, bary) < placement_hpwl(nets, natural)) {
+      pl = std::move(bary);
+    }
+  }
+
+  // Greedy HPWL-improving swaps within each region (equal-width cells only,
+  // which keeps rows legal without repacking).
+  if (opts.refine_passes > 0) {
+    util::Rng rng(opts.seed);
+    std::map<int, std::vector<const std::vector<int>*>> cell_nets;
+    for (const auto& [name, cells] : nets) {
+      for (int c : cells) cell_nets[c].push_back(&cells);
+    }
+    auto net_hpwl = [&](const std::vector<int>& cells) {
+      BBox bb;
+      for (int c : cells) {
+        bb.expand(pl.cells[static_cast<std::size_t>(c)].rect.center());
+      }
+      return bb.half_perimeter();
+    };
+    auto pair_cost = [&](int a, int b) {
+      double cost = 0;
+      for (const auto* nc : cell_nets[a]) cost += net_hpwl(*nc);
+      for (const auto* nc : cell_nets[b]) {
+        bool shared = false;
+        for (const auto* na : cell_nets[a]) {
+          if (na == nc) shared = true;
+        }
+        if (!shared) cost += net_hpwl(*nc);
+      }
+      return cost;
+    };
+    for (const PlacedRegion& region : regions) {
+      const auto& members = region.spec.members;
+      if (members.size() < 2) continue;
+      const int tries =
+          opts.refine_passes * static_cast<int>(members.size());
+      for (int t = 0; t < tries; ++t) {
+        const int a = members[rng.below(members.size())];
+        const int b = members[rng.below(members.size())];
+        if (a == b) continue;
+        PlacedCell& ca = pl.cells[static_cast<std::size_t>(a)];
+        PlacedCell& cb = pl.cells[static_cast<std::size_t>(b)];
+        if (std::fabs(ca.rect.w - cb.rect.w) > 1e-12) continue;
+        const double before = pair_cost(a, b);
+        std::swap(ca.rect.x, cb.rect.x);
+        std::swap(ca.rect.y, cb.rect.y);
+        std::swap(ca.row, cb.row);
+        const double after = pair_cost(a, b);
+        if (after > before) {
+          std::swap(ca.rect.x, cb.rect.x);
+          std::swap(ca.rect.y, cb.rect.y);
+          std::swap(ca.row, cb.row);
+        }
+      }
+    }
+  }
+  return pl;
+}
+
+double total_hpwl(const std::vector<netlist::FlatInstance>& flat,
+                  const Placement& pl) {
+  std::map<std::string, BBox> boxes;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    for (const auto& [pin, net] : flat[i].conn) {
+      if (is_supply_net(net)) continue;
+      boxes[net].expand(pl.cells[i].rect.center());
+    }
+  }
+  double total = 0;
+  for (const auto& [net, bb] : boxes) total += bb.half_perimeter();
+  return total;
+}
+
+}  // namespace vcoadc::synth

@@ -1,0 +1,62 @@
+// Row-based detailed placement with power-domain region constraints.
+//
+// This is the APR stage of Fig. 9, restricted to what the paper's circuit
+// needs: every cell is placed in a standard-cell row *inside its power
+// domain's (or component group's) region*, so that P/G rails never short
+// across domains (the Sec. 3.3 failure mode of naive digital APR).
+//
+// Pipeline per region:
+//   1. connectivity ordering   - iterative barycenter passes on a 1-D
+//                                ordering of the region's cells
+//   2. serpentine row packing  - fills the region's rows boustrophedon so
+//                                neighbours in the ordering stay adjacent
+//   3. greedy swap refinement  - HPWL-improving pairwise swaps
+//
+// A `respect_regions = false` mode reproduces the oversimplified prior flow
+// (everything in one die-wide region); the DRC then reports the rail-short
+// violations, which is the paper's argument for PD-aware synthesis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "synth/floorplan.h"
+
+namespace vcoadc::synth {
+
+struct PlacedCell {
+  int flat_index = -1;  ///< index into the flat instance vector
+  Rect rect;
+  int row = -1;               ///< global row index on the die row grid
+  std::string region;         ///< region the cell was assigned to
+};
+
+struct PlacementOptions {
+  bool respect_regions = true;
+  int barycenter_passes = 6;
+  int refine_passes = 3;
+  std::uint64_t seed = 1;
+};
+
+struct Placement {
+  std::vector<PlacedCell> cells;  ///< one per flat instance, same order
+  bool overflow = false;  ///< true if some region could not hold its cells
+};
+
+/// Places every flat instance. `flat` and the floorplan's RegionSpec member
+/// indices must refer to the same vector.
+Placement place(const std::vector<netlist::FlatInstance>& flat,
+                const Floorplan& fp, const PlacementOptions& opts);
+
+/// Total half-perimeter wirelength of all signal nets for a placement.
+/// Supply-class nets (VDD/VSS/VREFP/VCTRL*/VBUF and their hierarchical
+/// aliases) are excluded - they route as rails/meshes, not signal wires.
+double total_hpwl(const std::vector<netlist::FlatInstance>& flat,
+                  const Placement& pl);
+
+/// True if `net` is distributed as a supply (rail/mesh) rather than routed
+/// as a signal wire.
+bool is_supply_net(const std::string& net);
+
+}  // namespace vcoadc::synth

@@ -1,0 +1,259 @@
+#include "synth/sta.h"
+
+#include <algorithm>
+#include <map>
+#include <stack>
+
+#include "netlist/liberty.h"
+
+namespace vcoadc::synth {
+namespace {
+
+struct Arc {
+  int from_net = -1;
+  int to_net = -1;
+  int gate = -1;
+  double delay = 0;
+};
+
+/// Iterative Tarjan SCC over the net graph.
+std::vector<int> strongly_connected_components(
+    int n_nodes, const std::vector<std::vector<int>>& adj) {
+  std::vector<int> comp(static_cast<std::size_t>(n_nodes), -1);
+  std::vector<int> index(static_cast<std::size_t>(n_nodes), -1);
+  std::vector<int> low(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<char> on_stack(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<int> stack_nodes;
+  int next_index = 0;
+  int next_comp = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  for (int start = 0; start < n_nodes; ++start) {
+    if (index[static_cast<std::size_t>(start)] != -1) continue;
+    std::stack<Frame> frames;
+    frames.push({start, 0});
+    index[static_cast<std::size_t>(start)] = low[static_cast<std::size_t>(start)] = next_index++;
+    stack_nodes.push_back(start);
+    on_stack[static_cast<std::size_t>(start)] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.top();
+      const auto& edges = adj[static_cast<std::size_t>(f.v)];
+      if (f.child < edges.size()) {
+        const int w = edges[f.child++];
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] =
+              low[static_cast<std::size_t>(w)] = next_index++;
+          stack_nodes.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = 1;
+          frames.push({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        const int v = f.v;
+        frames.pop();
+        if (!frames.empty()) {
+          const int parent = frames.top().v;
+          low[static_cast<std::size_t>(parent)] = std::min(
+              low[static_cast<std::size_t>(parent)], low[static_cast<std::size_t>(v)]);
+        }
+        if (low[static_cast<std::size_t>(v)] ==
+            index[static_cast<std::size_t>(v)]) {
+          while (true) {
+            const int w = stack_nodes.back();
+            stack_nodes.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = 0;
+            comp[static_cast<std::size_t>(w)] = next_comp;
+            if (w == v) break;
+          }
+          ++next_comp;
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+}  // namespace
+
+TimingReport analyze_timing(const netlist::Design& design,
+                            const tech::TechNode& node,
+                            const TimingOptions& opts) {
+  TimingReport rep;
+  rep.clock_period_s = opts.clock_period_s;
+
+  const auto flat = design.flatten();
+
+  // Net ids.
+  std::map<std::string, int> net_ids;
+  std::vector<std::string> net_names;
+  auto net_id = [&](const std::string& name) {
+    auto it = net_ids.find(name);
+    if (it != net_ids.end()) return it->second;
+    const int id = static_cast<int>(net_names.size());
+    net_ids[name] = id;
+    net_names.push_back(name);
+    return id;
+  };
+
+  // Load per net: sum of input-pin caps + wire cap from placed HPWL.
+  std::map<int, double> net_load;
+  std::map<int, BBox> net_bbox;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    for (const auto& [pin, net] : flat[i].conn) {
+      if (netlist::is_supply_net(net)) continue;
+      const netlist::PinSpec* spec = flat[i].cell->find_pin(pin);
+      if (spec == nullptr) continue;
+      const int id = net_id(net);
+      if (spec->dir == netlist::PortDir::kInput) {
+        net_load[id] += flat[i].cell->input_cap_f;
+      }
+      if (opts.placement != nullptr) {
+        net_bbox[id].expand(opts.placement->cells[i].rect.center());
+      }
+    }
+  }
+  if (opts.placement != nullptr) {
+    for (auto& [id, bb] : net_bbox) {
+      net_load[id] += bb.half_perimeter() * opts.cap_per_m;
+    }
+  }
+
+  // Timing arcs: every input pin -> output pin of each gate.
+  std::vector<Arc> arcs;
+  std::vector<std::vector<int>> adj;
+  auto ensure_adj = [&](int id) {
+    if (static_cast<std::size_t>(id) >= adj.size()) {
+      adj.resize(static_cast<std::size_t>(id) + 1);
+    }
+  };
+  for (std::size_t gi = 0; gi < flat.size(); ++gi) {
+    const auto& fi = flat[gi];
+    if (fi.cell->is_resistor) continue;
+    ++rep.num_gates;
+    int out_net = -1;
+    std::vector<int> in_nets;
+    for (const auto& [pin, net] : fi.conn) {
+      if (netlist::is_supply_net(net)) continue;
+      const netlist::PinSpec* spec = fi.cell->find_pin(pin);
+      if (spec == nullptr) continue;
+      if (spec->dir == netlist::PortDir::kOutput) out_net = net_id(net);
+      if (spec->dir == netlist::PortDir::kInput) in_nets.push_back(net_id(net));
+    }
+    if (out_net < 0) continue;
+    const double intrinsic = netlist::cell_intrinsic_delay(*fi.cell, node);
+    // Linear delay model normalized to FO4: intrinsic corresponds to
+    // driving 4 copies of the cell's own input cap.
+    const double ref_load = 4.0 * fi.cell->input_cap_f;
+    const double load = net_load.count(out_net) ? net_load[out_net] : 0.0;
+    const double delay =
+        intrinsic * (0.5 + 0.5 * ((ref_load > 0) ? load / ref_load : 1.0));
+    for (int in : in_nets) {
+      ensure_adj(in);
+      ensure_adj(out_net);
+      adj[static_cast<std::size_t>(in)].push_back(out_net);
+      arcs.push_back({in, out_net, static_cast<int>(gi), delay});
+    }
+  }
+  rep.num_arcs = static_cast<int>(arcs.size());
+  const int n_nets = static_cast<int>(net_names.size());
+  ensure_adj(n_nets > 0 ? n_nets - 1 : 0);
+
+  // Cut loops: arcs whose endpoints share an SCC of size > 1.
+  const auto comp = strongly_connected_components(n_nets, adj);
+  std::map<int, int> comp_size;
+  for (int c : comp) ++comp_size[c];
+  int cut_components = 0;
+  {
+    std::map<int, bool> counted;
+    for (const Arc& a : arcs) {
+      if (comp[static_cast<std::size_t>(a.from_net)] ==
+              comp[static_cast<std::size_t>(a.to_net)] &&
+          comp_size[comp[static_cast<std::size_t>(a.from_net)]] > 1) {
+        const int c = comp[static_cast<std::size_t>(a.from_net)];
+        if (!counted[c]) {
+          counted[c] = true;
+          ++cut_components;
+        }
+      }
+    }
+  }
+  rep.loops_cut = cut_components;
+  std::vector<Arc> dag_arcs;
+  for (const Arc& a : arcs) {
+    const bool in_loop =
+        comp[static_cast<std::size_t>(a.from_net)] ==
+            comp[static_cast<std::size_t>(a.to_net)] &&
+        comp_size[comp[static_cast<std::size_t>(a.from_net)]] > 1;
+    if (!in_loop) dag_arcs.push_back(a);
+  }
+
+  // Longest path over the DAG (topological order by Kahn on dag arcs).
+  std::vector<int> indeg(static_cast<std::size_t>(n_nets), 0);
+  std::vector<std::vector<int>> out_arcs(static_cast<std::size_t>(n_nets));
+  for (std::size_t ai = 0; ai < dag_arcs.size(); ++ai) {
+    ++indeg[static_cast<std::size_t>(dag_arcs[ai].to_net)];
+    out_arcs[static_cast<std::size_t>(dag_arcs[ai].from_net)].push_back(
+        static_cast<int>(ai));
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n_nets));
+  for (int i = 0; i < n_nets; ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) order.push_back(i);
+  }
+  std::vector<double> arrival(static_cast<std::size_t>(n_nets), 0.0);
+  std::vector<int> from_arc(static_cast<std::size_t>(n_nets), -1);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int u = order[head];
+    for (int ai : out_arcs[static_cast<std::size_t>(u)]) {
+      const Arc& a = dag_arcs[static_cast<std::size_t>(ai)];
+      const double t = arrival[static_cast<std::size_t>(u)] + a.delay;
+      if (t > arrival[static_cast<std::size_t>(a.to_net)]) {
+        arrival[static_cast<std::size_t>(a.to_net)] = t;
+        from_arc[static_cast<std::size_t>(a.to_net)] = ai;
+      }
+      if (--indeg[static_cast<std::size_t>(a.to_net)] == 0) {
+        order.push_back(a.to_net);
+      }
+    }
+  }
+
+  // Critical endpoint.
+  int worst = -1;
+  for (int i = 0; i < n_nets; ++i) {
+    if (worst < 0 || arrival[static_cast<std::size_t>(i)] >
+                         arrival[static_cast<std::size_t>(worst)]) {
+      worst = i;
+    }
+  }
+  if (worst >= 0) {
+    rep.critical_delay_s = arrival[static_cast<std::size_t>(worst)];
+    // Walk the path backwards.
+    std::vector<TimingPathStep> path;
+    int cur = worst;
+    while (cur >= 0 && from_arc[static_cast<std::size_t>(cur)] >= 0) {
+      const Arc& a =
+          dag_arcs[static_cast<std::size_t>(from_arc[static_cast<std::size_t>(cur)])];
+      TimingPathStep step;
+      step.through_gate = flat[static_cast<std::size_t>(a.gate)].path;
+      step.to_net = net_names[static_cast<std::size_t>(cur)];
+      step.arc_delay_s = a.delay;
+      step.arrival_s = arrival[static_cast<std::size_t>(cur)];
+      path.push_back(step);
+      cur = a.from_net;
+    }
+    std::reverse(path.begin(), path.end());
+    rep.critical_path = std::move(path);
+  }
+  rep.slack_s = rep.clock_period_s - rep.critical_delay_s;
+  rep.max_clock_hz =
+      (rep.critical_delay_s > 0) ? 1.0 / rep.critical_delay_s : 0.0;
+  return rep;
+}
+
+}  // namespace vcoadc::synth

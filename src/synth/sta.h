@@ -1,0 +1,59 @@
+// Static timing analysis over the gate-level netlist.
+//
+// Answers the Sec. 2.2 boundary question - "easy adaptations to different
+// specifications as long as they are within the ADC performance boundary
+// in a given process": the feedback loop (comparator decision -> XOR ->
+// DAC drive) must settle within one clock period, so the netlist's
+// critical combinational delay bounds the usable fs at each node, and that
+// bound scales with FO4 - the timing face of the scaling-compatibility
+// claim.
+//
+// The ADC netlist is full of intentional combinational loops (the two
+// rings, the cross-coupled comparator pairs, the SR latches). The analyzer
+// finds strongly connected components, cuts their internal arcs (reporting
+// how many loops were cut), and runs longest-path on the remaining DAG
+// with a linear delay model: intrinsic delay from the Liberty view plus a
+// fanout/wire-load-dependent term.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "synth/placer.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::synth {
+
+struct TimingPathStep {
+  std::string through_gate;  ///< instance path
+  std::string to_net;
+  double arc_delay_s = 0;
+  double arrival_s = 0;
+};
+
+struct TimingReport {
+  double critical_delay_s = 0;
+  std::vector<TimingPathStep> critical_path;
+  double clock_period_s = 0;
+  double slack_s = 0;         ///< period - critical delay
+  double max_clock_hz = 0;    ///< 1 / critical delay
+  int loops_cut = 0;          ///< SCCs of size > 1 (rings, latches)
+  int num_gates = 0;
+  int num_arcs = 0;
+};
+
+struct TimingOptions {
+  double clock_period_s = 1.0 / 750e6;
+  /// Wire capacitance per metre for the load model.
+  double cap_per_m = 1.5e-10;
+  /// Placement for wire-length-based loads; nullptr = fanout-only loads.
+  const Placement* placement = nullptr;
+};
+
+/// Analyzes the flattened design. Supply nets are not timing nodes.
+TimingReport analyze_timing(const netlist::Design& design,
+                            const tech::TechNode& node,
+                            const TimingOptions& opts);
+
+}  // namespace vcoadc::synth

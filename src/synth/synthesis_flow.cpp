@@ -1,0 +1,67 @@
+#include "synth/synthesis_flow.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "synth/placer_quadratic.h"
+
+namespace vcoadc::synth {
+
+SynthesisResult synthesize(const netlist::Design& design,
+                           const SynthesisOptions& opts) {
+  const auto problems = design.validate();
+  if (!problems.empty()) {
+    std::fprintf(stderr, "synthesize: design '%s' does not validate:\n",
+                 design.top().c_str());
+    for (const auto& p : problems) std::fprintf(stderr, "  %s\n", p.c_str());
+    std::abort();
+  }
+
+  auto flat = design.flatten();
+  const auto regions = partition_into_regions(flat);
+
+  FloorplanOptions fopts;
+  fopts.target_utilization = opts.target_utilization;
+  fopts.aspect_ratio = opts.aspect_ratio;
+  fopts.row_height_m = design.library().row_height_m();
+  // Site width: reconstruct the M1 pitch from the smallest inverter (3
+  // sites wide by construction in make_standard_library).
+  double min_width = 1e9;
+  for (const auto& c : design.library().cells()) {
+    if (c.function == "inv") min_width = std::min(min_width, c.width_m);
+  }
+  fopts.site_width_m = (min_width < 1e9) ? min_width / 3.0
+                                         : design.library().row_height_m() / 9.0;
+
+  SynthesisResult result;
+  Floorplan fp = make_floorplan(regions, fopts);
+  result.floorplan_spec = write_floorplan_spec(fp);
+
+  Placement pl;
+  if (opts.placer == PlacerKind::kQuadratic && opts.respect_power_domains) {
+    QuadraticPlacerOptions qopts;
+    qopts.refine_passes = opts.refine_passes;
+    qopts.seed = opts.seed;
+    pl = place_quadratic(flat, fp, qopts);
+  } else {
+    PlacementOptions popts;
+    popts.respect_regions = opts.respect_power_domains;
+    popts.barycenter_passes = opts.barycenter_passes;
+    popts.refine_passes = opts.refine_passes;
+    popts.seed = opts.seed;
+    pl = place(flat, fp, popts);
+  }
+
+  RouterOptions ropts;
+  result.routing = estimate_routing(flat, pl, fp.die, ropts);
+  if (opts.detailed_route) {
+    result.detailed_routing = maze_route(flat, pl, fp.die, {});
+  }
+  result.drc = run_drc(flat, pl, fp);
+  result.layout =
+      std::make_unique<Layout>(std::move(flat), std::move(fp), std::move(pl));
+  result.stats = result.layout->stats();
+  return result;
+}
+
+}  // namespace vcoadc::synth

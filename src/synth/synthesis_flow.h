@@ -1,0 +1,63 @@
+// The end-to-end layout-synthesis flow of Fig. 9:
+//
+//   HDL generation          -> done upstream (netlist::build_adc_design or
+//                              the Verilog parser)
+//   std-cell lib modification -> done upstream (add_resistor_cells)
+//   floorplan generation    -> partition_into_regions + make_floorplan
+//   automatic place & route -> place + estimate_routing
+//   resulting layout        -> Layout (+ DRC signoff)
+//
+// SynthesisFlow bundles those stages with one options struct and returns
+// every intermediate artifact, which is what the benches and examples print.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "synth/drc.h"
+#include "synth/layout.h"
+#include "synth/maze_router.h"
+#include "synth/router.h"
+
+namespace vcoadc::synth {
+
+/// Placement engine selection.
+enum class PlacerKind {
+  kSerpentine,  ///< connectivity-ordered row packing (placer.cpp)
+  kQuadratic,   ///< analytical quadratic placement (placer_quadratic.cpp)
+};
+
+struct SynthesisOptions {
+  PlacerKind placer = PlacerKind::kSerpentine;
+  /// Mixed-signal placement density. AMS layouts place far sparser than
+  /// digital blocks (supply straps, decap fill, isolation spacing); the
+  /// paper floorplans "such that the placement density is similar in both
+  /// technology nodes", which is this knob.
+  double target_utilization = 0.08;
+  double aspect_ratio = 1.0;
+  bool respect_power_domains = true;  ///< false = the naive prior flow
+  int barycenter_passes = 6;
+  int refine_passes = 3;
+  /// Run the maze router after placement (per-net detailed routes, vias,
+  /// overflow check) in addition to the HPWL/congestion estimate.
+  bool detailed_route = true;
+  std::uint64_t seed = 1;
+};
+
+struct SynthesisResult {
+  std::string floorplan_spec;     ///< the .fp-style text (Fig. 9 input)
+  std::unique_ptr<Layout> layout; ///< placed design
+  RoutingEstimate routing;
+  MazeRouteResult detailed_routing;  ///< empty when detailed_route is off
+  DrcReport drc;
+  LayoutStats stats;
+};
+
+/// Runs floorplan + placement + routing estimate + DRC on a validated
+/// design. Aborts if the design does not validate (programming error —
+/// generator output and parsed paper netlists always validate).
+SynthesisResult synthesize(const netlist::Design& design,
+                           const SynthesisOptions& opts);
+
+}  // namespace vcoadc::synth

@@ -1,0 +1,80 @@
+#include "tech/scaling_model.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace vcoadc::tech {
+
+TrendFit fit_power_law(const std::vector<double>& gate_lengths_nm,
+                       const std::vector<double>& values) {
+  TrendFit fit;
+  const std::size_t n = std::min(gate_lengths_nm.size(), values.size());
+  if (n < 2) return fit;
+  // Least squares on (log L, log y).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = std::log(gate_lengths_nm[i]);
+    const double y = std::log(values[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.exponent = (dn * sxy - sx * sy) / denom;
+  fit.coeff = std::exp((sy - fit.exponent * sx) / dn);
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = std::log(fit.coeff) + fit.exponent * std::log(gate_lengths_nm[i]);
+    const double r = std::log(values[i]) - pred;
+    ss_res += r * r;
+  }
+  fit.r_squared = (ss_tot > 0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+std::vector<TrendRow> scaling_trend(const TechDatabase& db) {
+  std::vector<TrendRow> rows;
+  rows.reserve(db.nodes().size());
+  for (const TechNode& n : db.nodes()) {
+    rows.push_back({n.gate_length_nm, n.vdd, n.intrinsic_gain, n.ft_hz / 1e9,
+                    n.fo4_delay_s / 1e-12});
+  }
+  return rows;
+}
+
+std::vector<DomainHeadroom> domain_headroom_trend(const TechDatabase& db) {
+  std::vector<DomainHeadroom> rows;
+  if (db.nodes().empty()) return rows;
+  const TechNode& ref = db.nodes().front();  // oldest node (500 nm)
+  const double vd_ref = ref.vdd * ref.intrinsic_gain;
+  const double td_ref = 1.0 / ref.fo4_delay_s;
+  for (const TechNode& n : db.nodes()) {
+    rows.push_back({n.gate_length_nm, (n.vdd * n.intrinsic_gain) / vd_ref,
+                    (1.0 / n.fo4_delay_s) / td_ref});
+  }
+  return rows;
+}
+
+int closest_drive_strength(int source_strength,
+                           const std::vector<int>& target_strengths) {
+  int best = source_strength;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int s : target_strengths) {
+    // Compare in log space: a 2x cell is "as far" from 1x as 4x is from 2x.
+    const double d = std::fabs(std::log2(static_cast<double>(s)) -
+                               std::log2(static_cast<double>(source_strength)));
+    if (d < best_dist) {
+      best_dist = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace vcoadc::tech

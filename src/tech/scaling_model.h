@@ -1,0 +1,54 @@
+// Scaling trend analysis on top of the TechDatabase.
+//
+// Supports the Fig. 1 reproduction (trend tables and fitted exponents) and
+// the Sec. 4 design-migration experiment (mapping a design between nodes by
+// transforming cells into their closest-size counterparts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/tech_node.h"
+
+namespace vcoadc::tech {
+
+/// Result of a power-law fit y = c * L^alpha over the node table.
+struct TrendFit {
+  double exponent = 0;  ///< alpha
+  double coeff = 0;     ///< c (y at L = 1 nm)
+  double r_squared = 0; ///< goodness of fit in log-log space
+};
+
+/// Fits y(L) = c * L^alpha through (gate_length_nm, value) samples.
+TrendFit fit_power_law(const std::vector<double>& gate_lengths_nm,
+                       const std::vector<double>& values);
+
+/// One row of the Fig. 1 trend table.
+struct TrendRow {
+  double gate_length_nm = 0;
+  double vdd = 0;
+  double intrinsic_gain = 0;
+  double ft_ghz = 0;
+  double fo4_ps = 0;
+};
+
+/// The Fig. 1a/1b data across the whole node table.
+std::vector<TrendRow> scaling_trend(const TechDatabase& db);
+
+/// Summary of how voltage-domain versus time-domain design headroom moves
+/// with scaling: VD headroom ~ VDD * intrinsic_gain, TD resolution ~ 1/FO4.
+struct DomainHeadroom {
+  double gate_length_nm = 0;
+  double vd_headroom = 0;      ///< VDD * gain, normalized to the 500 nm node
+  double td_resolution = 0;    ///< (1/FO4), normalized to the 500 nm node
+};
+std::vector<DomainHeadroom> domain_headroom_trend(const TechDatabase& db);
+
+/// Design migration between nodes (Sec. 4): "done automatically by
+/// transforming the standard cells into their closest-size counterparts."
+/// Given a cell drive strength available at the source node, returns the
+/// closest available strength at the target node.
+int closest_drive_strength(int source_strength,
+                           const std::vector<int>& target_strengths);
+
+}  // namespace vcoadc::tech

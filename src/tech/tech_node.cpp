@@ -1,0 +1,134 @@
+#include "tech/tech_node.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vcoadc::tech {
+namespace {
+
+// Anchor rows of the node database. Fig. 1 anchors:
+//   500 nm: gain 180, VDD 5 V, fT 16 GHz, FO4 140 ps
+//   22 nm:  gain 6,   VDD 1 V, fT 400 GHz, FO4 6 ps
+// Intermediate rows follow ITRS trend curves. Geometry / electrical
+// derivations:
+//   M1 pitch        ~ 3.5 * L
+//   row height      = 9 tracks
+//   1x inverter Cin ~ 12 aF per nm of L (W ~ 4L device, ~2 fF/um gate cap)
+//   ring stage delay ~ FO4 / 3 at mid control voltage
+//   leakage grows as L shrinks (gate tunneling + subthreshold)
+struct Row {
+  double l_nm, vdd, gain, ft_ghz, fo4_ps, leak_nw, offset_mv;
+};
+constexpr Row kRows[] = {
+    // L     VDD   gain  fT     FO4    leak   sigma_os
+    {500.0, 5.00, 180.0, 16.0, 140.0, 0.001, 2.0},
+    {350.0, 3.30, 135.0, 22.0, 105.0, 0.002, 2.4},
+    {250.0, 2.50, 100.0, 32.0, 78.0, 0.005, 2.8},
+    {180.0, 1.80, 70.0, 48.0, 55.0, 0.01, 3.2},
+    {130.0, 1.30, 45.0, 75.0, 38.0, 0.05, 3.8},
+    {90.0, 1.20, 30.0, 120.0, 25.0, 0.2, 4.5},
+    {65.0, 1.10, 20.0, 180.0, 17.0, 0.6, 5.2},
+    {45.0, 1.10, 12.0, 280.0, 10.5, 1.5, 6.0},
+    {40.0, 1.10, 11.0, 300.0, 9.5, 1.8, 6.2},
+    {32.0, 1.00, 8.0, 350.0, 7.5, 2.5, 6.8},
+    {22.0, 1.00, 6.0, 400.0, 6.0, 4.0, 7.5},
+};
+
+TechNode make_node(const Row& r) {
+  TechNode n;
+  char name[32];
+  std::snprintf(name, sizeof(name), "%.0fnm", r.l_nm);
+  n.name = name;
+  n.gate_length_nm = r.l_nm;
+  n.vdd = r.vdd;
+  n.intrinsic_gain = r.gain;
+  n.ft_hz = r.ft_ghz * 1e9;
+  n.fo4_delay_s = r.fo4_ps * 1e-12;
+  n.m1_pitch_m = 3.5 * r.l_nm * 1e-9;
+  n.cell_row_height_m = 9.0 * n.m1_pitch_m;
+  n.min_inv_input_cap_f = 12e-18 * r.l_nm;
+  n.gate_leakage_w = r.leak_nw * 1e-9;
+  n.ring_stage_delay_s = n.fo4_delay_s / 3.0;
+  // Poly resistor sheet resistance is roughly node independent; the high-res
+  // implant module gives ~10x the low-res sheet (Fig. 11: 1k vs 11k cells).
+  n.poly_sheet_ohms = 100.0;
+  n.hires_sheet_ohms = 1100.0;
+  n.comparator_offset_sigma_v = r.offset_mv * 1e-3;
+  return n;
+}
+
+}  // namespace
+
+double TechNode::max_ring_freq_hz(int n_stages) const {
+  // A ring of n pseudo-differential stages completes one period after the
+  // edge traverses all stages twice (differential ring, no inversion needed
+  // per lap for the cross-coupled-inverter cell of Fig. 5).
+  return 1.0 / (2.0 * n_stages * ring_stage_delay_s);
+}
+
+double TechNode::switching_energy_j(double cap_f) const {
+  return cap_f * vdd * vdd;
+}
+
+const TechDatabase& TechDatabase::standard() {
+  static const TechDatabase db = [] {
+    TechDatabase d;
+    for (const Row& r : kRows) d.nodes_.push_back(make_node(r));
+    return d;
+  }();
+  return db;
+}
+
+std::optional<TechNode> TechDatabase::find(double gate_length_nm) const {
+  for (const TechNode& n : nodes_) {
+    if (n.gate_length_nm == gate_length_nm) return n;
+  }
+  return std::nullopt;
+}
+
+TechNode TechDatabase::at(double gate_length_nm) const {
+  if (auto n = find(gate_length_nm)) return *n;
+  std::fprintf(stderr, "TechDatabase: unknown node %.0f nm\n", gate_length_nm);
+  std::abort();
+}
+
+TechNode TechDatabase::interpolate(double gate_length_nm) const {
+  if (auto exact = find(gate_length_nm)) return *exact;
+  // Clamp to range, then log-log interpolate between bracketing rows. The
+  // nodes_ vector is sorted by descending L.
+  const TechNode& oldest = nodes_.front();
+  const TechNode& newest = nodes_.back();
+  if (gate_length_nm >= oldest.gate_length_nm) return oldest;
+  if (gate_length_nm <= newest.gate_length_nm) return newest;
+  std::size_t hi = 1;
+  while (hi < nodes_.size() && nodes_[hi].gate_length_nm > gate_length_nm) ++hi;
+  const TechNode& a = nodes_[hi - 1];  // larger L
+  const TechNode& b = nodes_[hi];      // smaller L
+  const double t = (std::log(gate_length_nm) - std::log(a.gate_length_nm)) /
+                   (std::log(b.gate_length_nm) - std::log(a.gate_length_nm));
+  auto lerp_log = [t](double x, double y) {
+    return std::exp(std::log(x) + t * (std::log(y) - std::log(x)));
+  };
+  TechNode n;
+  char name[32];
+  std::snprintf(name, sizeof(name), "%.0fnm", gate_length_nm);
+  n.name = name;
+  n.gate_length_nm = gate_length_nm;
+  n.vdd = lerp_log(a.vdd, b.vdd);
+  n.intrinsic_gain = lerp_log(a.intrinsic_gain, b.intrinsic_gain);
+  n.ft_hz = lerp_log(a.ft_hz, b.ft_hz);
+  n.fo4_delay_s = lerp_log(a.fo4_delay_s, b.fo4_delay_s);
+  n.m1_pitch_m = lerp_log(a.m1_pitch_m, b.m1_pitch_m);
+  n.cell_row_height_m = lerp_log(a.cell_row_height_m, b.cell_row_height_m);
+  n.min_inv_input_cap_f = lerp_log(a.min_inv_input_cap_f, b.min_inv_input_cap_f);
+  n.gate_leakage_w = lerp_log(a.gate_leakage_w, b.gate_leakage_w);
+  n.ring_stage_delay_s = lerp_log(a.ring_stage_delay_s, b.ring_stage_delay_s);
+  n.poly_sheet_ohms = lerp_log(a.poly_sheet_ohms, b.poly_sheet_ohms);
+  n.hires_sheet_ohms = lerp_log(a.hires_sheet_ohms, b.hires_sheet_ohms);
+  n.comparator_offset_sigma_v =
+      lerp_log(a.comparator_offset_sigma_v, b.comparator_offset_sigma_v);
+  return n;
+}
+
+}  // namespace vcoadc::tech

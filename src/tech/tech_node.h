@@ -1,0 +1,82 @@
+// Technology node model.
+//
+// The paper's entire motivation (Sec. 1, Fig. 1) is the divergence of two
+// scaling trends: voltage-domain headroom (supply voltage, transistor
+// intrinsic gain) collapses with CMOS scaling, while time-domain resolution
+// (f_T, FO4 inverter delay) improves. We encode those trends as a per-node
+// parameter bundle from which everything downstream is derived:
+//   * the behavioral simulator's VCO free-running frequency and tuning gain,
+//   * the standard-cell library geometry for layout synthesis,
+//   * the switching-energy terms of the power model.
+//
+// Since we have no foundry PDK, the numbers are ITRS-trend calibrated
+// (see DESIGN.md, substitution table); anchor points at 500 nm / 180 nm /
+// 40 nm / 22 nm match the figures quoted in the paper's introduction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vcoadc::tech {
+
+/// One CMOS process node's electrical and geometric parameters.
+///
+/// All values are in base SI units unless the member name says otherwise.
+struct TechNode {
+  std::string name;          ///< e.g. "40nm"
+  double gate_length_nm = 0; ///< drawn gate length
+
+  // --- Fig. 1a quantities (voltage-domain scaling) ---
+  double vdd = 0;            ///< nominal digital supply [V]
+  double intrinsic_gain = 0; ///< gm*ro of a minimum device
+
+  // --- Fig. 1b quantities (time-domain scaling) ---
+  double ft_hz = 0;          ///< transit frequency [Hz]
+  double fo4_delay_s = 0;    ///< fan-out-of-4 inverter delay [s]
+
+  // --- derived / library-level quantities ---
+  double m1_pitch_m = 0;          ///< metal-1 routing pitch [m]
+  double cell_row_height_m = 0;   ///< standard-cell row height [m]
+  double min_inv_input_cap_f = 0; ///< input capacitance of a 1x inverter [F]
+  double gate_leakage_w = 0;      ///< leakage per minimum gate at nominal VDD [W]
+  double ring_stage_delay_s = 0;  ///< delay of one VCO ring stage at mid Vctrl [s]
+  double poly_sheet_ohms = 0;     ///< low-resistivity resistor sheet rho [ohm/sq]
+  double hires_sheet_ohms = 0;    ///< high-resistivity resistor sheet rho [ohm/sq]
+  double comparator_offset_sigma_v = 0; ///< mismatch-driven offset sigma [V]
+
+  /// Maximum ring oscillation frequency of an `n_stages` pseudo-differential
+  /// ring at the top of the tuning range.
+  double max_ring_freq_hz(int n_stages) const;
+
+  /// Switching energy of a gate with input capacitance `cap_f` at this
+  /// node's VDD: E = C * VDD^2 (one full charge/discharge cycle).
+  double switching_energy_j(double cap_f) const;
+};
+
+/// The node database covering the paper's Fig. 1 sweep (500 nm .. 22 nm).
+class TechDatabase {
+ public:
+  /// Builds the default ITRS-trend-calibrated database.
+  static const TechDatabase& standard();
+
+  /// Exact node lookup by drawn gate length in nm (e.g. 40, 180).
+  /// Returns std::nullopt if the node is not in the table.
+  std::optional<TechNode> find(double gate_length_nm) const;
+
+  /// Exact node lookup; aborts with a message if absent. Use for the two
+  /// nodes the paper evaluates, which are always present.
+  TechNode at(double gate_length_nm) const;
+
+  /// Log-log interpolated node for arbitrary gate lengths within the
+  /// table's range (used by the scaling-trend benches).
+  TechNode interpolate(double gate_length_nm) const;
+
+  /// All nodes, sorted from oldest (largest L) to newest.
+  const std::vector<TechNode>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<TechNode> nodes_;
+};
+
+}  // namespace vcoadc::tech

@@ -1,0 +1,93 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace vcoadc::util {
+namespace {
+
+double transform_x(double x, bool log_x) {
+  return log_x ? std::log10(std::max(x, 1e-300)) : x;
+}
+
+}  // namespace
+
+std::string ascii_plot(const std::vector<double>& x,
+                       const std::vector<double>& y, const PlotOptions& opts) {
+  const int width = std::max(opts.width, 10);
+  const int height = std::max(opts.height, 4);
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(y[i])) continue;
+    const double tx = transform_x(x[i], opts.log_x);
+    if (!std::isfinite(tx)) continue;
+    xmin = std::min(xmin, tx);
+    xmax = std::max(xmax, tx);
+    ymin = std::min(ymin, y[i]);
+    ymax = std::max(ymax, y[i]);
+  }
+  if (!(xmin < xmax)) xmax = xmin + 1.0;
+  if (opts.clamp_y) {
+    ymin = opts.y_min;
+    ymax = opts.y_max;
+  }
+  if (!(ymin < ymax)) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(y[i])) continue;
+    const double tx = transform_x(x[i], opts.log_x);
+    if (!std::isfinite(tx)) continue;
+    const double yv = std::clamp(y[i], ymin, ymax);
+    int col = static_cast<int>((tx - xmin) / (xmax - xmin) * (width - 1) + 0.5);
+    int row = static_cast<int>((ymax - yv) / (ymax - ymin) * (height - 1) + 0.5);
+    col = std::clamp(col, 0, width - 1);
+    row = std::clamp(row, 0, height - 1);
+    char& cell = grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    cell = (cell == ' ') ? '*' : '#';
+  }
+
+  std::string out;
+  if (!opts.title.empty()) out += opts.title + "\n";
+  char label[64];
+  for (int r = 0; r < height; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height - 1);
+    if (r == 0 || r == height - 1 || r == height / 2) {
+      std::snprintf(label, sizeof(label), "%10.3g |", yv);
+    } else {
+      std::snprintf(label, sizeof(label), "%10s |", "");
+    }
+    out += label;
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(static_cast<std::size_t>(width), '-') + '\n';
+  char footer[256];
+  if (opts.log_x) {
+    std::snprintf(footer, sizeof(footer), "%12s%-.4g%*s%.4g (log scale) %s\n",
+                  "", std::pow(10.0, xmin), width - 16, "", std::pow(10.0, xmax),
+                  opts.x_label.c_str());
+  } else {
+    std::snprintf(footer, sizeof(footer), "%12s%-.4g%*s%.4g  %s\n", "", xmin,
+                  width - 16, "", xmax, opts.x_label.c_str());
+  }
+  out += footer;
+  if (!opts.y_label.empty()) out += "  y: " + opts.y_label + "\n";
+  return out;
+}
+
+std::string ascii_plot(const std::vector<double>& y, const PlotOptions& opts) {
+  std::vector<double> x(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  return ascii_plot(x, y, opts);
+}
+
+}  // namespace vcoadc::util

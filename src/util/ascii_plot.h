@@ -1,0 +1,34 @@
+// Terminal plotting for waveforms (Fig. 16/18) and spectra (Fig. 17/18).
+//
+// The benchmark harnesses reproduce the paper's *figures* as ASCII charts so
+// the "shape" claims (20 dB/dec slope, out-of-band mismatch tones, absence of
+// idle tones) are visible directly in the bench output without a plotting
+// stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vcoadc::util {
+
+struct PlotOptions {
+  int width = 100;        ///< plot area columns
+  int height = 24;        ///< plot area rows
+  bool log_x = false;     ///< logarithmic x axis (spectra)
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  double y_min = 0.0;     ///< used when clamp_y is true
+  double y_max = 0.0;
+  bool clamp_y = false;
+};
+
+/// Renders y(x) as a scatter/line chart using unicode-free ASCII.
+/// x and y must be the same length; non-finite y values are skipped.
+std::string ascii_plot(const std::vector<double>& x,
+                       const std::vector<double>& y, const PlotOptions& opts);
+
+/// Convenience: plots y against its sample index.
+std::string ascii_plot(const std::vector<double>& y, const PlotOptions& opts);
+
+}  // namespace vcoadc::util

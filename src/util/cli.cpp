@@ -1,0 +1,62 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace vcoadc::util {
+
+ArgParser::ArgParser(int argc, const char* const argv[]) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--")) {
+      const std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        flags_[body] = argv[++i];
+      } else {
+        flags_[body] = "true";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return flags_.count(flag) != 0;
+}
+
+std::string ArgParser::get(const std::string& flag,
+                           const std::string& fallback) const {
+  auto it = flags_.find(flag);
+  return (it != flags_.end()) ? it->second : fallback;
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+  auto it = flags_.find(flag);
+  return (it != flags_.end()) ? std::atof(it->second.c_str()) : fallback;
+}
+
+int ArgParser::get_int(const std::string& flag, int fallback) const {
+  auto it = flags_.find(flag);
+  return (it != flags_.end()) ? std::atoi(it->second.c_str()) : fallback;
+}
+
+std::vector<std::string> ArgParser::unknown_flags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    bool ok = false;
+    for (const auto& k : known) {
+      if (k == name) ok = true;
+    }
+    if (!ok) out.push_back("--" + name);
+  }
+  return out;
+}
+
+}  // namespace vcoadc::util

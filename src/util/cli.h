@@ -1,0 +1,36 @@
+// Minimal command-line argument parser for the example tools.
+// Supports `--name=value`, `--name value`, boolean `--flag`, and
+// positional arguments; unknown-flag detection for helpful errors.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vcoadc::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const argv[]);
+
+  bool has(const std::string& flag) const;
+  std::string get(const std::string& flag,
+                  const std::string& fallback = {}) const;
+  double get_double(const std::string& flag, double fallback) const;
+  int get_int(const std::string& flag, int fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  /// Flags present on the command line that are not in `known` (including
+  /// the leading dashes as typed).
+  std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // name (no dashes) -> value
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vcoadc::util

@@ -1,0 +1,79 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace vcoadc::util {
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find_first_of(delims, start);
+    const std::size_t stop = (end == std::string_view::npos) ? s.size() : end;
+    if (stop > start) out.emplace_back(s.substr(start, stop - start));
+    start = stop + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  const unsigned char first = s.front();
+  if (!std::isalpha(first) && first != '_') return false;
+  for (unsigned char c : s.substr(1)) {
+    if (!std::isalnum(c) && c != '_' && c != '$') return false;
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace vcoadc::util

@@ -1,0 +1,35 @@
+// Small string utilities shared by the netlist parser/writer and the
+// report generators. Kept dependency-free.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcoadc::util {
+
+/// Splits on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins the pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_$]*.
+bool is_identifier(std::string_view s);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view s);
+
+}  // namespace vcoadc::util

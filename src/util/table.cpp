@@ -1,0 +1,91 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace vcoadc::util {
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_footnote(std::string note) {
+  footnotes_.push_back(std::move(note));
+}
+
+std::size_t Table::num_cols() const {
+  std::size_t n = header_.size();
+  for (const auto& row : rows_) n = std::max(n, row.size());
+  return n;
+}
+
+void Table::print(std::ostream& os) const {
+  const std::size_t cols = num_cols();
+  if (cols == 0) return;
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = (i < row.size()) ? row[i] : std::string{};
+      os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& row : rows_) emit(row);
+  rule();
+  for (const auto& note : footnotes_) os << "* " << note << '\n';
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += ',';
+      out += csv_escape(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace vcoadc::util

@@ -1,0 +1,46 @@
+// ASCII table and CSV rendering used by every benchmark harness to print
+// the paper's tables in a shape directly comparable to the publication.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vcoadc::util {
+
+/// A simple column-aligned text table with an optional title and footnotes.
+///
+/// Usage:
+///   Table t("Table 3: ...");
+///   t.set_header({"Process", "fs", "SNDR"});
+///   t.add_row({"40 nm", "750 MHz", "69.5 dB"});
+///   t.print(std::cout);
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_footnote(std::string note);
+
+  /// Renders with box-drawing separators; pads ragged rows with blanks.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const;
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& header() const { return header_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footnotes_;
+};
+
+}  // namespace vcoadc::util

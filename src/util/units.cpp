@@ -1,0 +1,66 @@
+#include "util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace vcoadc::util {
+
+std::string si_format(double value, const std::string& unit) {
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr std::array<Prefix, 9> kPrefixes{{{1e12, "T"},
+                                                    {1e9, "G"},
+                                                    {1e6, "M"},
+                                                    {1e3, "k"},
+                                                    {1.0, ""},
+                                                    {1e-3, "m"},
+                                                    {1e-6, "u"},
+                                                    {1e-9, "n"},
+                                                    {1e-12, "p"}}};
+  if (value == 0.0) return "0 " + unit;
+  const double mag = std::fabs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) {
+      chosen = &p;
+      break;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g %s%s", value / chosen->scale,
+                chosen->symbol, unit.c_str());
+  return buf;
+}
+
+std::string fixed_format(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+double db_power(double ratio) {
+  if (ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(ratio);
+}
+
+double db_amplitude(double ratio) {
+  if (ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(ratio);
+}
+
+double from_db_power(double db) { return std::pow(10.0, db / 10.0); }
+
+double from_db_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+double enob_from_sndr_db(double sndr_db) { return (sndr_db - 1.76) / 6.02; }
+
+double walden_fom_fj(double power_w, double sndr_db, double bandwidth_hz) {
+  const double enob = enob_from_sndr_db(sndr_db);
+  return power_w / (std::pow(2.0, enob) * 2.0 * bandwidth_hz) * 1e15;
+}
+
+}  // namespace vcoadc::util

@@ -1,0 +1,42 @@
+// Engineering-unit helpers: SI-prefix formatting and decibel conversions.
+//
+// Everything in the library is stored in base SI units (seconds, hertz,
+// volts, watts, square metres); these helpers only affect presentation and
+// the dB math used by the spectrum analyzers.
+#pragma once
+
+#include <string>
+
+namespace vcoadc::util {
+
+/// Formats `value` with an SI prefix and the given unit, e.g.
+/// si_format(7.5e8, "Hz") == "750 MHz". Uses 4 significant digits.
+std::string si_format(double value, const std::string& unit);
+
+/// Formats `value` with fixed decimal places (no SI prefix).
+std::string fixed_format(double value, int decimals);
+
+/// Power ratio in decibels: 10*log10(ratio). Returns -inf for ratio <= 0.
+double db_power(double ratio);
+
+/// Amplitude ratio in decibels: 20*log10(ratio). Returns -inf for ratio <= 0.
+double db_amplitude(double ratio);
+
+/// Inverse of db_power.
+double from_db_power(double db);
+
+/// Inverse of db_amplitude.
+double from_db_amplitude(double db);
+
+/// Effective number of bits from an SNDR in dB (the paper's Table 3 formula):
+/// ENOB = (SNDR - 1.76) / 6.02.
+double enob_from_sndr_db(double sndr_db);
+
+/// Walden figure of merit in femtojoules per conversion step (Table 3):
+/// FOM = P / (2^ENOB * 2 * BW), reported in fJ/conv-step.
+double walden_fom_fj(double power_w, double sndr_db, double bandwidth_hz);
+
+inline constexpr double kBoltzmann = 1.380649e-23;  // J/K
+inline constexpr double kRoomTempK = 300.0;
+
+}  // namespace vcoadc::util

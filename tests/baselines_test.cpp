@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "baselines/domino_adc.h"
+#include "baselines/opamp_dsm.h"
+#include "baselines/passive_dsm.h"
+#include "baselines/published.h"
+#include "baselines/stochastic_flash.h"
+#include "dsp/signal_gen.h"
+#include "dsp/spectrum.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::baselines {
+namespace {
+
+double measure_sndr(const std::vector<double>& y, double fs, double bw,
+                    double fin) {
+  const auto spec = dsp::compute_spectrum(y, fs, 1.0, dsp::WindowKind::kHann);
+  return dsp::analyze_sndr(spec, bw, fin).sndr_db;
+}
+
+TEST(Published, Table4RowsPresent) {
+  const auto& rows = table4_prior_works();
+  ASSERT_EQ(rows.size(), 4u);
+  // Table 4 exact values.
+  EXPECT_DOUBLE_EQ(rows[0].sndr_db, 56.3);
+  EXPECT_DOUBLE_EQ(rows[1].sndr_db, 56.2);
+  EXPECT_DOUBLE_EQ(rows[2].sndr_db, 35.9);
+  EXPECT_DOUBLE_EQ(rows[3].sndr_db, 34.2);
+  EXPECT_DOUBLE_EQ(table4_this_work().sndr_db, 69.5);
+  EXPECT_DOUBLE_EQ(table4_this_work().fom_fj, 56.2);
+  // The paper's claim: our SNDR is 13 dB above the second best.
+  double second_best = 0;
+  for (const auto& r : rows) second_best = std::max(second_best, r.sndr_db);
+  EXPECT_NEAR(table4_this_work().sndr_db - second_best, 13.2, 0.5);
+}
+
+TEST(PassiveDsm, ReproducesPublishedSndrBand) {
+  PassiveDsmAdc::Params p;  // defaults = [15] 65 nm operating point
+  PassiveDsmAdc adc(p);
+  const std::size_t n = 1 << 15;
+  const double fin = dsp::coherent_freq(300e3, p.fs_hz, n);
+  const auto y = adc.run(dsp::make_sine(0.7, fin), n);
+  const double sndr = measure_sndr(y, p.fs_hz, p.bw_hz, fin);
+  // Published: 56.3 dB. Behavioral band: 52..60.
+  EXPECT_GT(sndr, 52.0);
+  EXPECT_LT(sndr, 60.0);
+}
+
+TEST(PassiveDsm, LeakierIntegratorIsWorse) {
+  const std::size_t n = 1 << 14;
+  double sndr_tight = 0, sndr_leaky = 0;
+  for (double leak : {0.02, 0.3}) {
+    PassiveDsmAdc::Params p;
+    p.integrator_leak = leak;
+    PassiveDsmAdc adc(p);
+    const double fin = dsp::coherent_freq(300e3, p.fs_hz, n);
+    const auto y = adc.run(dsp::make_sine(0.5, fin), n);
+    const double sndr = measure_sndr(y, p.fs_hz, p.bw_hz, fin);
+    if (leak < 0.1) sndr_tight = sndr;
+    else sndr_leaky = sndr;
+  }
+  EXPECT_GT(sndr_tight, sndr_leaky + 3.0);
+}
+
+TEST(StochasticFlash, ReproducesPublishedSndrBand) {
+  StochasticFlashAdc::Params p;  // defaults = [16] 90 nm operating point
+  StochasticFlashAdc adc(p);
+  const std::size_t n = 1 << 13;
+  const double fin = dsp::coherent_freq(10e6, p.fs_hz, n);
+  const auto y = adc.run(dsp::make_sine(0.5, fin), n);
+  const double sndr = measure_sndr(y, p.fs_hz, p.bw_hz, fin);
+  // Published: 35.9 dB. Behavioral band: 30..42.
+  EXPECT_GT(sndr, 30.0);
+  EXPECT_LT(sndr, 42.0);
+}
+
+TEST(StochasticFlash, MoreComparatorsMoreSndr) {
+  const std::size_t n = 1 << 12;
+  double sndr_small = 0, sndr_big = 0;
+  for (int k : {63, 4095}) {
+    StochasticFlashAdc::Params p;
+    p.comparators = k;
+    StochasticFlashAdc adc(p);
+    const double fin = dsp::coherent_freq(10e6, p.fs_hz, n);
+    const auto y = adc.run(dsp::make_sine(0.5, fin), n);
+    const double sndr = measure_sndr(y, p.fs_hz, p.bw_hz, fin);
+    if (k == 63) sndr_small = sndr;
+    else sndr_big = sndr;
+  }
+  EXPECT_GT(sndr_big, sndr_small + 6.0);
+}
+
+TEST(StochasticFlash, LinearizationHelps) {
+  const std::size_t n = 1 << 12;
+  double sndr_lin = 0, sndr_raw = 0;
+  for (bool lin : {true, false}) {
+    StochasticFlashAdc::Params p;
+    p.linearize = lin;
+    StochasticFlashAdc adc(p);
+    const double fin = dsp::coherent_freq(10e6, p.fs_hz, n);
+    const auto y = adc.run(dsp::make_sine(0.6, fin), n);
+    const double sndr = measure_sndr(y, p.fs_hz, p.bw_hz, fin);
+    (lin ? sndr_lin : sndr_raw) = sndr;
+  }
+  EXPECT_GT(sndr_lin, sndr_raw);
+}
+
+TEST(Domino, ReproducesPublishedSndrBand) {
+  DominoAdc::Params p;  // defaults = [17] 180 nm operating point
+  DominoAdc adc(p);
+  const std::size_t n = 1 << 13;
+  const double fin = dsp::coherent_freq(2e6, p.fs_hz, n);
+  const auto y = adc.run(dsp::make_sine(0.7, fin), n);
+  const double sndr = measure_sndr(y, p.fs_hz, p.bw_hz, fin);
+  // Published: 34.2 dB. Behavioral band: 28..40.
+  EXPECT_GT(sndr, 28.0);
+  EXPECT_LT(sndr, 40.0);
+}
+
+TEST(OpampDsm, GainDegradationHurtsSndr) {
+  const std::size_t n = 1 << 14;
+  double high_gain = 0, low_gain = 0;
+  for (double gain : {10000.0, 15.0}) {
+    OpampDsmAdc::Params p;
+    p.opamp_dc_gain = gain;
+    OpampDsmAdc adc(p);
+    const double fin = dsp::coherent_freq(200e3, p.fs_hz, n);
+    const auto y = adc.run(dsp::make_sine(0.6, fin), n);
+    const double sndr = measure_sndr(y, p.fs_hz, p.bw_hz, fin);
+    (gain > 100 ? high_gain : low_gain) = sndr;
+  }
+  EXPECT_GT(high_gain, low_gain + 8.0);
+}
+
+TEST(OpampDsm, AchievableGainCollapsesWithScaling) {
+  const auto& db = tech::TechDatabase::standard();
+  const double g500 = OpampDsmAdc::achievable_opamp_gain(db.at(500));
+  const double g40 = OpampDsmAdc::achievable_opamp_gain(db.at(40));
+  const double g22 = OpampDsmAdc::achievable_opamp_gain(db.at(22));
+  EXPECT_GT(g500, 5000.0);  // two stages of gain ~126
+  EXPECT_LT(g40, 10.0);     // single starved stage
+  EXPECT_LT(g22, g40);
+}
+
+TEST(OpampDsm, RankingMatchesPaperNarrative) {
+  // In an old process the VD modulator is competitive; in 40 nm it loses
+  // badly to what the paper's TD architecture achieves (~65+ dB measured
+  // in our core tests).
+  const std::size_t n = 1 << 14;
+  auto sndr_at = [&](double node_nm) {
+    OpampDsmAdc::Params p;
+    p.opamp_dc_gain = OpampDsmAdc::achievable_opamp_gain(
+        tech::TechDatabase::standard().at(node_nm));
+    OpampDsmAdc adc(p);
+    const double fin = dsp::coherent_freq(200e3, p.fs_hz, n);
+    const auto y = adc.run(dsp::make_sine(0.6, fin), n);
+    return measure_sndr(y, p.fs_hz, p.bw_hz, fin);
+  };
+  const double sndr_500 = sndr_at(500);
+  const double sndr_40 = sndr_at(40);
+  EXPECT_GT(sndr_500, sndr_40 + 6.0);
+  EXPECT_LT(sndr_40, 60.0);
+}
+
+}  // namespace
+}  // namespace vcoadc::baselines

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+
+namespace vcoadc::util {
+namespace {
+
+ArgParser parse(std::vector<const char*> argv) {
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsForm) {
+  const auto a = parse({"prog", "cmd", "--node=180", "--fs=250e6"});
+  EXPECT_EQ(a.program(), "prog");
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "cmd");
+  EXPECT_EQ(a.get("node"), "180");
+  EXPECT_DOUBLE_EQ(a.get_double("fs", 0), 250e6);
+}
+
+TEST(ArgParser, SpaceForm) {
+  const auto a = parse({"prog", "--out", "build/artifacts", "run"});
+  EXPECT_EQ(a.get("out"), "build/artifacts");
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "run");
+}
+
+TEST(ArgParser, BooleanFlag) {
+  const auto a = parse({"prog", "--verbose", "--x=1"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get("verbose"), "true");
+  EXPECT_FALSE(a.has("quiet"));
+}
+
+TEST(ArgParser, Fallbacks) {
+  const auto a = parse({"prog"});
+  EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 3.5), 3.5);
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+}
+
+TEST(ArgParser, UnknownFlagDetection) {
+  const auto a = parse({"prog", "--node=40", "--typo=1"});
+  const auto unknown = a.unknown_flags({"node", "fs"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "--typo");
+}
+
+TEST(ArgParser, NumericParsing) {
+  const auto a = parse({"prog", "--slices=16", "--bw=5e6"});
+  EXPECT_EQ(a.get_int("slices", 0), 16);
+  EXPECT_DOUBLE_EQ(a.get_double("bw", 0), 5e6);
+}
+
+}  // namespace
+}  // namespace vcoadc::util

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adc.h"
+#include "core/adc_spec.h"
+#include "core/migration.h"
+#include "core/power_model.h"
+#include "netlist/generator.h"
+#include "util/units.h"
+
+namespace vcoadc::core {
+namespace {
+
+TEST(AdcSpec, PaperOperatingPoints) {
+  const AdcSpec s40 = AdcSpec::paper_40nm();
+  EXPECT_DOUBLE_EQ(s40.fs_hz, 750e6);
+  EXPECT_DOUBLE_EQ(s40.bandwidth_hz, 5e6);
+  EXPECT_NEAR(s40.osr(), 75.0, 1e-9);
+  const AdcSpec s180 = AdcSpec::paper_180nm();
+  EXPECT_DOUBLE_EQ(s180.fs_hz, 250e6);
+  EXPECT_DOUBLE_EQ(s180.bandwidth_hz, 1.4e6);
+}
+
+TEST(AdcSpec, ValidationAcceptsPaperPointsRejectsNonsense) {
+  EXPECT_TRUE(AdcSpec::paper_40nm().validate().empty());
+  EXPECT_TRUE(AdcSpec::paper_180nm().validate().empty());
+
+  AdcSpec bad_node = AdcSpec::paper_40nm();
+  bad_node.node_nm = 55;
+  EXPECT_FALSE(bad_node.validate().empty());
+
+  AdcSpec bad_slices = AdcSpec::paper_40nm();
+  bad_slices.num_slices = 1;
+  EXPECT_FALSE(bad_slices.validate().empty());
+
+  AdcSpec nyquist = AdcSpec::paper_40nm();
+  nyquist.bandwidth_hz = nyquist.fs_hz;  // not oversampled
+  EXPECT_FALSE(nyquist.validate().empty());
+
+  AdcSpec low_osr = AdcSpec::paper_40nm();
+  low_osr.bandwidth_hz = low_osr.fs_hz / 8;  // OSR 4
+  EXPECT_FALSE(low_osr.validate().empty());
+
+  // Ring realizability: 750 MHz clock at 180 nm with 16 stages demands a
+  // 2 GHz ring against a ~1.7 GHz limit -> rejected.
+  AdcSpec too_fast = AdcSpec::paper_180nm();
+  too_fast.fs_hz = 750e6;
+  EXPECT_FALSE(too_fast.validate().empty());
+
+  AdcSpec hot_loop = AdcSpec::paper_40nm();
+  hot_loop.loop_gain = 10.0;
+  EXPECT_FALSE(hot_loop.validate().empty());
+}
+
+TEST(AdcSpec, SimConfigDerivation) {
+  const msim::SimConfig cfg = AdcSpec::paper_40nm().to_sim_config();
+  EXPECT_DOUBLE_EQ(cfg.vdd, 1.1);       // 40 nm supply
+  EXPECT_DOUBLE_EQ(cfg.vrefp, 1.1);
+  EXPECT_DOUBLE_EQ(cfg.r_dac_ohms, 44000.0);  // four 11k fragments
+  EXPECT_NEAR(cfg.r_input_ohms, 44000.0 / 16, 1e-9);
+  EXPECT_GT(cfg.kvco_hz_per_v, 1e8);
+  EXPECT_LT(cfg.kvco_hz_per_v, 5e9);
+  EXPECT_GT(cfg.comparator_offset_sigma_v, 0.0);
+}
+
+TEST(AdcSpec, LoopGainLandsAtRequested) {
+  for (double g : {0.5, 1.0, 2.0}) {
+    AdcSpec spec = AdcSpec::paper_40nm();
+    spec.loop_gain = g;
+    msim::VcoDsmModulator mod(spec.to_sim_config());
+    EXPECT_NEAR(mod.loop_gain_lsb_per_clock(), g, 0.02 * g);
+  }
+}
+
+TEST(AdcSpec, FullScaleEqualsSupply) {
+  // With the input bank mirroring the DAC bank, FS_diff == VREFP == VDD.
+  AdcSpec spec = AdcSpec::paper_40nm();
+  spec.with_nonidealities = false;  // exact without resistor mismatch draws
+  msim::VcoDsmModulator mod(spec.to_sim_config());
+  EXPECT_NEAR(mod.full_scale_diff(), 1.1, 1e-9);
+}
+
+TEST(AdcDesign, SimulateReachesPaperSndr) {
+  // The headline Table 3 number: ~69.5 dB SNDR in 5 MHz at 40 nm. Accept a
+  // band around it (the substrate is a behavioral model, not their PDK).
+  AdcDesign adc(AdcSpec::paper_40nm());
+  SimulationOptions opts;
+  opts.n_samples = 1 << 15;  // shorter capture for test speed
+  const RunResult res = adc.simulate(opts);
+  EXPECT_GT(res.sndr.sndr_db, 64.0);
+  EXPECT_LT(res.sndr.sndr_db, 80.0);
+  EXPECT_NEAR(res.sndr.fundamental_dbfs, -3.0, 1.0);
+}
+
+TEST(AdcDesign, NoiseShapingTwentyDbPerDecade) {
+  AdcDesign adc(AdcSpec::paper_40nm());
+  SimulationOptions opts;
+  opts.n_samples = 1 << 15;
+  const RunResult res = adc.simulate(opts);
+  EXPECT_NEAR(res.shaping.db_per_decade, 20.0, 6.0);
+}
+
+TEST(AdcDesign, BothNodesReachSimilarSndr) {
+  // Table 3's central claim: the SAME architecture hits ~the same SNDR at
+  // both nodes (69.5 dB in the paper).
+  AdcDesign adc40(AdcSpec::paper_40nm());
+  AdcDesign adc180(AdcSpec::paper_180nm());
+  SimulationOptions o40;
+  o40.n_samples = 1 << 15;
+  SimulationOptions o180 = o40;
+  o180.fin_target_hz = 250e3;  // the paper's 180 nm test tone
+  const RunResult r40 = adc40.simulate(o40);
+  const RunResult r180 = adc180.simulate(o180);
+  EXPECT_GT(r40.sndr.sndr_db, 64.0);
+  EXPECT_GT(r180.sndr.sndr_db, 64.0);
+  EXPECT_NEAR(r40.sndr.sndr_db, r180.sndr.sndr_db, 6.0);
+}
+
+TEST(AdcDesign, PowerAndFomImproveWithScaling) {
+  // Table 3 shapes: 40 nm wins power (~4x), FOM (>5x) at equal SNDR.
+  AdcDesign adc40(AdcSpec::paper_40nm());
+  AdcDesign adc180(AdcSpec::paper_180nm());
+  SimulationOptions o40;
+  o40.n_samples = 1 << 14;
+  SimulationOptions o180 = o40;
+  o180.fin_target_hz = 250e3;
+  const RunResult r40 = adc40.simulate(o40);
+  const RunResult r180 = adc180.simulate(o180);
+  EXPECT_LT(r40.power.total_w(), r180.power.total_w() / 2.5);
+  EXPECT_LT(r40.fom_fj, r180.fom_fj / 5.0);
+  // Absolute ballparks (paper: 1.37 mW / 5.45 mW), generous factor-2 bands.
+  EXPECT_GT(r40.power.total_w(), 0.6e-3);
+  EXPECT_LT(r40.power.total_w(), 3.0e-3);
+  EXPECT_GT(r180.power.total_w(), 2.5e-3);
+  EXPECT_LT(r180.power.total_w(), 12e-3);
+}
+
+TEST(AdcDesign, PowerBreakdownMatchesFig15Shape) {
+  // Fig. 15: digital fraction 73% at 40 nm, 88% at 180 nm - the digital
+  // share must be large at both and LARGER at the older node.
+  AdcDesign adc40(AdcSpec::paper_40nm());
+  AdcDesign adc180(AdcSpec::paper_180nm());
+  SimulationOptions o40;
+  o40.n_samples = 1 << 14;
+  SimulationOptions o180 = o40;
+  o180.fin_target_hz = 250e3;
+  const RunResult r40 = adc40.simulate(o40);
+  const RunResult r180 = adc180.simulate(o180);
+  EXPECT_GT(r40.power.digital_fraction(), 0.55);
+  EXPECT_LT(r40.power.digital_fraction(), 0.88);
+  EXPECT_GT(r180.power.digital_fraction(), 0.78);
+  EXPECT_GT(r180.power.digital_fraction(), r40.power.digital_fraction());
+}
+
+TEST(AdcDesign, FullReportHasAreaAndCleanDrc) {
+  AdcDesign adc(AdcSpec::paper_40nm());
+  SimulationOptions opts;
+  opts.n_samples = 1 << 13;
+  const NodeReport report = adc.full_report(opts);
+  EXPECT_TRUE(report.synthesis.drc.clean());
+  EXPECT_GT(report.area_mm2, 1e-4);
+  EXPECT_LT(report.area_mm2, 0.2);
+  // Wire load got folded into the power model.
+  EXPECT_GT(report.run.power.wire_w, 0.0);
+}
+
+TEST(AdcDesign, AreaRatioBetweenNodesInPaperBallpark) {
+  // Table 3: 0.151 / 0.012 = 12.6x. Accept 6x..25x from our geometry model.
+  AdcDesign adc40(AdcSpec::paper_40nm());
+  AdcDesign adc180(AdcSpec::paper_180nm());
+  const auto r40 = adc40.synthesize();
+  const auto r180 = adc180.synthesize();
+  const double ratio = r180.stats.die_area_m2 / r40.stats.die_area_m2;
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST(AdcDesign, LowAmplitudeInputHasNoIdleTones) {
+  // Fig. 18: 10 mV input, "no idle tones are observed".
+  AdcDesign adc(AdcSpec::paper_40nm());
+  SimulationOptions opts;
+  opts.n_samples = 1 << 15;
+  opts.amplitude_dbfs = util::db_amplitude(0.010 / (1.1 / 2));  // 10 mV amp
+  const RunResult res = adc.simulate(opts);
+  EXPECT_TRUE(res.idle_tones.empty())
+      << "found " << res.idle_tones.size() << " idle tones, first at "
+      << (res.idle_tones.empty() ? 0.0 : res.idle_tones[0].freq_hz);
+}
+
+TEST(PowerModel, WireCapAddsPower) {
+  AdcDesign adc(AdcSpec::paper_40nm());
+  SimulationOptions no_wire;
+  no_wire.n_samples = 1 << 12;
+  SimulationOptions wired = no_wire;
+  wired.wire_cap_f = 1e-12;
+  const RunResult a = adc.simulate(no_wire);
+  const RunResult b = adc.simulate(wired);
+  EXPECT_GT(b.power.total_w(), a.power.total_w());
+  EXPECT_DOUBLE_EQ(a.power.wire_w, 0.0);
+}
+
+TEST(PowerModel, ComponentsAllPositive) {
+  AdcDesign adc(AdcSpec::paper_40nm());
+  SimulationOptions opts;
+  opts.n_samples = 1 << 12;
+  const RunResult res = adc.simulate(opts);
+  EXPECT_GT(res.power.vco_w, 0.0);
+  EXPECT_GT(res.power.sampling_w, 0.0);
+  EXPECT_GT(res.power.dac_drive_w, 0.0);
+  EXPECT_GT(res.power.buffer_sw_w, 0.0);
+  EXPECT_GT(res.power.dac_static_w, 0.0);
+  EXPECT_GT(res.power.buffer_bias_w, 0.0);
+  EXPECT_GT(res.power.leakage_w, 0.0);
+}
+
+TEST(AdcDesign, NetlistMatchesSimConfigResistorNetwork) {
+  // The behavioral model and the generated netlist must describe the SAME
+  // feedback network: R_dac = dac_fragments series RES11K per slice/side,
+  // input bank = num_slices parallel chains per side.
+  const AdcSpec spec = AdcSpec::paper_40nm();
+  AdcDesign adc(spec);
+  const auto stats = adc.netlist().stats();
+  const int per_chain = spec.dac_fragments;
+  const int expected =
+      2 * spec.num_slices * per_chain      // DAC resistors (both sides)
+      + 2 * spec.num_slices * per_chain;   // input banks (both sides)
+  EXPECT_EQ(stats.resistors, expected);
+  // And the simulator derives exactly that network.
+  const msim::SimConfig cfg = spec.to_sim_config();
+  EXPECT_DOUBLE_EQ(cfg.r_dac_ohms, 11000.0 * per_chain);
+  EXPECT_DOUBLE_EQ(cfg.r_input_ohms, cfg.r_dac_ohms / spec.num_slices);
+}
+
+TEST(Migration, IdentityWhenLibrariesMatch) {
+  AdcDesign adc(AdcSpec::paper_40nm());
+  const auto& lib180 = netlist::make_standard_library(
+      tech::TechDatabase::standard().at(180));
+  netlist::CellLibrary target = lib180;
+  netlist::add_resistor_cells(target, tech::TechDatabase::standard().at(180));
+  const MigrationResult res = migrate_design(adc.netlist(), target);
+  EXPECT_TRUE(res.remapped.empty());
+  EXPECT_TRUE(res.unmappable.empty());
+  EXPECT_GT(res.exact_matches, 0);
+  EXPECT_TRUE(res.design.validate().empty());
+}
+
+TEST(Migration, NearestSizeMappingIntoSparseLibrary) {
+  // Target library missing X4 cells: NOR3X4 must land on NOR3X2.
+  AdcDesign adc(AdcSpec::paper_40nm());
+  const tech::TechNode node180 = tech::TechDatabase::standard().at(180);
+  netlist::CellLibrary sparse("sparse_180");
+  const netlist::CellLibrary full180 = netlist::make_standard_library(node180);
+  for (const auto& cell : full180.cells()) {
+    // Keep the clock buffer (sole drive in its class); drop other X4+ cells.
+    if (cell.drive < 4 || cell.function == "clkbuf") sparse.add(cell);
+  }
+  netlist::add_resistor_cells(sparse, node180);
+  const MigrationResult res = migrate_design(adc.netlist(), sparse);
+  EXPECT_GT(res.nearest_matches, 0);
+  bool found = false;
+  for (const auto& rec : res.remapped) {
+    if (rec.from_cell == "NOR3X4") {
+      EXPECT_EQ(rec.to_cell, "NOR3X2");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(res.design.validate().empty());
+}
+
+TEST(Migration, MigratedDesignSynthesizesClean) {
+  AdcDesign adc(AdcSpec::paper_40nm());
+  const tech::TechNode node180 = tech::TechDatabase::standard().at(180);
+  netlist::CellLibrary target =
+      netlist::make_standard_library(node180);
+  netlist::add_resistor_cells(target, node180);
+  const MigrationResult res = migrate_design(adc.netlist(), target);
+  const auto synth_result = synth::synthesize(res.design, {});
+  EXPECT_TRUE(synth_result.drc.clean());
+}
+
+}  // namespace
+}  // namespace vcoadc::core

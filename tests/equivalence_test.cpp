@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/adc.h"
+#include "core/adc_spec.h"
+#include "core/migration.h"
+#include "netlist/equivalence.h"
+#include "netlist/generator.h"
+#include "netlist/verilog_parser.h"
+#include "netlist/verilog_writer.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::netlist {
+namespace {
+
+CellLibrary lib_for(double node_nm) {
+  const tech::TechNode node = tech::TechDatabase::standard().at(node_nm);
+  CellLibrary lib = make_standard_library(node);
+  add_resistor_cells(lib, node);
+  return lib;
+}
+
+TEST(Equivalence, DesignEqualsItself) {
+  const CellLibrary lib = lib_for(40);
+  const Design d = build_adc_design(lib, {});
+  EquivalenceOptions strict;
+  strict.match_drive = true;
+  const auto res = check_equivalence(d, d, strict);
+  EXPECT_TRUE(res.equivalent);
+  EXPECT_GT(res.instances_compared, 200);
+}
+
+TEST(Equivalence, VerilogRoundTripIsEquivalent) {
+  const CellLibrary lib = lib_for(40);
+  const Design d = build_adc_design(lib, {});
+  Design back(&lib);
+  const auto parse = parse_verilog(write_verilog(d), back);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  back.set_top(d.top());
+  EquivalenceOptions strict;
+  strict.match_drive = true;
+  const auto res = check_equivalence(d, back, strict);
+  EXPECT_TRUE(res.equivalent);
+  for (const auto& m : res.mismatches) ADD_FAILURE() << m;
+}
+
+TEST(Equivalence, MigrationPreservesStructure) {
+  const CellLibrary lib40 = lib_for(40);
+  const Design d = build_adc_design(lib40, {});
+  CellLibrary lib180 = lib_for(180);
+  const auto mig = core::migrate_design(d, lib180);
+  // Function-level equivalence holds across migration.
+  const auto res = check_equivalence(d, mig.design, {});
+  EXPECT_TRUE(res.equivalent);
+  for (const auto& m : res.mismatches) ADD_FAILURE() << m;
+}
+
+TEST(Equivalence, DetectsSwappedGate) {
+  const CellLibrary lib = lib_for(40);
+  Design a = build_adc_design(lib, {});
+  Design b = build_adc_design(lib, {});
+  // Corrupt one instance in b: swap the comparator's SR-latch NOR for NAND.
+  for (auto& inst : b.at("comparator").instances()) {
+    if (inst.name == "I2") inst.master = "NAND2X1";
+  }
+  const auto res = check_equivalence(a, b, {});
+  EXPECT_FALSE(res.equivalent);
+  bool found = false;
+  for (const auto& m : res.mismatches) {
+    if (m.find("nor2 vs nand2") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Equivalence, DetectsRewiredNet) {
+  const CellLibrary lib = lib_for(40);
+  Design a = build_adc_design(lib, {});
+  Design b = build_adc_design(lib, {});
+  // Swap the comparator inputs of one instance (classic wiring bug).
+  for (auto& inst : b.at("pd_VDD").instances()) {
+    if (inst.name == "I0") {
+      std::swap(inst.conn.at("INP"), inst.conn.at("INM"));
+    }
+  }
+  const auto res = check_equivalence(a, b, {});
+  EXPECT_FALSE(res.equivalent);
+}
+
+TEST(Equivalence, DetectsMissingInstance) {
+  const CellLibrary lib = lib_for(40);
+  Design a = build_adc_design(lib, {});
+  GeneratorConfig small;
+  small.num_slices = 7;
+  Design b = build_adc_design(lib, small);
+  const auto res = check_equivalence(a, b, {});
+  EXPECT_FALSE(res.equivalent);
+}
+
+TEST(Equivalence, DriveMatchingIsOptIn) {
+  const CellLibrary lib40 = lib_for(40);
+  const Design d = build_adc_design(lib40, {});
+  // Sparse target: X4 cells remap to X2 -> drive differs, function same.
+  const tech::TechNode node180 = tech::TechDatabase::standard().at(180);
+  CellLibrary sparse("sparse");
+  const CellLibrary full = make_standard_library(node180);
+  for (const auto& cell : full.cells()) {
+    if (cell.drive < 4 || cell.function == "clkbuf") sparse.add(cell);
+  }
+  add_resistor_cells(sparse, node180);
+  const auto mig = core::migrate_design(d, sparse);
+  EXPECT_TRUE(check_equivalence(d, mig.design, {}).equivalent);
+  EquivalenceOptions strict;
+  strict.match_drive = true;
+  EXPECT_FALSE(check_equivalence(d, mig.design, strict).equivalent);
+}
+
+// Parameterized: the write->parse->check loop must hold at every size and
+// fragment count the generator supports.
+class EquivalenceSizes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EquivalenceSizes, RoundTripAcrossGeneratorConfigs) {
+  const auto [slices, fragments] = GetParam();
+  const CellLibrary lib = lib_for(40);
+  GeneratorConfig cfg;
+  cfg.num_slices = slices;
+  cfg.dac_fragments = fragments;
+  const Design d = build_adc_design(lib, cfg);
+  EXPECT_TRUE(d.validate().empty());
+  Design back(&lib);
+  const auto parse = parse_verilog(write_verilog(d), back);
+  ASSERT_TRUE(parse.ok) << parse.error;
+  back.set_top(d.top());
+  EquivalenceOptions strict;
+  strict.match_drive = true;
+  const auto res = check_equivalence(d, back, strict);
+  EXPECT_TRUE(res.equivalent)
+      << slices << " slices, " << fragments << " fragments: "
+      << (res.mismatches.empty() ? "" : res.mismatches[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EquivalenceSizes,
+                         ::testing::Combine(::testing::Values(4, 8, 16),
+                                            ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace vcoadc::netlist

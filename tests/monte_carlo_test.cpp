@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/monte_carlo.h"
+
+namespace vcoadc::core {
+namespace {
+
+TEST(MonteCarlo, DistributionIsTightAroundNominal) {
+  // The robustness claim, statistically: across independent mismatch draws
+  // the SNDR spread stays small and the worst case stays near the mean.
+  AdcSpec spec = AdcSpec::paper_40nm();
+  MonteCarloOptions opts;
+  opts.runs = 8;
+  opts.n_samples = 1 << 13;
+  const MonteCarloResult res = monte_carlo_sndr(spec, opts);
+  ASSERT_EQ(res.sndr_db.size(), 8u);
+  EXPECT_GT(res.mean_db, 60.0);
+  EXPECT_LT(res.stddev_db, 3.0);
+  EXPECT_GT(res.min_db, res.mean_db - 8.0);
+  EXPECT_LE(res.min_db, res.max_db);
+}
+
+TEST(MonteCarlo, YieldSemantics) {
+  AdcSpec spec = AdcSpec::paper_40nm();
+  MonteCarloOptions opts;
+  opts.runs = 6;
+  opts.n_samples = 1 << 12;
+  const MonteCarloResult res = monte_carlo_sndr(spec, opts);
+  EXPECT_DOUBLE_EQ(res.yield(-1000.0), 1.0);   // everything passes
+  EXPECT_DOUBLE_EQ(res.yield(1000.0), 0.0);    // nothing passes
+  const double y = res.yield(res.mean_db);
+  EXPECT_GE(y, 0.0);
+  EXPECT_LE(y, 1.0);
+}
+
+TEST(MonteCarlo, RunsAreIndependentDraws) {
+  AdcSpec spec = AdcSpec::paper_40nm();
+  MonteCarloOptions opts;
+  opts.runs = 4;
+  opts.n_samples = 1 << 12;
+  const MonteCarloResult res = monte_carlo_sndr(spec, opts);
+  // With mismatch enabled, different seeds cannot yield identical SNDRs.
+  for (std::size_t i = 1; i < res.sndr_db.size(); ++i) {
+    EXPECT_NE(res.sndr_db[i], res.sndr_db[0]);
+  }
+}
+
+TEST(Corners, AllCornersStayFunctional) {
+  AdcSpec spec = AdcSpec::paper_40nm();
+  const auto corners = corner_sweep(spec, 1 << 13);
+  ASSERT_EQ(corners.size(), 6u);
+  double tt_sndr = 0;
+  for (const auto& c : corners) {
+    EXPECT_GT(c.sndr_db, 55.0) << c.name;
+    EXPECT_GT(c.power_w, 0.0);
+    if (c.name.find("TT  1.00V  27C") != std::string::npos) {
+      tt_sndr = c.sndr_db;
+    }
+  }
+  // No corner collapses more than 10 dB below typical.
+  for (const auto& c : corners) {
+    EXPECT_GT(c.sndr_db, tt_sndr - 10.0) << c.name;
+  }
+}
+
+TEST(Corners, VoltageScalesPower) {
+  AdcSpec spec = AdcSpec::paper_40nm();
+  const auto corners = corner_sweep(spec, 1 << 12);
+  double p_low = 0, p_high = 0;
+  for (const auto& c : corners) {
+    if (c.name.find("0.90V") != std::string::npos) p_low = c.power_w;
+    if (c.name.find("1.10V") != std::string::npos) p_high = c.power_w;
+  }
+  ASSERT_GT(p_low, 0.0);
+  EXPECT_GT(p_high, p_low);  // CV^2f and static terms both rise with VDD
+}
+
+TEST(Corners, ProcessShiftsRingRate) {
+  AdcSpec fast = AdcSpec::paper_40nm();
+  fast.pvt.process = 0.85;
+  AdcSpec slow = AdcSpec::paper_40nm();
+  slow.pvt.process = 1.20;
+  const auto cfg_fast = fast.to_sim_config();
+  const auto cfg_slow = slow.to_sim_config();
+  EXPECT_GT(cfg_fast.vco_center_hz, cfg_slow.vco_center_hz);
+  EXPECT_GT(cfg_fast.kvco_hz_per_v, cfg_slow.kvco_hz_per_v);
+}
+
+}  // namespace
+}  // namespace vcoadc::core

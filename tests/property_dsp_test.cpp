@@ -1,0 +1,201 @@
+// Parameterized property sweeps over the DSP substrate: invariants that
+// must hold for every window/size/rate combination, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include "core/backend.h"
+#include "dsp/decimator.h"
+#include "dsp/fft.h"
+#include "dsp/signal_gen.h"
+#include "dsp/spectrum.h"
+#include "dsp/window.h"
+#include "util/rng.h"
+
+namespace vcoadc::dsp {
+namespace {
+
+// ---------------------------------------------------------------- FFT ----
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.gaussian();
+  double te = 0;
+  for (double v : x) te += v * v;
+  const auto spec = fft_real(x);
+  double fe = 0;
+  for (const auto& c : spec) fe += std::norm(c);
+  EXPECT_NEAR(fe / static_cast<double>(n) / te, 1.0, 1e-9);
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n * 7);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  auto y = x;
+  fft_in_place(y);
+  ifft_in_place(y);
+  double worst = 0;
+  for (std::size_t i = 0; i < n; ++i) worst = std::max(worst, std::abs(y[i] - x[i]));
+  EXPECT_LT(worst, 1e-9);
+}
+
+TEST_P(FftSizes, LinearityOfTransform) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n * 13);
+  std::vector<double> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.gaussian();
+    b[i] = rng.gaussian();
+    sum[i] = 2.0 * a[i] - 3.0 * b[i];
+  }
+  const auto fa = fft_real(a);
+  const auto fb = fft_real(b);
+  const auto fs = fft_real(sum);
+  double worst = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    worst = std::max(worst, std::abs(fs[k] - (2.0 * fa[k] - 3.0 * fb[k])));
+  }
+  EXPECT_LT(worst, 1e-7 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(std::size_t{8}, std::size_t{64},
+                                           std::size_t{256}, std::size_t{1024},
+                                           std::size_t{4096}));
+
+// ------------------------------------------------------------- windows ----
+class WindowAmp
+    : public ::testing::TestWithParam<std::tuple<WindowKind, double>> {};
+
+TEST_P(WindowAmp, ToneReadsItsAmplitude) {
+  const auto [window, dbfs] = GetParam();
+  const std::size_t n = 1 << 13;
+  const double fs = 1e6;
+  const double fin = coherent_freq(23e3, fs, n);
+  const double amp = std::pow(10.0, dbfs / 20.0);
+  const auto x = sample(make_sine(amp, fin), fs, n);
+  const Spectrum spec = compute_spectrum(x, fs, 1.0, window);
+  const SndrReport rep = analyze_sndr(spec, fs / 2, fin);
+  EXPECT_NEAR(rep.fundamental_dbfs, dbfs, 0.1)
+      << to_string(window) << " at " << dbfs << " dBFS";
+}
+
+TEST_P(WindowAmp, SnrCalibratedAgainstInjectedNoise) {
+  const auto [window, dbfs] = GetParam();
+  const std::size_t n = 1 << 14;
+  const double fs = 1e6;
+  const double fin = coherent_freq(37e3, fs, n);
+  const double amp = std::pow(10.0, dbfs / 20.0);
+  const double sigma = amp * 1e-3;
+  util::Rng rng(99);
+  auto x = sample(make_sine(amp, fin), fs, n);
+  for (auto& v : x) v += rng.gaussian(0.0, sigma);
+  const Spectrum spec = compute_spectrum(x, fs, 1.0, window);
+  const SndrReport rep = analyze_sndr(spec, fs / 2, fin);
+  const double expected = 10 * std::log10(amp * amp / 2 / (sigma * sigma));
+  EXPECT_NEAR(rep.snr_db, expected, 1.5) << to_string(window);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WindowAmp,
+    ::testing::Combine(::testing::Values(WindowKind::kRect, WindowKind::kHann,
+                                         WindowKind::kBlackmanHarris),
+                       ::testing::Values(0.0, -3.0, -20.0)));
+
+// ----------------------------------------------------------------- CIC ----
+class CicParams : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CicParams, UnityDcGainAndExactRate) {
+  const auto [order, rate] = GetParam();
+  CicDecimator cic(order, rate);
+  std::vector<double> in(static_cast<std::size_t>(rate) * 64, 0.37);
+  const auto out = cic.process(in);
+  EXPECT_EQ(out.size(), 64u);
+  EXPECT_NEAR(out.back(), 0.37, 1e-9);
+}
+
+TEST_P(CicParams, ImageAttenuationGrowsWithOrder) {
+  const auto [order, rate] = GetParam();
+  if (order < 2) GTEST_SKIP() << "needs order comparison";
+  const double fs = 1e6;
+  const std::size_t n = 1 << 13;
+  auto image = sample(make_sine(1.0, fs / rate - 2e3), fs, n);
+  auto power_after = [&](int ord) {
+    CicDecimator cic(ord, rate);
+    const auto out = cic.process(image);
+    double p = 0;
+    for (std::size_t i = out.size() / 2; i < out.size(); ++i) p += out[i] * out[i];
+    return p;
+  };
+  EXPECT_LT(power_after(order), power_after(order - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CicParams,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(4, 16, 64)));
+
+// ----------------------------------------------- CIC droop compensation ---
+class CompensatorParams
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompensatorParams, SymmetricAndFlattening) {
+  const auto [order, rate] = GetParam();
+  const auto comp = core::design_cic_compensator(order, rate, 15);
+  ASSERT_EQ(comp.size(), 15u);
+  for (std::size_t k = 0; k < comp.size() / 2; ++k) {
+    EXPECT_NEAR(comp[k], comp[comp.size() - 1 - k], 1e-12);
+  }
+  auto fir_mag = [&](double f) {
+    double re = 0, im = 0;
+    for (std::size_t k = 0; k < comp.size(); ++k) {
+      re += comp[k] * std::cos(2 * std::numbers::pi * f * static_cast<double>(k));
+      im -= comp[k] * std::sin(2 * std::numbers::pi * f * static_cast<double>(k));
+    }
+    return std::sqrt(re * re + im * im);
+  };
+  auto cic_mag = [&](double f_in) {
+    if (f_in == 0) return 1.0;
+    const double num = std::sin(std::numbers::pi * f_in * rate);
+    const double den = rate * std::sin(std::numbers::pi * f_in);
+    return std::pow(std::fabs(num / den), order);
+  };
+  double worst = 0;
+  for (double f = 0.02; f <= 0.2; f += 0.02) {
+    const double total = cic_mag(f / rate) * fir_mag(f);
+    worst = std::max(worst, std::fabs(20 * std::log10(total)));
+  }
+  EXPECT_LT(worst, 0.3) << "order " << order << " rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CompensatorParams,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(8, 16, 32)));
+
+// ----------------------------------------------------- coherent sampling --
+class CoherentFreqs : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoherentFreqs, WholeOddCyclesInWindow) {
+  const double target = GetParam();
+  const double fs = 750e6;
+  const std::size_t n = 1 << 14;
+  const std::size_t k = coherent_cycles(target, fs, n);
+  EXPECT_EQ(k % 2, 1u);
+  const double fin = coherent_freq(target, fs, n);
+  // fin * n / fs is an exact integer.
+  const double cycles = fin * static_cast<double>(n) / fs;
+  EXPECT_NEAR(cycles, std::round(cycles), 1e-9);
+  EXPECT_NEAR(fin, target, fs / static_cast<double>(n) * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, CoherentFreqs,
+                         ::testing::Values(100e3, 1e6, 5e6, 20e6));
+
+}  // namespace
+}  // namespace vcoadc::dsp

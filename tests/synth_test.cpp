@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "netlist/cell_library.h"
+#include "netlist/generator.h"
+#include "synth/drc.h"
+#include "synth/floorplan.h"
+#include "synth/geometry.h"
+#include "synth/layout.h"
+#include "synth/placer.h"
+#include "synth/router.h"
+#include "synth/synthesis_flow.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::synth {
+namespace {
+
+struct Fixture {
+  netlist::CellLibrary lib;
+  netlist::Design design;
+
+  explicit Fixture(double node_nm = 40, int slices = 8)
+      : lib(netlist::make_standard_library(
+            tech::TechDatabase::standard().at(node_nm))),
+        design(&lib) {
+    netlist::add_resistor_cells(lib, tech::TechDatabase::standard().at(node_nm));
+    netlist::GeneratorConfig cfg;
+    cfg.num_slices = slices;
+    design = netlist::build_adc_design(lib, cfg);
+  }
+};
+
+TEST(Geometry, RectBasics) {
+  Rect a{0, 0, 2, 2};
+  Rect b{1, 1, 2, 2};
+  Rect c{3, 3, 1, 1};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  const Rect big{0, 0, 4, 4};
+  EXPECT_TRUE(big.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  const Rect i = a.intersect(b);
+  EXPECT_DOUBLE_EQ(i.area(), 1.0);
+  EXPECT_DOUBLE_EQ(a.intersect(c).area(), 0.0);
+}
+
+TEST(Geometry, RectTouchingIsNotOverlap) {
+  Rect a{0, 0, 1, 1};
+  Rect b{1, 0, 1, 1};  // abutting
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Geometry, BBoxHalfPerimeter) {
+  BBox bb;
+  EXPECT_DOUBLE_EQ(bb.half_perimeter(), 0.0);
+  bb.expand({0, 0});
+  bb.expand({3, 4});
+  bb.expand({1, 1});
+  EXPECT_DOUBLE_EQ(bb.half_perimeter(), 7.0);
+}
+
+TEST(Partition, RegionsMatchFig12) {
+  Fixture f;
+  const auto flat = f.design.flatten();
+  const auto regions = partition_into_regions(flat);
+  // 6 power domains + 4 groups (Fig. 14).
+  EXPECT_EQ(regions.size(), 10u);
+  int groups = 0, pds = 0;
+  int total_members = 0;
+  for (const auto& r : regions) {
+    (r.is_group ? groups : pds)++;
+    total_members += static_cast<int>(r.members.size());
+    EXPECT_GT(r.cell_area_m2, 0.0);
+    EXPECT_GT(r.max_cell_width_m, 0.0);
+  }
+  EXPECT_EQ(groups, 4);
+  EXPECT_EQ(pds, 6);
+  EXPECT_EQ(total_members, static_cast<int>(flat.size()));
+}
+
+TEST(Floorplanner, RegionsDisjointAndInsideDie) {
+  Fixture f;
+  const auto flat = f.design.flatten();
+  const auto regions = partition_into_regions(flat);
+  FloorplanOptions opts;
+  opts.row_height_m = f.lib.row_height_m();
+  opts.site_width_m = f.lib.at("INVX1").width_m / 3.0;
+  const Floorplan fp = make_floorplan(regions, opts);
+  for (std::size_t i = 0; i < fp.regions.size(); ++i) {
+    EXPECT_TRUE(fp.die.contains(fp.regions[i].rect))
+        << fp.regions[i].spec.name;
+    for (std::size_t j = i + 1; j < fp.regions.size(); ++j) {
+      EXPECT_FALSE(fp.regions[i].rect.overlaps(fp.regions[j].rect))
+          << fp.regions[i].spec.name << " vs " << fp.regions[j].spec.name;
+    }
+  }
+  // The slicing tree covers the die.
+  EXPECT_NEAR(fp.region_area_fraction(), 1.0, 0.05);
+}
+
+TEST(Floorplanner, RegionAreaTracksCellArea) {
+  Fixture f;
+  const auto flat = f.design.flatten();
+  const auto regions = partition_into_regions(flat);
+  FloorplanOptions opts;
+  opts.row_height_m = f.lib.row_height_m();
+  opts.site_width_m = f.lib.at("INVX1").width_m / 3.0;
+  opts.target_utilization = 0.6;
+  const Floorplan fp = make_floorplan(regions, opts);
+  for (const PlacedRegion& r : fp.regions) {
+    // Every region can hold its cells at some reasonable density.
+    EXPECT_GE(r.rect.area() * 0.95, r.spec.cell_area_m2) << r.spec.name;
+  }
+}
+
+TEST(Floorplanner, SpecStringListsEverything) {
+  Fixture f;
+  const auto flat = f.design.flatten();
+  const auto regions = partition_into_regions(flat);
+  FloorplanOptions opts;
+  opts.row_height_m = f.lib.row_height_m();
+  opts.site_width_m = f.lib.at("INVX1").width_m / 3.0;
+  const Floorplan fp = make_floorplan(regions, opts);
+  const std::string spec = write_floorplan_spec(fp);
+  EXPECT_NE(spec.find("DIE"), std::string::npos);
+  EXPECT_NE(spec.find("POWER_DOMAIN PD_VCTRLP"), std::string::npos);
+  EXPECT_NE(spec.find("GROUP GRP_DAC_RES1"), std::string::npos);
+}
+
+TEST(Placer, SupplyNetClassifier) {
+  EXPECT_TRUE(is_supply_net("VDD"));
+  EXPECT_TRUE(is_supply_net("slice3/VCTRLP"));
+  EXPECT_TRUE(is_supply_net("VBUF"));
+  EXPECT_FALSE(is_supply_net("CLK_BUF"));
+  EXPECT_FALSE(is_supply_net("slice2/DAC_OUT"));
+  EXPECT_FALSE(is_supply_net("D3"));
+}
+
+TEST(Placer, AllCellsPlacedInTheirRegions) {
+  Fixture f;
+  const SynthesisResult res = synthesize(f.design, {});
+  EXPECT_FALSE(res.layout->placement().overflow);
+  const auto& flat = res.layout->flat();
+  const auto& pl = res.layout->placement();
+  const auto& fp = res.layout->floorplan();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const std::string want =
+        flat[i].cell->is_resistor ? flat[i].group : flat[i].power_domain;
+    const PlacedRegion* r = fp.find(want);
+    ASSERT_NE(r, nullptr) << want;
+    EXPECT_TRUE(r->rect.contains(pl.cells[i].rect))
+        << flat[i].path << " not inside " << want;
+  }
+}
+
+TEST(Placer, CleanDrcWithPowerDomains) {
+  Fixture f;
+  const SynthesisResult res = synthesize(f.design, {});
+  EXPECT_TRUE(res.drc.clean());
+  for (const auto& v : res.drc.violations) {
+    ADD_FAILURE() << to_string(v.kind) << ": " << v.detail;
+  }
+}
+
+TEST(Placer, NaiveFlowShortsPowerRails) {
+  // Sec. 3.3's motivating failure: run the PD-oblivious flow of the prior
+  // works on this circuit and the rails short between domains.
+  Fixture f;
+  SynthesisOptions opts;
+  opts.respect_power_domains = false;
+  const SynthesisResult res = synthesize(f.design, opts);
+  EXPECT_GT(res.drc.count(DrcKind::kPowerRailShort), 0);
+}
+
+TEST(Placer, RefinementDoesNotHurtHpwl) {
+  Fixture f;
+  SynthesisOptions no_refine;
+  no_refine.refine_passes = 0;
+  no_refine.barycenter_passes = 0;
+  SynthesisOptions full;
+  const SynthesisResult base = synthesize(f.design, no_refine);
+  const SynthesisResult opt = synthesize(f.design, full);
+  EXPECT_LE(opt.routing.total_hpwl_m, base.routing.total_hpwl_m * 1.02);
+}
+
+TEST(Placer, DeterministicForFixedSeed) {
+  Fixture f;
+  const SynthesisResult a = synthesize(f.design, {});
+  const SynthesisResult b = synthesize(f.design, {});
+  ASSERT_EQ(a.layout->placement().cells.size(),
+            b.layout->placement().cells.size());
+  for (std::size_t i = 0; i < a.layout->placement().cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.layout->placement().cells[i].rect.x,
+                     b.layout->placement().cells[i].rect.x);
+    EXPECT_DOUBLE_EQ(a.layout->placement().cells[i].rect.y,
+                     b.layout->placement().cells[i].rect.y);
+  }
+}
+
+TEST(Router, HpwlPositiveAndConsistent) {
+  Fixture f;
+  const SynthesisResult res = synthesize(f.design, {});
+  EXPECT_GT(res.routing.total_hpwl_m, 0.0);
+  EXPECT_GE(res.routing.total_est_length_m, res.routing.total_hpwl_m);
+  EXPECT_GT(res.routing.wire_cap_f, 0.0);
+  double sum = 0;
+  for (const auto& nr : res.routing.nets) {
+    EXPECT_GE(nr.pins, 2);
+    sum += nr.hpwl_m;
+  }
+  EXPECT_NEAR(sum, res.routing.total_hpwl_m, 1e-12);
+}
+
+TEST(Router, CongestionMapPopulated) {
+  Fixture f;
+  const SynthesisResult res = synthesize(f.design, {});
+  EXPECT_GT(res.routing.congestion.max_demand, 0.0);
+  EXPECT_GT(res.routing.congestion.mean_demand, 0.0);
+  EXPECT_GE(res.routing.congestion.max_demand,
+            res.routing.congestion.mean_demand);
+}
+
+TEST(Drc, DetectsInjectedOverlap) {
+  Fixture f;
+  SynthesisResult res = synthesize(f.design, {});
+  auto flat = res.layout->flat();
+  Placement pl = res.layout->placement();
+  // Force cell 1 onto cell 0.
+  pl.cells[1].rect = pl.cells[0].rect;
+  pl.cells[1].row = pl.cells[0].row;
+  pl.cells[1].region = pl.cells[0].region;
+  const DrcReport rep = run_drc(flat, pl, res.layout->floorplan());
+  EXPECT_GT(rep.count(DrcKind::kOverlap) + rep.count(DrcKind::kOutsideRegion),
+            0);
+}
+
+TEST(Drc, DetectsOutsideDie) {
+  Fixture f;
+  SynthesisResult res = synthesize(f.design, {});
+  auto flat = res.layout->flat();
+  Placement pl = res.layout->placement();
+  pl.cells[0].rect.x = res.layout->floorplan().die.x2() + 1e-6;
+  const DrcReport rep = run_drc(flat, pl, res.layout->floorplan());
+  EXPECT_GT(rep.count(DrcKind::kOutsideDie), 0);
+}
+
+TEST(Layout, StatsSaneUtilization) {
+  Fixture f;
+  const SynthesisResult res = synthesize(f.design, {});
+  EXPECT_GT(res.stats.utilization, 0.05);
+  EXPECT_LT(res.stats.utilization, 0.95);
+  EXPECT_EQ(res.stats.num_cells, 257);
+  EXPECT_EQ(res.stats.num_regions, 10);
+  EXPECT_GT(res.stats.num_rows, 2);
+}
+
+TEST(Layout, AreaScalesAcrossNodes) {
+  // Fig. 13: the 180 nm layout is much larger than the 40 nm one.
+  Fixture f40(40);
+  Fixture f180(180);
+  const SynthesisResult r40 = synthesize(f40.design, {});
+  const SynthesisResult r180 = synthesize(f180.design, {});
+  EXPECT_GT(r180.stats.die_area_m2 / r40.stats.die_area_m2, 5.0);
+}
+
+TEST(Layout, GdsTextHasAllCells) {
+  Fixture f;
+  const SynthesisResult res = synthesize(f.design, {});
+  const std::string gds = res.layout->write_gds_text("adc_top");
+  EXPECT_NE(gds.find("BGNSTR adc_top"), std::string::npos);
+  EXPECT_NE(gds.find("REGION PD_VDD"), std::string::npos);
+  // All cells present: count SREF lines.
+  int srefs = 0;
+  std::size_t pos = 0;
+  while ((pos = gds.find("SREF", pos)) != std::string::npos) {
+    ++srefs;
+    pos += 4;
+  }
+  EXPECT_EQ(srefs, 257);
+}
+
+TEST(Layout, AsciiRenderShowsRegions) {
+  Fixture f;
+  const SynthesisResult res = synthesize(f.design, {});
+  const std::string art = res.layout->render_ascii(80);
+  EXPECT_NE(art.find("PD_VCTRLP"), std::string::npos);
+  EXPECT_NE(art.find("GRP_DAC_RES1"), std::string::npos);
+  EXPECT_NE(art.find("mm^2"), std::string::npos);
+}
+
+TEST(Flow, MoreSlicesMoreArea) {
+  Fixture f8(40, 8);
+  Fixture f16(40, 16);
+  const SynthesisResult r8 = synthesize(f8.design, {});
+  const SynthesisResult r16 = synthesize(f16.design, {});
+  EXPECT_GT(r16.stats.die_area_m2, r8.stats.die_area_m2 * 1.5);
+  EXPECT_TRUE(r16.drc.clean());
+}
+
+}  // namespace
+}  // namespace vcoadc::synth

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "tech/scaling_model.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::tech {
+namespace {
+
+TEST(TechDatabase, ContainsPaperAnchors) {
+  const auto& db = TechDatabase::standard();
+  ASSERT_TRUE(db.find(500).has_value());
+  ASSERT_TRUE(db.find(180).has_value());
+  ASSERT_TRUE(db.find(40).has_value());
+  ASSERT_TRUE(db.find(22).has_value());
+  EXPECT_FALSE(db.find(55).has_value());
+}
+
+TEST(TechDatabase, Fig1aAnchorsMatchPaper) {
+  // "as the transistor feature size shrinks from 0.5um to 22nm, the
+  //  transistor intrinsic gain drops from 180 to 6, and the supply voltage
+  //  decreases from 5V to 1V."
+  const auto& db = TechDatabase::standard();
+  const TechNode n500 = db.at(500);
+  const TechNode n22 = db.at(22);
+  EXPECT_DOUBLE_EQ(n500.intrinsic_gain, 180.0);
+  EXPECT_DOUBLE_EQ(n500.vdd, 5.0);
+  EXPECT_DOUBLE_EQ(n22.intrinsic_gain, 6.0);
+  EXPECT_DOUBLE_EQ(n22.vdd, 1.0);
+}
+
+TEST(TechDatabase, Fig1bAnchorsMatchPaper) {
+  // "fT has increased from 16 GHz at 0.5um to 400 GHz at 22nm. The FO4
+  //  delay has also improved from 140ps to 6ps."
+  const auto& db = TechDatabase::standard();
+  EXPECT_DOUBLE_EQ(db.at(500).ft_hz, 16e9);
+  EXPECT_DOUBLE_EQ(db.at(22).ft_hz, 400e9);
+  EXPECT_DOUBLE_EQ(db.at(500).fo4_delay_s, 140e-12);
+  EXPECT_DOUBLE_EQ(db.at(22).fo4_delay_s, 6e-12);
+}
+
+TEST(TechDatabase, MonotoneTrends) {
+  const auto& db = TechDatabase::standard();
+  const auto& nodes = db.nodes();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    // L strictly decreasing (old -> new).
+    EXPECT_LT(nodes[i].gate_length_nm, nodes[i - 1].gate_length_nm);
+    // VD quantities non-increasing.
+    EXPECT_LE(nodes[i].vdd, nodes[i - 1].vdd);
+    EXPECT_LT(nodes[i].intrinsic_gain, nodes[i - 1].intrinsic_gain);
+    // TD quantities strictly improving.
+    EXPECT_GT(nodes[i].ft_hz, nodes[i - 1].ft_hz);
+    EXPECT_LT(nodes[i].fo4_delay_s, nodes[i - 1].fo4_delay_s);
+    // Geometry shrinks.
+    EXPECT_LT(nodes[i].cell_row_height_m, nodes[i - 1].cell_row_height_m);
+    EXPECT_LT(nodes[i].min_inv_input_cap_f, nodes[i - 1].min_inv_input_cap_f);
+  }
+}
+
+TEST(TechNode, RingFrequencyScalesWithStages) {
+  const TechNode n = TechDatabase::standard().at(40);
+  const double f4 = n.max_ring_freq_hz(4);
+  const double f8 = n.max_ring_freq_hz(8);
+  EXPECT_NEAR(f4 / f8, 2.0, 1e-9);
+  // 40 nm: stage delay ~3.2 ps, 8 stages -> ~20 GHz max ring rate.
+  EXPECT_GT(f8, 5e9);
+  EXPECT_LT(f8, 50e9);
+}
+
+TEST(TechNode, SwitchingEnergy) {
+  const TechNode n = TechDatabase::standard().at(40);
+  EXPECT_NEAR(n.switching_energy_j(1e-15), 1e-15 * 1.1 * 1.1, 1e-20);
+}
+
+TEST(TechNode, FortyVsOneEightyContrasts) {
+  // The contrasts Table 3 depends on.
+  const auto& db = TechDatabase::standard();
+  const TechNode n40 = db.at(40);
+  const TechNode n180 = db.at(180);
+  EXPECT_LT(n40.fo4_delay_s, n180.fo4_delay_s / 4.0);  // much faster
+  EXPECT_LT(n40.vdd, n180.vdd);                        // lower supply
+  EXPECT_LT(n40.cell_row_height_m, n180.cell_row_height_m);
+  EXPECT_GT(n180.cell_row_height_m / n40.cell_row_height_m, 3.0);
+}
+
+TEST(TechDatabase, InterpolateExactPassThrough) {
+  const auto& db = TechDatabase::standard();
+  const TechNode n = db.interpolate(180);
+  EXPECT_DOUBLE_EQ(n.vdd, db.at(180).vdd);
+}
+
+TEST(TechDatabase, InterpolateBetweenNodes) {
+  const auto& db = TechDatabase::standard();
+  const TechNode n = db.interpolate(150);  // between 180 and 130
+  EXPECT_LT(n.vdd, db.at(180).vdd);
+  EXPECT_GT(n.vdd, db.at(130).vdd);
+  EXPECT_LT(n.fo4_delay_s, db.at(180).fo4_delay_s);
+  EXPECT_GT(n.fo4_delay_s, db.at(130).fo4_delay_s);
+}
+
+TEST(TechDatabase, InterpolateClampsOutOfRange) {
+  const auto& db = TechDatabase::standard();
+  EXPECT_DOUBLE_EQ(db.interpolate(1000).vdd, db.at(500).vdd);
+  EXPECT_DOUBLE_EQ(db.interpolate(10).vdd, db.at(22).vdd);
+}
+
+TEST(ScalingModel, PowerLawFitRecoversExponent) {
+  // y = 3 * L^2 exactly.
+  std::vector<double> ls, ys;
+  for (double l : {22.0, 40.0, 90.0, 180.0, 500.0}) {
+    ls.push_back(l);
+    ys.push_back(3.0 * l * l);
+  }
+  const TrendFit fit = fit_power_law(ls, ys);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.coeff, 3.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(ScalingModel, Fo4TrendIsRoughlyLinearInL) {
+  // FO4 delay scales roughly proportionally with L; exponent ~ 1.
+  const auto& db = TechDatabase::standard();
+  std::vector<double> ls, ys;
+  for (const auto& n : db.nodes()) {
+    ls.push_back(n.gate_length_nm);
+    ys.push_back(n.fo4_delay_s);
+  }
+  const TrendFit fit = fit_power_law(ls, ys);
+  EXPECT_GT(fit.exponent, 0.8);
+  EXPECT_LT(fit.exponent, 1.2);
+  EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(ScalingModel, DomainHeadroomDiverges) {
+  // The paper's core observation: VD headroom collapses while TD resolution
+  // grows, monotonically, as L shrinks.
+  const auto rows = domain_headroom_trend(TechDatabase::standard());
+  ASSERT_GT(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows.front().vd_headroom, 1.0);
+  EXPECT_DOUBLE_EQ(rows.front().td_resolution, 1.0);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].vd_headroom, rows[i - 1].vd_headroom);
+    EXPECT_GT(rows[i].td_resolution, rows[i - 1].td_resolution);
+  }
+  // End-to-end: >100x divergence over the full range.
+  EXPECT_LT(rows.back().vd_headroom, 0.01);
+  EXPECT_GT(rows.back().td_resolution, 20.0);
+}
+
+TEST(ScalingModel, ClosestDriveStrength) {
+  const std::vector<int> lib{1, 2, 4, 8};
+  EXPECT_EQ(closest_drive_strength(3, lib), 4);  // log-space: 3 nearer 4
+  EXPECT_EQ(closest_drive_strength(1, lib), 1);
+  EXPECT_EQ(closest_drive_strength(16, lib), 8);
+  EXPECT_EQ(closest_drive_strength(6, lib), 8);  // log2(6)=2.58 -> 8
+}
+
+}  // namespace
+}  // namespace vcoadc::tech

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/ascii_plot.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace vcoadc::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng r(11);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(13);
+  double sum = 0, sum2 = 0, sum3 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum3 += g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.1);  // skewness ~ 0
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng r(17);
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian(3.0, 2.0);
+    sum += g;
+    sum2 += (g - 3.0) * (g - 3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 2.0, 0.05);
+}
+
+TEST(Rng, BelowBounds) {
+  Rng r(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = r.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng childa = parent.fork("a");
+  Rng childb = parent.fork("b");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (childa.next_u64() == childb.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(29);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += r.bernoulli(0.3);
+  EXPECT_NEAR(ones / 10000.0, 0.3, 0.02);
+}
+
+TEST(Units, SiFormat) {
+  EXPECT_EQ(si_format(750e6, "Hz"), "750 MHz");
+  EXPECT_EQ(si_format(1.37e-3, "W"), "1.37 mW");
+  EXPECT_EQ(si_format(0.0, "s"), "0 s");
+  EXPECT_EQ(si_format(5e-9, "s"), "5 ns");
+}
+
+TEST(Units, DbRoundTrip) {
+  EXPECT_NEAR(db_power(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(db_amplitude(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(from_db_power(db_power(3.7)), 3.7, 1e-12);
+  EXPECT_NEAR(from_db_amplitude(db_amplitude(0.3)), 0.3, 1e-12);
+  EXPECT_TRUE(std::isinf(db_power(0.0)));
+}
+
+TEST(Units, EnobMatchesPaperFootnote) {
+  // Table 3 footnote: ENOB = (SNDR - 1.76)/6.02. 69.5 dB -> 11.25 bits.
+  EXPECT_NEAR(enob_from_sndr_db(69.5), 11.252, 0.01);
+}
+
+TEST(Units, WaldenFomMatchesPaper) {
+  // Table 3 row 1: P = 1.37 mW, SNDR = 69.5 dB, BW = 5 MHz -> 56.2 fJ/conv.
+  EXPECT_NEAR(walden_fom_fj(1.37e-3, 69.5, 5e6), 56.2, 1.0);
+  // Table 3 row 2: P = 5.45 mW, SNDR = 69.5 dB, BW = 1.4 MHz -> ~798.
+  EXPECT_NEAR(walden_fom_fj(5.45e-3, 69.5, 1.4e6), 798.0, 15.0);
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a, b,,c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, Identifiers) {
+  EXPECT_TRUE(is_identifier("VCO_cell"));
+  EXPECT_TRUE(is_identifier("_n1$"));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+TEST(Strings, FormatAndJoin) {
+  EXPECT_EQ(format("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Table, RendersAllCells) {
+  Table t("Demo");
+  t.set_header({"A", "B"});
+  t.add_row({"1", "22"});
+  t.add_row({"333"});  // ragged row padded
+  t.add_footnote("note");
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("* note"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t;
+  t.set_header({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"q\"q"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"q\""), std::string::npos);
+}
+
+TEST(AsciiPlot, ContainsPointsAndAxes) {
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = std::sin(0.3 * static_cast<double>(i));
+  PlotOptions opts;
+  opts.title = "wave";
+  const std::string s = ascii_plot(y, opts);
+  EXPECT_NE(s.find("wave"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogXHandlesDecades) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 1000; ++i) {
+    x.push_back(i * 1e3);
+    y.push_back(-20.0 * std::log10(i));
+  }
+  PlotOptions opts;
+  opts.log_x = true;
+  const std::string s = ascii_plot(x, y, opts);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcoadc::util

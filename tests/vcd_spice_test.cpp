@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "netlist/cell_library.h"
+#include "netlist/generator.h"
+#include "netlist/logic_sim.h"
+#include "netlist/spice.h"
+#include "netlist/vcd.h"
+#include "tech/tech_node.h"
+
+namespace vcoadc::netlist {
+namespace {
+
+const tech::TechNode& node40() {
+  static const tech::TechNode n = tech::TechDatabase::standard().at(40);
+  return n;
+}
+
+Design comparator_design(CellLibrary& lib) {
+  lib = make_standard_library(node40());
+  add_resistor_cells(lib, node40());
+  Design d = build_adc_design(lib, {});
+  d.set_top("comparator");
+  return d;
+}
+
+TEST(Vcd, HeaderAndVarsPresent) {
+  CellLibrary lib("x");
+  Design d = comparator_design(lib);
+  LogicSim sim(d, node40());
+  VcdWriter vcd;
+  vcd.watch_all(sim, {"CLK", "INP", "INM", "Q", "QB"});
+  EXPECT_EQ(vcd.num_signals(), 5);
+  const std::string out = vcd.render("comparator");
+  EXPECT_NE(out.find("$timescale"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! CLK $end"), std::string::npos);
+  EXPECT_NE(out.find("$scope module comparator $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(out.find("$dumpvars"), std::string::npos);
+}
+
+TEST(Vcd, RecordsTransitionsWithTimestamps) {
+  CellLibrary lib("x");
+  Design d = comparator_design(lib);
+  LogicSim sim(d, node40());
+  VcdWriter vcd;
+  vcd.watch_all(sim, {"CLK", "Q"});
+  sim.set("INP", Logic::k1);
+  sim.set("INM", Logic::k0);
+  sim.set("CLK", Logic::k1);
+  sim.settle(1e-9);
+  sim.set("CLK", Logic::k0);
+  sim.settle(2e-9);
+  EXPECT_GT(vcd.num_changes(), 2u);
+  const std::string out = vcd.render();
+  // Timestamped sections and value changes exist.
+  EXPECT_NE(out.find("\n#"), std::string::npos);
+  EXPECT_NE(out.find("1!"), std::string::npos);  // CLK went high
+}
+
+TEST(Vcd, SanitizesHierarchicalNames) {
+  CellLibrary lib = make_standard_library(node40());
+  add_resistor_cells(lib, node40());
+  GeneratorConfig cfg;
+  cfg.num_slices = 4;
+  Design d = build_adc_design(lib, cfg);
+  LogicSim sim(d, node40());
+  VcdWriter vcd;
+  vcd.watch(sim, "slice0/DB");
+  const std::string out = vcd.render();
+  EXPECT_NE(out.find("slice0.DB"), std::string::npos);
+  EXPECT_EQ(out.find("slice0/DB"), std::string::npos);
+}
+
+TEST(Spice, TransistorCountsMatchTopology) {
+  CellLibrary lib = make_standard_library(node40());
+  EXPECT_EQ(spice_transistor_count(lib.at("INVX1")), 2);
+  EXPECT_EQ(spice_transistor_count(lib.at("NOR3X4")), 6);
+  EXPECT_EQ(spice_transistor_count(lib.at("NAND2X1")), 4);
+  EXPECT_EQ(spice_transistor_count(lib.at("XOR2X1")), 16);
+  add_resistor_cells(lib, node40());
+  EXPECT_EQ(spice_transistor_count(lib.at("RES11K")), 0);
+}
+
+TEST(Spice, CellSubcktsEmitDeclaredDevices) {
+  CellLibrary lib = make_standard_library(node40());
+  const std::string inv = spice_cell_subckt(lib.at("INVX1"), node40());
+  EXPECT_NE(inv.find(".SUBCKT INVX1 A Y VDD VSS"), std::string::npos);
+  EXPECT_NE(inv.find("PCH"), std::string::npos);
+  EXPECT_NE(inv.find("NCH"), std::string::npos);
+  // Count devices.
+  int fets = 0;
+  for (std::size_t pos = 0; (pos = inv.find("\nM", pos)) != std::string::npos;
+       ++pos) {
+    ++fets;
+  }
+  EXPECT_EQ(fets + (inv.rfind("M1 ", 0) == 0 ? 1 : 0), 2);
+
+  const std::string nor3 = spice_cell_subckt(lib.at("NOR3X4"), node40());
+  int nor_fets = 0;
+  for (std::size_t pos = 0;
+       (pos = nor3.find("\nM", pos)) != std::string::npos; ++pos) {
+    ++nor_fets;
+  }
+  EXPECT_EQ(nor_fets, 6);
+  // Drive 4 widens devices 4x vs drive 1 (NMOS: 4*L*drive = 0.64u at X4).
+  const std::string nor3x1 = spice_cell_subckt(lib.at("NOR3X1"), node40());
+  EXPECT_NE(nor3.find("W=0.640u"), std::string::npos) << nor3;
+  EXPECT_NE(nor3x1.find("W=0.160u"), std::string::npos) << nor3x1;
+  // Stacked PMOS widened by fan-in: 2*0.64*3 = 3.84u at X4.
+  EXPECT_NE(nor3.find("W=3.840u"), std::string::npos) << nor3;
+}
+
+TEST(Spice, ResistorSubckt) {
+  CellLibrary lib = make_standard_library(node40());
+  add_resistor_cells(lib, node40());
+  const std::string r = spice_cell_subckt(lib.at("RES11K"), node40());
+  EXPECT_NE(r.find(".SUBCKT RES11K T1 T2"), std::string::npos);
+  EXPECT_NE(r.find("R1 T1 T2 11000.0"), std::string::npos);
+}
+
+TEST(Spice, FullDeckIsBalancedAndHierarchical) {
+  CellLibrary lib("x");
+  Design d = comparator_design(lib);
+  d.set_top("adc_top");
+  const std::string deck = write_spice(d, node40());
+  // Balanced .SUBCKT / .ENDS.
+  int subckts = 0, ends = 0;
+  for (std::size_t pos = 0;
+       (pos = deck.find(".SUBCKT", pos)) != std::string::npos; ++pos) {
+    ++subckts;
+  }
+  for (std::size_t pos = 0; (pos = deck.find(".ENDS", pos)) != std::string::npos;
+       ++pos) {
+    ++ends;
+  }
+  EXPECT_EQ(subckts, ends);
+  EXPECT_GT(subckts, 8);  // cells + 7 modules
+  // Models, hierarchy, top instantiation, terminator.
+  EXPECT_NE(deck.find(".MODEL NCH NMOS"), std::string::npos);
+  EXPECT_NE(deck.find(".SUBCKT ADC_slice"), std::string::npos);
+  EXPECT_NE(deck.find("XI7"), std::string::npos);  // slice's VCO instance
+  EXPECT_NE(deck.find("XTOP"), std::string::npos);
+  EXPECT_NE(deck.find(".END\n"), std::string::npos);
+  EXPECT_EQ(deck.find("UNCONN"), std::string::npos);  // everything wired
+}
+
+}  // namespace
+}  // namespace vcoadc::netlist
