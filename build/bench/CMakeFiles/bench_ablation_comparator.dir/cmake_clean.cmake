@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_comparator.dir/bench_ablation_comparator.cpp.o"
+  "CMakeFiles/bench_ablation_comparator.dir/bench_ablation_comparator.cpp.o.d"
+  "bench_ablation_comparator"
+  "bench_ablation_comparator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_comparator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

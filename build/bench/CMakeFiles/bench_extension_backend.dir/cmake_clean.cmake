@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_backend.dir/bench_extension_backend.cpp.o"
+  "CMakeFiles/bench_extension_backend.dir/bench_extension_backend.cpp.o.d"
+  "bench_extension_backend"
+  "bench_extension_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_dynamic_range.dir/bench_extension_dynamic_range.cpp.o"
+  "CMakeFiles/bench_extension_dynamic_range.dir/bench_extension_dynamic_range.cpp.o.d"
+  "bench_extension_dynamic_range"
+  "bench_extension_dynamic_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_dynamic_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

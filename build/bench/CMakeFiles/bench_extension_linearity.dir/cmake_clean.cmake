@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_linearity.dir/bench_extension_linearity.cpp.o"
+  "CMakeFiles/bench_extension_linearity.dir/bench_extension_linearity.cpp.o.d"
+  "bench_extension_linearity"
+  "bench_extension_linearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_oscillator.dir/bench_extension_oscillator.cpp.o"
+  "CMakeFiles/bench_extension_oscillator.dir/bench_extension_oscillator.cpp.o.d"
+  "bench_extension_oscillator"
+  "bench_extension_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_scaling_forecast.dir/bench_extension_scaling_forecast.cpp.o"
+  "CMakeFiles/bench_extension_scaling_forecast.dir/bench_extension_scaling_forecast.cpp.o.d"
+  "bench_extension_scaling_forecast"
+  "bench_extension_scaling_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_scaling_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

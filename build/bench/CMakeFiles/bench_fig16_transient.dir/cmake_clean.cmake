@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_transient.dir/bench_fig16_transient.cpp.o"
+  "CMakeFiles/bench_fig16_transient.dir/bench_fig16_transient.cpp.o.d"
+  "bench_fig16_transient"
+  "bench_fig16_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

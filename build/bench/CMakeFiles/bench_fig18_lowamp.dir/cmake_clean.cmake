@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_lowamp.dir/bench_fig18_lowamp.cpp.o"
+  "CMakeFiles/bench_fig18_lowamp.dir/bench_fig18_lowamp.cpp.o.d"
+  "bench_fig18_lowamp"
+  "bench_fig18_lowamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_lowamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_montecarlo_yield.dir/bench_montecarlo_yield.cpp.o"
+  "CMakeFiles/bench_montecarlo_yield.dir/bench_montecarlo_yield.cpp.o.d"
+  "bench_montecarlo_yield"
+  "bench_montecarlo_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_montecarlo_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

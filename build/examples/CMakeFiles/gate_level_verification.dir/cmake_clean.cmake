@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_level_verification.dir/gate_level_verification.cpp.o"
+  "CMakeFiles/gate_level_verification.dir/gate_level_verification.cpp.o.d"
+  "gate_level_verification"
+  "gate_level_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_level_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

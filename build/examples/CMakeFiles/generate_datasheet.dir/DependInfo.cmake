@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/generate_datasheet.cpp" "examples/CMakeFiles/generate_datasheet.dir/generate_datasheet.cpp.o" "gcc" "examples/CMakeFiles/generate_datasheet.dir/generate_datasheet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vcoadc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vcoadc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vcoadc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vcoadc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/msim/CMakeFiles/vcoadc_msim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vcoadc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/vcoadc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vcoadc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_datasheet.dir/generate_datasheet.cpp.o"
+  "CMakeFiles/generate_datasheet.dir/generate_datasheet.cpp.o.d"
+  "generate_datasheet"
+  "generate_datasheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_datasheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_between_nodes.dir/port_between_nodes.cpp.o"
+  "CMakeFiles/port_between_nodes.dir/port_between_nodes.cpp.o.d"
+  "port_between_nodes"
+  "port_between_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_between_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

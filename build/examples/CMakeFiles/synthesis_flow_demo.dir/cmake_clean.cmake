@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_flow_demo.dir/synthesis_flow_demo.cpp.o"
+  "CMakeFiles/synthesis_flow_demo.dir/synthesis_flow_demo.cpp.o.d"
+  "synthesis_flow_demo"
+  "synthesis_flow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_flow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

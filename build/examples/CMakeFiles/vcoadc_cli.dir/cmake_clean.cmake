@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_cli.dir/vcoadc_cli.cpp.o"
+  "CMakeFiles/vcoadc_cli.dir/vcoadc_cli.cpp.o.d"
+  "vcoadc_cli"
+  "vcoadc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/domino_adc.cpp" "src/baselines/CMakeFiles/vcoadc_baselines.dir/domino_adc.cpp.o" "gcc" "src/baselines/CMakeFiles/vcoadc_baselines.dir/domino_adc.cpp.o.d"
+  "/root/repo/src/baselines/opamp_dsm.cpp" "src/baselines/CMakeFiles/vcoadc_baselines.dir/opamp_dsm.cpp.o" "gcc" "src/baselines/CMakeFiles/vcoadc_baselines.dir/opamp_dsm.cpp.o.d"
+  "/root/repo/src/baselines/passive_dsm.cpp" "src/baselines/CMakeFiles/vcoadc_baselines.dir/passive_dsm.cpp.o" "gcc" "src/baselines/CMakeFiles/vcoadc_baselines.dir/passive_dsm.cpp.o.d"
+  "/root/repo/src/baselines/published.cpp" "src/baselines/CMakeFiles/vcoadc_baselines.dir/published.cpp.o" "gcc" "src/baselines/CMakeFiles/vcoadc_baselines.dir/published.cpp.o.d"
+  "/root/repo/src/baselines/stochastic_flash.cpp" "src/baselines/CMakeFiles/vcoadc_baselines.dir/stochastic_flash.cpp.o" "gcc" "src/baselines/CMakeFiles/vcoadc_baselines.dir/stochastic_flash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcoadc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vcoadc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/vcoadc_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_baselines.dir/domino_adc.cpp.o"
+  "CMakeFiles/vcoadc_baselines.dir/domino_adc.cpp.o.d"
+  "CMakeFiles/vcoadc_baselines.dir/opamp_dsm.cpp.o"
+  "CMakeFiles/vcoadc_baselines.dir/opamp_dsm.cpp.o.d"
+  "CMakeFiles/vcoadc_baselines.dir/passive_dsm.cpp.o"
+  "CMakeFiles/vcoadc_baselines.dir/passive_dsm.cpp.o.d"
+  "CMakeFiles/vcoadc_baselines.dir/published.cpp.o"
+  "CMakeFiles/vcoadc_baselines.dir/published.cpp.o.d"
+  "CMakeFiles/vcoadc_baselines.dir/stochastic_flash.cpp.o"
+  "CMakeFiles/vcoadc_baselines.dir/stochastic_flash.cpp.o.d"
+  "libvcoadc_baselines.a"
+  "libvcoadc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adc.cpp" "src/core/CMakeFiles/vcoadc_core.dir/adc.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/adc.cpp.o.d"
+  "/root/repo/src/core/adc_spec.cpp" "src/core/CMakeFiles/vcoadc_core.dir/adc_spec.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/adc_spec.cpp.o.d"
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/vcoadc_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/datasheet.cpp" "src/core/CMakeFiles/vcoadc_core.dir/datasheet.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/datasheet.cpp.o.d"
+  "/root/repo/src/core/linearity.cpp" "src/core/CMakeFiles/vcoadc_core.dir/linearity.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/linearity.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/vcoadc_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/monte_carlo.cpp" "src/core/CMakeFiles/vcoadc_core.dir/monte_carlo.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/vcoadc_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/power_model.cpp" "src/core/CMakeFiles/vcoadc_core.dir/power_model.cpp.o" "gcc" "src/core/CMakeFiles/vcoadc_core.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcoadc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/vcoadc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vcoadc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msim/CMakeFiles/vcoadc_msim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vcoadc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vcoadc_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

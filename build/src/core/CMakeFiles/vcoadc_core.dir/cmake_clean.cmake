@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_core.dir/adc.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/adc.cpp.o.d"
+  "CMakeFiles/vcoadc_core.dir/adc_spec.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/adc_spec.cpp.o.d"
+  "CMakeFiles/vcoadc_core.dir/backend.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/backend.cpp.o.d"
+  "CMakeFiles/vcoadc_core.dir/datasheet.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/datasheet.cpp.o.d"
+  "CMakeFiles/vcoadc_core.dir/linearity.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/linearity.cpp.o.d"
+  "CMakeFiles/vcoadc_core.dir/migration.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/migration.cpp.o.d"
+  "CMakeFiles/vcoadc_core.dir/monte_carlo.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/vcoadc_core.dir/optimizer.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/vcoadc_core.dir/power_model.cpp.o"
+  "CMakeFiles/vcoadc_core.dir/power_model.cpp.o.d"
+  "libvcoadc_core.a"
+  "libvcoadc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

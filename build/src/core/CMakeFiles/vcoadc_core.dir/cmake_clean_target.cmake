@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvcoadc_core.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_dsp.dir/decimator.cpp.o"
+  "CMakeFiles/vcoadc_dsp.dir/decimator.cpp.o.d"
+  "CMakeFiles/vcoadc_dsp.dir/fft.cpp.o"
+  "CMakeFiles/vcoadc_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/vcoadc_dsp.dir/signal_gen.cpp.o"
+  "CMakeFiles/vcoadc_dsp.dir/signal_gen.cpp.o.d"
+  "CMakeFiles/vcoadc_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/vcoadc_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/vcoadc_dsp.dir/window.cpp.o"
+  "CMakeFiles/vcoadc_dsp.dir/window.cpp.o.d"
+  "libvcoadc_dsp.a"
+  "libvcoadc_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

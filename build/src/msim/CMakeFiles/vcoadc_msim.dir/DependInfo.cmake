@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msim/comparator.cpp" "src/msim/CMakeFiles/vcoadc_msim.dir/comparator.cpp.o" "gcc" "src/msim/CMakeFiles/vcoadc_msim.dir/comparator.cpp.o.d"
+  "/root/repo/src/msim/modulator.cpp" "src/msim/CMakeFiles/vcoadc_msim.dir/modulator.cpp.o" "gcc" "src/msim/CMakeFiles/vcoadc_msim.dir/modulator.cpp.o.d"
+  "/root/repo/src/msim/noise.cpp" "src/msim/CMakeFiles/vcoadc_msim.dir/noise.cpp.o" "gcc" "src/msim/CMakeFiles/vcoadc_msim.dir/noise.cpp.o.d"
+  "/root/repo/src/msim/phase_noise.cpp" "src/msim/CMakeFiles/vcoadc_msim.dir/phase_noise.cpp.o" "gcc" "src/msim/CMakeFiles/vcoadc_msim.dir/phase_noise.cpp.o.d"
+  "/root/repo/src/msim/resistor_dac.cpp" "src/msim/CMakeFiles/vcoadc_msim.dir/resistor_dac.cpp.o" "gcc" "src/msim/CMakeFiles/vcoadc_msim.dir/resistor_dac.cpp.o.d"
+  "/root/repo/src/msim/ring_vco.cpp" "src/msim/CMakeFiles/vcoadc_msim.dir/ring_vco.cpp.o" "gcc" "src/msim/CMakeFiles/vcoadc_msim.dir/ring_vco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcoadc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vcoadc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_msim.dir/comparator.cpp.o"
+  "CMakeFiles/vcoadc_msim.dir/comparator.cpp.o.d"
+  "CMakeFiles/vcoadc_msim.dir/modulator.cpp.o"
+  "CMakeFiles/vcoadc_msim.dir/modulator.cpp.o.d"
+  "CMakeFiles/vcoadc_msim.dir/noise.cpp.o"
+  "CMakeFiles/vcoadc_msim.dir/noise.cpp.o.d"
+  "CMakeFiles/vcoadc_msim.dir/phase_noise.cpp.o"
+  "CMakeFiles/vcoadc_msim.dir/phase_noise.cpp.o.d"
+  "CMakeFiles/vcoadc_msim.dir/resistor_dac.cpp.o"
+  "CMakeFiles/vcoadc_msim.dir/resistor_dac.cpp.o.d"
+  "CMakeFiles/vcoadc_msim.dir/ring_vco.cpp.o"
+  "CMakeFiles/vcoadc_msim.dir/ring_vco.cpp.o.d"
+  "libvcoadc_msim.a"
+  "libvcoadc_msim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_msim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cell_library.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/cell_library.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/equivalence.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/equivalence.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/equivalence.cpp.o.d"
+  "/root/repo/src/netlist/generator.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/generator.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/generator.cpp.o.d"
+  "/root/repo/src/netlist/lef.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/lef.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/lef.cpp.o.d"
+  "/root/repo/src/netlist/liberty.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/liberty.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/liberty.cpp.o.d"
+  "/root/repo/src/netlist/logic_sim.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/logic_sim.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/spice.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/spice.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/spice.cpp.o.d"
+  "/root/repo/src/netlist/vcd.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/vcd.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/vcd.cpp.o.d"
+  "/root/repo/src/netlist/verilog_parser.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/verilog_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/verilog_parser.cpp.o.d"
+  "/root/repo/src/netlist/verilog_writer.cpp" "src/netlist/CMakeFiles/vcoadc_netlist.dir/verilog_writer.cpp.o" "gcc" "src/netlist/CMakeFiles/vcoadc_netlist.dir/verilog_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcoadc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/vcoadc_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/equivalence.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/equivalence.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/generator.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/generator.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/lef.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/lef.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/liberty.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/liberty.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/logic_sim.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/spice.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/spice.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/vcd.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/vcd.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/verilog_parser.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/verilog_parser.cpp.o.d"
+  "CMakeFiles/vcoadc_netlist.dir/verilog_writer.cpp.o"
+  "CMakeFiles/vcoadc_netlist.dir/verilog_writer.cpp.o.d"
+  "libvcoadc_netlist.a"
+  "libvcoadc_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

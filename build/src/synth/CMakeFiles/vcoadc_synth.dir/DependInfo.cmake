@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/drc.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/drc.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/drc.cpp.o.d"
+  "/root/repo/src/synth/floorplan.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/floorplan.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/floorplan.cpp.o.d"
+  "/root/repo/src/synth/gdsii.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/gdsii.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/gdsii.cpp.o.d"
+  "/root/repo/src/synth/geometry.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/geometry.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/geometry.cpp.o.d"
+  "/root/repo/src/synth/layout.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/layout.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/layout.cpp.o.d"
+  "/root/repo/src/synth/maze_router.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/maze_router.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/maze_router.cpp.o.d"
+  "/root/repo/src/synth/placer.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/placer.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/placer.cpp.o.d"
+  "/root/repo/src/synth/placer_quadratic.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/placer_quadratic.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/placer_quadratic.cpp.o.d"
+  "/root/repo/src/synth/power_grid.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/power_grid.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/power_grid.cpp.o.d"
+  "/root/repo/src/synth/router.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/router.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/router.cpp.o.d"
+  "/root/repo/src/synth/sta.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/sta.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/sta.cpp.o.d"
+  "/root/repo/src/synth/synthesis_flow.cpp" "src/synth/CMakeFiles/vcoadc_synth.dir/synthesis_flow.cpp.o" "gcc" "src/synth/CMakeFiles/vcoadc_synth.dir/synthesis_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcoadc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/vcoadc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vcoadc_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

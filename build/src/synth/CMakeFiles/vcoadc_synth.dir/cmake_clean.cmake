@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_synth.dir/drc.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/drc.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/floorplan.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/floorplan.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/gdsii.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/gdsii.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/geometry.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/geometry.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/layout.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/layout.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/maze_router.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/maze_router.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/placer.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/placer.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/placer_quadratic.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/placer_quadratic.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/power_grid.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/power_grid.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/router.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/router.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/sta.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/sta.cpp.o.d"
+  "CMakeFiles/vcoadc_synth.dir/synthesis_flow.cpp.o"
+  "CMakeFiles/vcoadc_synth.dir/synthesis_flow.cpp.o.d"
+  "libvcoadc_synth.a"
+  "libvcoadc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

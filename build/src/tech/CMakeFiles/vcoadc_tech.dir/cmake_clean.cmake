@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_tech.dir/scaling_model.cpp.o"
+  "CMakeFiles/vcoadc_tech.dir/scaling_model.cpp.o.d"
+  "CMakeFiles/vcoadc_tech.dir/tech_node.cpp.o"
+  "CMakeFiles/vcoadc_tech.dir/tech_node.cpp.o.d"
+  "libvcoadc_tech.a"
+  "libvcoadc_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcoadc_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/vcoadc_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/vcoadc_util.dir/cli.cpp.o"
+  "CMakeFiles/vcoadc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/vcoadc_util.dir/rng.cpp.o"
+  "CMakeFiles/vcoadc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vcoadc_util.dir/strings.cpp.o"
+  "CMakeFiles/vcoadc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/vcoadc_util.dir/table.cpp.o"
+  "CMakeFiles/vcoadc_util.dir/table.cpp.o.d"
+  "CMakeFiles/vcoadc_util.dir/units.cpp.o"
+  "CMakeFiles/vcoadc_util.dir/units.cpp.o.d"
+  "libvcoadc_util.a"
+  "libvcoadc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcoadc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backend_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/backend_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/backend_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/cli_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/cli_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/cli_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/datasheet_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/datasheet_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/datasheet_test.cpp.o.d"
+  "/root/repo/tests/dsp_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/dsp_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/dsp_test.cpp.o.d"
+  "/root/repo/tests/equivalence_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/equivalence_test.cpp.o.d"
+  "/root/repo/tests/extended_msim_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/extended_msim_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/extended_msim_test.cpp.o.d"
+  "/root/repo/tests/formats_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/formats_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/formats_test.cpp.o.d"
+  "/root/repo/tests/linearity_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/linearity_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/linearity_test.cpp.o.d"
+  "/root/repo/tests/logic_sim_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/logic_sim_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/logic_sim_test.cpp.o.d"
+  "/root/repo/tests/maze_router_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/maze_router_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/maze_router_test.cpp.o.d"
+  "/root/repo/tests/monte_carlo_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/monte_carlo_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/monte_carlo_test.cpp.o.d"
+  "/root/repo/tests/msim_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/msim_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/msim_test.cpp.o.d"
+  "/root/repo/tests/netlist_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/netlist_test.cpp.o.d"
+  "/root/repo/tests/optimizer_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/optimizer_test.cpp.o.d"
+  "/root/repo/tests/phase_noise_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/phase_noise_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/phase_noise_test.cpp.o.d"
+  "/root/repo/tests/placer_quadratic_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/placer_quadratic_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/placer_quadratic_test.cpp.o.d"
+  "/root/repo/tests/power_grid_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/power_grid_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/power_grid_test.cpp.o.d"
+  "/root/repo/tests/property_dsp_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/property_dsp_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/property_dsp_test.cpp.o.d"
+  "/root/repo/tests/property_formats_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/property_formats_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/property_formats_test.cpp.o.d"
+  "/root/repo/tests/property_system_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/property_system_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/property_system_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/sta_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/sta_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/sta_test.cpp.o.d"
+  "/root/repo/tests/synth_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/synth_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/synth_test.cpp.o.d"
+  "/root/repo/tests/tech_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/tech_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/tech_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/vcd_spice_test.cpp" "tests/CMakeFiles/vcoadc_tests.dir/vcd_spice_test.cpp.o" "gcc" "tests/CMakeFiles/vcoadc_tests.dir/vcd_spice_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vcoadc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/vcoadc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vcoadc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/msim/CMakeFiles/vcoadc_msim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vcoadc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/vcoadc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vcoadc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vcoadc_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
