@@ -31,7 +31,13 @@ AdcDesign::AdcDesign(const AdcSpec& spec) : spec_(spec) {
 
 RunResult AdcDesign::simulate(const SimulationOptions& opts) const {
   RunResult res;
-  const msim::SimConfig cfg = spec_.to_sim_config();
+  // Per-run overrides: seed and PVT only influence the behavioral model and
+  // the power estimate, never the netlist, so applying them here is exactly
+  // equivalent to rebuilding the design from a modified spec.
+  AdcSpec sp = spec_;
+  if (opts.seed != 0) sp.seed = opts.seed;
+  if (opts.pvt.has_value()) sp.pvt = *opts.pvt;
+  const msim::SimConfig cfg = sp.to_sim_config();
 
   msim::VcoDsmModulator::Options mopts;
   mopts.comparator = opts.comparator;
@@ -49,19 +55,19 @@ RunResult AdcDesign::simulate(const SimulationOptions& opts) const {
 
   res.spectrum = dsp::compute_spectrum(res.mod.output, cfg.fs_hz, 1.0,
                                        dsp::WindowKind::kHann);
-  res.sndr = dsp::analyze_sndr(res.spectrum, spec_.bandwidth_hz, res.fin_hz);
+  res.sndr = dsp::analyze_sndr(res.spectrum, sp.bandwidth_hz, res.fin_hz);
   // Shaping slope fitted from just above the band edge to fs/4.
-  res.shaping = dsp::fit_noise_slope(res.spectrum, spec_.bandwidth_hz * 1.2,
+  res.shaping = dsp::fit_noise_slope(res.spectrum, sp.bandwidth_hz * 1.2,
                                      cfg.fs_hz / 4.0);
   res.idle_tones = dsp::find_idle_tones(res.spectrum, res.sndr,
                                         res.fin_hz * 3.0,
-                                        spec_.bandwidth_hz, 12.0);
+                                        sp.bandwidth_hz, 12.0);
 
   PowerModelOptions popts;
   popts.wire_cap_f = opts.wire_cap_f;
-  res.power = estimate_power(spec_, *design_, res.mod, popts);
+  res.power = estimate_power(sp, *design_, res.mod, popts);
   res.fom_fj = util::walden_fom_fj(res.power.total_w(), res.sndr.sndr_db,
-                                   spec_.bandwidth_hz);
+                                   sp.bandwidth_hz);
   return res;
 }
 

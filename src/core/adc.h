@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/adc_spec.h"
@@ -32,6 +34,14 @@ struct SimulationOptions {
   bool record_bits = false;
   /// Wire capacitance fed to the power model (from a synthesis run); 0 ok.
   double wire_cap_f = 0.0;
+  /// When nonzero, overrides AdcSpec::seed for this run. Mismatch, noise and
+  /// jitter draws only affect the behavioral model, so one AdcDesign (cell
+  /// library + netlist, which are seed-independent) can be re-simulated with
+  /// fresh draws — this is the Monte-Carlo hot path.
+  std::uint64_t seed = 0;
+  /// When set, overrides AdcSpec::pvt for this run. The netlist is
+  /// corner-independent, so PVT sweeps also share one AdcDesign.
+  std::optional<PvtCorner> pvt;
 };
 
 struct RunResult {

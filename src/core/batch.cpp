@@ -1,0 +1,26 @@
+#include "core/batch.h"
+
+#include <algorithm>
+
+namespace vcoadc::core {
+
+BatchRunner::BatchRunner(const BatchOptions& opts)
+    : opts_(opts), threads_(resolve_threads(opts.threads)) {}
+
+BatchRunner::BatchRunner(int threads) : BatchRunner(BatchOptions{threads}) {}
+
+int BatchRunner::resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  return static_cast<int>(util::ThreadPool::hardware_workers());
+}
+
+std::vector<RunResult> BatchRunner::simulate_batch(
+    const AdcDesign& design, const SimulationOptions& sim, std::size_t n) {
+  return map(n, [&](std::size_t, std::uint64_t seed) {
+    SimulationOptions s = sim;
+    s.seed = seed;
+    return design.simulate(s);
+  });
+}
+
+}  // namespace vcoadc::core

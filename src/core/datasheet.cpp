@@ -39,9 +39,11 @@ Datasheet generate_datasheet(const AdcSpec& spec,
   if (opts.mc_runs > 0) {
     MonteCarloOptions mc;
     mc.runs = opts.mc_runs;
-    mc.n_samples = std::min<std::size_t>(opts.n_samples, 1 << 13);
-    mc.fin_target_hz = sim.fin_target_hz;
-    ds.mc = monte_carlo_sndr(spec, mc);
+    mc.sim.n_samples = std::min<std::size_t>(opts.n_samples, 1 << 13);
+    mc.sim.fin_target_hz = sim.fin_target_hz;
+    mc.threads = opts.threads;
+    // Reuse the design built above instead of reconstructing it per run.
+    ds.mc = monte_carlo_sndr(adc, mc);
   }
   return ds;
 }

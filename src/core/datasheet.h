@@ -19,6 +19,8 @@ struct DatasheetOptions {
   std::size_t n_samples = 1 << 15;
   /// Monte-Carlo runs for the min/max SNDR lines; 0 disables.
   int mc_runs = 0;
+  /// Worker threads for the Monte-Carlo batch (0 = hardware concurrency).
+  int threads = 0;
 };
 
 struct Datasheet {

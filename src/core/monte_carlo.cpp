@@ -12,21 +12,24 @@ double MonteCarloResult::yield(double spec_db) const {
   return static_cast<double>(pass) / static_cast<double>(sndr_db.size());
 }
 
-MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
+MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
                                   const MonteCarloOptions& opts) {
   MonteCarloResult result;
-  result.sndr_db.reserve(static_cast<std::size_t>(opts.runs));
-  for (int run = 0; run < opts.runs; ++run) {
-    AdcSpec s = spec;
-    s.seed = opts.seed0 + static_cast<std::uint64_t>(run);
-    AdcDesign adc(s);
-    SimulationOptions sim;
-    sim.n_samples = opts.n_samples;
-    sim.amplitude_dbfs = opts.amplitude_dbfs;
-    sim.fin_target_hz = opts.fin_target_hz;
-    const RunResult r = adc.simulate(sim);
-    result.sndr_db.push_back(r.sndr.sndr_db);
-  }
+  if (opts.runs <= 0) return result;
+
+  BatchOptions bopts;
+  bopts.threads = opts.threads;
+  bopts.seed0 = opts.seed0;
+  BatchRunner runner(bopts);
+  result.sndr_db = runner.map(
+      static_cast<std::size_t>(opts.runs),
+      [&](std::size_t, std::uint64_t seed) {
+        SimulationOptions sim = opts.sim;
+        sim.seed = seed;
+        return design.simulate(sim).sndr.sndr_db;
+      });
+  result.batch = runner.last_stats();
+
   const double n = static_cast<double>(result.sndr_db.size());
   double sum = 0, sum2 = 0;
   result.min_db = result.sndr_db.front();
@@ -43,13 +46,18 @@ MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
   return result;
 }
 
-std::vector<CornerResult> corner_sweep(const AdcSpec& spec,
-                                       std::size_t n_samples) {
+MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
+                                  const MonteCarloOptions& opts) {
+  return monte_carlo_sndr(AdcDesign(spec), opts);
+}
+
+std::vector<CornerResult> corner_sweep(const AdcDesign& design,
+                                       std::size_t n_samples, int threads) {
   struct Corner {
     const char* name;
     PvtCorner pvt;
   };
-  const Corner corners[] = {
+  static constexpr Corner kCorners[] = {
       {"TT  1.00V  27C", {1.00, 1.00, 300.0}},
       {"FF  1.05V  -40C", {0.85, 1.05, 233.0}},
       {"SS  0.95V  125C", {1.20, 0.95, 398.0}},
@@ -57,23 +65,31 @@ std::vector<CornerResult> corner_sweep(const AdcSpec& spec,
       {"TT  1.10V  27C", {1.00, 1.10, 300.0}},
       {"TT  1.00V  125C", {1.00, 1.00, 398.0}},
   };
-  std::vector<CornerResult> results;
-  for (const Corner& c : corners) {
-    AdcSpec s = spec;
-    s.pvt = c.pvt;
-    AdcDesign adc(s);
-    SimulationOptions sim;
-    sim.n_samples = n_samples;
-    sim.fin_target_hz = spec.bandwidth_hz / 5.0;
-    const RunResult r = adc.simulate(sim);
-    CornerResult cr;
-    cr.name = c.name;
-    cr.pvt = c.pvt;
-    cr.sndr_db = r.sndr.sndr_db;
-    cr.power_w = r.power.total_w();
-    results.push_back(cr);
-  }
-  return results;
+  BatchOptions bopts;
+  bopts.threads = threads;
+  BatchRunner runner(bopts);
+  return runner.map(
+      std::size(kCorners), [&](std::size_t i, std::uint64_t) {
+        // Corners keep the spec's own seed (sim.seed = 0 means "no
+        // override"): a corner changes the operating point, not the draw.
+        const Corner& c = kCorners[i];
+        SimulationOptions sim;
+        sim.n_samples = n_samples;
+        sim.fin_target_hz = design.spec().bandwidth_hz / 5.0;
+        sim.pvt = c.pvt;
+        const RunResult r = design.simulate(sim);
+        CornerResult cr;
+        cr.name = c.name;
+        cr.pvt = c.pvt;
+        cr.sndr_db = r.sndr.sndr_db;
+        cr.power_w = r.power.total_w();
+        return cr;
+      });
+}
+
+std::vector<CornerResult> corner_sweep(const AdcSpec& spec,
+                                       std::size_t n_samples, int threads) {
+  return corner_sweep(AdcDesign(spec), n_samples, threads);
 }
 
 }  // namespace vcoadc::core

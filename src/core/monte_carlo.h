@@ -6,8 +6,13 @@
 // stage delays, Kvco, DAC resistors, comparator offsets) per run and
 // reports the SNDR distribution and the parametric yield against a target.
 //
-// PVT corners ride on AdcSpec::pvt: process (gate-delay multiplier),
-// voltage (supply scale) and temperature, evaluated by corner_sweep.
+// Both analyses run on the parallel evaluation engine (core::BatchRunner):
+// run i always simulates with seed0 + i and results are ordered by run
+// index, so the output is bit-identical regardless of the thread count.
+// Mismatch draws and PVT corners only perturb the behavioral model, so the
+// AdcDesign (cell library + netlist) is built once and shared read-only
+// across workers — callers that already hold a design use the AdcDesign
+// overloads and skip the rebuild entirely.
 #pragma once
 
 #include <cstdint>
@@ -16,29 +21,47 @@
 
 #include "core/adc.h"
 #include "core/adc_spec.h"
+#include "core/batch.h"
 
 namespace vcoadc::core {
 
 struct MonteCarloOptions {
   int runs = 20;
-  std::size_t n_samples = 1 << 13;
-  double amplitude_dbfs = -3.0;
-  double fin_target_hz = 1e6;
+  /// Per-run simulation options (unified with AdcDesign::simulate). The
+  /// seed field is overwritten per run with seed0 + i. Default capture
+  /// length is shorter than a single run's: MC wants many draws, not one
+  /// long spectrum.
+  SimulationOptions sim = [] {
+    SimulationOptions s;
+    s.n_samples = 1 << 13;
+    return s;
+  }();
+  /// Worker threads; 0 = hardware concurrency, 1 = serial reference.
+  int threads = 0;
   std::uint64_t seed0 = 1000;  ///< run i uses seed0 + i
 };
 
 struct MonteCarloResult {
-  std::vector<double> sndr_db;  ///< one per run
+  std::vector<double> sndr_db;  ///< one per run, ordered by run index
   double mean_db = 0;
   double stddev_db = 0;
   double min_db = 0;
   double max_db = 0;
+  /// Engine instrumentation: wall/busy time, per-run wall time, worker
+  /// utilization and queue depth for the batch that produced sndr_db.
+  BatchStats batch;
 
   /// Fraction of runs meeting `spec_db`.
   double yield(double spec_db) const;
 };
 
-/// Runs `opts.runs` simulations with independent mismatch draws.
+/// Runs `opts.runs` simulations of an already-built design with independent
+/// mismatch draws (seed of run i = seed0 + i), fanned across the engine.
+MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
+                                  const MonteCarloOptions& opts = {});
+
+/// Convenience wrapper: builds the AdcDesign once, then runs the overload
+/// above. Prefer the AdcDesign overload when you already hold a design.
 MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
                                   const MonteCarloOptions& opts = {});
 
@@ -50,8 +73,15 @@ struct CornerResult {
 };
 
 /// Evaluates the classic corner set (TT, FF, SS, plus low/high voltage and
-/// hot/cold temperature) at the spec's operating point.
+/// hot/cold temperature) on an already-built design, corners fanned across
+/// the engine. Results are ordered by the canonical corner table.
+std::vector<CornerResult> corner_sweep(const AdcDesign& design,
+                                       std::size_t n_samples = 1 << 13,
+                                       int threads = 0);
+
+/// Convenience wrapper that builds the design first.
 std::vector<CornerResult> corner_sweep(const AdcSpec& spec,
-                                       std::size_t n_samples = 1 << 13);
+                                       std::size_t n_samples = 1 << 13,
+                                       int threads = 0);
 
 }  // namespace vcoadc::core

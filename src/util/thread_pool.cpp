@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace vcoadc::util {
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::hardware_workers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadPoolStats s;
+  s.tasks_executed = tasks_executed_;
+  s.busy_seconds = busy_seconds_;
+  s.max_queue_depth = max_queue_depth_;
+  return s;
+}
+
+void ThreadPool::record_task(std::chrono::steady_clock::time_point start) {
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tasks_executed_;
+  busy_seconds_ += dt;
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  if (workers_.empty()) {
+    // Serial fallback: run inline. packaged_task still captures exceptions,
+    // so the future contract is identical to the threaded path.
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: a queued task owns a promise
+      // someone may still be waiting on.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace vcoadc::util

@@ -1,0 +1,126 @@
+// Fixed-size work-queue thread pool for the parallel evaluation engine.
+//
+// Design constraints, in order:
+//   * deterministic callers: the pool never reorders *results* (callers
+//     index their output by task id), only execution;
+//   * exception transparency: a task that throws surfaces the exception at
+//     future::get() / parallel_for_each(), never std::terminate;
+//   * zero-worker fallback: ThreadPool(0) executes every task inline on the
+//     submitting thread, so serial and parallel paths share one code path
+//     (and `threads = 1` configurations carry no synchronization cost);
+//   * instrumentation: executed-task count, summed busy time and the
+//     high-water queue depth are cheap to collect and exposed via stats(),
+//     so batch drivers can report worker utilization.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vcoadc::util {
+
+/// Counters accumulated over the pool's lifetime.
+struct ThreadPoolStats {
+  std::uint64_t tasks_executed = 0;
+  double busy_seconds = 0;         ///< wall time inside tasks, summed
+  std::size_t max_queue_depth = 0; ///< high-water mark of pending tasks
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads; 0 means "run every task inline on the
+  /// submitting thread" (the serial fallback).
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static std::size_t hardware_workers();
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Pending (not yet started) tasks.
+  std::size_t queue_depth() const;
+
+  ThreadPoolStats stats() const;
+
+  /// Schedules `f` and returns a future for its result. Exceptions thrown
+  /// by the task are captured and rethrown from future::get().
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // Stats are recorded inside the wrapper, *before* the packaged_task
+    // fulfils its promise: anyone who observed the future as ready then
+    // also observes this task in stats().
+    auto timed = [this, fn = std::forward<F>(f)]() mutable -> R {
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        if constexpr (std::is_void_v<R>) {
+          fn();
+          record_task(start);
+        } else {
+          R r = fn();
+          record_task(start);
+          return r;
+        }
+      } catch (...) {
+        record_task(start);  // a throwing task still executed
+        throw;               // packaged_task stores it for future::get()
+      }
+    };
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::move(timed));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+  void record_task(std::chrono::steady_clock::time_point start);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  // Stats, guarded by mutex_.
+  std::uint64_t tasks_executed_ = 0;
+  double busy_seconds_ = 0;
+  std::size_t max_queue_depth_ = 0;
+};
+
+/// Runs body(i) for i in [0, n) across the pool and waits for all of them.
+/// If any task throws, every task still runs to completion and the first
+/// exception (by index) is rethrown here.
+template <typename F>
+void parallel_for_each(ThreadPool& pool, std::size_t n, F&& body) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&body, i] { body(i); }));
+  }
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace vcoadc::util

@@ -11,7 +11,7 @@ TEST(MonteCarlo, DistributionIsTightAroundNominal) {
   AdcSpec spec = AdcSpec::paper_40nm();
   MonteCarloOptions opts;
   opts.runs = 8;
-  opts.n_samples = 1 << 13;
+  opts.sim.n_samples = 1 << 13;
   const MonteCarloResult res = monte_carlo_sndr(spec, opts);
   ASSERT_EQ(res.sndr_db.size(), 8u);
   EXPECT_GT(res.mean_db, 60.0);
@@ -24,7 +24,7 @@ TEST(MonteCarlo, YieldSemantics) {
   AdcSpec spec = AdcSpec::paper_40nm();
   MonteCarloOptions opts;
   opts.runs = 6;
-  opts.n_samples = 1 << 12;
+  opts.sim.n_samples = 1 << 12;
   const MonteCarloResult res = monte_carlo_sndr(spec, opts);
   EXPECT_DOUBLE_EQ(res.yield(-1000.0), 1.0);   // everything passes
   EXPECT_DOUBLE_EQ(res.yield(1000.0), 0.0);    // nothing passes
@@ -37,11 +37,90 @@ TEST(MonteCarlo, RunsAreIndependentDraws) {
   AdcSpec spec = AdcSpec::paper_40nm();
   MonteCarloOptions opts;
   opts.runs = 4;
-  opts.n_samples = 1 << 12;
+  opts.sim.n_samples = 1 << 12;
   const MonteCarloResult res = monte_carlo_sndr(spec, opts);
   // With mismatch enabled, different seeds cannot yield identical SNDRs.
   for (std::size_t i = 1; i < res.sndr_db.size(); ++i) {
     EXPECT_NE(res.sndr_db[i], res.sndr_db[0]);
+  }
+}
+
+TEST(MonteCarlo, ParallelIsBitIdenticalToSerial) {
+  // The engine's determinism contract: run i always simulates with
+  // seed0 + i and results are ordered by index, so the thread count can
+  // never change a single bit of the output.
+  AdcSpec spec = AdcSpec::paper_40nm();
+  AdcDesign adc(spec);
+  MonteCarloOptions opts;
+  opts.runs = 6;
+  opts.sim.n_samples = 1 << 12;
+
+  opts.threads = 1;
+  const MonteCarloResult serial = monte_carlo_sndr(adc, opts);
+  opts.threads = 4;
+  const MonteCarloResult parallel = monte_carlo_sndr(adc, opts);
+
+  ASSERT_EQ(serial.sndr_db.size(), parallel.sndr_db.size());
+  for (std::size_t i = 0; i < serial.sndr_db.size(); ++i) {
+    EXPECT_EQ(serial.sndr_db[i], parallel.sndr_db[i]) << "run " << i;
+  }
+  EXPECT_EQ(serial.mean_db, parallel.mean_db);
+  EXPECT_EQ(serial.stddev_db, parallel.stddev_db);
+}
+
+TEST(MonteCarlo, DesignOverloadMatchesSpecOverload) {
+  // The AdcSpec wrapper must be a pure convenience: building the design
+  // up front and reusing it yields the same bits.
+  AdcSpec spec = AdcSpec::paper_40nm();
+  MonteCarloOptions opts;
+  opts.runs = 3;
+  opts.sim.n_samples = 1 << 12;
+  opts.threads = 1;
+  const MonteCarloResult from_spec = monte_carlo_sndr(spec, opts);
+  AdcDesign adc(spec);
+  const MonteCarloResult from_design = monte_carlo_sndr(adc, opts);
+  ASSERT_EQ(from_spec.sndr_db.size(), from_design.sndr_db.size());
+  for (std::size_t i = 0; i < from_spec.sndr_db.size(); ++i) {
+    EXPECT_EQ(from_spec.sndr_db[i], from_design.sndr_db[i]);
+  }
+}
+
+TEST(MonteCarlo, BatchInstrumentationIsPopulated) {
+  AdcSpec spec = AdcSpec::paper_40nm();
+  MonteCarloOptions opts;
+  opts.runs = 4;
+  opts.sim.n_samples = 1 << 12;
+  opts.threads = 2;
+  const MonteCarloResult res = monte_carlo_sndr(spec, opts);
+  EXPECT_EQ(res.batch.threads, 2);
+  EXPECT_GT(res.batch.wall_s, 0.0);
+  EXPECT_GT(res.batch.busy_s, 0.0);
+  ASSERT_EQ(res.batch.task_wall_s.size(), 4u);
+  for (double t : res.batch.task_wall_s) EXPECT_GT(t, 0.0);
+  EXPECT_GE(res.batch.utilization, 0.0);
+  EXPECT_LE(res.batch.utilization, 1.0 + 1e-9);
+  EXPECT_GT(res.batch.effective_parallelism(), 0.0);
+}
+
+TEST(MonteCarlo, ZeroRunsIsEmptyNotUndefined) {
+  AdcSpec spec = AdcSpec::paper_40nm();
+  MonteCarloOptions opts;
+  opts.runs = 0;
+  const MonteCarloResult res = monte_carlo_sndr(spec, opts);
+  EXPECT_TRUE(res.sndr_db.empty());
+  EXPECT_DOUBLE_EQ(res.yield(60.0), 0.0);
+}
+
+TEST(Corners, DesignOverloadMatchesSpecOverload) {
+  AdcSpec spec = AdcSpec::paper_40nm();
+  const auto from_spec = corner_sweep(spec, 1 << 12, /*threads=*/1);
+  AdcDesign adc(spec);
+  const auto from_design = corner_sweep(adc, 1 << 12, /*threads=*/2);
+  ASSERT_EQ(from_spec.size(), from_design.size());
+  for (std::size_t i = 0; i < from_spec.size(); ++i) {
+    EXPECT_EQ(from_spec[i].name, from_design[i].name);
+    EXPECT_EQ(from_spec[i].sndr_db, from_design[i].sndr_db) << "corner " << i;
+    EXPECT_EQ(from_spec[i].power_w, from_design[i].power_w) << "corner " << i;
   }
 }
 
