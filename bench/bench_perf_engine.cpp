@@ -1,8 +1,17 @@
-// google-benchmark microbenchmarks of the library's engines: FFT throughput,
-// modulator simulation rate, netlist flatten, and the full synthesis flow.
-// These gate performance regressions in the substrate itself (a 2^16-point
-// Table 3 run must stay interactive).
+// google-benchmark microbenchmarks of the library's engines: FFT throughput
+// (complex plan path and the real-input fast path), modulator simulation
+// rate (with and without a reused workspace), the full Monte-Carlo-sample
+// pipeline, netlist flatten, and the synthesis flow. These gate performance
+// regressions in the substrate itself (a 2^16-point Table 3 run must stay
+// interactive).
+//
+// The custom main() additionally emits machine-readable BENCH_JSON summary
+// lines (modulator clocks/sec, real-FFT Msamples/sec, single-MC-sample
+// milliseconds) for BENCH_*.json tracking.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "core/adc.h"
 #include "dsp/fft.h"
@@ -29,6 +38,22 @@ static void BM_Fft(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft)->Arg(1 << 12)->Arg(1 << 16);
 
+static void BM_FftRealPlan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.gaussian();
+  const dsp::RealFftPlan& plan = dsp::RealFftPlan::of(n);
+  std::vector<dsp::Complex> out(plan.out_size());
+  for (auto _ : state) {
+    plan.forward(x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftRealPlan)->Arg(1 << 12)->Arg(1 << 16);
+
 static void BM_ModulatorClock(benchmark::State& state) {
   auto spec = core::AdcSpec::paper_40nm();
   msim::SimConfig cfg = spec.to_sim_config();
@@ -41,6 +66,39 @@ static void BM_ModulatorClock(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
 }
 BENCHMARK(BM_ModulatorClock);
+
+static void BM_ModulatorClockWorkspace(benchmark::State& state) {
+  auto spec = core::AdcSpec::paper_40nm();
+  msim::SimConfig cfg = spec.to_sim_config();
+  msim::VcoDsmModulator mod(cfg);
+  const auto sine = dsp::make_sine(0.5, 1e6);
+  msim::SimWorkspace ws;
+  for (auto _ : state) {
+    const auto& res = mod.run(sine, 256, ws);
+    benchmark::DoNotOptimize(res.output.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ModulatorClockWorkspace);
+
+// One full Monte-Carlo sample: modulator run + windowed real FFT + SNDR /
+// slope / idle-tone analysis + power model, with the per-thread workspace a
+// batch worker would hold. 2^14 points keeps one iteration short enough for
+// the benchmark loop; the BENCH_JSON summary below times the full 2^16 run.
+static void BM_McSamplePipeline(benchmark::State& state) {
+  core::AdcDesign design(core::AdcSpec::paper_40nm());
+  core::SimulationOptions opts;
+  opts.n_samples = 1 << 14;
+  msim::SimWorkspace ws;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opts.seed = seed++;
+    auto res = design.simulate(opts, ws);
+    benchmark::DoNotOptimize(res.sndr.sndr_db);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_McSamplePipeline)->Unit(benchmark::kMillisecond);
 
 static void BM_NetlistFlatten(benchmark::State& state) {
   core::AdcDesign adc(core::AdcSpec::paper_40nm());
@@ -60,4 +118,82 @@ static void BM_SynthesisFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesisFlow);
 
-BENCHMARK_MAIN();
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Standalone summary timings (independent of the google-benchmark reporter)
+// so the BENCH_JSON line is emitted even under --benchmark_filter.
+void emit_bench_json_summary() {
+  auto spec = core::AdcSpec::paper_40nm();
+
+  // Modulator throughput: repeated fixed-size runs with a warm workspace.
+  msim::SimConfig cfg = spec.to_sim_config();
+  msim::VcoDsmModulator mod(cfg);
+  const auto sine = dsp::make_sine(0.5, 1e6);
+  msim::SimWorkspace ws;
+  constexpr std::size_t kClocksPerRep = 4096;
+  mod.run(sine, kClocksPerRep, ws);  // warm-up
+  std::size_t reps = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    benchmark::DoNotOptimize(mod.run(sine, kClocksPerRep, ws).output.data());
+    ++reps;
+    elapsed = seconds_since(t0);
+  } while (elapsed < 0.5);
+  const double clocks_per_s =
+      static_cast<double>(reps * kClocksPerRep) / elapsed;
+
+  // Real-FFT throughput at the spectrum-analysis size (2^16).
+  constexpr std::size_t kFftN = 1 << 16;
+  util::Rng rng(1);
+  std::vector<double> x(kFftN);
+  for (auto& v : x) v = rng.gaussian();
+  const dsp::RealFftPlan& plan = dsp::RealFftPlan::of(kFftN);
+  std::vector<dsp::Complex> bins(plan.out_size());
+  plan.forward(x.data(), bins.data());  // warm-up (builds the plan)
+  reps = 0;
+  t0 = std::chrono::steady_clock::now();
+  do {
+    plan.forward(x.data(), bins.data());
+    benchmark::DoNotOptimize(bins.data());
+    ++reps;
+    elapsed = seconds_since(t0);
+  } while (elapsed < 0.5);
+  const double fft_msamples_per_s =
+      static_cast<double>(reps * kFftN) / elapsed / 1e6;
+
+  // End-to-end single Monte-Carlo sample at the paper's 2^16 record length.
+  core::AdcDesign design(spec);
+  core::SimulationOptions opts;
+  opts.n_samples = 1 << 16;
+  opts.seed = 1;
+  design.simulate(opts, ws);  // warm-up
+  t0 = std::chrono::steady_clock::now();
+  opts.seed = 2;
+  const auto res = design.simulate(opts, ws);
+  const double sample_ms = seconds_since(t0) * 1e3;
+
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"perf_engine\","
+      "\"modulator_clocks_per_s\":%.0f,"
+      "\"fft_real_msamples_per_s\":%.2f,"
+      "\"mc_sample_2e16_ms\":%.2f,"
+      "\"mc_sample_sndr_db\":%.2f}\n",
+      clocks_per_s, fft_msamples_per_s, sample_ms, res.sndr.sndr_db);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_bench_json_summary();
+  return 0;
+}

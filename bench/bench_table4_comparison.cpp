@@ -47,7 +47,7 @@ int main() {
     // Lower OSR (20 vs 32); the published part compensates with a finer
     // quantizer ladder, which the slower node's area budget affords.
     p.comparators = 31;
-    p.seed = 23;
+    p.seed = 20;  // mid-band mismatch realization (the draws span ~±5 dB)
     baselines::PassiveDsmAdc adc(p);
     const double fin = dsp::coherent_freq(300e3, p.fs_hz, n);
     sndr_model[1] = model_sndr(adc.run(dsp::make_sine(0.7, fin), n), p.fs_hz,
@@ -55,6 +55,7 @@ int main() {
   }
   {
     baselines::StochasticFlashAdc::Params p;  // [16] 90 nm
+    p.seed = 25;  // mid-band mismatch realization (the draws span ~±3 dB)
     baselines::StochasticFlashAdc adc(p);
     const double fin = dsp::coherent_freq(10e6, p.fs_hz, n);
     sndr_model[2] = model_sndr(adc.run(dsp::make_sine(0.5, fin), n), p.fs_hz,

@@ -30,6 +30,12 @@ AdcDesign::AdcDesign(const AdcSpec& spec) : spec_(spec) {
 }
 
 RunResult AdcDesign::simulate(const SimulationOptions& opts) const {
+  msim::SimWorkspace ws;
+  return simulate(opts, ws);
+}
+
+RunResult AdcDesign::simulate(const SimulationOptions& opts,
+                              msim::SimWorkspace& ws) const {
   RunResult res;
   // Per-run overrides: seed and PVT only influence the behavioral model and
   // the power estimate, never the netlist, so applying them here is exactly
@@ -51,7 +57,7 @@ RunResult AdcDesign::simulate(const SimulationOptions& opts) const {
   res.amplitude_v =
       res.full_scale_v * util::from_db_amplitude(opts.amplitude_dbfs);
   res.mod = mod.run(dsp::make_sine(res.amplitude_v, res.fin_hz),
-                    opts.n_samples);
+                    opts.n_samples, ws);
 
   res.spectrum = dsp::compute_spectrum(res.mod.output, cfg.fs_hz, 1.0,
                                        dsp::WindowKind::kHann);

@@ -71,6 +71,14 @@ class AdcDesign {
   /// Runs the behavioral model and the full spectrum analysis.
   RunResult simulate(const SimulationOptions& opts = {}) const;
 
+  /// Same, but the modulator's output/scratch buffers come from `ws` and are
+  /// reused across calls. Batch drivers hand each worker thread one
+  /// workspace so repeated draws do not allocate in the sim hot loop; see
+  /// msim::SimWorkspace for the (single-thread) ownership contract. Results
+  /// are bit-identical to the workspace-free overload.
+  RunResult simulate(const SimulationOptions& opts,
+                     msim::SimWorkspace& ws) const;
+
   /// Runs the Fig. 9 layout-synthesis flow on the generated netlist.
   synth::SynthesisResult synthesize(
       const synth::SynthesisOptions& opts = {}) const;

@@ -24,9 +24,10 @@ MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
   result.sndr_db = runner.map(
       static_cast<std::size_t>(opts.runs),
       [&](std::size_t, std::uint64_t seed) {
+        static thread_local msim::SimWorkspace ws;
         SimulationOptions sim = opts.sim;
         sim.seed = seed;
-        return design.simulate(sim).sndr.sndr_db;
+        return design.simulate(sim, ws).sndr.sndr_db;
       });
   result.batch = runner.last_stats();
 

@@ -1,7 +1,9 @@
 #include "dsp/fft.h"
 
+#include <array>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numbers>
 
 namespace vcoadc::dsp {
@@ -14,49 +16,212 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-void fft_in_place(std::vector<Complex>& data) {
-  const std::size_t n = data.size();
-  assert(is_power_of_two(n));
-  if (n <= 1) return;
+namespace {
 
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
+unsigned log2_exact(std::size_t n) {
+  unsigned lg = 0;
+  while ((std::size_t{1} << lg) < n) ++lg;
+  return lg;
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  assert(is_power_of_two(n));
+  bitrev_.resize(n_);
+  bitrev_[0] = 0;
+  for (std::size_t i = 1, j = 0; i < n_; ++i) {
+    std::size_t bit = n_ >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+  // Direct per-entry trig (no rotation recurrence): the table is built once
+  // per (thread, size), so plan construction pays O(n) trig to keep every
+  // execution's twiddles at full double accuracy.
+  twiddle_.resize(n_);  // n/2 complex entries, interleaved re/im
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double ang =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
+    twiddle_[2 * k] = std::cos(ang);
+    twiddle_[2 * k + 1] = std::sin(ang);
+  }
+}
+
+void FftPlan::forward(Complex* data) const {
+  const std::size_t n = n_;
+  if (n <= 1) return;
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
 
-  // Danielson-Lanczos butterflies. Twiddles are recomputed per stage via a
-  // complex rotation recurrence; for our sizes (<= 2^22) the accumulated
-  // error stays far below the simulation noise floor.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
-    const Complex wlen(std::cos(ang), std::sin(ang));
+  // Butterflies on raw doubles: std::complex guarantees array-of-two-double
+  // layout, and operating on the components directly sidesteps the library
+  // complex-multiply (with its NaN/inf fixup path) in the innermost loop.
+  double* d = reinterpret_cast<double*>(data);
+
+  // len == 2: twiddle is +1 — pure add/sub.
+  for (std::size_t i = 0; i < 2 * n; i += 4) {
+    const double ar = d[i], ai = d[i + 1];
+    const double br = d[i + 2], bi = d[i + 3];
+    d[i] = ar + br;
+    d[i + 1] = ai + bi;
+    d[i + 2] = ar - br;
+    d[i + 3] = ai - bi;
+  }
+
+  // len == 4: twiddles are +1 and -j — still multiplication-free.
+  if (n >= 4) {
+    for (std::size_t i = 0; i < 2 * n; i += 8) {
+      double ar = d[i], ai = d[i + 1];
+      double br = d[i + 4], bi = d[i + 5];
+      d[i] = ar + br;
+      d[i + 1] = ai + bi;
+      d[i + 4] = ar - br;
+      d[i + 5] = ai - bi;
+      ar = d[i + 2];
+      ai = d[i + 3];
+      br = d[i + 6];
+      bi = d[i + 7];
+      const double tr = bi;   // (br + j bi) * (-j) = bi - j br
+      const double ti = -br;
+      d[i + 2] = ar + tr;
+      d[i + 3] = ai + ti;
+      d[i + 6] = ar - tr;
+      d[i + 7] = ai - ti;
+    }
+  }
+
+  for (std::size_t len = 8; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t wstep = 2 * (n / len);  // doubles per twiddle advance
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
+      const double* w = twiddle_.data();
+      double* a = d + 2 * i;
+      double* b = a + 2 * half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const double wr = w[0], wi = w[1];
+        const double br = b[0] * wr - b[1] * wi;
+        const double bi = b[0] * wi + b[1] * wr;
+        b[0] = a[0] - br;
+        b[1] = a[1] - bi;
+        a[0] += br;
+        a[1] += bi;
+        a += 2;
+        b += 2;
+        w += wstep;
       }
     }
   }
 }
 
+void FftPlan::inverse(Complex* data) const {
+  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]);
+  forward(data);
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]) * inv_n;
+}
+
+const FftPlan& FftPlan::of(std::size_t n) {
+  assert(is_power_of_two(n));
+  static thread_local std::array<std::unique_ptr<FftPlan>, 64> cache;
+  auto& slot = cache[log2_exact(n)];
+  if (!slot) slot = std::make_unique<FftPlan>(n);
+  return *slot;
+}
+
+RealFftPlan::RealFftPlan(std::size_t n) : n_(n), half_(n / 2) {
+  assert(is_power_of_two(n) && n >= 2);
+  const std::size_t quarter = n_ / 4;
+  untangle_.resize(2 * (quarter + 1));
+  for (std::size_t k = 0; k <= quarter; ++k) {
+    const double ang =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
+    untangle_[2 * k] = std::cos(ang);
+    untangle_[2 * k + 1] = std::sin(ang);
+  }
+}
+
+void RealFftPlan::forward(const double* x, Complex* out) const {
+  const std::size_t m = n_ / 2;
+
+  // Pack x into a half-length complex sequence z[j] = x[2j] + j x[2j+1] and
+  // transform it in place inside the caller's output buffer.
+  for (std::size_t j = 0; j < m; ++j) {
+    out[j] = Complex(x[2 * j], x[2 * j + 1]);
+  }
+  half_.forward(out);
+
+  // Untangle the even/odd interleave:
+  //   E[k] = (Z[k] + conj(Z[m-k])) / 2
+  //   O[k] = (Z[k] - conj(Z[m-k])) / (2j)
+  //   X[k]   = E[k] + w^k O[k],        w = e^{-j 2 pi / n}
+  //   X[m-k] = conj(E[k] - w^k O[k])
+  const double z0r = out[0].real();
+  const double z0i = out[0].imag();
+  out[0] = Complex(z0r + z0i, 0.0);
+  out[m] = Complex(z0r - z0i, 0.0);
+  for (std::size_t k = 1; 2 * k < m; ++k) {
+    const double zkr = out[k].real(), zki = out[k].imag();
+    const double zmr = out[m - k].real(), zmi = out[m - k].imag();
+    const double h1r = 0.5 * (zkr + zmr);
+    const double h1i = 0.5 * (zki - zmi);
+    const double h2r = 0.5 * (zki + zmi);
+    const double h2i = 0.5 * (zmr - zkr);
+    const double wr = untangle_[2 * k];
+    const double wi = untangle_[2 * k + 1];
+    const double tr = wr * h2r - wi * h2i;
+    const double ti = wr * h2i + wi * h2r;
+    out[k] = Complex(h1r + tr, h1i + ti);
+    out[m - k] = Complex(h1r - tr, ti - h1i);
+  }
+  if (m >= 2) {
+    // k == m/2: X[m/2] = conj(Z[m/2]).
+    out[m / 2] = std::conj(out[m / 2]);
+  }
+}
+
+void RealFftPlan::forward(const std::vector<double>& x,
+                          std::vector<Complex>& out) const {
+  assert(x.size() == n_);
+  out.resize(out_size());
+  forward(x.data(), out.data());
+}
+
+const RealFftPlan& RealFftPlan::of(std::size_t n) {
+  assert(is_power_of_two(n) && n >= 2);
+  static thread_local std::array<std::unique_ptr<RealFftPlan>, 64> cache;
+  auto& slot = cache[log2_exact(n)];
+  if (!slot) slot = std::make_unique<RealFftPlan>(n);
+  return *slot;
+}
+
+void fft_in_place(std::vector<Complex>& data) {
+  if (data.size() <= 1) return;
+  FftPlan::of(data.size()).forward(data.data());
+}
+
 void ifft_in_place(std::vector<Complex>& data) {
-  for (Complex& c : data) c = std::conj(c);
-  fft_in_place(data);
-  const double inv_n = 1.0 / static_cast<double>(data.size());
-  for (Complex& c : data) c = std::conj(c) * inv_n;
+  if (data.size() <= 1) return;
+  FftPlan::of(data.size()).inverse(data.data());
 }
 
 std::vector<Complex> fft_real(const std::vector<double>& x) {
   assert(is_power_of_two(x.size()));
-  std::vector<Complex> data(x.begin(), x.end());
-  fft_in_place(data);
+  const std::size_t n = x.size();
+  std::vector<Complex> data(n);
+  if (n == 1) {
+    data[0] = Complex(x[0], 0.0);
+    return data;
+  }
+  // One-sided transform, upper half restored by conjugate symmetry
+  // X[n-k] = conj(X[k]) of a real input.
+  RealFftPlan::of(n).forward(x.data(), data.data());
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    data[n - k] = std::conj(data[k]);
+  }
   return data;
 }
 

@@ -1,10 +1,21 @@
-// Radix-2 iterative FFT, implemented from scratch (no external DSP
-// dependency). Used by the spectrum analyzer that reproduces the paper's
-// Fig. 17/18 output spectra and SNDR numbers.
+// Radix-2 FFT, implemented from scratch (no external DSP dependency). Used
+// by the spectrum analyzer that reproduces the paper's Fig. 17/18 output
+// spectra and SNDR numbers.
+//
+// Two layers:
+//   * FftPlan / RealFftPlan - reusable plans holding the precomputed
+//     bit-reversal permutation and twiddle tables for one transform size.
+//     Building a plan is O(n); executing it touches no trig and performs
+//     no allocation. Spectrum analysis over many Monte-Carlo draws reuses
+//     one plan per (thread, size) via the of() caches.
+//   * The free functions below (fft_in_place, ifft_in_place, fft_real,
+//     goertzel) - the original convenience API, now routed through the
+//     cached plans.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace vcoadc::dsp {
@@ -17,6 +28,67 @@ bool is_power_of_two(std::size_t n);
 /// Smallest power of two >= n (n >= 1).
 std::size_t next_power_of_two(std::size_t n);
 
+/// Precomputed radix-2 decimation-in-time plan for complex transforms of one
+/// fixed power-of-two size. Immutable after construction, so a single plan
+/// may be shared by multiple threads; of() hands out one per thread anyway
+/// to keep the cache lock-free.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward transform: X[k] = sum_n x[n] e^{-j 2 pi k n / N}.
+  /// `data` must hold size() elements.
+  void forward(Complex* data) const;
+
+  /// In-place inverse transform (includes the 1/N normalization).
+  void inverse(Complex* data) const;
+
+  /// Per-thread plan cache: returns a reference valid for the thread's
+  /// lifetime. Repeated calls with the same n are O(1) and lock-free.
+  static const FftPlan& of(std::size_t n);
+
+ private:
+  std::size_t n_;
+  /// Bit-reversed index of each position (identity entries included so the
+  /// permutation loop is branch-light).
+  std::vector<std::uint32_t> bitrev_;
+  /// Twiddles e^{-j 2 pi k / n} for k in [0, n/2), interleaved re/im. A
+  /// stage of length `len` reads every (n/len)-th entry.
+  std::vector<double> twiddle_;
+};
+
+/// Real-input forward FFT of one fixed power-of-two size n (n >= 2): runs a
+/// half-length complex transform on the even/odd packing and untangles, for
+/// roughly half the work of the complex path. Output is the one-sided
+/// spectrum, bins 0..n/2 inclusive (DC through Nyquist); the remaining bins
+/// are its conjugate mirror.
+class RealFftPlan {
+ public:
+  explicit RealFftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  /// Number of output bins: n/2 + 1.
+  std::size_t out_size() const { return n_ / 2 + 1; }
+
+  /// `x` holds size() reals; `out` receives out_size() bins. `out` is also
+  /// used as the packing scratch, so the transform allocates nothing.
+  void forward(const double* x, Complex* out) const;
+
+  /// Convenience overload with size checking.
+  void forward(const std::vector<double>& x, std::vector<Complex>& out) const;
+
+  /// Per-thread plan cache, as FftPlan::of().
+  static const RealFftPlan& of(std::size_t n);
+
+ private:
+  std::size_t n_;
+  FftPlan half_;  // complex plan of size n/2
+  /// Untangling twiddles e^{-j 2 pi k / n} for k in [0, n/4], interleaved.
+  std::vector<double> untangle_;
+};
+
 /// In-place decimation-in-time radix-2 FFT. `data.size()` must be a power of
 /// two. Forward transform: X[k] = sum_n x[n] e^{-j 2 pi k n / N}.
 void fft_in_place(std::vector<Complex>& data);
@@ -25,7 +97,8 @@ void fft_in_place(std::vector<Complex>& data);
 void ifft_in_place(std::vector<Complex>& data);
 
 /// Forward FFT of a real signal; returns the full complex spectrum of
-/// length equal to input length (which must be a power of two).
+/// length equal to input length (which must be a power of two). Computed
+/// through RealFftPlan with the upper half mirrored by conjugate symmetry.
 std::vector<Complex> fft_real(const std::vector<double>& x);
 
 /// Single-bin DFT (Goertzel). Returns X[k] for the given bin; useful for

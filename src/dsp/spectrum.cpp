@@ -29,13 +29,45 @@ double take_power(const Spectrum& spec, std::vector<char>& taken,
   return p;
 }
 
+// Spectrum analysis runs once per Monte-Carlo draw with a fixed window kind
+// and record length, so the window samples (and their energy sum) and the
+// windowed-input / FFT-bin scratch buffers are cached per thread. Each worker
+// thread gets its own copy; no locking, no per-call allocation once warm.
+struct SpectrumScratch {
+  WindowKind kind = WindowKind::kHann;
+  std::size_t n = 0;
+  std::vector<double> window;
+  double sum_w2 = 0;
+  std::vector<double> xw;         // mean-removed, windowed input
+  std::vector<Complex> bins;      // one-sided FFT output (n/2 + 1 bins)
+
+  void prepare(WindowKind k, std::size_t len) {
+    if (kind != k || n != len || window.size() != len) {
+      kind = k;
+      n = len;
+      window = make_window(k, len);
+      sum_w2 = 0;
+      for (double v : window) sum_w2 += v * v;
+    }
+    xw.resize(len);
+    bins.resize(len / 2 + 1);
+  }
+};
+
+SpectrumScratch& spectrum_scratch() {
+  static thread_local SpectrumScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 Spectrum compute_spectrum(const std::vector<double>& x, double fs_hz,
                           double full_scale, WindowKind window) {
   assert(is_power_of_two(x.size()));
   const std::size_t n = x.size();
-  const std::vector<double> w = make_window(window, n);
+  SpectrumScratch& sc = spectrum_scratch();
+  sc.prepare(window, n);
+  const std::vector<double>& w = sc.window;
 
   // Remove the mean before windowing so DC leakage does not mask the
   // low-frequency noise floor the shaping analysis depends on.
@@ -43,9 +75,15 @@ Spectrum compute_spectrum(const std::vector<double>& x, double fs_hz,
   for (double v : x) mean += v;
   mean /= static_cast<double>(n);
 
-  std::vector<Complex> data(n);
-  for (std::size_t i = 0; i < n; ++i) data[i] = (x[i] - mean) * w[i];
-  fft_in_place(data);
+  // Real-input plan: half-length complex transform + untangle, one-sided
+  // output. The spectrum only ever reads bins [0, n/2), so nothing is lost.
+  for (std::size_t i = 0; i < n; ++i) sc.xw[i] = (x[i] - mean) * w[i];
+  const std::vector<Complex>& data = sc.bins;
+  if (n >= 2) {
+    RealFftPlan::of(n).forward(sc.xw.data(), sc.bins.data());
+  } else if (n == 1) {
+    sc.bins[0] = Complex(sc.xw[0], 0.0);
+  }
 
   Spectrum spec;
   spec.fs_hz = fs_hz;
@@ -62,10 +100,8 @@ Spectrum compute_spectrum(const std::vector<double>& x, double fs_hz,
   // full-scale sine (Parseval: sum over the one-sided lobe of a coherent
   // tone of amplitude A is N * A^2/4 * sum(w^2)). The same scale makes
   // band-integrated noise read correctly relative to FS tone power.
-  double sum_w2 = 0;
-  for (double v : w) sum_w2 += v * v;
   const double scale =
-      4.0 / (static_cast<double>(n) * sum_w2 * full_scale * full_scale);
+      4.0 / (static_cast<double>(n) * sc.sum_w2 * full_scale * full_scale);
   for (std::size_t k = 0; k < half; ++k) {
     spec.freq_hz[k] = spec.bin_hz * static_cast<double>(k);
     spec.power[k] = std::norm(data[k]) * scale;

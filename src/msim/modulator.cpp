@@ -11,10 +11,13 @@ namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
+// Wrap a phase to [0, 2*pi). Hot-path arguments are a wrapped tap phase
+// (< 4*pi) plus a sub-clock excursion, so the subtraction loop runs at most
+// twice; fmod would take glibc's slow large-quotient path for nothing.
 double wrap_2pi(double p) {
-  double w = std::fmod(p, kTwoPi);
-  if (w < 0) w += kTwoPi;
-  return w;
+  while (p >= kTwoPi) p -= kTwoPi;
+  while (p < 0.0) p += kTwoPi;
+  return p;
 }
 
 }  // namespace
@@ -125,24 +128,50 @@ double VcoDsmModulator::loop_gain_lsb_per_clock() const {
 
 ModulatorResult VcoDsmModulator::run(const dsp::SignalFn& vin_diff,
                                      std::size_t n_samples) {
+  SimWorkspace ws;
+  run(vin_diff, n_samples, ws);
+  return std::move(ws.result);
+}
+
+const ModulatorResult& VcoDsmModulator::run(const dsp::SignalFn& vin_diff,
+                                            std::size_t n_samples,
+                                            SimWorkspace& ws) {
   const int n_slices = cfg_.num_slices;
   const double ts = 1.0 / cfg_.fs_hz;
   const double dt = ts / cfg_.substeps;
 
-  ModulatorResult res;
+  // Reuse the workspace buffers: clear() keeps capacity, so a warmed-up
+  // workspace makes this call allocation-free.
+  ModulatorResult& res = ws.result;
+  res.output.clear();
   res.output.reserve(n_samples);
+  res.counts.clear();
   res.counts.reserve(n_samples);
   if (opts_.record_bits) {
-    res.slice_bits.assign(static_cast<std::size_t>(n_slices), {});
-    for (auto& v : res.slice_bits) v.reserve(n_samples);
+    res.slice_bits.resize(static_cast<std::size_t>(n_slices));
+    for (auto& v : res.slice_bits) {
+      v.clear();
+      v.reserve(n_samples);
+    }
+  } else {
+    res.slice_bits.clear();
   }
+  res.mean_vctrlp = res.mean_vctrln = 0.0;
+  res.mean_freq1_hz = res.mean_freq2_hz = 0.0;
+  res.bit_toggle_rate = 0.0;
 
-  std::vector<bool> d(static_cast<std::size_t>(n_slices));
-  std::vector<bool> nd(static_cast<std::size_t>(n_slices));
-  for (int i = 0; i < n_slices; ++i) {
-    d[static_cast<std::size_t>(i)] = (i % 2) == 0;  // midscale start
-    nd[static_cast<std::size_t>(i)] = !d[static_cast<std::size_t>(i)];
+  // Substep time fractions m / substeps, precomputed once (same division
+  // the loop used to perform per substep, so t is bit-identical).
+  if (ws.substep_frac.size() != static_cast<std::size_t>(cfg_.substeps)) {
+    ws.substep_frac.resize(static_cast<std::size_t>(cfg_.substeps));
+    for (int m = 0; m < cfg_.substeps; ++m) {
+      ws.substep_frac[static_cast<std::size_t>(m)] =
+          static_cast<double>(m) / cfg_.substeps;
+    }
   }
+  const double* substep_frac = ws.substep_frac.data();
+
+  SliceBits d = SliceBits::alternating(n_slices);  // midscale start
 
   JitterSource jitter(cfg_.clock_jitter_sigma_s,
                       util::Rng(cfg_.seed).fork("clkjit"));
@@ -150,19 +179,34 @@ ModulatorResult VcoDsmModulator::run(const dsp::SignalFn& vin_diff,
   double acc_vp = 0, acc_vn = 0, acc_f1 = 0, acc_f2 = 0;
   std::size_t toggles = 0;
 
-  const double g_dac_total_r = dac_p_.total_conductance();
-  const double g_dac_total_cs = cs_dac_p_.total_conductance();
+  const bool use_rdac = opts_.dac == DacKind::kResistor;
+  const bool vref_ripple = cfg_.vref_ripple_amp_v > 0.0;
+  const double g_fold =
+      use_rdac ? dac_p_.total_conductance() : cs_dac_p_.total_conductance();
+
+  // Prime the DAC running sums for the initial bits; from here on they are
+  // refreshed only at clock edges (bits are NRZ over the period), making
+  // the per-substep DAC evaluation O(1) instead of O(n_slices).
+  auto sync_dac_levels = [&](const SliceBits& bits) {
+    // P-node DAC inverters see !d, N-node DACs see d (feedback polarity).
+    if (use_rdac) {
+      dac_p_.set_levels(bits.complement());
+      dac_n_.set_levels(bits);
+    } else {
+      cs_dac_p_.set_levels(bits.complement());
+      cs_dac_n_.set_levels(bits);
+    }
+  };
+  sync_dac_levels(d);
 
   for (std::size_t n = 0; n < n_samples; ++n) {
     // Continuous-time interval: NRZ DAC holds d over the whole period.
     for (int m = 0; m < cfg_.substeps; ++m) {
-      const double t = (static_cast<double>(n) +
-                        static_cast<double>(m) / cfg_.substeps) *
-                       ts;
+      const double t = (static_cast<double>(n) + substep_frac[m]) * ts;
       const double vin = vin_diff(t);
       const double vinp = vcm_in_ + 0.5 * vin;
       const double vinn = vcm_in_ - 0.5 * vin;
-      if (cfg_.vref_ripple_amp_v > 0.0) {
+      if (vref_ripple) {
         const double vref =
             cfg_.vrefp + cfg_.vref_ripple_amp_v *
                              std::sin(kTwoPi * cfg_.vref_ripple_freq_hz * t);
@@ -171,62 +215,64 @@ ModulatorResult VcoDsmModulator::run(const dsp::SignalFn& vin_diff,
       }
       const double vp = node_p_.voltage();
       const double vn = node_n_.voltage();
-      double ip, in, g_fold;
-      if (opts_.dac == DacKind::kResistor) {
-        ip = dac_p_.current_into_node(nd, vp);
-        in = dac_n_.current_into_node(d, vn);
-        g_fold = g_dac_total_r;
+      double ip, in;
+      if (use_rdac) {
+        ip = dac_p_.current_into_node(vp);
+        in = dac_n_.current_into_node(vn);
       } else {
-        ip = cs_dac_p_.current_into_node(nd, vp, dt);
-        in = cs_dac_n_.current_into_node(d, vn, dt);
-        g_fold = g_dac_total_cs;
+        ip = cs_dac_p_.current_into_node(vp, dt);
+        in = cs_dac_n_.current_into_node(vn, dt);
       }
       node_p_.step(vinp, ip, g_fold, dt);
       node_n_.step(vinn, in, g_fold, dt);
-      vco1_.advance(node_p_.voltage(), dt);
-      vco2_.advance(node_n_.voltage(), dt);
-      acc_vp += node_p_.voltage();
-      acc_vn += node_n_.voltage();
-      acc_f1 += vco1_.freq_hz(node_p_.voltage());
-      acc_f2 += vco2_.freq_hz(node_n_.voltage());
+      const double vp2 = node_p_.voltage();
+      const double vn2 = node_n_.voltage();
+      vco1_.advance(vp2, dt);
+      vco2_.advance(vn2, dt);
+      acc_vp += vp2;
+      acc_vn += vn2;
+      acc_f1 += vco1_.freq_hz(vp2);
+      acc_f2 += vco2_.freq_hz(vn2);
     }
 
-    // Clock edge: retime every tap through its SAFF and XOR per slice.
+    // Clock edge: retime every tap through its SAFF and XOR per slice. The
+    // node voltages and ring frequencies are edge constants — evaluate them
+    // once instead of per slice / per comparator lambda.
     const double jit = jitter.next_edge_jitter();
     const double vp = node_p_.voltage();
     const double vn = node_n_.voltage();
-    int count = 0;
+    const double f1 = vco1_.freq_hz(vp);
+    const double f2 = vco2_.freq_hz(vn);
+    const double w1 = kTwoPi * f1;
+    const double w2 = kTwoPi * f2;
+    SliceBits raw(n_slices);
     for (int i = 0; i < n_slices; ++i) {
       const std::size_t si = static_cast<std::size_t>(i);
+      const double base1 = vco1_.tap_phase(i);
+      const double base2 = vco2_.tap_phase(i);
       auto level1 = [&](double toff) {
-        const double ph =
-            vco1_.tap_phase(i) + kTwoPi * vco1_.freq_hz(vp) * toff;
-        return wrap_2pi(ph) < std::numbers::pi;
+        return wrap_2pi(base1 + w1 * toff) < std::numbers::pi;
       };
       auto level2 = [&](double toff) {
-        const double ph =
-            vco2_.tap_phase(i) + kTwoPi * vco2_.freq_hz(vn) * toff;
-        return wrap_2pi(ph) < std::numbers::pi;
+        return wrap_2pi(base2 + w2 * toff) < std::numbers::pi;
       };
-      const bool s1 = fe1_[si].sample(level1, vco1_.time_to_edge(i, vp), jit);
-      const bool s2 = fe2_[si].sample(level2, vco2_.time_to_edge(i, vn), jit);
+      const bool s1 =
+          fe1_[si].sample(level1, vco1_.time_to_edge_at(i, f1), jit);
+      const bool s2 =
+          fe2_[si].sample(level2, vco2_.time_to_edge_at(i, f2), jit);
       const bool di = s1 != s2;
-      if (di != d[si]) ++toggles;
-      d[si] = di;
-      nd[si] = !di;
-      if (di) ++count;
+      if (di) raw.set(i, true);
       if (opts_.record_bits) res.slice_bits[si].push_back(di);
     }
+    const int count = raw.count();
+    toggles += static_cast<std::size_t>(raw.toggles_vs(d));
     // Static thermometer re-encoding (ablation): the summed code drives
     // elements 0..count-1 instead of the taps that produced it, exposing
     // element mismatch as code-dependent (in-band) error.
-    if (opts_.mapping == ElementMapping::kStaticThermometer) {
-      for (int i = 0; i < n_slices; ++i) {
-        const std::size_t si = static_cast<std::size_t>(i);
-        d[si] = (i < count);
-        nd[si] = !d[si];
-      }
-    }
+    d = (opts_.mapping == ElementMapping::kStaticThermometer)
+            ? SliceBits::first_k(n_slices, count)
+            : raw;
+    sync_dac_levels(d);
     res.counts.push_back(count);
     res.output.push_back((2.0 * count - n_slices) /
                          static_cast<double>(n_slices));

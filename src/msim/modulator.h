@@ -27,6 +27,7 @@
 #include "msim/resistor_dac.h"
 #include "msim/ring_vco.h"
 #include "msim/sim_config.h"
+#include "msim/slice_bits.h"
 
 namespace vcoadc::msim {
 
@@ -59,6 +60,26 @@ struct ModulatorResult {
   double bit_toggle_rate = 0.0;
 };
 
+/// Reusable scratch for VcoDsmModulator::run(): the result buffers and the
+/// precomputed substep time fractions. A workspace owned by one thread and
+/// passed to successive run() calls makes the hot loop allocation-free after
+/// the first run of a given size — Monte-Carlo sweeps reuse one workspace
+/// per worker thread instead of churning the allocator per draw.
+///
+/// Contract: a workspace is NOT thread-safe; give each thread its own.
+/// Buffers grow to the largest run seen and are retained; reset() drops
+/// them. Results stay valid until the next run() with the same workspace.
+struct SimWorkspace {
+  ModulatorResult result;
+  std::vector<double> substep_frac;  ///< m / substeps for m in [0, substeps)
+
+  /// Releases all retained buffers (capacity back to zero).
+  void reset() {
+    result = ModulatorResult{};
+    substep_frac = {};
+  }
+};
+
 class VcoDsmModulator {
  public:
   struct Options {
@@ -78,6 +99,14 @@ class VcoDsmModulator {
   /// Runs `n_samples` clock periods against the differential input signal
   /// (volts, differential; full scale is full_scale_diff()).
   ModulatorResult run(const dsp::SignalFn& vin_diff, std::size_t n_samples);
+
+  /// Same simulation, but all output and scratch buffers live in `ws` and
+  /// are reused across calls (no per-call allocation once warmed up). The
+  /// returned reference aliases ws.result and is invalidated by the next
+  /// run() with the same workspace. Both overloads produce bit-identical
+  /// results.
+  const ModulatorResult& run(const dsp::SignalFn& vin_diff,
+                             std::size_t n_samples, SimWorkspace& ws);
 
   /// Differential input amplitude that saturates the feedback DAC range:
   /// FS = (sum G_dac) * VREFP / G_in. A sine of this amplitude is 0 dBFS.

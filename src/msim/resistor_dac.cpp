@@ -1,9 +1,6 @@
 #include "msim/resistor_dac.h"
 
 #include <cassert>
-#include <cmath>
-
-#include "util/units.h"
 
 namespace vcoadc::msim {
 
@@ -11,90 +8,46 @@ ResistorDacBank::ResistorDacBank(int num_slices, double r_dac_ohms,
                                  double vrefp, double mismatch_sigma,
                                  util::Rng rng)
     : vrefp_(vrefp) {
-  assert(num_slices > 0 && r_dac_ohms > 0);
+  assert(num_slices > 0 && num_slices <= 64 && r_dac_ohms > 0);
   g_.reserve(static_cast<std::size_t>(num_slices));
   for (int i = 0; i < num_slices; ++i) {
     const double e = (mismatch_sigma > 0) ? rng.gaussian(0.0, mismatch_sigma) : 0.0;
     g_.push_back(1.0 / (r_dac_ohms * (1.0 + e)));
   }
+  for (double gk : g_) g_total_ += gk;
 }
 
 double ResistorDacBank::current_into_node(const std::vector<bool>& levels,
                                           double v_node) const {
   assert(levels.size() == g_.size());
-  double i = 0.0;
+  double g_on = 0.0;
   for (std::size_t k = 0; k < g_.size(); ++k) {
-    const double v_drive = levels[k] ? vrefp_ : 0.0;
-    i += g_[k] * (v_drive - v_node);
+    if (levels[k]) g_on += g_[k];
   }
-  return i;
-}
-
-double ResistorDacBank::total_conductance() const {
-  double g = 0.0;
-  for (double gk : g_) g += gk;
-  return g;
+  return g_on * vrefp_ - g_total_ * v_node;
 }
 
 CurrentSteeringDacBank::CurrentSteeringDacBank(const Params& p, util::Rng rng)
     : params_(p), rng_(rng) {
+  assert(p.num_slices > 0 && p.num_slices <= 64);
   cell_current_.reserve(static_cast<std::size_t>(p.num_slices));
   for (int i = 0; i < p.num_slices; ++i) {
     const double e =
         (p.mismatch_sigma > 0) ? rng_.gaussian(0.0, p.mismatch_sigma) : 0.0;
     cell_current_.push_back(p.unit_current_a * (1.0 + e));
   }
+  g_out_total_ = params_.output_conductance_s *
+                 static_cast<double>(cell_current_.size());
 }
 
 double CurrentSteeringDacBank::current_into_node(
     const std::vector<bool>& levels, double v_node, double dt) {
   assert(levels.size() == cell_current_.size());
-  // Shared bias network noise: a slow Ornstein-Uhlenbeck process modulating
-  // every cell's current together (this is the "analog intensive bias
-  // generation network" liability the paper cites).
-  if (params_.bias_flicker_rel > 0.0) {
-    const double tau = 1e-6;  // ~1 us bias-network time constant
-    const double a = std::exp(-dt / tau);
-    const double sigma = params_.bias_flicker_rel *
-                         std::sqrt(1.0 - a * a);
-    bias_noise_state_ = a * bias_noise_state_ + rng_.gaussian(0.0, sigma);
-  }
-  double i = 0.0;
-  for (std::size_t k = 0; k < cell_current_.size(); ++k) {
-    const double cell = cell_current_[k] * (1.0 + bias_noise_state_);
-    i += levels[k] ? cell : -cell;
-    // Finite output conductance: code-independent term folded in here.
-    i -= params_.output_conductance_s * v_node;
-  }
-  return i;
-}
-
-double CurrentSteeringDacBank::total_conductance() const {
-  return params_.output_conductance_s *
-         static_cast<double>(cell_current_.size());
+  set_levels(SliceBits::from_vector(levels));
+  return current_into_node(v_node, dt);
 }
 
 ControlNode::ControlNode(const Params& p, util::Rng rng)
     : params_(p), rng_(rng), v_(p.v_init) {}
-
-void ControlNode::step(double v_input, double i_dac, double g_dac_total,
-                       double dt) {
-  // C dv/dt = G_in (v_in - v) - G_load v + I_dac(v).
-  // I_dac was evaluated at the current v; fold its conductance into the
-  // pole so the exact one-pole update stays stable for any dt.
-  const double g_total = params_.g_input_s + params_.g_load_s + g_dac_total;
-  const double i_fixed = params_.g_input_s * v_input + i_dac + g_dac_total * v_;
-  const double v_inf = i_fixed / g_total;
-  const double tau = params_.c_node_f / g_total;
-  const double a = std::exp(-dt / tau);
-  v_ = v_inf + (v_ - v_inf) * a;
-  if (params_.thermal_noise) {
-    // Discretized OU noise: stationary variance kT/C, per-step injection
-    // variance (kT/C)(1 - a^2).
-    const double var_stat =
-        util::kBoltzmann * params_.temperature_k / params_.c_node_f;
-    v_ += rng_.gaussian(0.0, std::sqrt(var_stat * (1.0 - a * a)));
-  }
-}
 
 }  // namespace vcoadc::msim

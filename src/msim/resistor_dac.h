@@ -9,13 +9,24 @@
 //   * CurrentSteeringDacBank - per-slice current cell, percent-level
 //     matching plus a shared bias network contributing low-frequency noise.
 //
+// Hot-path contract: slice bits are NRZ (they change only at clock edges),
+// so each bank keeps a running level-dependent sum — the on-conductance for
+// the resistor bank, the signed cell-current sum for the current-steering
+// bank — refreshed by set_levels() once per edge. current_into_node() is
+// then O(1) per continuous-time substep instead of O(num_slices).
+//
 // The ControlNode integrates the VCTRLP / VCTRLN node: a first-order RC
 // solved exactly per substep, with physically-scaled kT/C thermal noise.
+// Its pole factor exp(-dt/tau) depends only on run constants, so it is
+// cached and recomputed only when (g_dac_total, dt) change.
 #pragma once
 
+#include <cmath>
 #include <vector>
 
+#include "msim/slice_bits.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace vcoadc::msim {
 
@@ -26,23 +37,47 @@ class ResistorDacBank {
   ResistorDacBank(int num_slices, double r_dac_ohms, double vrefp,
                   double mismatch_sigma, util::Rng rng);
 
-  /// Sum of DAC currents into the node at node voltage `v_node`, for the
-  /// current slice bits. levels[i] true => resistor tied to VREFP (sourcing).
+  /// Refreshes the running on-conductance sum for the new slice bits.
+  /// Called once per clock edge (bits are NRZ over the period). The sum is
+  /// rebuilt from scratch in slice order — O(N) per *edge*, not per substep
+  /// — so no incremental floating-point drift accumulates across a run.
+  void set_levels(const SliceBits& levels) {
+    double g_on = 0.0;
+    const int n = static_cast<int>(g_.size());
+    for (int k = 0; k < n; ++k) {
+      if (levels.test(k)) g_on += g_[k];
+    }
+    g_on_sum_ = g_on;
+  }
+
+  /// Sum of DAC currents into the node at node voltage `v_node` for the
+  /// levels last passed to set_levels(). O(1):
+  ///   I = sum_on g_k * (VREFP - v) + sum_off g_k * (0 - v)
+  ///     = g_on * VREFP - g_total * v.
+  double current_into_node(double v_node) const {
+    return g_on_sum_ * vrefp_ - g_total_ * v_node;
+  }
+
+  /// Legacy one-shot evaluation (tests / non-hot callers). Same formula as
+  /// the stateful path, independent of set_levels() state.
   double current_into_node(const std::vector<bool>& levels,
                            double v_node) const;
 
   /// Total DAC-bank conductance seen by the node (levels-independent).
-  double total_conductance() const;
+  double total_conductance() const { return g_total_; }
 
   /// The per-slice conductances (for power models and tests).
   const std::vector<double>& conductances() const { return g_; }
   double vrefp() const { return vrefp_; }
-  /// Instantaneous reference update (ripple injection).
+  /// Instantaneous reference update (ripple injection). Orthogonal to the
+  /// running sum: the on-conductance does not depend on VREFP.
   void set_vrefp(double v) { vrefp_ = v; }
 
  private:
   std::vector<double> g_;
   double vrefp_;
+  double g_total_ = 0.0;  ///< sum of g_ in slice order, fixed at build
+  double g_on_sum_ = 0.0; ///< sum of g_ over high slices, per set_levels()
 };
 
 /// Bank of current-steering DAC cells (Fig. 8a) for the ablation study.
@@ -57,19 +92,51 @@ class CurrentSteeringDacBank {
   };
   CurrentSteeringDacBank(const Params& p, util::Rng rng);
 
-  /// Current into the node; levels[i] true => cell sources, else sinks.
-  /// Advances the bias-noise state by dt.
+  /// Refreshes the signed cell-current sum for the new slice bits (true =
+  /// cell sources, false = sinks). Called once per clock edge.
+  void set_levels(const SliceBits& levels) {
+    double i = 0.0;
+    const int n = static_cast<int>(cell_current_.size());
+    for (int k = 0; k < n; ++k) {
+      i += levels.test(k) ? cell_current_[k] : -cell_current_[k];
+    }
+    i_signed_sum_ = i;
+  }
+
+  /// Current into the node for the levels last passed to set_levels().
+  /// Advances the shared bias-noise state by dt. O(1) per substep.
+  double current_into_node(double v_node, double dt) {
+    advance_bias_noise(dt);
+    return i_signed_sum_ * (1.0 + bias_noise_state_) -
+           g_out_total_ * v_node;
+  }
+
+  /// Legacy one-shot evaluation; also advances the bias-noise state.
   double current_into_node(const std::vector<bool>& levels, double v_node,
                            double dt);
 
-  double total_conductance() const;
+  double total_conductance() const { return g_out_total_; }
   double unit_current_a() const { return params_.unit_current_a; }
 
  private:
+  void advance_bias_noise(double dt) {
+    // Shared bias network noise: a slow Ornstein-Uhlenbeck process
+    // modulating every cell's current together (this is the "analog
+    // intensive bias generation network" liability the paper cites).
+    if (params_.bias_flicker_rel > 0.0) {
+      const double tau = 1e-6;  // ~1 us bias-network time constant
+      const double a = std::exp(-dt / tau);
+      const double sigma = params_.bias_flicker_rel * std::sqrt(1.0 - a * a);
+      bias_noise_state_ = a * bias_noise_state_ + rng_.gaussian(0.0, sigma);
+    }
+  }
+
   Params params_;
   std::vector<double> cell_current_;
   util::Rng rng_;
   double bias_noise_state_ = 0.0;
+  double g_out_total_ = 0.0;   ///< output_conductance_s * num_slices
+  double i_signed_sum_ = 0.0;  ///< sum of +/- cell currents per set_levels()
 };
 
 /// First-order RC solver for one control node (VCTRLP or VCTRLN).
@@ -87,15 +154,51 @@ class ControlNode {
 
   /// Advances the node by dt given the input-side voltage and the DAC
   /// current (evaluated at the current node voltage by the caller).
-  void step(double v_input, double i_dac, double g_dac_total, double dt);
+  ///
+  /// C dv/dt = G_in (v_in - v) - G_load v + I_dac(v). I_dac was evaluated
+  /// at the current v; fold its conductance into the pole so the exact
+  /// one-pole update stays stable for any dt. The pole factor and the
+  /// per-step kT/C injection sigma depend only on (g_dac_total, dt), both
+  /// run constants, so they are cached across the substep loop.
+  void step(double v_input, double i_dac, double g_dac_total, double dt) {
+    if (g_dac_total != pole_g_dac_ || dt != pole_dt_) {
+      prepare_pole(g_dac_total, dt);
+    }
+    const double i_fixed =
+        params_.g_input_s * v_input + i_dac + g_dac_total * v_;
+    const double v_inf = i_fixed / pole_g_total_;
+    v_ = v_inf + (v_ - v_inf) * pole_a_;
+    if (params_.thermal_noise) {
+      // Discretized OU noise: stationary variance kT/C, per-step injection
+      // variance (kT/C)(1 - a^2).
+      v_ += rng_.gaussian(0.0, noise_sigma_);
+    }
+  }
 
   double voltage() const { return v_; }
   void set_voltage(double v) { v_ = v; }
 
  private:
+  void prepare_pole(double g_dac_total, double dt) {
+    pole_g_dac_ = g_dac_total;
+    pole_dt_ = dt;
+    pole_g_total_ = params_.g_input_s + params_.g_load_s + g_dac_total;
+    const double tau = params_.c_node_f / pole_g_total_;
+    pole_a_ = std::exp(-dt / tau);
+    const double var_stat =
+        util::kBoltzmann * params_.temperature_k / params_.c_node_f;
+    noise_sigma_ = std::sqrt(var_stat * (1.0 - pole_a_ * pole_a_));
+  }
+
   Params params_;
   util::Rng rng_;
   double v_;
+  // Cached pole; pole_dt_ < 0 forces the first prepare_pole().
+  double pole_g_dac_ = 0.0;
+  double pole_dt_ = -1.0;
+  double pole_g_total_ = 0.0;
+  double pole_a_ = 0.0;
+  double noise_sigma_ = 0.0;
 };
 
 }  // namespace vcoadc::msim

@@ -1,12 +1,6 @@
 #include "msim/ring_vco.h"
 
-#include <cmath>
-#include <numbers>
-
 namespace vcoadc::msim {
-namespace {
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
-}
 
 RingVco::RingVco(int num_stages, double center_freq_hz, double kvco_hz_per_v,
                  double vctrl_mid_v, double initial_phase_rad,
@@ -19,6 +13,10 @@ RingVco::RingVco(int num_stages, double center_freq_hz, double kvco_hz_per_v,
       phase_(initial_phase_rad),
       white_fm_(white_fm_hz2_per_hz),
       rng_(rng) {
+  // Establish the phase-accumulator invariant (see advance()): phase_ lives
+  // in [0, 2*pi) for the whole simulation.
+  phase_ = std::fmod(phase_, kTwoPi_);
+  if (phase_ < 0.0) phase_ += kTwoPi_;
   // Nominal tap spacing for an N-stage differential ring is pi/N of the
   // fundamental. A stage whose delay is (1+e) times nominal shifts every
   // downstream tap; accumulate the per-stage errors.
@@ -31,41 +29,6 @@ RingVco::RingVco(int num_stages, double center_freq_hz, double kvco_hz_per_v,
         (stage_mismatch_sigma > 0) ? rng_.gaussian(0.0, stage_mismatch_sigma) : 0.0;
     acc += nominal * (1.0 + e);
   }
-}
-
-double RingVco::freq_hz(double vctrl) const {
-  const double f = f_center_ + kvco_ * (vctrl - vctrl_mid_);
-  // A starved ring approaches (but never reaches) a stall.
-  return std::max(f, 0.01 * f_center_);
-}
-
-void RingVco::advance(double vctrl, double dt) {
-  double dphi = kTwoPi * freq_hz(vctrl) * dt;
-  if (white_fm_ > 0.0) {
-    // White FM noise: S_f(f) = white_fm_ [Hz^2/Hz] => phase random walk with
-    // per-step variance (2 pi)^2 * white_fm_ * dt.
-    dphi += kTwoPi * std::sqrt(white_fm_ * dt) * rng_.gaussian();
-  }
-  phase_ += dphi;
-  // Keep the accumulator bounded; all consumers use phase mod 2*pi.
-  if (phase_ > 1e6) phase_ = std::fmod(phase_, kTwoPi);
-}
-
-double RingVco::tap_phase(int tap) const {
-  return phase_ + tap_offsets_[static_cast<std::size_t>(tap)];
-}
-
-bool RingVco::tap_level(int tap) const {
-  const double p = std::fmod(tap_phase(tap), kTwoPi);
-  const double w = (p < 0) ? p + kTwoPi : p;
-  return w < std::numbers::pi;
-}
-
-double RingVco::time_to_edge(int tap, double vctrl) const {
-  const double p = std::fmod(tap_phase(tap), std::numbers::pi);
-  const double w = (p < 0) ? p + std::numbers::pi : p;
-  const double to_edge_rad = std::numbers::pi - w;
-  return to_edge_rad / (kTwoPi * freq_hz(vctrl));
 }
 
 }  // namespace vcoadc::msim

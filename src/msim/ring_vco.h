@@ -6,8 +6,15 @@
 // differential ring offers N taps spaced pi/N apart in fundamental phase;
 // per-stage delay mismatch perturbs those tap offsets (which the delta-sigma
 // loop first-order shapes — the robustness claim of Sec. 2.2).
+//
+// advance() and freq_hz() are called twice per continuous-time substep and
+// tap_phase()/time_to_edge per slice per clock edge, so they are defined
+// inline; the white-FM noise amplitude sqrt(S_f * dt) depends only on the
+// (constant) substep length and is cached.
 #pragma once
 
+#include <cmath>
+#include <numbers>
 #include <vector>
 
 #include "util/rng.h"
@@ -26,21 +33,70 @@ class RingVco {
   /// Instantaneous frequency for a control voltage [Hz]. Clamped at a small
   /// positive floor: a supply-starved ring slows down but never runs
   /// backwards.
-  double freq_hz(double vctrl) const;
+  double freq_hz(double vctrl) const {
+    const double f = f_center_ + kvco_ * (vctrl - vctrl_mid_);
+    // A starved ring approaches (but never reaches) a stall.
+    return std::max(f, 0.01 * f_center_);
+  }
 
   /// Advances the ring by dt seconds at control voltage `vctrl`,
   /// accumulating white-FM phase noise if configured.
-  void advance(double vctrl, double dt);
+  void advance(double vctrl, double dt) {
+    double dphi = kTwoPi_ * freq_hz(vctrl) * dt;
+    if (white_fm_ > 0.0) {
+      // White FM noise: S_f(f) = white_fm_ [Hz^2/Hz] => phase random walk
+      // with per-step variance (2 pi)^2 * white_fm_ * dt.
+      if (dt != noise_dt_) {
+        noise_amp_ = kTwoPi_ * std::sqrt(white_fm_ * dt);
+        noise_dt_ = dt;
+      }
+      dphi += noise_amp_ * rng_.gaussian();
+    }
+    phase_ += dphi;
+    // Keep the accumulator in [0, 2*pi). All consumers only ever use the
+    // phase mod 2*pi, and a wrapped accumulator both keeps full mantissa
+    // precision (an unwrapped phase of ~1e6 rad has only ~2e-10 rad of
+    // resolution) and lets every downstream wrap be a conditional subtract
+    // instead of a large-quotient fmod, which dominated the hot loop.
+    // A single substep advances by well under 2*pi, so one subtract is the
+    // common case; the fmod fallback only fires for oversized test dt.
+    if (phase_ >= kTwoPi_) {
+      phase_ -= kTwoPi_;
+      if (phase_ >= kTwoPi_) phase_ = std::fmod(phase_, kTwoPi_);
+    } else if (phase_ < 0.0) {
+      phase_ += kTwoPi_;
+    }
+  }
 
-  /// Fundamental phase of tap `i` (0..N-1) right now [rad].
-  double tap_phase(int tap) const;
+  /// Fundamental phase of tap `i` (0..N-1) right now [rad]. With phase_ in
+  /// [0, 2*pi) and tap offsets in [0, ~pi], the result is below 4*pi.
+  double tap_phase(int tap) const {
+    return phase_ + tap_offsets_[static_cast<std::size_t>(tap)];
+  }
 
   /// Logic level of tap `i`: true while the (square-wave) tap is high.
-  bool tap_level(int tap) const;
+  bool tap_level(int tap) const {
+    double p = tap_phase(tap);
+    if (p >= kTwoPi_) p -= kTwoPi_;
+    if (p >= kTwoPi_) p = std::fmod(p, kTwoPi_);
+    return p < std::numbers::pi;
+  }
+
+  /// Time until the next edge (either direction) of tap `i`, given a
+  /// pre-computed instantaneous frequency. The clock-edge loop hoists
+  /// freq_hz() out so it is evaluated once per edge instead of per slice.
+  double time_to_edge_at(int tap, double freq_hz_now) const {
+    double p = tap_phase(tap);
+    while (p >= std::numbers::pi) p -= std::numbers::pi;  // <= 4 iterations
+    const double to_edge_rad = std::numbers::pi - p;
+    return to_edge_rad / (kTwoPi_ * freq_hz_now);
+  }
 
   /// Time until the next edge (either direction) of tap `i`, given the
   /// current control voltage. Used for metastability modelling.
-  double time_to_edge(int tap, double vctrl) const;
+  double time_to_edge(int tap, double vctrl) const {
+    return time_to_edge_at(tap, freq_hz(vctrl));
+  }
 
   double phase() const { return phase_; }
   int num_stages() const { return num_stages_; }
@@ -51,6 +107,8 @@ class RingVco {
   const std::vector<double>& tap_offsets() const { return tap_offsets_; }
 
  private:
+  static constexpr double kTwoPi_ = 2.0 * std::numbers::pi;
+
   int num_stages_;
   double f_center_;
   double kvco_;
@@ -59,6 +117,9 @@ class RingVco {
   double white_fm_;
   std::vector<double> tap_offsets_;
   util::Rng rng_;
+  // Cached white-FM step amplitude; noise_dt_ < 0 forces the first compute.
+  double noise_amp_ = 0.0;
+  double noise_dt_ = -1.0;
 };
 
 }  // namespace vcoadc::msim

@@ -1,0 +1,76 @@
+// Packed slice-bit bank: the quantizer decisions d[0..N-1] of one clock
+// period as a single uint64_t word.
+//
+// The modulator and both DAC models share this representation: bits change
+// only at clock edges (NRZ feedback holds them over the whole period), so
+// the DAC banks can refresh their level-dependent running sums once per
+// edge from the packed word instead of re-walking a std::vector<bool> on
+// every continuous-time substep.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace vcoadc::msim {
+
+class SliceBits {
+ public:
+  SliceBits() = default;
+  explicit SliceBits(int n, std::uint64_t mask = 0)
+      : n_(n), mask_(mask & full_mask(n)) {
+    assert(n >= 0 && n <= 64);
+  }
+
+  /// The midscale start pattern: even-indexed slices high (...0101).
+  static SliceBits alternating(int n) {
+    return SliceBits(n, 0x5555555555555555ULL);
+  }
+
+  /// Thermometer word with the k lowest bits set (static element mapping).
+  static SliceBits first_k(int n, int k) {
+    assert(k >= 0 && k <= n);
+    return SliceBits(n, (k >= 64) ? ~0ULL : ((1ULL << k) - 1ULL));
+  }
+
+  int size() const { return n_; }
+  std::uint64_t mask() const { return mask_; }
+  static std::uint64_t full_mask(int n) {
+    return (n >= 64) ? ~0ULL : ((1ULL << n) - 1ULL);
+  }
+
+  bool test(int i) const { return (mask_ >> i) & 1ULL; }
+  void set(int i, bool v) {
+    const std::uint64_t bit = 1ULL << i;
+    mask_ = v ? (mask_ | bit) : (mask_ & ~bit);
+  }
+
+  /// Number of high slices (the flash-quantizer output code).
+  int count() const { return std::popcount(mask_); }
+
+  /// Bits that differ from `other` (DAC/XOR toggle activity).
+  int toggles_vs(const SliceBits& other) const {
+    return std::popcount(mask_ ^ other.mask_);
+  }
+
+  /// The complementary word !d (what the P-side DAC inverters see).
+  SliceBits complement() const { return SliceBits(n_, ~mask_); }
+
+  /// Conversion for the legacy std::vector<bool> call sites and tests.
+  static SliceBits from_vector(const std::vector<bool>& v) {
+    SliceBits b(static_cast<int>(v.size()));
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i]) b.mask_ |= 1ULL << i;
+    }
+    return b;
+  }
+
+  bool operator==(const SliceBits&) const = default;
+
+ private:
+  int n_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace vcoadc::msim

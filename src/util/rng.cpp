@@ -1,8 +1,5 @@
 #include "util/rng.h"
 
-#include <cmath>
-#include <numbers>
-
 namespace vcoadc::util {
 namespace {
 
@@ -12,10 +9,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
-}
-
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
 }
 
 }  // namespace
@@ -38,47 +31,39 @@ Rng Rng::fork(std::string_view tag) {
   return Rng(next_u64() ^ fnv1a64(tag));
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 random mantissa bits -> uniform double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  return lo + (hi - lo) * uniform();
-}
-
-double Rng::gaussian() {
-  if (has_cached_gaussian_) {
-    has_cached_gaussian_ = false;
-    return cached_gaussian_;
+double Rng::gaussian_slow_(std::uint64_t u) {
+  for (;;) {
+    const std::size_t idx = static_cast<std::size_t>(u & 255u);
+    const bool neg = (u & 256u) != 0;
+    const std::uint64_t rabs = u >> 12;
+    if (rabs < detail::kZig.k[idx]) {
+      const double x = static_cast<double>(rabs) * detail::kZig.w[idx];
+      return neg ? -x : x;
+    }
+    if (idx == 0) {
+      // Tail beyond kZigR: Marsaglia's exponential-rejection tail sampler.
+      // uniform() can return exactly 0; shift to (0, 1] to keep log finite.
+      double xx;
+      double yy;
+      do {
+        const double u1 =
+            (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+        const double u2 =
+            (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+        xx = -std::log(u1) * (1.0 / detail::kZigR);
+        yy = -std::log(u2);
+      } while (yy + yy < xx * xx);
+      return neg ? -(detail::kZigR + xx) : (detail::kZigR + xx);
+    }
+    // Wedge between layer idx and the one below: accept against the pdf.
+    const double x = static_cast<double>(rabs) * detail::kZig.w[idx];
+    const double f_hi = detail::kZig.f[idx - 1];
+    const double f_lo = detail::kZig.f[idx];
+    if (f_lo + uniform() * (f_hi - f_lo) < std::exp(-0.5 * x * x)) {
+      return neg ? -x : x;
+    }
+    u = next_u64();
   }
-  // Box-Muller; u1 is kept away from zero so log() is finite.
-  double u1 = 0.0;
-  do {
-    u1 = uniform();
-  } while (u1 <= 0x1.0p-60);
-  const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
-  cached_gaussian_ = r * std::sin(theta);
-  has_cached_gaussian_ = true;
-  return r * std::cos(theta);
-}
-
-double Rng::gaussian(double mean, double sigma) {
-  return mean + sigma * gaussian();
 }
 
 std::uint64_t Rng::below(std::uint64_t n) {
@@ -95,12 +80,6 @@ std::uint64_t Rng::below(std::uint64_t n) {
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 }  // namespace vcoadc::util

@@ -9,10 +9,54 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string_view>
 
 namespace vcoadc::util {
+
+namespace detail {
+
+/// Ziggurat tables for the standard normal (Marsaglia & Tsang construction,
+/// 256 layers, 52-bit mantissa draws). Built at compile time so the fast
+/// path is a table lookup, a multiply, and a compare with no static-init
+/// guard. kZigR is the base of the tail layer; kZigM scales a 52-bit
+/// integer draw to the layer coordinate.
+inline constexpr double kZigR = 3.6541528853610088;
+inline constexpr double kZigM = 4503599627370496.0;  // 2^52
+
+struct ZigTables {
+  std::array<std::uint64_t, 256> k{};  // layer accept thresholds
+  std::array<double, 256> w{};         // draw -> x scale per layer
+  std::array<double, 256> f{};         // pdf at each layer base
+};
+
+consteval ZigTables make_zig_tables() {
+  // Total area of each layer (rectangle, or base strip + tail for layer 0).
+  constexpr double v = 4.92867323399e-3;
+  ZigTables t;
+  double d = kZigR;
+  double prev = d;
+  const double q = v / std::exp(-0.5 * d * d);
+  t.k[0] = static_cast<std::uint64_t>((d / q) * kZigM);
+  t.k[1] = 0;
+  t.w[0] = q / kZigM;
+  t.w[255] = d / kZigM;
+  t.f[0] = 1.0;
+  t.f[255] = std::exp(-0.5 * d * d);
+  for (int i = 254; i >= 1; --i) {
+    d = std::sqrt(-2.0 * std::log(v / d + std::exp(-0.5 * d * d)));
+    t.k[i + 1] = static_cast<std::uint64_t>((d / prev) * kZigM);
+    prev = d;
+    t.f[i] = std::exp(-0.5 * d * d);
+    t.w[i] = d / kZigM;
+  }
+  return t;
+}
+
+inline constexpr ZigTables kZig = make_zig_tables();
+
+}  // namespace detail
 
 /// xoshiro256++ engine with convenience distributions.
 ///
@@ -30,26 +74,62 @@ class Rng {
   /// so adding a component never perturbs the draws of another.
   Rng fork(std::string_view tag);
 
+  // The draw functions are defined inline: they sit on the modulator's
+  // per-substep hot path (thermal noise, white-FM phase noise, comparator
+  // noise), where an out-of-line call per draw is measurable.
+
   /// Raw 64 random bits.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl_(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
-  /// Standard normal via Box-Muller (cached second value).
-  double gaussian();
+  /// Standard normal via the ziggurat method. One u64 draw, a table
+  /// lookup, a multiply and a compare cover ~99% of calls; rejections and
+  /// the tail fall through to the out-of-line slow path (the only place
+  /// that touches exp/log). Replaces Box-Muller, whose per-draw log +
+  /// sincos dominated the modulator's noise-injection cost.
+  double gaussian() {
+    const std::uint64_t u = next_u64();
+    const std::size_t idx = static_cast<std::size_t>(u & 255u);
+    const std::uint64_t rabs = u >> 12;  // 52 uniform bits
+    if (rabs < detail::kZig.k[idx]) [[likely]] {
+      const double x = static_cast<double>(rabs) * detail::kZig.w[idx];
+      return (u & 256u) ? -x : x;
+    }
+    return gaussian_slow_(u);
+  }
 
   /// Normal with the given mean and standard deviation.
-  double gaussian(double mean, double sigma);
+  double gaussian(double mean, double sigma) {
+    return mean + sigma * gaussian();
+  }
 
   /// Uniform integer in [0, n). Requires n > 0.
   std::uint64_t below(std::uint64_t n);
 
   /// True with probability p (clamped to [0,1]).
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
 
   // UniformRandomBitGenerator interface for <random> interop.
   static constexpr result_type min() { return 0; }
@@ -57,9 +137,15 @@ class Rng {
   result_type operator()() { return next_u64(); }
 
  private:
+  static std::uint64_t rotl_(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Ziggurat rejection path: tail sampling for layer 0, wedge
+  /// accept/reject elsewhere, retrying with fresh draws as needed.
+  double gaussian_slow_(std::uint64_t u);
+
   std::array<std::uint64_t, 4> state_{};
-  double cached_gaussian_ = 0.0;
-  bool has_cached_gaussian_ = false;
 };
 
 /// 64-bit FNV-1a hash, used to derive fork seeds from tags.

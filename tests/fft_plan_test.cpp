@@ -1,0 +1,179 @@
+// Tests for the plan-based FFT layer: round trips, equivalence of the
+// real-input fast path against both the complex path and a naive DFT, and
+// Goertzel vs FFT-bin agreement.
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.h"
+#include "util/rng.h"
+
+namespace vcoadc {
+namespace {
+
+using dsp::Complex;
+
+std::vector<double> random_reals(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+std::vector<Complex> random_complex(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (Complex& v : x) v = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+/// O(n^2) reference DFT.
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                         static_cast<double>(j) / static_cast<double>(n);
+      acc += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(FftPlanTest, ForwardInverseRoundTrip) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{16},
+                        std::size_t{256}, std::size_t{4096}}) {
+    const dsp::FftPlan plan(n);
+    EXPECT_EQ(plan.size(), n);
+    const std::vector<Complex> orig = random_complex(n, 7 + n);
+    std::vector<Complex> data = orig;
+    plan.forward(data.data());
+    plan.inverse(data.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-10) << "n=" << n;
+      EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-10) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftPlanTest, MatchesNaiveDftAcrossSizes) {
+  // 2^4 .. 2^12 as required by the plan's acceptance envelope.
+  for (std::size_t lg = 4; lg <= 12; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    std::vector<Complex> data = random_complex(n, 100 + lg);
+    const std::vector<Complex> ref = naive_dft(data);
+    dsp::FftPlan::of(n).forward(data.data());
+    // Naive DFT error grows with n; scale the tolerance accordingly.
+    const double tol = 1e-9 * static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(data[k].real(), ref[k].real(), tol) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(data[k].imag(), ref[k].imag(), tol) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(FftPlanTest, FreeFunctionsRouteThroughPlans) {
+  const std::size_t n = 512;
+  std::vector<Complex> a = random_complex(n, 3);
+  std::vector<Complex> b = a;
+  dsp::fft_in_place(a);
+  dsp::FftPlan::of(n).forward(b.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(a[k], b[k]);  // same code path => bit-identical
+  }
+  dsp::ifft_in_place(a);
+  dsp::FftPlan::of(n).inverse(b.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(RealFftPlanTest, MatchesComplexPathAcrossSizes) {
+  for (std::size_t lg = 4; lg <= 12; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    const std::vector<double> x = random_reals(n, 200 + lg);
+
+    // Complex reference: same signal with zero imaginary part.
+    std::vector<Complex> ref(x.begin(), x.end());
+    dsp::fft_in_place(ref);
+
+    const dsp::RealFftPlan& plan = dsp::RealFftPlan::of(n);
+    ASSERT_EQ(plan.out_size(), n / 2 + 1);
+    std::vector<Complex> half;
+    plan.forward(x, half);
+
+    const double tol = 1e-11 * static_cast<double>(n);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+      EXPECT_NEAR(half[k].real(), ref[k].real(), tol) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(half[k].imag(), ref[k].imag(), tol) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(RealFftPlanTest, FftRealMirrorsUpperHalf) {
+  const std::size_t n = 1024;
+  const std::vector<double> x = random_reals(n, 11);
+  const std::vector<Complex> full = dsp::fft_real(x);
+  ASSERT_EQ(full.size(), n);
+  // A real signal's spectrum is conjugate-symmetric: X[n-k] = conj(X[k]).
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    EXPECT_EQ(full[n - k], std::conj(full[k]));
+  }
+  // And matches the complex transform.
+  std::vector<Complex> ref(x.begin(), x.end());
+  dsp::fft_in_place(ref);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(full[k] - ref[k]), 0.0, 1e-8);
+  }
+}
+
+TEST(RealFftPlanTest, TinySizes) {
+  // n = 2: X[0] = x0 + x1, X[1] = x0 - x1.
+  const dsp::RealFftPlan plan2(2);
+  std::vector<Complex> out;
+  plan2.forward(std::vector<double>{3.0, 5.0}, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].real(), 8.0);
+  EXPECT_DOUBLE_EQ(out[0].imag(), 0.0);
+  EXPECT_DOUBLE_EQ(out[1].real(), -2.0);
+  EXPECT_DOUBLE_EQ(out[1].imag(), 0.0);
+
+  // n = 4 against the closed form.
+  const dsp::RealFftPlan plan4(4);
+  plan4.forward(std::vector<double>{1.0, 2.0, 3.0, 4.0}, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0].real(), 10.0, 1e-12);   // sum
+  EXPECT_NEAR(out[1].real(), -2.0, 1e-12);   // 1 - 3 + j(4 - 2)... => -2 + 2j
+  EXPECT_NEAR(out[1].imag(), 2.0, 1e-12);
+  EXPECT_NEAR(out[2].real(), -2.0, 1e-12);   // alternating sum
+  EXPECT_NEAR(out[2].imag(), 0.0, 1e-12);
+}
+
+TEST(GoertzelTest, AgreesWithFftBin) {
+  const std::size_t n = 2048;
+  // A couple of coherent tones plus noise; check several bins including the
+  // tone bins.
+  std::vector<double> x = random_reals(n, 17);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = 0.02 * x[i] +
+           0.7 * std::sin(2.0 * std::numbers::pi * 37.0 * t / n) +
+           0.1 * std::cos(2.0 * std::numbers::pi * 301.0 * t / n);
+  }
+  const std::vector<Complex> spec = dsp::fft_real(x);
+  for (std::size_t bin : {std::size_t{0}, std::size_t{1}, std::size_t{37},
+                          std::size_t{301}, std::size_t{900}}) {
+    const Complex g = dsp::goertzel(x, bin);
+    EXPECT_NEAR(g.real(), spec[bin].real(), 1e-7) << "bin=" << bin;
+    EXPECT_NEAR(g.imag(), spec[bin].imag(), 1e-7) << "bin=" << bin;
+  }
+}
+
+}  // namespace
+}  // namespace vcoadc
