@@ -178,6 +178,20 @@ std::vector<FlatInstance> Design::flatten() const {
   std::vector<FlatInstance> out;
   const Module* top_mod = find_module(top_);
   if (top_mod == nullptr) return out;
+  // Reserve the exact leaf count up front: a FlatInstance move drags a
+  // whole connection map along, so growth reallocations are not cheap.
+  auto count_leaves = [&](auto&& self, const Module& mod) -> std::size_t {
+    std::size_t n = 0;
+    for (const Instance& inst : mod.instances()) {
+      if (lib_->find(inst.master) != nullptr) {
+        ++n;
+      } else if (const Module* sub = find_module(inst.master)) {
+        n += self(self, *sub);
+      }
+    }
+    return n;
+  };
+  out.reserve(count_leaves(count_leaves, *top_mod));
   // Top ports map to themselves (flat net name == port name).
   std::map<std::string, std::string> ports;
   for (const Port& p : top_mod->ports()) ports[p.name] = p.name;

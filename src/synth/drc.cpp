@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "util/strings.h"
 
@@ -49,8 +48,16 @@ DrcReport run_drc(const std::vector<netlist::FlatInstance>& flat,
     }
   }
 
-  // Per-cell geometric checks + row bucketing.
-  std::map<int, std::vector<int>> by_row;  // row index -> flat indices
+  // Per-cell geometric checks + row bucketing. Cells that sit off the row
+  // grid are reported once and *excluded* from the row-overlap pass:
+  // rounding a mis-gridded cell into an arbitrary row would fabricate (or
+  // mask) overlap and rail-short pairs against cells it does not abut.
+  struct RowEntry {
+    int row;
+    int idx;
+  };
+  std::vector<RowEntry> row_cells;
+  row_cells.reserve(pl.cells.size());
   for (std::size_t i = 0; i < pl.cells.size(); ++i) {
     const PlacedCell& pc = pl.cells[i];
     const auto& fi = flat[i];
@@ -70,20 +77,27 @@ DrcReport run_drc(const std::vector<netlist::FlatInstance>& flat,
     const double row_pos = (pc.rect.y - fp.die.y) / fp.row_height_m;
     if (std::fabs(row_pos - std::round(row_pos)) > 1e-6) {
       add(DrcKind::kOffRowGrid, fi.path);
+      continue;
     }
-    by_row[static_cast<int>(std::lround(row_pos))].push_back(
-        static_cast<int>(i));
+    row_cells.push_back({static_cast<int>(std::lround(row_pos)),
+                         static_cast<int>(i)});
   }
 
-  // Overlaps + rail shorts, per row.
-  for (auto& [row, members] : by_row) {
-    std::sort(members.begin(), members.end(), [&](int a, int b) {
-      return pl.cells[static_cast<std::size_t>(a)].rect.x <
-             pl.cells[static_cast<std::size_t>(b)].rect.x;
-    });
-    for (std::size_t k = 1; k < members.size(); ++k) {
-      const int a = members[k - 1];
-      const int b = members[k];
+  // Overlaps + rail shorts, per row: one (row, x) sort replaces the old
+  // string-free but allocation-heavy map-of-vectors bucketing.
+  std::sort(row_cells.begin(), row_cells.end(),
+            [&](const RowEntry& a, const RowEntry& b) {
+              if (a.row != b.row) return a.row < b.row;
+              const double xa = pl.cells[static_cast<std::size_t>(a.idx)].rect.x;
+              const double xb = pl.cells[static_cast<std::size_t>(b.idx)].rect.x;
+              if (xa != xb) return xa < xb;
+              return a.idx < b.idx;
+            });
+  for (std::size_t k = 1; k < row_cells.size(); ++k) {
+    if (row_cells[k].row == row_cells[k - 1].row) {
+      const int row = row_cells[k].row;
+      const int a = row_cells[k - 1].idx;
+      const int b = row_cells[k].idx;
       const PlacedCell& ca = pl.cells[static_cast<std::size_t>(a)];
       const PlacedCell& cb = pl.cells[static_cast<std::size_t>(b)];
       if (ca.rect.overlaps(cb.rect)) {

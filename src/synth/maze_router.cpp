@@ -1,219 +1,21 @@
 #include "synth/maze_router.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <queue>
-#include <set>
 
 namespace vcoadc::synth {
-namespace {
-
-struct Grid {
-  int nx = 0, ny = 0;
-  double pitch = 0;
-  Rect die;
-
-  // Edge usage: horizontal edges on layer 0, vertical edges on layer 1.
-  std::vector<int> h_use;  // (nx-1) * ny
-  std::vector<int> v_use;  // nx * (ny-1)
-  std::vector<double> h_hist;
-  std::vector<double> v_hist;
-
-  int h_idx(int x, int y) const { return y * (nx - 1) + x; }
-  int v_idx(int x, int y) const { return y * nx + x; }
-
-  int node_id(const GridPoint& p) const {
-    return (p.layer * ny + p.y) * nx + p.x;
-  }
-  GridPoint from_id(int id) const {
-    GridPoint p;
-    p.x = id % nx;
-    p.y = (id / nx) % ny;
-    p.layer = id / (nx * ny);
-    return p;
-  }
-
-  GridPoint snap(double mx, double my) const {
-    GridPoint p;
-    p.x = std::clamp(static_cast<int>((mx - die.x) / pitch), 0, nx - 1);
-    p.y = std::clamp(static_cast<int>((my - die.y) / pitch), 0, ny - 1);
-    p.layer = 0;
-    return p;
-  }
-};
-
-struct NetPins {
-  std::string name;
-  std::vector<GridPoint> pins;
-  double hpwl = 0;
-};
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Cost of crossing one routing edge given usage/capacity and history.
-double edge_cost(int use, double hist, int cap, double pressure) {
-  double c = 1.0 + hist;
-  if (use >= cap) c += pressure * static_cast<double>(use - cap + 1);
-  return c;
-}
-
-/// Dijkstra from the net's current tree (multi-source) to `target`.
-/// Returns the path (target..source order reversed to source..target) or
-/// empty when unreachable.
-std::vector<GridPoint> search(const Grid& g, const std::set<int>& sources,
-                              const GridPoint& target, double via_cost,
-                              int cap, double pressure) {
-  const int n_nodes = g.nx * g.ny * 2;
-  std::vector<double> dist(static_cast<std::size_t>(n_nodes), kInf);
-  std::vector<int> prev(static_cast<std::size_t>(n_nodes), -1);
-  using QE = std::pair<double, int>;
-  std::priority_queue<QE, std::vector<QE>, std::greater<QE>> pq;
-  for (int s : sources) {
-    dist[static_cast<std::size_t>(s)] = 0;
-    pq.push({0, s});
-  }
-  const int target_id0 = g.node_id(target);
-  GridPoint t1 = target;
-  t1.layer = 1;
-  const int target_id1 = g.node_id(t1);
-
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[static_cast<std::size_t>(u)]) continue;
-    if (u == target_id0 || u == target_id1) {
-      // Reconstruct.
-      std::vector<GridPoint> path;
-      for (int cur = u; cur != -1; cur = prev[static_cast<std::size_t>(cur)]) {
-        path.push_back(g.from_id(cur));
-        if (sources.count(cur)) break;
-      }
-      std::reverse(path.begin(), path.end());
-      return path;
-    }
-    const GridPoint p = g.from_id(u);
-    auto relax = [&](const GridPoint& q, double w) {
-      const int v = g.node_id(q);
-      if (dist[static_cast<std::size_t>(u)] + w <
-          dist[static_cast<std::size_t>(v)]) {
-        dist[static_cast<std::size_t>(v)] =
-            dist[static_cast<std::size_t>(u)] + w;
-        prev[static_cast<std::size_t>(v)] = u;
-        pq.push({dist[static_cast<std::size_t>(v)], v});
-      }
-    };
-    if (p.layer == 0) {
-      // Horizontal moves.
-      if (p.x > 0) {
-        relax({p.x - 1, p.y, 0},
-              edge_cost(g.h_use[static_cast<std::size_t>(g.h_idx(p.x - 1, p.y))],
-                        g.h_hist[static_cast<std::size_t>(g.h_idx(p.x - 1, p.y))],
-                        cap, pressure));
-      }
-      if (p.x + 1 < g.nx) {
-        relax({p.x + 1, p.y, 0},
-              edge_cost(g.h_use[static_cast<std::size_t>(g.h_idx(p.x, p.y))],
-                        g.h_hist[static_cast<std::size_t>(g.h_idx(p.x, p.y))],
-                        cap, pressure));
-      }
-      relax({p.x, p.y, 1}, via_cost);
-    } else {
-      // Vertical moves.
-      if (p.y > 0) {
-        relax({p.x, p.y - 1, 1},
-              edge_cost(g.v_use[static_cast<std::size_t>(g.v_idx(p.x, p.y - 1))],
-                        g.v_hist[static_cast<std::size_t>(g.v_idx(p.x, p.y - 1))],
-                        cap, pressure));
-      }
-      if (p.y + 1 < g.ny) {
-        relax({p.x, p.y + 1, 1},
-              edge_cost(g.v_use[static_cast<std::size_t>(g.v_idx(p.x, p.y))],
-                        g.v_hist[static_cast<std::size_t>(g.v_idx(p.x, p.y))],
-                        cap, pressure));
-      }
-      relax({p.x, p.y, 0}, via_cost);
-    }
-  }
-  return {};
-}
-
-/// Applies +/-1 usage along a path.
-void adjust_usage(Grid& g, const std::vector<GridPoint>& path, int delta) {
-  for (std::size_t i = 1; i < path.size(); ++i) {
-    const GridPoint& a = path[i - 1];
-    const GridPoint& b = path[i];
-    if (a.layer != b.layer) continue;  // via
-    if (a.layer == 0) {
-      g.h_use[static_cast<std::size_t>(g.h_idx(std::min(a.x, b.x), a.y))] +=
-          delta;
-    } else {
-      g.v_use[static_cast<std::size_t>(g.v_idx(a.x, std::min(a.y, b.y)))] +=
-          delta;
-    }
-  }
-}
-
-/// Routes all segments of one net; returns false when any segment failed.
-bool route_net(Grid& g, const NetPins& net, RoutedNet& out, double via_cost,
-               int cap, double pressure) {
-  out.paths.clear();
-  out.wirelength_m = 0;
-  out.vias = 0;
-  if (net.pins.size() < 2) {
-    out.routed = true;
-    return true;
-  }
-  std::set<int> tree;
-  tree.insert(g.node_id(net.pins[0]));
-  GridPoint p0v = net.pins[0];
-  p0v.layer = 1;
-  tree.insert(g.node_id(p0v));
-
-  // Connect pins nearest-first to the growing tree.
-  std::vector<GridPoint> remaining(net.pins.begin() + 1, net.pins.end());
-  std::sort(remaining.begin(), remaining.end(),
-            [&](const GridPoint& a, const GridPoint& b) {
-              const int da = std::abs(a.x - net.pins[0].x) +
-                             std::abs(a.y - net.pins[0].y);
-              const int db = std::abs(b.x - net.pins[0].x) +
-                             std::abs(b.y - net.pins[0].y);
-              return da < db;
-            });
-  for (const GridPoint& pin : remaining) {
-    if (tree.count(g.node_id(pin))) continue;
-    auto path = search(g, tree, pin, via_cost, cap, pressure);
-    if (path.empty()) {
-      out.routed = false;
-      return false;
-    }
-    adjust_usage(g, path, +1);
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      tree.insert(g.node_id(path[i]));
-      if (i > 0) {
-        if (path[i].layer != path[i - 1].layer) {
-          ++out.vias;
-        } else {
-          out.wirelength_m += g.pitch;
-        }
-      }
-    }
-    out.paths.push_back(std::move(path));
-  }
-  out.routed = true;
-  return true;
-}
-
-}  // namespace
 
 MazeRouteResult maze_route(const std::vector<netlist::FlatInstance>& flat,
                            const Placement& pl, const Rect& die,
                            const MazeRouterOptions& opts) {
-  MazeRouteResult result;
-  Grid g;
-  g.die = die;
-  g.pitch = opts.grid_pitch_m;
-  if (g.pitch <= 0) {
+  const NetDb db(flat);
+  return maze_route(flat, pl, die, opts, db);
+}
+
+MazeRouteResult maze_route(const std::vector<netlist::FlatInstance>& flat,
+                           const Placement& pl, const Rect& die,
+                           const MazeRouterOptions& opts, const NetDb& db) {
+  double pitch = opts.grid_pitch_m;
+  if (pitch <= 0) {
     // Default: one grid row per cell row.
     double row_h = 1e-6;
     for (std::size_t i = 0; i < flat.size(); ++i) {
@@ -222,33 +24,26 @@ MazeRouteResult maze_route(const std::vector<netlist::FlatInstance>& flat,
         break;
       }
     }
-    g.pitch = row_h;
+    pitch = row_h;
   }
-  g.nx = std::max(2, static_cast<int>(std::ceil(die.w / g.pitch)) + 1);
-  g.ny = std::max(2, static_cast<int>(std::ceil(die.h / g.pitch)) + 1);
-  g.h_use.assign(static_cast<std::size_t>((g.nx - 1) * g.ny), 0);
-  g.v_use.assign(static_cast<std::size_t>(g.nx * (g.ny - 1)), 0);
-  g.h_hist.assign(g.h_use.size(), 0.0);
-  g.v_hist.assign(g.v_use.size(), 0.0);
-  result.grid_x = g.nx;
-  result.grid_y = g.ny;
+  RouteGrid g(die, pitch);
 
-  // Collect signal nets with snapped pins.
-  std::map<std::string, std::vector<GridPoint>> pins_by_net;
-  for (std::size_t i = 0; i < flat.size(); ++i) {
-    const Point c = pl.cells[i].rect.center();
-    for (const auto& [pin, net] : flat[i].conn) {
-      if (netlist::is_supply_net(net)) continue;
-      pins_by_net[net].push_back(g.snap(c.x, c.y));
-    }
-  }
+  // Collect signal nets with snapped, deduplicated pins. Net ids ascend in
+  // name order, so the net list matches the historical string-map order.
   std::vector<NetPins> nets;
-  for (auto& [name, pins] : pins_by_net) {
+  nets.reserve(static_cast<std::size_t>(db.num_nets()));
+  std::vector<GridPoint> pins;
+  for (int n = 0; n < db.num_nets(); ++n) {
+    pins.clear();
+    for (int c : db.members(n)) {
+      const Point ctr = pl.cells[static_cast<std::size_t>(c)].rect.center();
+      pins.push_back(g.snap(ctr.x, ctr.y));
+    }
     std::sort(pins.begin(), pins.end());
     pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
     if (pins.size() < 2) continue;
     NetPins np;
-    np.name = name;
+    np.name = db.name(n);
     np.pins = pins;
     BBox bb;
     for (const auto& p : pins) {
@@ -257,82 +52,8 @@ MazeRouteResult maze_route(const std::vector<netlist::FlatInstance>& flat,
     np.hpwl = bb.half_perimeter();
     nets.push_back(std::move(np));
   }
-  // Short nets first: they have the fewest detour options.
-  std::sort(nets.begin(), nets.end(), [](const NetPins& a, const NetPins& b) {
-    if (a.hpwl != b.hpwl) return a.hpwl < b.hpwl;
-    return a.name < b.name;
-  });
 
-  result.nets.resize(nets.size());
-  for (std::size_t i = 0; i < nets.size(); ++i) {
-    result.nets[i].name = nets[i].name;
-    result.nets[i].pins = static_cast<int>(nets[i].pins.size());
-  }
-
-  double pressure = 4.0;
-  for (int iter = 0; iter < std::max(1, opts.max_iterations); ++iter) {
-    if (iter == 0) {
-      for (std::size_t i = 0; i < nets.size(); ++i) {
-        route_net(g, nets[i], result.nets[i], opts.via_cost,
-                  opts.edge_capacity, pressure);
-      }
-    } else {
-      // Rip up nets that traverse overflowed edges; bump history costs.
-      auto overflowed = [&](const std::vector<GridPoint>& path) {
-        for (std::size_t k = 1; k < path.size(); ++k) {
-          const GridPoint& a = path[k - 1];
-          const GridPoint& b = path[k];
-          if (a.layer != b.layer) continue;
-          if (a.layer == 0) {
-            if (g.h_use[static_cast<std::size_t>(
-                    g.h_idx(std::min(a.x, b.x), a.y))] > opts.edge_capacity) {
-              return true;
-            }
-          } else {
-            if (g.v_use[static_cast<std::size_t>(
-                    g.v_idx(a.x, std::min(a.y, b.y)))] > opts.edge_capacity) {
-              return true;
-            }
-          }
-        }
-        return false;
-      };
-      for (std::size_t e = 0; e < g.h_use.size(); ++e) {
-        if (g.h_use[e] > opts.edge_capacity) g.h_hist[e] += 2.0;
-      }
-      for (std::size_t e = 0; e < g.v_use.size(); ++e) {
-        if (g.v_use[e] > opts.edge_capacity) g.v_hist[e] += 2.0;
-      }
-      pressure *= 2.0;
-      bool any = false;
-      for (std::size_t i = 0; i < nets.size(); ++i) {
-        RoutedNet& rn = result.nets[i];
-        bool needs = !rn.routed;
-        for (const auto& path : rn.paths) {
-          if (overflowed(path)) needs = true;
-        }
-        if (!needs) continue;
-        any = true;
-        for (const auto& path : rn.paths) adjust_usage(g, path, -1);
-        route_net(g, nets[i], rn, opts.via_cost, opts.edge_capacity,
-                  pressure);
-      }
-      if (!any) break;
-    }
-  }
-
-  for (const RoutedNet& rn : result.nets) {
-    result.total_wirelength_m += rn.wirelength_m;
-    result.total_vias += rn.vias;
-    if (!rn.routed) ++result.failed_nets;
-  }
-  for (int use : g.h_use) {
-    if (use > opts.edge_capacity) ++result.overflowed_edges;
-  }
-  for (int use : g.v_use) {
-    if (use > opts.edge_capacity) ++result.overflowed_edges;
-  }
-  return result;
+  return route_nets(g, std::move(nets), opts);
 }
 
 }  // namespace vcoadc::synth

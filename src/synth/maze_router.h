@@ -1,4 +1,4 @@
-// Grid-based detailed router (Lee/maze search with negotiated congestion).
+// Grid-based detailed router (maze search with negotiated congestion).
 //
 // Completes the APR stage of Fig. 9 beyond the HPWL estimate: every signal
 // net is routed on a two-layer grid (layer 0 horizontal, layer 1 vertical,
@@ -7,63 +7,31 @@
 // overflowing nets are ripped up and rerouted. Outputs per-net paths,
 // total routed wirelength (to compare against the HPWL lower bound), via
 // counts, and any remaining overflows.
+//
+// This is the netlist-facing entry point: it interns the flat netlist's
+// signal nets (via NetDb), snaps pin locations to the grid and hands the
+// per-net pin sets to the netlist-free core in route_grid.h (windowed A*,
+// epoch-stamped scratch, parallel rip-up batches).
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "synth/net_db.h"
 #include "synth/placer.h"
+#include "synth/route_grid.h"
 
 namespace vcoadc::synth {
-
-struct GridPoint {
-  int x = 0;
-  int y = 0;
-  int layer = 0;  ///< 0 = horizontal metal, 1 = vertical metal
-
-  bool operator==(const GridPoint& o) const {
-    return x == o.x && y == o.y && layer == o.layer;
-  }
-  bool operator<(const GridPoint& o) const {
-    if (x != o.x) return x < o.x;
-    if (y != o.y) return y < o.y;
-    return layer < o.layer;
-  }
-};
-
-struct RoutedNet {
-  std::string name;
-  int pins = 0;
-  std::vector<std::vector<GridPoint>> paths;  ///< one per 2-pin segment
-  double wirelength_m = 0;
-  int vias = 0;
-  bool routed = false;
-};
-
-struct MazeRouteResult {
-  std::vector<RoutedNet> nets;
-  double total_wirelength_m = 0;
-  int total_vias = 0;
-  int failed_nets = 0;
-  int overflowed_edges = 0;  ///< edges above capacity after the final pass
-  int grid_x = 0, grid_y = 0;
-};
-
-struct MazeRouterOptions {
-  /// Routing-grid pitch [m]; 0 = one track row per cell row height.
-  double grid_pitch_m = 0;
-  /// Tracks per grid edge. A cell row spans ~9 M1 pitches; one is the
-  /// rail, leaving ~8 signal tracks per row-pitch grid edge.
-  int edge_capacity = 8;
-  double via_cost = 3.0;   ///< in units of one grid step
-  int max_iterations = 4;  ///< rip-up & reroute rounds
-};
 
 /// Routes all multi-pin signal nets of a placed design.
 MazeRouteResult maze_route(const std::vector<netlist::FlatInstance>& flat,
                            const Placement& pl, const Rect& die,
                            const MazeRouterOptions& opts = {});
+
+/// As above, with a prebuilt net database over the same `flat` vector.
+MazeRouteResult maze_route(const std::vector<netlist::FlatInstance>& flat,
+                           const Placement& pl, const Rect& die,
+                           const MazeRouterOptions& opts, const NetDb& db);
 
 }  // namespace vcoadc::synth

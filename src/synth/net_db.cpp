@@ -1,0 +1,88 @@
+#include "synth/net_db.h"
+
+#include <algorithm>
+
+namespace vcoadc::synth {
+
+NetDb::NetDb(const std::vector<netlist::FlatInstance>& flat) {
+  num_cells_ = static_cast<int>(flat.size());
+
+  // Collect every signal-net name once, then sort: the dense id of a net is
+  // its rank in lexicographic order (see header for why that matters).
+  for (const auto& fi : flat) {
+    for (const auto& [pin, net] : fi.conn) {
+      (void)pin;
+      if (netlist::is_supply_net(net)) continue;
+      if (id_.emplace(net, 0).second) names_.push_back(net);
+    }
+  }
+  std::sort(names_.begin(), names_.end());
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    id_[names_[i]] = static_cast<int>(i);
+  }
+  const std::size_t n_nets = names_.size();
+  const std::size_t n_cells = flat.size();
+
+  // Counting pass for the three CSR structures.
+  conn_count_.assign(n_nets, 0);
+  std::vector<std::size_t> member_cnt(n_nets, 0);
+  cell_pin_off_.assign(n_cells + 1, 0);
+  cell_net_off_.assign(n_cells + 1, 0);
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    for (const auto& [pin, net] : flat[c].conn) {
+      (void)pin;
+      const auto it = id_.find(net);
+      if (it == id_.end()) continue;
+      ++conn_count_[static_cast<std::size_t>(it->second)];
+      ++cell_pin_off_[c + 1];
+    }
+  }
+
+  // Fill the per-cell pin list (connection order) and, from it, the per-cell
+  // unique net list and per-net member counts.
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    cell_pin_off_[c + 1] += cell_pin_off_[c];
+  }
+  cell_pins_.resize(cell_pin_off_[n_cells]);
+  std::vector<int> scratch;
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    std::size_t w = cell_pin_off_[c];
+    scratch.clear();
+    for (const auto& [pin, net] : flat[c].conn) {
+      const auto it = id_.find(net);
+      if (it == id_.end()) continue;
+      cell_pins_[w++] = CellPin{it->second, &pin};
+      scratch.push_back(it->second);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    cell_net_off_[c + 1] = cell_net_off_[c] + scratch.size();
+    for (int net : scratch) {
+      cell_nets_.push_back(net);
+      ++member_cnt[static_cast<std::size_t>(net)];
+    }
+  }
+
+  // Per-net unique members: cells are visited in ascending index, so each
+  // net's member list comes out sorted without a final sort.
+  member_off_.assign(n_nets + 1, 0);
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    member_off_[n + 1] = member_off_[n] + member_cnt[n];
+  }
+  members_.resize(member_off_[n_nets]);
+  std::vector<std::size_t> write_pos(member_off_.begin(),
+                                     member_off_.end() - 1);
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    for (int net : nets_of(static_cast<int>(c))) {
+      members_[write_pos[static_cast<std::size_t>(net)]++] =
+          static_cast<int>(c);
+    }
+  }
+}
+
+int NetDb::id_of(const std::string& net_name) const {
+  const auto it = id_.find(net_name);
+  return it == id_.end() ? -1 : it->second;
+}
+
+}  // namespace vcoadc::synth

@@ -2,75 +2,86 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <numeric>
 
 #include "util/rng.h"
-#include "util/strings.h"
 
 namespace vcoadc::synth {
 namespace {
 
-/// Net -> member flat indices, signal nets only.
-std::map<std::string, std::vector<int>> build_signal_nets(
-    const std::vector<netlist::FlatInstance>& flat) {
-  std::map<std::string, std::vector<int>> nets;
-  for (int i = 0; i < static_cast<int>(flat.size()); ++i) {
-    for (const auto& [pin, net] : flat[static_cast<std::size_t>(i)].conn) {
-      if (is_supply_net(net)) continue;
-      nets[net].push_back(i);
-    }
+/// Net ids with >= 2 member cells; single-pin nets contribute nothing to
+/// ordering or HPWL deltas.
+std::vector<int> multi_pin_nets(const NetDb& db) {
+  std::vector<int> ids;
+  for (int n = 0; n < db.num_nets(); ++n) {
+    if (db.members(n).size() >= 2) ids.push_back(n);
   }
-  // Single-pin nets contribute nothing.
-  for (auto it = nets.begin(); it != nets.end();) {
-    std::sort(it->second.begin(), it->second.end());
-    it->second.erase(std::unique(it->second.begin(), it->second.end()),
-                     it->second.end());
-    if (it->second.size() < 2) {
-      it = nets.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  return nets;
+  return ids;
 }
 
 /// Orders `members` by iterative barycenter over their shared nets.
-std::vector<int> connectivity_order(
-    const std::vector<int>& members,
-    const std::map<std::string, std::vector<int>>& nets, int passes) {
-  std::map<int, double> pos;
+///
+/// Star model: instead of expanding each k-pin net into k(k-1) clique
+/// neighbour entries, keep one per-net position sum S_n per pass; cell m's
+/// neighbour sum over net n is S_n - pos[m] and its neighbour count is
+/// |n|-1. Positions are integer ranks after every pass, so all sums are
+/// exact in double arithmetic and the result is bit-identical to the old
+/// clique expansion at O(pins) instead of O(pins^2) per pass.
+std::vector<int> connectivity_order(const std::vector<int>& members,
+                                    const NetDb& db,
+                                    const std::vector<int>& multi,
+                                    int passes) {
+  const auto n_cells = static_cast<std::size_t>(db.num_cells());
+  std::vector<double> pos(n_cells, 0.0);
+  std::vector<char> in_region(n_cells, 0);
   for (std::size_t i = 0; i < members.size(); ++i) {
-    pos[members[i]] = static_cast<double>(i);
+    const auto m = static_cast<std::size_t>(members[i]);
+    pos[m] = static_cast<double>(i);
+    in_region[m] = 1;
   }
-  std::map<int, std::vector<int>> adj;
-  for (const auto& [name, cells] : nets) {
-    std::vector<int> local;
-    for (int c : cells) {
-      if (pos.count(c)) local.push_back(c);
+
+  // Region-local member lists per net (only nets with >= 2 local members
+  // pull on the ordering), plus each cell's list of those nets.
+  std::vector<std::vector<int>> local;
+  std::vector<std::vector<int>> cell_local(n_cells);
+  for (int n : multi) {
+    std::vector<int> lm;
+    for (int c : db.members(n)) {
+      if (in_region[static_cast<std::size_t>(c)]) lm.push_back(c);
     }
-    if (local.size() < 2) continue;
-    for (int c : local) {
-      for (int d : local) {
-        if (c != d) adj[c].push_back(d);
-      }
-    }
+    if (lm.size() < 2) continue;
+    const int li = static_cast<int>(local.size());
+    for (int c : lm) cell_local[static_cast<std::size_t>(c)].push_back(li);
+    local.push_back(std::move(lm));
   }
+
   std::vector<int> order = members;
+  std::vector<double> net_sum(local.size(), 0.0);
+  std::vector<double> next(n_cells, 0.0);
   for (int p = 0; p < passes; ++p) {
-    std::map<int, double> next = pos;
-    for (int m : order) {
-      auto it = adj.find(m);
-      if (it == adj.end() || it->second.empty()) continue;
+    for (std::size_t li = 0; li < local.size(); ++li) {
       double s = 0;
-      for (int d : it->second) s += pos[d];
-      next[m] = 0.5 * pos[m] + 0.5 * s / static_cast<double>(it->second.size());
+      for (int c : local[li]) s += pos[static_cast<std::size_t>(c)];
+      net_sum[li] = s;
     }
-    pos = std::move(next);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](int a, int b) { return pos[a] < pos[b]; });
+    for (int m : order) {
+      const auto mi = static_cast<std::size_t>(m);
+      double s = 0, cnt = 0;
+      for (int li : cell_local[mi]) {
+        s += net_sum[static_cast<std::size_t>(li)] - pos[mi];
+        cnt += static_cast<double>(local[static_cast<std::size_t>(li)].size() -
+                                   1);
+      }
+      next[mi] = (cnt > 0) ? 0.5 * pos[mi] + 0.5 * s / cnt : pos[mi];
+    }
+    for (int m : order) {
+      pos[static_cast<std::size_t>(m)] = next[static_cast<std::size_t>(m)];
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return pos[static_cast<std::size_t>(a)] <
+             pos[static_cast<std::size_t>(b)];
+    });
     for (std::size_t i = 0; i < order.size(); ++i) {
-      pos[order[i]] = static_cast<double>(i);
+      pos[static_cast<std::size_t>(order[i])] = static_cast<double>(i);
     }
   }
   return order;
@@ -135,12 +146,17 @@ bool pack_region(const std::vector<netlist::FlatInstance>& flat,
   return overflow;
 }
 
-double placement_hpwl(const std::map<std::string, std::vector<int>>& nets,
-                      const Placement& pl) {
+}  // namespace
+
+bool is_supply_net(const std::string& net) {
+  return netlist::is_supply_net(net);
+}
+
+double total_hpwl(const NetDb& db, const Placement& pl) {
   double total = 0;
-  for (const auto& [name, cells] : nets) {
+  for (int n = 0; n < db.num_nets(); ++n) {
     BBox bb;
-    for (int c : cells) {
+    for (int c : db.members(n)) {
       bb.expand(pl.cells[static_cast<std::size_t>(c)].rect.center());
     }
     total += bb.half_perimeter();
@@ -148,15 +164,138 @@ double placement_hpwl(const std::map<std::string, std::vector<int>>& nets,
   return total;
 }
 
-}  // namespace
+void refine_equal_width_swaps(const NetDb& db,
+                              const std::vector<PlacedRegion>& regions,
+                              int refine_passes, util::Rng& rng,
+                              Placement& pl) {
+  const auto n_nets = static_cast<std::size_t>(db.num_nets());
+  auto center_of = [&](int c) {
+    return pl.cells[static_cast<std::size_t>(c)].rect.center();
+  };
 
-bool is_supply_net(const std::string& net) {
-  return netlist::is_supply_net(net);
+  // Cached per-net bbox + HPWL for every multi-pin net; swaps update these
+  // incrementally and the caches are restored on reject.
+  std::vector<char> is_multi(n_nets, 0);
+  std::vector<BBox> net_bb(n_nets);
+  std::vector<double> net_hp(n_nets, 0.0);
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    if (db.members(static_cast<int>(n)).size() < 2) continue;
+    is_multi[n] = 1;
+    BBox bb;
+    for (int c : db.members(static_cast<int>(n))) bb.expand(center_of(c));
+    net_bb[n] = bb;
+    net_hp[n] = bb.half_perimeter();
+  }
+
+  std::vector<int> in_affected(n_nets, -1);
+  std::vector<int> is_shared(n_nets, -1);
+  std::vector<int> affected;
+  std::vector<std::pair<BBox, double>> saved;  // old cache of affected[i]
+  int tick = 0;
+
+  // Exact bbox of net n after member `moved` went old_c -> new_c: if the
+  // old centre was strictly interior the extremes were attained elsewhere,
+  // so expanding the cached bbox by the new centre is exact; otherwise the
+  // moved cell may have defined an extreme and the members are rescanned.
+  auto moved_bbox = [&](std::size_t n, Point old_c, Point new_c) {
+    const BBox& bb = net_bb[n];
+    if (old_c.x > bb.xmin && old_c.x < bb.xmax && old_c.y > bb.ymin &&
+        old_c.y < bb.ymax) {
+      BBox out = bb;
+      out.expand(new_c);
+      return out;
+    }
+    BBox out;
+    for (int c : db.members(static_cast<int>(n))) out.expand(center_of(c));
+    return out;
+  };
+
+  for (const PlacedRegion& region : regions) {
+    const auto& members = region.spec.members;
+    if (members.size() < 2) continue;
+    const int tries = refine_passes * static_cast<int>(members.size());
+    for (int t = 0; t < tries; ++t) {
+      const int a = members[rng.below(members.size())];
+      const int b = members[rng.below(members.size())];
+      if (a == b) continue;
+      PlacedCell& ca = pl.cells[static_cast<std::size_t>(a)];
+      PlacedCell& cb = pl.cells[static_cast<std::size_t>(b)];
+      if (std::fabs(ca.rect.w - cb.rect.w) > 1e-12) continue;
+
+      // Affected nets in the historical cost order: a's nets, then b's
+      // unshared nets, ascending id (= net-name order) within each group.
+      ++tick;
+      affected.clear();
+      std::size_t a_count = 0;
+      for (int n : db.nets_of(a)) {
+        if (!is_multi[static_cast<std::size_t>(n)]) continue;
+        in_affected[static_cast<std::size_t>(n)] = tick;
+        affected.push_back(n);
+      }
+      a_count = affected.size();
+      for (int n : db.nets_of(b)) {
+        if (!is_multi[static_cast<std::size_t>(n)]) continue;
+        if (in_affected[static_cast<std::size_t>(n)] == tick) {
+          is_shared[static_cast<std::size_t>(n)] = tick;
+        } else {
+          affected.push_back(n);
+        }
+      }
+      double before = 0;
+      for (int n : affected) before += net_hp[static_cast<std::size_t>(n)];
+
+      const Point a_old = ca.rect.center();
+      const Point b_old = cb.rect.center();
+      std::swap(ca.rect.x, cb.rect.x);
+      std::swap(ca.rect.y, cb.rect.y);
+      std::swap(ca.row, cb.row);
+
+      // Shared nets keep an identical point multiset (equal-width cells in
+      // equal-height rows trade centres exactly), so only unshared nets
+      // change. Update their caches, remembering the old values.
+      saved.clear();
+      double after = 0;
+      for (std::size_t k = 0; k < affected.size(); ++k) {
+        const auto n = static_cast<std::size_t>(affected[k]);
+        if (is_shared[n] == tick) {
+          after += net_hp[n];
+          continue;
+        }
+        const Point old_c = (k < a_count) ? a_old : b_old;
+        const Point new_c = (k < a_count) ? b_old : a_old;
+        saved.emplace_back(net_bb[n], net_hp[n]);
+        net_bb[n] = moved_bbox(n, old_c, new_c);
+        net_hp[n] = net_bb[n].half_perimeter();
+        after += net_hp[n];
+      }
+
+      if (after > before) {
+        std::swap(ca.rect.x, cb.rect.x);
+        std::swap(ca.rect.y, cb.rect.y);
+        std::swap(ca.row, cb.row);
+        std::size_t s = 0;
+        for (std::size_t k = 0; k < affected.size(); ++k) {
+          const auto n = static_cast<std::size_t>(affected[k]);
+          if (is_shared[n] == tick) continue;
+          net_bb[n] = saved[s].first;
+          net_hp[n] = saved[s].second;
+          ++s;
+        }
+      }
+    }
+  }
 }
 
 Placement place(const std::vector<netlist::FlatInstance>& flat,
                 const Floorplan& fp, const PlacementOptions& opts) {
-  const auto nets = build_signal_nets(flat);
+  const NetDb db(flat);
+  return place(flat, fp, opts, db);
+}
+
+Placement place(const std::vector<netlist::FlatInstance>& flat,
+                const Floorplan& fp, const PlacementOptions& opts,
+                const NetDb& db) {
+  const std::vector<int> multi = multi_pin_nets(db);
 
   // Region list: either the real floorplan regions or one die-wide region
   // reproducing the naive (PD-oblivious) flow.
@@ -188,7 +327,7 @@ Placement place(const std::vector<netlist::FlatInstance>& flat,
       }
       const std::vector<int> order =
           use_barycenter
-              ? connectivity_order(region.spec.members, nets,
+              ? connectivity_order(region.spec.members, db, multi,
                                    opts.barycenter_passes)
               : region.spec.members;
       pl.overflow |= pack_region(flat, region, rows, order, fp, pl);
@@ -201,7 +340,7 @@ Placement place(const std::vector<netlist::FlatInstance>& flat,
   Placement pl = natural;
   if (opts.barycenter_passes > 0) {
     Placement bary = pack_all(true);
-    if (placement_hpwl(nets, bary) < placement_hpwl(nets, natural)) {
+    if (total_hpwl(db, bary) < total_hpwl(db, natural)) {
       pl = std::move(bary);
     }
   }
@@ -210,69 +349,15 @@ Placement place(const std::vector<netlist::FlatInstance>& flat,
   // which keeps rows legal without repacking).
   if (opts.refine_passes > 0) {
     util::Rng rng(opts.seed);
-    std::map<int, std::vector<const std::vector<int>*>> cell_nets;
-    for (const auto& [name, cells] : nets) {
-      for (int c : cells) cell_nets[c].push_back(&cells);
-    }
-    auto net_hpwl = [&](const std::vector<int>& cells) {
-      BBox bb;
-      for (int c : cells) {
-        bb.expand(pl.cells[static_cast<std::size_t>(c)].rect.center());
-      }
-      return bb.half_perimeter();
-    };
-    auto pair_cost = [&](int a, int b) {
-      double cost = 0;
-      for (const auto* nc : cell_nets[a]) cost += net_hpwl(*nc);
-      for (const auto* nc : cell_nets[b]) {
-        bool shared = false;
-        for (const auto* na : cell_nets[a]) {
-          if (na == nc) shared = true;
-        }
-        if (!shared) cost += net_hpwl(*nc);
-      }
-      return cost;
-    };
-    for (const PlacedRegion& region : regions) {
-      const auto& members = region.spec.members;
-      if (members.size() < 2) continue;
-      const int tries =
-          opts.refine_passes * static_cast<int>(members.size());
-      for (int t = 0; t < tries; ++t) {
-        const int a = members[rng.below(members.size())];
-        const int b = members[rng.below(members.size())];
-        if (a == b) continue;
-        PlacedCell& ca = pl.cells[static_cast<std::size_t>(a)];
-        PlacedCell& cb = pl.cells[static_cast<std::size_t>(b)];
-        if (std::fabs(ca.rect.w - cb.rect.w) > 1e-12) continue;
-        const double before = pair_cost(a, b);
-        std::swap(ca.rect.x, cb.rect.x);
-        std::swap(ca.rect.y, cb.rect.y);
-        std::swap(ca.row, cb.row);
-        const double after = pair_cost(a, b);
-        if (after > before) {
-          std::swap(ca.rect.x, cb.rect.x);
-          std::swap(ca.rect.y, cb.rect.y);
-          std::swap(ca.row, cb.row);
-        }
-      }
-    }
+    refine_equal_width_swaps(db, regions, opts.refine_passes, rng, pl);
   }
   return pl;
 }
 
 double total_hpwl(const std::vector<netlist::FlatInstance>& flat,
                   const Placement& pl) {
-  std::map<std::string, BBox> boxes;
-  for (std::size_t i = 0; i < flat.size(); ++i) {
-    for (const auto& [pin, net] : flat[i].conn) {
-      if (is_supply_net(net)) continue;
-      boxes[net].expand(pl.cells[i].rect.center());
-    }
-  }
-  double total = 0;
-  for (const auto& [net, bb] : boxes) total += bb.half_perimeter();
-  return total;
+  const NetDb db(flat);
+  return total_hpwl(db, pl);
 }
 
 }  // namespace vcoadc::synth

@@ -22,6 +22,11 @@
 
 #include "netlist/netlist.h"
 #include "synth/floorplan.h"
+#include "synth/net_db.h"
+
+namespace vcoadc::util {
+class Rng;
+}
 
 namespace vcoadc::synth {
 
@@ -49,11 +54,33 @@ struct Placement {
 Placement place(const std::vector<netlist::FlatInstance>& flat,
                 const Floorplan& fp, const PlacementOptions& opts);
 
+/// As above, with a prebuilt net database over the same `flat` vector (the
+/// flow builds one NetDb and shares it across all stages).
+Placement place(const std::vector<netlist::FlatInstance>& flat,
+                const Floorplan& fp, const PlacementOptions& opts,
+                const NetDb& db);
+
 /// Total half-perimeter wirelength of all signal nets for a placement.
 /// Supply-class nets (VDD/VSS/VREFP/VCTRL*/VBUF and their hierarchical
 /// aliases) are excluded - they route as rails/meshes, not signal wires.
 double total_hpwl(const std::vector<netlist::FlatInstance>& flat,
                   const Placement& pl);
+
+/// The one HPWL definition every stage shares: for each signal net, the
+/// half-perimeter of the bounding box of its member-cell centres, summed
+/// over all nets (single-pin nets contribute exactly 0).
+double total_hpwl(const NetDb& db, const Placement& pl);
+
+/// Greedy HPWL-improving swap refinement between equal-width cells of the
+/// same region, shared by both placement engines. Evaluates each candidate
+/// swap incrementally against cached per-net bounding boxes; accept/reject
+/// decisions (and therefore the final placement) are bit-identical to
+/// recomputing every touched net from scratch. Consumes `rng` exactly as
+/// the historical in-placer loop did.
+void refine_equal_width_swaps(const NetDb& db,
+                              const std::vector<PlacedRegion>& regions,
+                              int refine_passes, util::Rng& rng,
+                              Placement& pl);
 
 /// True if `net` is distributed as a supply (rail/mesh) rather than routed
 /// as a signal wire.

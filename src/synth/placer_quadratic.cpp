@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <numeric>
 
+#include "synth/net_db.h"
 #include "util/rng.h"
 
 namespace vcoadc::synth {
@@ -19,19 +18,11 @@ struct Spring {
 /// pins contributes k springs of weight 1/(k-1) between every pin and the
 /// (implicit) star centre; collapsing the star yields pairwise weights
 /// 2/(k(k-1))... we use the standard clique-with-1/(k-1) approximation.
-std::vector<std::vector<Spring>> build_springs(
-    const std::vector<netlist::FlatInstance>& flat) {
-  std::map<std::string, std::vector<int>> nets;
-  for (int i = 0; i < static_cast<int>(flat.size()); ++i) {
-    for (const auto& [pin, net] : flat[static_cast<std::size_t>(i)].conn) {
-      if (netlist::is_supply_net(net)) continue;
-      nets[net].push_back(i);
-    }
-  }
-  std::vector<std::vector<Spring>> springs(flat.size());
-  for (auto& [name, cells] : nets) {
-    std::sort(cells.begin(), cells.end());
-    cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+std::vector<std::vector<Spring>> build_springs(const NetDb& db) {
+  std::vector<std::vector<Spring>> springs(
+      static_cast<std::size_t>(db.num_cells()));
+  for (int n = 0; n < db.num_nets(); ++n) {
+    const auto cells = db.members(n);
     const std::size_t k = cells.size();
     if (k < 2) continue;
     const double w = 1.0 / static_cast<double>(k - 1);
@@ -50,6 +41,14 @@ std::vector<std::vector<Spring>> build_springs(
 Placement place_quadratic(const std::vector<netlist::FlatInstance>& flat,
                           const Floorplan& fp,
                           const QuadraticPlacerOptions& opts) {
+  const NetDb db(flat);
+  return place_quadratic(flat, fp, opts, db);
+}
+
+Placement place_quadratic(const std::vector<netlist::FlatInstance>& flat,
+                          const Floorplan& fp,
+                          const QuadraticPlacerOptions& opts,
+                          const NetDb& db) {
   Placement pl;
   pl.cells.resize(flat.size());
   for (int i = 0; i < static_cast<int>(flat.size()); ++i) {
@@ -64,7 +63,7 @@ Placement place_quadratic(const std::vector<netlist::FlatInstance>& flat,
     }
   }
 
-  const auto springs = build_springs(flat);
+  const auto springs = build_springs(db);
 
   // Initial positions: region centres with a small deterministic spread so
   // the Jacobi solve does not start degenerate.
@@ -153,61 +152,7 @@ Placement place_quadratic(const std::vector<netlist::FlatInstance>& flat,
 
   // Light HPWL swap refinement between equal-width cells of one region.
   if (opts.refine_passes > 0) {
-    std::map<std::string, std::vector<int>> nets;
-    for (int i = 0; i < static_cast<int>(flat.size()); ++i) {
-      for (const auto& [pin, net] : flat[static_cast<std::size_t>(i)].conn) {
-        if (netlist::is_supply_net(net)) continue;
-        nets[net].push_back(i);
-      }
-    }
-    std::map<int, std::vector<const std::vector<int>*>> cell_nets;
-    for (auto& [name, cells] : nets) {
-      std::sort(cells.begin(), cells.end());
-      cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
-      if (cells.size() < 2) continue;
-      for (int c : cells) cell_nets[c].push_back(&cells);
-    }
-    auto net_hpwl = [&](const std::vector<int>& cells) {
-      BBox bb;
-      for (int c : cells) {
-        bb.expand(pl.cells[static_cast<std::size_t>(c)].rect.center());
-      }
-      return bb.half_perimeter();
-    };
-    for (const PlacedRegion& r : fp.regions) {
-      const auto& members = r.spec.members;
-      if (members.size() < 2) continue;
-      const int tries = opts.refine_passes * static_cast<int>(members.size());
-      for (int t = 0; t < tries; ++t) {
-        const int a = members[rng.below(members.size())];
-        const int b = members[rng.below(members.size())];
-        if (a == b) continue;
-        PlacedCell& ca = pl.cells[static_cast<std::size_t>(a)];
-        PlacedCell& cb = pl.cells[static_cast<std::size_t>(b)];
-        if (std::fabs(ca.rect.w - cb.rect.w) > 1e-12) continue;
-        auto cost = [&] {
-          double s = 0;
-          for (const auto* nc : cell_nets[a]) s += net_hpwl(*nc);
-          for (const auto* nc : cell_nets[b]) {
-            bool shared = false;
-            for (const auto* na : cell_nets[a]) {
-              if (na == nc) shared = true;
-            }
-            if (!shared) s += net_hpwl(*nc);
-          }
-          return s;
-        };
-        const double before = cost();
-        std::swap(ca.rect.x, cb.rect.x);
-        std::swap(ca.rect.y, cb.rect.y);
-        std::swap(ca.row, cb.row);
-        if (cost() > before) {
-          std::swap(ca.rect.x, cb.rect.x);
-          std::swap(ca.rect.y, cb.rect.y);
-          std::swap(ca.row, cb.row);
-        }
-      }
-    }
+    refine_equal_width_swaps(db, fp.regions, opts.refine_passes, rng, pl);
   }
   return pl;
 }

@@ -32,4 +32,10 @@ Placement place_quadratic(const std::vector<netlist::FlatInstance>& flat,
                           const Floorplan& fp,
                           const QuadraticPlacerOptions& opts = {});
 
+/// As above, with a prebuilt net database over the same `flat` vector.
+Placement place_quadratic(const std::vector<netlist::FlatInstance>& flat,
+                          const Floorplan& fp,
+                          const QuadraticPlacerOptions& opts,
+                          const NetDb& db);
+
 }  // namespace vcoadc::synth

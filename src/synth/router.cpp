@@ -3,35 +3,41 @@
 #include <algorithm>
 #include <cmath>
 
+#include "synth/net_db.h"
+
 namespace vcoadc::synth {
 
 RoutingEstimate estimate_routing(const std::vector<netlist::FlatInstance>& flat,
                                  const Placement& pl, const Rect& die,
                                  const RouterOptions& opts) {
+  const NetDb db(flat);
+  return estimate_routing(flat, pl, die, opts, db);
+}
+
+RoutingEstimate estimate_routing(const std::vector<netlist::FlatInstance>& flat,
+                                 const Placement& pl, const Rect& die,
+                                 const RouterOptions& opts, const NetDb& db) {
+  (void)flat;  // net topology comes interned through `db`
   RoutingEstimate est;
   est.congestion.nx = opts.grid_x;
   est.congestion.ny = opts.grid_y;
   est.congestion.demand.assign(
       static_cast<std::size_t>(opts.grid_x * opts.grid_y), 0.0);
 
-  std::map<std::string, BBox> boxes;
-  std::map<std::string, int> pin_counts;
-  for (std::size_t i = 0; i < flat.size(); ++i) {
-    for (const auto& [pin, net] : flat[i].conn) {
-      if (is_supply_net(net)) continue;
-      boxes[net].expand(pl.cells[i].rect.center());
-      pin_counts[net]++;
-    }
-  }
-
   const double tile_w = die.w / opts.grid_x;
   const double tile_h = die.h / opts.grid_y;
 
-  for (const auto& [net, bb] : boxes) {
-    const int pins = pin_counts[net];
+  // Net ids ascend in name order, matching the historical string-map
+  // iteration, so est.nets comes out in the same order as before.
+  for (int n = 0; n < db.num_nets(); ++n) {
+    const int pins = db.connection_count(n);
     if (pins < 2) continue;
+    BBox bb;
+    for (int c : db.members(n)) {
+      bb.expand(pl.cells[static_cast<std::size_t>(c)].rect.center());
+    }
     NetRoute nr;
-    nr.net = net;
+    nr.net = db.name(n);
     nr.pins = pins;
     nr.hpwl_m = bb.half_perimeter();
     nr.est_length_m =

@@ -4,7 +4,6 @@
 // what APR signoff reads at this stage.
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -52,5 +51,10 @@ struct RouterOptions {
 RoutingEstimate estimate_routing(const std::vector<netlist::FlatInstance>& flat,
                                  const Placement& pl, const Rect& die,
                                  const RouterOptions& opts);
+
+/// As above, with a prebuilt net database over the same `flat` vector.
+RoutingEstimate estimate_routing(const std::vector<netlist::FlatInstance>& flat,
+                                 const Placement& pl, const Rect& die,
+                                 const RouterOptions& opts, const NetDb& db);
 
 }  // namespace vcoadc::synth

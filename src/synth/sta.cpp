@@ -5,6 +5,7 @@
 #include <stack>
 
 #include "netlist/liberty.h"
+#include "synth/net_db.h"
 
 namespace vcoadc::synth {
 namespace {
@@ -89,27 +90,19 @@ TimingReport analyze_timing(const netlist::Design& design,
 
   const auto flat = design.flatten();
 
-  // Net ids.
-  std::map<std::string, int> net_ids;
-  std::vector<std::string> net_names;
-  auto net_id = [&](const std::string& name) {
-    auto it = net_ids.find(name);
-    if (it != net_ids.end()) return it->second;
-    const int id = static_cast<int>(net_names.size());
-    net_ids[name] = id;
-    net_names.push_back(name);
-    return id;
-  };
+  // Interned net ids: dense, name-ordered, shared layout with every other
+  // synth stage. All per-net state below is flat-array indexed.
+  const NetDb db(flat);
+  const int n_nets = db.num_nets();
+  std::vector<double> net_load(static_cast<std::size_t>(n_nets), 0.0);
+  std::vector<BBox> net_bbox(static_cast<std::size_t>(n_nets));
 
   // Load per net: sum of input-pin caps + wire cap from placed HPWL.
-  std::map<int, double> net_load;
-  std::map<int, BBox> net_bbox;
   for (std::size_t i = 0; i < flat.size(); ++i) {
-    for (const auto& [pin, net] : flat[i].conn) {
-      if (netlist::is_supply_net(net)) continue;
-      const netlist::PinSpec* spec = flat[i].cell->find_pin(pin);
+    for (const NetDb::CellPin& cp : db.cell_pins(static_cast<int>(i))) {
+      const netlist::PinSpec* spec = flat[i].cell->find_pin(*cp.pin);
       if (spec == nullptr) continue;
-      const int id = net_id(net);
+      const auto id = static_cast<std::size_t>(cp.net);
       if (spec->dir == netlist::PortDir::kInput) {
         net_load[id] += flat[i].cell->input_cap_f;
       }
@@ -119,50 +112,41 @@ TimingReport analyze_timing(const netlist::Design& design,
     }
   }
   if (opts.placement != nullptr) {
-    for (auto& [id, bb] : net_bbox) {
-      net_load[id] += bb.half_perimeter() * opts.cap_per_m;
+    for (std::size_t id = 0; id < net_bbox.size(); ++id) {
+      net_load[id] += net_bbox[id].half_perimeter() * opts.cap_per_m;
     }
   }
 
   // Timing arcs: every input pin -> output pin of each gate.
   std::vector<Arc> arcs;
-  std::vector<std::vector<int>> adj;
-  auto ensure_adj = [&](int id) {
-    if (static_cast<std::size_t>(id) >= adj.size()) {
-      adj.resize(static_cast<std::size_t>(id) + 1);
-    }
-  };
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n_nets));
+  std::vector<int> in_nets;
   for (std::size_t gi = 0; gi < flat.size(); ++gi) {
     const auto& fi = flat[gi];
     if (fi.cell->is_resistor) continue;
     ++rep.num_gates;
     int out_net = -1;
-    std::vector<int> in_nets;
-    for (const auto& [pin, net] : fi.conn) {
-      if (netlist::is_supply_net(net)) continue;
-      const netlist::PinSpec* spec = fi.cell->find_pin(pin);
+    in_nets.clear();
+    for (const NetDb::CellPin& cp : db.cell_pins(static_cast<int>(gi))) {
+      const netlist::PinSpec* spec = fi.cell->find_pin(*cp.pin);
       if (spec == nullptr) continue;
-      if (spec->dir == netlist::PortDir::kOutput) out_net = net_id(net);
-      if (spec->dir == netlist::PortDir::kInput) in_nets.push_back(net_id(net));
+      if (spec->dir == netlist::PortDir::kOutput) out_net = cp.net;
+      if (spec->dir == netlist::PortDir::kInput) in_nets.push_back(cp.net);
     }
     if (out_net < 0) continue;
     const double intrinsic = netlist::cell_intrinsic_delay(*fi.cell, node);
     // Linear delay model normalized to FO4: intrinsic corresponds to
     // driving 4 copies of the cell's own input cap.
     const double ref_load = 4.0 * fi.cell->input_cap_f;
-    const double load = net_load.count(out_net) ? net_load[out_net] : 0.0;
+    const double load = net_load[static_cast<std::size_t>(out_net)];
     const double delay =
         intrinsic * (0.5 + 0.5 * ((ref_load > 0) ? load / ref_load : 1.0));
     for (int in : in_nets) {
-      ensure_adj(in);
-      ensure_adj(out_net);
       adj[static_cast<std::size_t>(in)].push_back(out_net);
       arcs.push_back({in, out_net, static_cast<int>(gi), delay});
     }
   }
   rep.num_arcs = static_cast<int>(arcs.size());
-  const int n_nets = static_cast<int>(net_names.size());
-  ensure_adj(n_nets > 0 ? n_nets - 1 : 0);
 
   // Cut loops: arcs whose endpoints share an SCC of size > 1.
   const auto comp = strongly_connected_components(n_nets, adj);
@@ -241,7 +225,7 @@ TimingReport analyze_timing(const netlist::Design& design,
           dag_arcs[static_cast<std::size_t>(from_arc[static_cast<std::size_t>(cur)])];
       TimingPathStep step;
       step.through_gate = flat[static_cast<std::size_t>(a.gate)].path;
-      step.to_net = net_names[static_cast<std::size_t>(cur)];
+      step.to_net = db.name(cur);
       step.arc_delay_s = a.delay;
       step.arrival_s = arrival[static_cast<std::size_t>(cur)];
       path.push_back(step);

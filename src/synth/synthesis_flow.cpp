@@ -18,6 +18,10 @@ SynthesisResult synthesize(const netlist::Design& design,
   }
 
   auto flat = design.flatten();
+  // One interned net database feeds every downstream stage (placement,
+  // routing estimate, detailed routing) instead of each stage rebuilding
+  // its own string-keyed net maps.
+  const NetDb netdb(flat);
   const auto regions = partition_into_regions(flat);
 
   FloorplanOptions fopts;
@@ -42,20 +46,22 @@ SynthesisResult synthesize(const netlist::Design& design,
     QuadraticPlacerOptions qopts;
     qopts.refine_passes = opts.refine_passes;
     qopts.seed = opts.seed;
-    pl = place_quadratic(flat, fp, qopts);
+    pl = place_quadratic(flat, fp, qopts, netdb);
   } else {
     PlacementOptions popts;
     popts.respect_regions = opts.respect_power_domains;
     popts.barycenter_passes = opts.barycenter_passes;
     popts.refine_passes = opts.refine_passes;
     popts.seed = opts.seed;
-    pl = place(flat, fp, popts);
+    pl = place(flat, fp, popts, netdb);
   }
 
   RouterOptions ropts;
-  result.routing = estimate_routing(flat, pl, fp.die, ropts);
+  result.routing = estimate_routing(flat, pl, fp.die, ropts, netdb);
   if (opts.detailed_route) {
-    result.detailed_routing = maze_route(flat, pl, fp.die, {});
+    MazeRouterOptions mopts;
+    mopts.threads = opts.route_threads;
+    result.detailed_routing = maze_route(flat, pl, fp.die, mopts, netdb);
   }
   result.drc = run_drc(flat, pl, fp);
   result.layout =

@@ -42,6 +42,9 @@ struct SynthesisOptions {
   /// Run the maze router after placement (per-net detailed routes, vias,
   /// overflow check) in addition to the HPWL/congestion estimate.
   bool detailed_route = true;
+  /// Worker threads for the router's rip-up-and-reroute batches; 0 runs
+  /// inline. Any value yields bit-identical routing (see route_grid.h).
+  int route_threads = 0;
   std::uint64_t seed = 1;
 };
 

@@ -1,0 +1,119 @@
+// Determinism of the parallel rip-up router, on synthetic netlist-free
+// grids (route_grid.h only). This file is compiled twice: once into
+// vcoadc_tests and once with -fsanitize=thread (the tsan. ctest prefix), so
+// it deliberately exercises the batch phase with real worker threads and
+// enough window-disjoint nets to actually run concurrently.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "synth/route_grid.h"
+#include "util/rng.h"
+
+namespace vcoadc::synth {
+namespace {
+
+/// A field of short two-pin nets spread over the grid, plus a few long
+/// multi-pin nets, all funneled through capacity-1 edges so the rip-up
+/// iterations (and their parallel batches) genuinely run.
+std::vector<NetPins> make_congested_nets(const RouteGrid& g, int n_short,
+                                         int n_long, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<NetPins> nets;
+  auto pt = [&](int x, int y) {
+    return GridPoint{std::min(x, g.nx - 1), std::min(y, g.ny - 1), 0};
+  };
+  for (int i = 0; i < n_short; ++i) {
+    NetPins np;
+    np.name = "s" + std::to_string(i);
+    const int x = static_cast<int>(rng.below(static_cast<std::size_t>(g.nx)));
+    const int y = static_cast<int>(rng.below(static_cast<std::size_t>(g.ny)));
+    np.pins = {pt(x, y), pt(x + 1 + static_cast<int>(rng.below(3)),
+                            y + 1 + static_cast<int>(rng.below(3)))};
+    nets.push_back(std::move(np));
+  }
+  for (int i = 0; i < n_long; ++i) {
+    NetPins np;
+    np.name = "l" + std::to_string(i);
+    for (int k = 0; k < 4; ++k) {
+      np.pins.push_back(
+          pt(static_cast<int>(rng.below(static_cast<std::size_t>(g.nx))),
+             static_cast<int>(rng.below(static_cast<std::size_t>(g.ny)))));
+    }
+    nets.push_back(std::move(np));
+  }
+  for (auto& np : nets) {
+    std::sort(np.pins.begin(), np.pins.end());
+    np.pins.erase(std::unique(np.pins.begin(), np.pins.end()),
+                  np.pins.end());
+    BBox bb;
+    for (const auto& p : np.pins) {
+      bb.expand({static_cast<double>(p.x), static_cast<double>(p.y)});
+    }
+    np.hpwl = bb.half_perimeter();
+  }
+  return nets;
+}
+
+MazeRouteResult route_with_threads(int threads, int capacity,
+                                   std::uint64_t seed) {
+  RouteGrid g({0, 0, 40e-6, 40e-6}, 1e-6);
+  MazeRouterOptions opts;
+  opts.edge_capacity = capacity;
+  opts.threads = threads;
+  opts.window_margin = 4;
+  auto nets = make_congested_nets(g, 60, 6, seed);
+  return route_nets(g, std::move(nets), opts);
+}
+
+void expect_identical(const MazeRouteResult& a, const MazeRouteResult& b) {
+  EXPECT_EQ(a.total_wirelength_m, b.total_wirelength_m);
+  EXPECT_EQ(a.total_vias, b.total_vias);
+  EXPECT_EQ(a.overflowed_edges, b.overflowed_edges);
+  EXPECT_EQ(a.failed_nets, b.failed_nets);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].name, b.nets[i].name);
+    EXPECT_EQ(a.nets[i].routed, b.nets[i].routed);
+    EXPECT_TRUE(a.nets[i].paths == b.nets[i].paths) << a.nets[i].name;
+  }
+}
+
+TEST(ParallelRouter, BitIdenticalAcrossThreadCounts) {
+  // Capacity 1 forces heavy rip-up; every thread count must produce the
+  // same routing, path for path.
+  const auto serial = route_with_threads(0, 1, 11);
+  for (int threads : {1, 2, 4, 8}) {
+    const auto par = route_with_threads(threads, 1, 11);
+    expect_identical(serial, par);
+  }
+}
+
+TEST(ParallelRouter, BitIdenticalOnUncongestedGrid) {
+  const auto serial = route_with_threads(0, 8, 23);
+  const auto par = route_with_threads(4, 8, 23);
+  expect_identical(serial, par);
+  EXPECT_EQ(serial.overflowed_edges, 0);
+  EXPECT_EQ(serial.failed_nets, 0);
+}
+
+TEST(ParallelRouter, RepeatedRunsAreDeterministic) {
+  const auto a = route_with_threads(4, 1, 42);
+  const auto b = route_with_threads(4, 1, 42);
+  expect_identical(a, b);
+}
+
+// The disjointness predicate the whole parallel scheme rests on.
+TEST(ParallelRouter, WindowDisjointness) {
+  RouteWindow a{0, 0, 4, 4};
+  RouteWindow b{5, 0, 8, 4};   // abutting columns: disjoint (inclusive)
+  RouteWindow c{4, 4, 8, 8};   // shares the corner node (4,4)
+  EXPECT_TRUE(a.disjoint(b));
+  EXPECT_TRUE(b.disjoint(a));
+  EXPECT_FALSE(a.disjoint(c));
+  EXPECT_FALSE(c.disjoint(a));
+}
+
+}  // namespace
+}  // namespace vcoadc::synth
