@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/adc.h"
+#include "core/flow.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -38,15 +39,18 @@ inline std::string fmt(const char* f, double v) {
 /// Standard capture length for spectra (Fig. 16-18, Table 3/4).
 inline constexpr std::size_t kSpectrumSamples = 1 << 16;
 
-/// Runs the full post-layout-style report for one of the two paper nodes.
+/// Runs the full post-layout-style report for one of the two paper nodes
+/// as a Report stage of the flow graph (Netlist through Route artifacts
+/// land in the context's cache, so repeated reports are nearly free).
 inline core::NodeReport run_node(const core::AdcSpec& spec,
                                  double fin_target_hz,
-                                 std::size_t n_samples = kSpectrumSamples) {
-  core::AdcDesign adc(spec);
+                                 std::size_t n_samples = kSpectrumSamples,
+                                 const core::ExecContext& ctx = {}) {
+  core::Flow flow(ctx);
   core::SimulationOptions opts;
   opts.n_samples = n_samples;
   opts.fin_target_hz = fin_target_hz;
-  return adc.full_report(opts);
+  return flow.report(spec, opts);
 }
 
 }  // namespace vcoadc::bench

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "core/artifact_cache.h"
 #include "core/monte_carlo.h"
 #include "util/ascii_plot.h"
 #include "util/thread_pool.h"
@@ -32,17 +33,32 @@ int main() {
   opts.runs = 16;
   opts.sim.n_samples = 1 << 14;
 
+  // Serial and parallel cold runs get separate fresh caches so both truly
+  // compute every draw; the warm run reuses the parallel run's cache and
+  // must be all hits.
+  core::ArtifactCache cache_serial(64), cache_parallel(64);
+
   opts.threads = 1;  // serial reference
+  opts.exec.cache = &cache_serial;
   const auto mc_serial = core::monte_carlo_sndr(adc, opts);
   opts.threads = 0;  // hardware concurrency
+  opts.exec.cache = &cache_parallel;
   const auto mc = core::monte_carlo_sndr(adc, opts);
+  const auto mc_warm = core::monte_carlo_sndr(adc, opts);  // cache hot
 
   bool bit_identical = mc.sndr_db.size() == mc_serial.sndr_db.size();
   for (std::size_t i = 0; bit_identical && i < mc.sndr_db.size(); ++i) {
     bit_identical = (mc.sndr_db[i] == mc_serial.sndr_db[i]);
   }
+  bool warm_identical = mc_warm.sndr_db.size() == mc.sndr_db.size();
+  for (std::size_t i = 0; warm_identical && i < mc.sndr_db.size(); ++i) {
+    warm_identical = (mc_warm.sndr_db[i] == mc.sndr_db[i]);
+  }
   const double speedup =
       mc.batch.wall_s > 0 ? mc_serial.batch.wall_s / mc.batch.wall_s : 0.0;
+  const double warm_speedup =
+      mc_warm.batch.wall_s > 0 ? mc.batch.wall_s / mc_warm.batch.wall_s : 0.0;
+  const double cache_hit_rate = cache_parallel.stats().hit_rate();
   const int hw = static_cast<int>(util::ThreadPool::hardware_workers());
 
   util::Table t("SNDR over independent mismatch draws (40 nm point)");
@@ -62,6 +78,11 @@ int main() {
       "%.2fx | utilization %.0f%% | max queue depth %zu\n",
       mc.batch.threads, mc_serial.batch.wall_s, mc.batch.wall_s, speedup,
       mc.batch.utilization * 100.0, mc.batch.max_queue_depth);
+  std::printf(
+      "cache: cold %.2f s -> warm %.3f s | warm speedup %.1fx | hit rate "
+      "%.0f%%\n",
+      mc.batch.wall_s, mc_warm.batch.wall_s, warm_speedup,
+      cache_hit_rate * 100.0);
 
   const auto corners = core::corner_sweep(adc, 1 << 14);
   util::Table c("PVT corner sweep");
@@ -85,14 +106,20 @@ int main() {
       "\"wall_serial_s\":%.4f,\"wall_parallel_s\":%.4f,"
       "\"speedup\":%.3f,\"utilization\":%.3f,\"max_queue_depth\":%zu,"
       "\"bit_identical\":%s,\"mean_db\":%.3f,\"sigma_db\":%.3f,"
-      "\"yield_65db\":%.3f}\n",
+      "\"yield_65db\":%.3f,\"wall_warm_s\":%.4f,\"warm_speedup\":%.3f,"
+      "\"cache_hit_rate\":%.3f,\"warm_identical\":%s}\n",
       opts.runs, mc.batch.threads, hw, mc_serial.batch.wall_s,
       mc.batch.wall_s, speedup, mc.batch.utilization,
       mc.batch.max_queue_depth, bit_identical ? "true" : "false", mc.mean_db,
-      mc.stddev_db, mc.yield(65.0));
+      mc.stddev_db, mc.yield(65.0), mc_warm.batch.wall_s, warm_speedup,
+      cache_hit_rate, warm_identical ? "true" : "false");
 
   bench::shape_check("parallel SNDR vector bit-identical to threads=1",
                      bit_identical);
+  bench::shape_check("cached re-run bit-identical to the cold run",
+                     warm_identical);
+  bench::shape_check("warm re-run >= 1.5x faster than cold",
+                     warm_speedup >= 1.5);
   if (hw >= 4) {
     bench::shape_check("engine speedup >= 3x on >= 4 cores", speedup >= 3.0);
   } else {

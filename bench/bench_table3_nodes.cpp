@@ -6,6 +6,7 @@
 // The two nodes are independent full-flow evaluations, so they run
 // concurrently on the evaluation engine; results stay ordered by node.
 #include "bench/bench_common.h"
+#include "core/artifact_cache.h"
 #include "core/batch.h"
 
 using namespace vcoadc;
@@ -20,15 +21,21 @@ int main() {
   };
   const Node nodes[] = {{core::AdcSpec::paper_40nm(), 1e6},
                         {core::AdcSpec::paper_180nm(), 250e3}};
-  core::BatchRunner runner;
+  core::ExecContext ctx;  // both nodes share the default artifact cache
+  core::BatchRunner runner(ctx);
   const auto reports =
       runner.map(std::size(nodes), [&](std::size_t i, std::uint64_t) {
-        return bench::run_node(nodes[i].spec, nodes[i].fin_hz);
+        return bench::run_node(nodes[i].spec, nodes[i].fin_hz,
+                               bench::kSpectrumSamples, ctx);
       });
   const core::NodeReport& rep40 = reports[0];
   const core::NodeReport& rep180 = reports[1];
-  std::printf("both nodes evaluated in %.2f s on %d threads\n",
-              runner.last_stats().wall_s, runner.last_stats().threads);
+  const core::ArtifactCacheStats cs = ctx.cache->stats();
+  std::printf("both nodes evaluated in %.2f s on %d threads "
+              "(cache: %llu hits / %llu misses)\n",
+              runner.last_stats().wall_s, runner.last_stats().threads,
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses));
 
   util::Table t("Table 3 (paper value in parentheses)");
   t.set_header({"Process", "fs [MHz]", "BW [MHz]", "SNDR [dB]", "Power [mW]",

@@ -19,6 +19,7 @@
 
 #include "core/adc.h"
 #include "core/batch.h"
+#include "core/flow.h"
 #include "core/optimizer.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -42,14 +43,18 @@ int main() {
     }
   }
 
-  core::BatchRunner runner;  // threads = hardware concurrency
+  // Every sweep point runs as a SimRun stage of the flow graph: points
+  // sharing a netlist (same slices, different clock) build it once, and a
+  // re-run of the explorer is served from the artifact cache.
+  core::ExecContext ctx;
+  core::Flow flow(ctx);
+  core::BatchRunner runner(ctx);  // threads = hardware concurrency
   const auto evals =
       runner.map(grid.size(), [&](std::size_t i, std::uint64_t) {
-        core::AdcDesign adc(grid[i]);
         core::SimulationOptions opts;
         opts.n_samples = 1 << 14;
         opts.fin_target_hz = kBandwidthHz / 5.0;
-        return adc.simulate(opts);
+        return *flow.sim_run(grid[i], opts);
       });
   const core::BatchStats& stats = runner.last_stats();
 
@@ -86,11 +91,10 @@ int main() {
     std::printf("\nselected design: %s\n", best.describe().c_str());
     std::printf("power: %s\n", util::si_format(best_power, "W").c_str());
     // Hand the winner to the synthesis flow.
-    core::AdcDesign adc(best);
-    const auto layout = adc.synthesize();
+    const auto layout = flow.synthesis(best);
     std::printf("synthesized: %.4f mm^2, DRC %s\n",
-                layout.stats.die_area_m2 * 1e6,
-                layout.drc.clean() ? "clean" : "VIOLATIONS");
+                layout->stats.die_area_m2 * 1e6,
+                layout->drc.clean() ? "clean" : "VIOLATIONS");
   } else {
     std::printf("\nno design point met the spec - widen the sweep.\n");
   }
@@ -102,6 +106,7 @@ int main() {
   target.bandwidth_hz = kBandwidthHz;
   core::OptimizeOptions oopts;
   oopts.n_samples = 1 << 13;
+  oopts.exec = ctx;
   const auto opt = core::optimize_spec(target, oopts);
   if (opt.best.has_value()) {
     std::printf("\noptimizer pick: %s -> %.1f dB at %s "

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/adc.h"
+#include "core/flow.h"
 #include "core/migration.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -16,7 +17,7 @@ int main() {
 
   // The source design: the 40 nm Table 3 part.
   const core::AdcSpec src_spec = core::AdcSpec::paper_40nm();
-  core::AdcDesign source(src_spec);
+  core::Flow flow;
   std::printf("source: %s\n\n", src_spec.describe().c_str());
 
   util::Table t("one design, four nodes");
@@ -24,15 +25,12 @@ int main() {
                 "power [mW]", "FOM [fJ/conv]"});
 
   for (double node : {180.0, 90.0, 65.0, 40.0}) {
-    // 1. Netlist migration onto the target node's library.
+    // 1. Netlist migration onto the target node's (cache-shared) library.
     const tech::TechNode tn = tech::TechDatabase::standard().at(node);
-    netlist::CellLibrary target = netlist::make_standard_library(tn);
-    netlist::add_resistor_cells(target, tn);
-    const core::MigrationResult mig =
-        core::migrate_design(source.netlist(), target);
+    const core::MigratedDesign mig = flow.migrate(src_spec, node);
 
     // 2. Layout re-synthesis on the migrated netlist.
-    const auto layout = synth::synthesize(mig.design, {});
+    const auto layout = synth::synthesize(mig.result.design, {});
 
     // 3. Behavioral re-evaluation at the ported operating point (clock
     //    scaled with the node's FO4 so the ring has the same relative
@@ -43,13 +41,12 @@ int main() {
                          tn.fo4_delay_s;
     spec.fs_hz = 750e6 * speed;
     spec.bandwidth_hz = 5e6 * speed;
-    core::AdcDesign ported(spec);
     core::SimulationOptions opts;
     opts.n_samples = 1 << 14;
     opts.fin_target_hz = spec.bandwidth_hz / 5.0;
-    const core::RunResult run = ported.simulate(opts);
+    const core::RunResult run = *flow.sim_run(spec, opts);
 
-    t.add_row({tn.name, std::to_string(mig.remapped.size()),
+    t.add_row({tn.name, std::to_string(mig.result.remapped.size()),
                util::fixed_format(layout.stats.die_area_m2 * 1e6, 4),
                util::fixed_format(run.sndr.sndr_db, 1),
                util::fixed_format(run.power.total_w() * 1e3, 2),

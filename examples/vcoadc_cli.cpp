@@ -15,17 +15,22 @@
 //     --bw=5e6          signal bandwidth [Hz]
 //     --samples=16384   capture length for simulate/datasheet
 //     --out=.           artifact output directory
+//     --threads=0       worker threads (0 = hardware concurrency)
+//     --trace[=json]    print per-stage timing after the run (tree or JSONL)
+//     --cache-stats     print artifact-cache counters after the run
 #include <cstdio>
 #include <fstream>
 
 #include "core/adc.h"
 #include "core/datasheet.h"
+#include "core/flow.h"
 #include "netlist/lef.h"
 #include "netlist/liberty.h"
 #include "netlist/spice.h"
 #include "netlist/verilog_writer.h"
 #include "synth/gdsii.h"
 #include "util/cli.h"
+#include "util/trace.h"
 #include "util/units.h"
 
 using namespace vcoadc;
@@ -36,17 +41,42 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <simulate|synthesize|datasheet|export> "
                "[--node=40] [--slices=16] [--fs=750e6] [--bw=5e6] "
-               "[--samples=16384] [--out=.]\n",
+               "[--samples=16384] [--out=.] [--threads=0] [--trace[=json]] "
+               "[--cache-stats]\n",
                prog);
   return 2;
+}
+
+/// --trace / --cache-stats epilogue, shared by every command.
+void print_flow_stats(const util::ArgParser& args, const util::Trace& trace,
+                      const core::ArtifactCache& cache) {
+  if (args.has("trace")) {
+    if (args.get("trace") == "json") {
+      std::printf("%s", trace.render_jsonl().c_str());
+    } else {
+      std::printf("-- stage trace --\n%s", trace.render_tree().c_str());
+    }
+  }
+  if (args.has("cache-stats")) {
+    const core::ArtifactCacheStats st = cache.stats();
+    std::printf(
+        "-- artifact cache --\n"
+        "  hits %llu | misses %llu | hit rate %.1f%% | evictions %llu\n"
+        "  resident %zu entries, ~%.1f KiB\n",
+        static_cast<unsigned long long>(st.hits),
+        static_cast<unsigned long long>(st.misses), st.hit_rate() * 100.0,
+        static_cast<unsigned long long>(st.evictions), st.entries,
+        static_cast<double>(st.bytes) / 1024.0);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
-  const auto unknown = args.unknown_flags(
-      {"node", "slices", "fs", "bw", "samples", "out"});
+  const auto unknown = args.unknown_flags({"node", "slices", "fs", "bw",
+                                           "samples", "out", "threads",
+                                           "trace", "cache-stats"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: %s\n", unknown[0].c_str());
     return usage(argv[0]);
@@ -70,44 +100,52 @@ int main(int argc, char** argv) {
   }
   std::printf("spec: %s\n", spec.describe().c_str());
 
+  util::Trace trace;
+  core::ExecContext ctx;
+  ctx.threads = args.get_int("threads", 0);
+  if (args.has("trace")) ctx.trace = &trace;
+  core::Flow flow(ctx);
+
   if (cmd == "simulate") {
-    core::AdcDesign adc(spec);
     core::SimulationOptions opts;
     opts.n_samples = n_samples;
     opts.fin_target_hz = spec.bandwidth_hz / 5.0;
-    const auto res = adc.simulate(opts);
+    const auto res = flow.sim_run(spec, opts);
     std::printf("SNDR %.1f dB | ENOB %.2f | power %s | FOM %.0f fJ/conv\n",
-                res.sndr.sndr_db, res.sndr.enob,
-                util::si_format(res.power.total_w(), "W").c_str(),
-                res.fom_fj);
+                res->sndr.sndr_db, res->sndr.enob,
+                util::si_format(res->power.total_w(), "W").c_str(),
+                res->fom_fj);
+    print_flow_stats(args, trace, *ctx.cache);
     return 0;
   }
   if (cmd == "synthesize") {
-    core::AdcDesign adc(spec);
-    const auto res = adc.synthesize();
+    const auto res = flow.synthesis(spec);
     std::printf("area %.4f mm^2 | DRC %zu | routed %.0f um, %d vias, "
                 "%d overflow | HPWL %.0f um\n",
-                res.stats.die_area_m2 * 1e6, res.drc.violations.size(),
-                res.detailed_routing.total_wirelength_m * 1e6,
-                res.detailed_routing.total_vias,
-                res.detailed_routing.overflowed_edges,
-                res.routing.total_hpwl_m * 1e6);
-    std::ofstream(out_dir + "/adc.fp") << res.floorplan_spec;
+                res->stats.die_area_m2 * 1e6, res->drc.violations.size(),
+                res->detailed_routing.total_wirelength_m * 1e6,
+                res->detailed_routing.total_vias,
+                res->detailed_routing.overflowed_edges,
+                res->routing.total_hpwl_m * 1e6);
+    std::ofstream(out_dir + "/adc.fp") << res->floorplan_spec;
     std::ofstream(out_dir + "/adc_layout.txt")
-        << res.layout->render_ascii(100);
+        << res->layout->render_ascii(100);
     std::printf("wrote %s/adc.fp, %s/adc_layout.txt\n", out_dir.c_str(),
                 out_dir.c_str());
+    print_flow_stats(args, trace, *ctx.cache);
     return 0;
   }
   if (cmd == "datasheet") {
     core::DatasheetOptions opts;
     opts.n_samples = n_samples;
+    opts.exec = ctx;
     const auto ds = core::generate_datasheet(spec, opts);
     std::printf("%s", ds.render().c_str());
+    print_flow_stats(args, trace, *ctx.cache);
     return 0;
   }
   if (cmd == "export") {
-    core::AdcDesign adc(spec);
+    core::AdcDesign adc(spec, ctx);
     const tech::TechNode node = spec.tech_node();
     std::ofstream(out_dir + "/adc_top.v")
         << netlist::write_verilog(adc.netlist());
@@ -117,14 +155,15 @@ int main(int argc, char** argv) {
         << netlist::write_lef(adc.library());
     std::ofstream(out_dir + "/stdcells.lib")
         << netlist::write_liberty(adc.library(), node);
-    const auto synth_res = adc.synthesize();
-    std::ofstream(out_dir + "/adc.fp") << synth_res.floorplan_spec;
-    const auto gds = synth::write_gdsii(*synth_res.layout, "vcoadc");
+    const auto synth_res = flow.synthesis(spec);
+    std::ofstream(out_dir + "/adc.fp") << synth_res->floorplan_spec;
+    const auto gds = synth::write_gdsii(*synth_res->layout, "vcoadc");
     std::ofstream gf(out_dir + "/adc_top.gds", std::ios::binary);
     gf.write(reinterpret_cast<const char*>(gds.data()),
              static_cast<long>(gds.size()));
     std::printf("wrote adc_top.v adc_top.sp stdcells.lef stdcells.lib "
                 "adc.fp adc_top.gds under %s\n", out_dir.c_str());
+    print_flow_stats(args, trace, *ctx.cache);
     return 0;
   }
   return usage(argv[0]);

@@ -4,13 +4,16 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/flow.h"
 #include "dsp/signal_gen.h"
-#include "netlist/generator.h"
 #include "util/units.h"
 
 namespace vcoadc::core {
 
-AdcDesign::AdcDesign(const AdcSpec& spec) : spec_(spec) {
+AdcDesign::AdcDesign(const AdcSpec& spec) : AdcDesign(spec, ExecContext{}) {}
+
+AdcDesign::AdcDesign(const AdcSpec& spec, const ExecContext& ctx)
+    : spec_(spec), ctx_(ctx) {
   const auto problems = spec_.validate();
   if (!problems.empty()) {
     std::fprintf(stderr, "AdcDesign: invalid spec (%s):\n",
@@ -18,15 +21,12 @@ AdcDesign::AdcDesign(const AdcSpec& spec) : spec_(spec) {
     for (const auto& p : problems) std::fprintf(stderr, "  %s\n", p.c_str());
     std::abort();
   }
-  const tech::TechNode node = spec_.tech_node();
-  lib_ = std::make_unique<netlist::CellLibrary>(
-      netlist::make_standard_library(node));
-  netlist::add_resistor_cells(*lib_, node);
-  netlist::GeneratorConfig gen;
-  gen.num_slices = spec_.num_slices;
-  gen.dac_fragments = spec_.dac_fragments;
-  design_ = std::make_unique<netlist::Design>(
-      netlist::build_adc_design(*lib_, gen));
+  // TechLibrary + Netlist stages, shared through the context's cache: two
+  // designs of the same spec (or a batch rebuilt per worker) resolve to
+  // the same artifacts.
+  DesignBundle bundle = Flow(ctx_).netlist(spec_);
+  lib_ = std::move(bundle.lib);
+  design_ = std::move(bundle.design);
 }
 
 RunResult AdcDesign::simulate(const SimulationOptions& opts) const {
@@ -79,17 +79,13 @@ RunResult AdcDesign::simulate(const SimulationOptions& opts,
 
 synth::SynthesisResult AdcDesign::synthesize(
     const synth::SynthesisOptions& opts) const {
-  return synth::synthesize(*design_, opts);
+  // Route stage through the graph; the cached result is cloned so the
+  // caller owns its copy (the historical by-value contract).
+  return Flow(ctx_).synthesis(spec_, opts)->clone();
 }
 
 NodeReport AdcDesign::full_report(const SimulationOptions& opts) const {
-  NodeReport report;
-  report.synthesis = synthesize();
-  SimulationOptions with_wire = opts;
-  with_wire.wire_cap_f = report.synthesis.routing.wire_cap_f;
-  report.run = simulate(with_wire);
-  report.area_mm2 = report.synthesis.stats.die_area_m2 * 1e6;
-  return report;
+  return Flow(ctx_).report(spec_, opts);
 }
 
 }  // namespace vcoadc::core

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/adc_spec.h"
+#include "core/exec_context.h"
 #include "core/power_model.h"
 #include "dsp/spectrum.h"
 #include "msim/modulator.h"
@@ -64,9 +65,17 @@ struct NodeReport {
   double area_mm2 = 0;
 };
 
+/// Thin façade over the stage graph (core/flow.h): construction pulls the
+/// TechLibrary and Netlist stage artifacts from the ExecContext's shared
+/// cache (so two designs of the same spec share one library + netlist),
+/// and synthesize()/full_report() run the Floorplan/Placement/Route/
+/// SimRun/Report stages through the same graph.
 class AdcDesign {
  public:
   explicit AdcDesign(const AdcSpec& spec);
+  /// As above with an explicit execution context (thread budget, trace
+  /// sink, artifact cache) threaded into every stage this design runs.
+  AdcDesign(const AdcSpec& spec, const ExecContext& ctx);
 
   /// Runs the behavioral model and the full spectrum analysis.
   RunResult simulate(const SimulationOptions& opts = {}) const;
@@ -88,13 +97,17 @@ class AdcDesign {
   NodeReport full_report(const SimulationOptions& opts = {}) const;
 
   const AdcSpec& spec() const { return spec_; }
+  const ExecContext& exec() const { return ctx_; }
   const netlist::CellLibrary& library() const { return *lib_; }
   const netlist::Design& netlist() const { return *design_; }
 
  private:
   AdcSpec spec_;
-  std::unique_ptr<netlist::CellLibrary> lib_;   // stable address for design_
-  std::unique_ptr<netlist::Design> design_;
+  ExecContext ctx_;
+  // Cache-shared stage artifacts; the design holds a raw pointer into the
+  // library, so both are kept alive together.
+  std::shared_ptr<const netlist::CellLibrary> lib_;
+  std::shared_ptr<const netlist::Design> design_;
 };
 
 }  // namespace vcoadc::core

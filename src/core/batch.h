@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/adc.h"
+#include "core/exec_context.h"
 #include "util/thread_pool.h"
 
 namespace vcoadc::core {
@@ -57,6 +58,9 @@ class BatchRunner {
   explicit BatchRunner(const BatchOptions& opts = {});
   /// Convenience: BatchRunner(n) == BatchRunner({.threads = n}).
   explicit BatchRunner(int threads);
+  /// Engine over an ExecContext: worker count from ctx.threads, seed0 from
+  /// ctx.seed. The stage-graph drivers construct their runners this way.
+  explicit BatchRunner(const ExecContext& ctx);
 
   const BatchOptions& options() const { return opts_; }
   /// Resolved worker count (hardware concurrency when opts.threads == 0).

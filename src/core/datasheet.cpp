@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "core/flow.h"
 #include "util/strings.h"
+#include "util/trace.h"
 #include "util/units.h"
 
 namespace vcoadc::core {
@@ -12,36 +14,48 @@ Datasheet generate_datasheet(const AdcSpec& spec,
   Datasheet ds;
   ds.spec = spec;
 
-  AdcDesign adc(spec);
-  auto synth_res = adc.synthesize();
-  ds.layout = synth_res.stats;
-  ds.drc = synth_res.drc;
-  ds.routing = synth_res.detailed_routing;
-  ds.area_mm2 = synth_res.stats.die_area_m2 * 1e6;
+  ExecContext ctx = opts.exec;
+  ctx.threads = ctx.resolve_threads(opts.threads);
+  Flow flow(ctx);
 
-  synth::TimingOptions topts;
-  topts.clock_period_s = 1.0 / spec.fs_hz;
-  topts.placement = &synth_res.layout->placement();
-  ds.timing = synth::analyze_timing(adc.netlist(), spec.tech_node(), topts);
+  AdcDesign adc(spec, ctx);
+  // The Route-stage artifact is shared, not cloned: the datasheet only
+  // reads it, and a full_report() over the same spec reuses it for free.
+  auto synth_res = flow.synthesis(spec);
+  ds.layout = synth_res->stats;
+  ds.drc = synth_res->drc;
+  ds.routing = synth_res->detailed_routing;
+  ds.area_mm2 = synth_res->stats.die_area_m2 * 1e6;
 
-  const synth::PowerGrid grid =
-      synth::generate_power_grid(synth_res.layout->floorplan());
-  ds.power_grid = synth::check_power_grid(grid, synth_res.layout->flat(),
-                                          synth_res.layout->placement(),
-                                          synth_res.layout->floorplan());
+  {
+    util::TraceSpan span(ctx.trace, "timing");
+    synth::TimingOptions topts;
+    topts.clock_period_s = 1.0 / spec.fs_hz;
+    topts.placement = &synth_res->layout->placement();
+    ds.timing = synth::analyze_timing(adc.netlist(), spec.tech_node(), topts);
+  }
+
+  {
+    util::TraceSpan span(ctx.trace, "power_grid");
+    const synth::PowerGrid grid =
+        synth::generate_power_grid(synth_res->layout->floorplan());
+    ds.power_grid = synth::check_power_grid(grid, synth_res->layout->flat(),
+                                            synth_res->layout->placement(),
+                                            synth_res->layout->floorplan());
+  }
 
   SimulationOptions sim;
   sim.n_samples = opts.n_samples;
   sim.fin_target_hz = spec.bandwidth_hz / 5.0;
-  sim.wire_cap_f = synth_res.routing.wire_cap_f;
-  ds.nominal = adc.simulate(sim);
+  sim.wire_cap_f = synth_res->routing.wire_cap_f;
+  ds.nominal = *flow.sim_run(adc, sim);
 
   if (opts.mc_runs > 0) {
     MonteCarloOptions mc;
     mc.runs = opts.mc_runs;
     mc.sim.n_samples = std::min<std::size_t>(opts.n_samples, 1 << 13);
     mc.sim.fin_target_hz = sim.fin_target_hz;
-    mc.threads = opts.threads;
+    mc.exec = ctx;
     // Reuse the design built above instead of reconstructing it per run.
     ds.mc = monte_carlo_sndr(adc, mc);
   }

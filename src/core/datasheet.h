@@ -19,7 +19,10 @@ struct DatasheetOptions {
   std::size_t n_samples = 1 << 15;
   /// Monte-Carlo runs for the min/max SNDR lines; 0 disables.
   int mc_runs = 0;
-  /// Worker threads for the Monte-Carlo batch (0 = hardware concurrency).
+  /// Execution environment; the datasheet's synthesis, nominal run and MC
+  /// batch all execute as stages of the flow graph, sharing its cache.
+  ExecContext exec;
+  /// DEPRECATED: forwards to exec.threads; honored when set (!= 0).
   int threads = 0;
 };
 

@@ -1,0 +1,48 @@
+// ExecContext: the one execution-environment knob bundle threaded through
+// every flow driver (Monte Carlo, corner sweeps, datasheets, synthesis,
+// the optimizer, benches and the CLI).
+//
+// Before the stage graph, each driver carried its own copy of the same
+// three knobs — MonteCarloOptions.threads, DatasheetOptions.threads,
+// SynthesisOptions.route_threads — plus ad-hoc seed plumbing. They are
+// folded here; the old fields remain as deprecated forwarding members
+// (honored when explicitly set) so existing call sites keep compiling.
+//
+// None of these fields participate in artifact cache keys: thread count,
+// trace sink and cache pointer must never change result bytes (the
+// engine's determinism contract), so two runs that differ only in
+// ExecContext share every cached artifact.
+#pragma once
+
+#include <cstdint>
+
+namespace vcoadc::util {
+class Trace;
+}
+
+namespace vcoadc::core {
+
+class ArtifactCache;
+ArtifactCache& default_artifact_cache();
+
+struct ExecContext {
+  /// Worker threads for batch fan-outs and the router's rip-up batches;
+  /// 0 = one per hardware thread, 1 = serial reference. Any value yields
+  /// bit-identical results.
+  int threads = 0;
+  /// Root seed for stochastic stages that do not carry their own.
+  std::uint64_t seed = 1;
+  /// Per-stage event sink; null = no tracing.
+  util::Trace* trace = nullptr;
+  /// Artifact store shared by all stages; null disables caching (every
+  /// stage recomputes). Defaults to the bounded process-wide cache.
+  ArtifactCache* cache = &default_artifact_cache();
+
+  /// Resolves a deprecated per-driver thread field against this context:
+  /// an explicitly set legacy value (!= 0) wins, otherwise `threads`.
+  int resolve_threads(int legacy_threads) const {
+    return legacy_threads != 0 ? legacy_threads : threads;
+  }
+};
+
+}  // namespace vcoadc::core

@@ -1,0 +1,395 @@
+#include "core/flow.h"
+
+#include <utility>
+
+#include "msim/modulator.h"
+#include "netlist/generator.h"
+#include "synth/net_db.h"
+#include "util/trace.h"
+
+namespace vcoadc::core {
+
+namespace {
+
+// Bump when a stage's serialization or semantics change incompatibly, so
+// stale process-lifetime cache entries can never alias new ones.
+constexpr std::uint64_t kKeyFormatVersion = 1;
+
+void hash_pvt(KeyHasher& h, const PvtCorner& pvt) {
+  h.f64(pvt.process);
+  h.f64(pvt.voltage);
+  h.f64(pvt.temperature_k);
+}
+
+/// Spec fields that shape the library + netlist (structure only).
+void hash_spec_structure(KeyHasher& h, const AdcSpec& spec) {
+  h.tag("node_nm");
+  h.f64(spec.node_nm);
+  h.tag("num_slices");
+  h.i64(spec.num_slices);
+  h.tag("dac_fragments");
+  h.i64(spec.dac_fragments);
+}
+
+/// Every result-affecting spec field (the SimRun key's basis).
+void hash_spec_full(KeyHasher& h, const AdcSpec& spec) {
+  hash_spec_structure(h, spec);
+  h.tag("fs_hz");
+  h.f64(spec.fs_hz);
+  h.tag("bandwidth_hz");
+  h.f64(spec.bandwidth_hz);
+  h.tag("loop_gain");
+  h.f64(spec.loop_gain);
+  h.tag("vco_center_over_fs");
+  h.f64(spec.vco_center_over_fs);
+  h.tag("with_nonidealities");
+  h.boolean(spec.with_nonidealities);
+  h.tag("pvt");
+  hash_pvt(h, spec.pvt);
+  h.tag("seed");
+  h.u64(spec.seed);
+}
+
+void hash_floorplan_opts(KeyHasher& h, const synth::SynthesisOptions& o) {
+  h.tag("target_utilization");
+  h.f64(o.target_utilization);
+  h.tag("aspect_ratio");
+  h.f64(o.aspect_ratio);
+}
+
+void hash_placement_opts(KeyHasher& h, const synth::SynthesisOptions& o) {
+  h.tag("placer");
+  h.i64(static_cast<int>(o.placer));
+  h.tag("respect_power_domains");
+  h.boolean(o.respect_power_domains);
+  h.tag("barycenter_passes");
+  h.i64(o.barycenter_passes);
+  h.tag("refine_passes");
+  h.i64(o.refine_passes);
+  h.tag("seed");
+  h.u64(o.seed);
+}
+
+// --- Approximate resident sizes for the cache stats. Estimates only; the
+// cache bounds by entry count, these just make `--cache-stats` readable.
+
+std::size_t approx_bytes_library(const netlist::CellLibrary& lib) {
+  return sizeof(lib) + lib.cells().size() * 256;
+}
+
+std::size_t approx_bytes_bundle(const DesignBundle& b) {
+  std::size_t n = sizeof(b);
+  if (b.lib) n += approx_bytes_library(*b.lib);
+  if (b.design) {
+    const auto st = b.design->stats();
+    n += static_cast<std::size_t>(st.total_instances) * 200;
+  }
+  return n;
+}
+
+std::size_t approx_bytes_flat(const std::vector<netlist::FlatInstance>& flat) {
+  return flat.size() * 256;
+}
+
+std::size_t approx_bytes_floorplan(const synth::FloorplanStageResult& a) {
+  return sizeof(a) + approx_bytes_flat(a.flat) +
+         a.fp.regions.size() * sizeof(synth::PlacedRegion) +
+         a.floorplan_spec.size();
+}
+
+std::size_t approx_bytes_placement(const synth::Placement& pl) {
+  return sizeof(pl) + pl.cells.size() * sizeof(synth::PlacedCell);
+}
+
+std::size_t approx_bytes_synthesis(const synth::SynthesisResult& s) {
+  std::size_t n = sizeof(s) + s.floorplan_spec.size();
+  if (s.layout) {
+    n += approx_bytes_flat(s.layout->flat()) +
+         approx_bytes_placement(s.layout->placement());
+  }
+  n += s.routing.nets.size() * sizeof(synth::NetRoute);
+  for (const auto& net : s.detailed_routing.nets) {
+    n += sizeof(net);
+    for (const auto& path : net.paths)
+      n += path.size() * sizeof(synth::GridPoint);
+  }
+  n += s.drc.violations.size() * 128;
+  return n;
+}
+
+std::size_t approx_bytes_run(const RunResult& r) {
+  std::size_t n = sizeof(r);
+  n += r.mod.output.size() * sizeof(double);
+  n += r.mod.counts.size() * sizeof(int);
+  for (const auto& bits : r.mod.slice_bits) n += bits.size() / 8;
+  n += r.spectrum.freq_hz.size() * 3 * sizeof(double);
+  n += r.idle_tones.size() * sizeof(dsp::IdleTone);
+  return n;
+}
+
+/// Runs one memoized stage: wraps the lookup/build in a trace span and
+/// falls back to a direct build when the context has no cache.
+template <typename T, typename BuildFn>
+std::shared_ptr<const T> run_stage(const ExecContext& ctx, Stage stage,
+                                   const CacheKey& key,
+                                   std::size_t (*bytes_of)(const T&),
+                                   BuildFn&& build) {
+  util::TraceSpan span(ctx.trace, stage_name(stage));
+  std::shared_ptr<const T> value;
+  bool hit = false;
+  if (ctx.cache) {
+    value = ctx.cache->get_or_build<T>(
+        key, std::forward<BuildFn>(build),
+        bytes_of ? std::function<std::size_t(const T&)>(bytes_of)
+                 : std::function<std::size_t(const T&)>{},
+        &hit);
+  } else {
+    value = build();
+  }
+  if (value) span.cache(hit, bytes_of ? bytes_of(*value) : sizeof(T));
+  span.note("key=" + key.hex());
+  return value;
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kTechLibrary:
+      return "tech_library";
+    case Stage::kNetlist:
+      return "netlist";
+    case Stage::kFloorplan:
+      return "floorplan";
+    case Stage::kPlacement:
+      return "placement";
+    case Stage::kRoute:
+      return "route";
+    case Stage::kSimRun:
+      return "sim_run";
+    case Stage::kReport:
+      return "report";
+  }
+  return "?";
+}
+
+CacheKey tech_library_key(const AdcSpec& spec) {
+  KeyHasher h;
+  h.u64(kKeyFormatVersion);
+  h.tag("stage:tech_library");
+  h.tag("node_nm");
+  h.f64(spec.node_nm);
+  return h.digest();
+}
+
+CacheKey netlist_key(const AdcSpec& spec) {
+  KeyHasher h;
+  h.u64(kKeyFormatVersion);
+  h.tag("stage:netlist");
+  hash_spec_structure(h, spec);
+  return h.digest();
+}
+
+CacheKey floorplan_key(const AdcSpec& spec,
+                       const synth::SynthesisOptions& opts) {
+  const CacheKey up = netlist_key(spec);
+  KeyHasher h;
+  h.u64(kKeyFormatVersion);
+  h.tag("stage:floorplan");
+  h.u64(up.lo);
+  h.u64(up.hi);
+  hash_floorplan_opts(h, opts);
+  return h.digest();
+}
+
+CacheKey placement_key(const AdcSpec& spec,
+                       const synth::SynthesisOptions& opts) {
+  const CacheKey up = floorplan_key(spec, opts);
+  KeyHasher h;
+  h.u64(kKeyFormatVersion);
+  h.tag("stage:placement");
+  h.u64(up.lo);
+  h.u64(up.hi);
+  hash_placement_opts(h, opts);
+  return h.digest();
+}
+
+CacheKey synthesis_key(const AdcSpec& spec,
+                       const synth::SynthesisOptions& opts) {
+  const CacheKey up = placement_key(spec, opts);
+  KeyHasher h;
+  h.u64(kKeyFormatVersion);
+  h.tag("stage:route");
+  h.u64(up.lo);
+  h.u64(up.hi);
+  h.tag("detailed_route");
+  h.boolean(opts.detailed_route);
+  return h.digest();
+}
+
+CacheKey sim_run_key(const AdcSpec& spec, const SimulationOptions& opts) {
+  // Canonicalize the per-run overrides into the spec: simulate() applies
+  // them exactly this way, so (spec, seed-override) and (spec-with-seed,
+  // no override) are the same run and must share one key.
+  AdcSpec sp = spec;
+  if (opts.seed != 0) sp.seed = opts.seed;
+  if (opts.pvt.has_value()) sp.pvt = *opts.pvt;
+  KeyHasher h;
+  h.u64(kKeyFormatVersion);
+  h.tag("stage:sim_run");
+  hash_spec_full(h, sp);
+  h.tag("n_samples");
+  h.u64(opts.n_samples);
+  h.tag("amplitude_dbfs");
+  h.f64(opts.amplitude_dbfs);
+  h.tag("fin_target_hz");
+  h.f64(opts.fin_target_hz);
+  h.tag("comparator");
+  h.i64(static_cast<int>(opts.comparator));
+  h.tag("dac");
+  h.i64(static_cast<int>(opts.dac));
+  h.tag("record_bits");
+  h.boolean(opts.record_bits);
+  h.tag("wire_cap_f");
+  h.f64(opts.wire_cap_f);
+  return h.digest();
+}
+
+synth::SynthesisOptions Flow::exec_opts(
+    const synth::SynthesisOptions& opts) const {
+  synth::SynthesisOptions o = opts;
+  // ExecContext knobs only — neither may appear in a cache key.
+  o.route_threads = ctx_.resolve_threads(opts.route_threads);
+  // Flow spans cover the stage boundaries; the synth-internal spans are
+  // for direct synth::synthesize() callers.
+  o.trace = nullptr;
+  return o;
+}
+
+std::shared_ptr<const netlist::CellLibrary> Flow::tech_library(
+    const AdcSpec& spec) {
+  return run_stage<netlist::CellLibrary>(
+      ctx_, Stage::kTechLibrary, tech_library_key(spec), &approx_bytes_library,
+      [&spec]() {
+        const tech::TechNode node = spec.tech_node();
+        auto lib = std::make_shared<netlist::CellLibrary>(
+            netlist::make_standard_library(node));
+        netlist::add_resistor_cells(*lib, node);
+        return std::shared_ptr<const netlist::CellLibrary>(std::move(lib));
+      });
+}
+
+DesignBundle Flow::netlist(const AdcSpec& spec) {
+  auto bundle = run_stage<DesignBundle>(
+      ctx_, Stage::kNetlist, netlist_key(spec), &approx_bytes_bundle,
+      [this, &spec]() {
+        DesignBundle b;
+        b.lib = tech_library(spec);
+        netlist::GeneratorConfig gen;
+        gen.num_slices = spec.num_slices;
+        gen.dac_fragments = spec.dac_fragments;
+        b.design = std::make_shared<const netlist::Design>(
+            netlist::build_adc_design(*b.lib, gen));
+        return std::make_shared<const DesignBundle>(std::move(b));
+      });
+  return *bundle;
+}
+
+std::shared_ptr<const synth::FloorplanStageResult> Flow::floorplan(
+    const AdcSpec& spec, const synth::SynthesisOptions& opts) {
+  const synth::SynthesisOptions o = exec_opts(opts);
+  return run_stage<synth::FloorplanStageResult>(
+      ctx_, Stage::kFloorplan, floorplan_key(spec, opts),
+      &approx_bytes_floorplan, [this, &spec, &o]() {
+        const DesignBundle bundle = netlist(spec);
+        auto art = std::make_shared<synth::FloorplanStageResult>();
+        std::vector<synth::FlowDiagnostic> diags;
+        *art = synth::run_floorplan_stage(*bundle.design, o, diags);
+        // Generator output always validates (asserted by the netlist
+        // tests); a failure here would be an internal inconsistency.
+        art->flat.shrink_to_fit();
+        // The flat instances point into the bundle's StdCells; pin the
+        // bundle so the artifact survives netlist-artifact eviction (and
+        // cache-less flows, where the bundle would otherwise die here).
+        art->owner = std::make_shared<const DesignBundle>(bundle);
+        return std::shared_ptr<const synth::FloorplanStageResult>(
+            std::move(art));
+      });
+}
+
+std::shared_ptr<const synth::Placement> Flow::placement(
+    const AdcSpec& spec, const synth::SynthesisOptions& opts) {
+  const synth::SynthesisOptions o = exec_opts(opts);
+  return run_stage<synth::Placement>(
+      ctx_, Stage::kPlacement, placement_key(spec, opts),
+      &approx_bytes_placement, [this, &spec, &opts, &o]() {
+        auto art = floorplan(spec, opts);
+        // The NetDb borrows pin-name storage from `flat`, so it is rebuilt
+        // over the cached artifact rather than cached itself.
+        const synth::NetDb db(art->flat);
+        return std::make_shared<const synth::Placement>(
+            synth::run_placement_stage(*art, o, db));
+      });
+}
+
+std::shared_ptr<const synth::SynthesisResult> Flow::synthesis(
+    const AdcSpec& spec, const synth::SynthesisOptions& opts) {
+  const synth::SynthesisOptions o = exec_opts(opts);
+  return run_stage<synth::SynthesisResult>(
+      ctx_, Stage::kRoute, synthesis_key(spec, opts), &approx_bytes_synthesis,
+      [this, &spec, &opts, &o]() {
+        auto art = floorplan(spec, opts);
+        auto pl = placement(spec, opts);
+        const synth::NetDb db(art->flat);
+        return std::make_shared<const synth::SynthesisResult>(
+            synth::run_route_stage(*art, *pl, o, db));
+      });
+}
+
+std::shared_ptr<const RunResult> Flow::sim_run(const AdcSpec& spec,
+                                               const SimulationOptions& opts) {
+  return run_stage<RunResult>(
+      ctx_, Stage::kSimRun, sim_run_key(spec, opts), &approx_bytes_run,
+      [this, &spec, &opts]() {
+        const AdcDesign design(spec, ctx_);
+        static thread_local msim::SimWorkspace ws;
+        return std::make_shared<const RunResult>(design.simulate(opts, ws));
+      });
+}
+
+std::shared_ptr<const RunResult> Flow::sim_run(const AdcDesign& design,
+                                               const SimulationOptions& opts) {
+  return run_stage<RunResult>(
+      ctx_, Stage::kSimRun, sim_run_key(design.spec(), opts),
+      &approx_bytes_run, [&design, &opts]() {
+        static thread_local msim::SimWorkspace ws;
+        return std::make_shared<const RunResult>(design.simulate(opts, ws));
+      });
+}
+
+NodeReport Flow::report(const AdcSpec& spec, const SimulationOptions& sim,
+                        const synth::SynthesisOptions& synth_opts) {
+  util::TraceSpan span(ctx_.trace, stage_name(Stage::kReport));
+  NodeReport rep;
+  auto syn = synthesis(spec, synth_opts);
+  rep.synthesis = syn->clone();
+  SimulationOptions with_wire = sim;
+  with_wire.wire_cap_f = syn->routing.wire_cap_f;
+  rep.run = *sim_run(spec, with_wire);
+  rep.area_mm2 = syn->stats.die_area_m2 * 1e6;
+  return rep;
+}
+
+MigratedDesign Flow::migrate(const AdcSpec& src_spec, double target_node_nm) {
+  util::TraceSpan span(ctx_.trace, "migrate");
+  AdcSpec target = src_spec;
+  target.node_nm = target_node_nm;
+  auto target_lib = tech_library(target);
+  const DesignBundle src = netlist(src_spec);
+  MigrationResult result = migrate_design(*src.design, *target_lib);
+  span.note(std::to_string(result.exact_matches) + " exact, " +
+            std::to_string(result.nearest_matches) + " nearest");
+  return MigratedDesign{std::move(target_lib), std::move(result)};
+}
+
+}  // namespace vcoadc::core

@@ -1,0 +1,142 @@
+// The explicit stage graph of the end-to-end pipeline (the paper's Fig. 9
+// flow, made a first-class object):
+//
+//   TechLibrary --> Netlist --> Floorplan --> Placement --> Route
+//         \                                                  |
+//          \--------------------> SimRun <-- (wire load) ----/
+//                                    \--> Report
+//
+// Each stage's inputs are content-hashed (see artifact_cache.h) into a key
+// for the shared ArtifactCache, so a Monte-Carlo batch, a corner sweep and
+// a datasheet run over the same spec build the library/netlist/layout
+// exactly once; a cached artifact *is* the object a fresh build produces,
+// so cached re-runs are bit-identical to fresh ones. Stage boundaries emit
+// util::Trace spans (stage name, wall time, cache hit/miss, artifact
+// size) when the ExecContext carries a trace sink.
+//
+// Key policy (what invalidates what):
+//   TechLibrary  <- node_nm
+//   Netlist      <- TechLibrary + num_slices + dac_fragments
+//   Floorplan    <- Netlist + target_utilization + aspect_ratio
+//   Placement    <- Floorplan + placer + respect_power_domains +
+//                   barycenter/refine passes + seed
+//   Route        <- Placement + detailed_route
+//   SimRun       <- full spec (with the per-run seed/pvt overrides
+//                   canonicalized in) + n_samples + amplitude + fin +
+//                   comparator + dac + record_bits + wire_cap_f
+//   Report       <- assembled from cached Route + SimRun; not memoized
+//                   itself (assembly is a clone + a struct fill).
+// ExecContext fields (threads, trace, cache) are never hashed: they must
+// not change result bytes.
+#pragma once
+
+#include <memory>
+
+#include "core/adc.h"
+#include "core/adc_spec.h"
+#include "core/artifact_cache.h"
+#include "core/exec_context.h"
+#include "core/migration.h"
+#include "synth/synthesis_flow.h"
+
+namespace vcoadc::core {
+
+/// The typed stages of the flow graph.
+enum class Stage {
+  kTechLibrary,
+  kNetlist,
+  kFloorplan,
+  kPlacement,
+  kRoute,
+  kSimRun,
+  kReport,
+};
+
+const char* stage_name(Stage s);
+
+// Content-hash key builders, exposed for the determinism tests: the same
+// spec + options always produce the same key (across threads, processes
+// and machines of equal endianness); any result-affecting field change
+// produces a different key.
+CacheKey tech_library_key(const AdcSpec& spec);
+CacheKey netlist_key(const AdcSpec& spec);
+CacheKey floorplan_key(const AdcSpec& spec,
+                       const synth::SynthesisOptions& opts);
+CacheKey placement_key(const AdcSpec& spec,
+                       const synth::SynthesisOptions& opts);
+CacheKey synthesis_key(const AdcSpec& spec,
+                       const synth::SynthesisOptions& opts);
+CacheKey sim_run_key(const AdcSpec& spec, const SimulationOptions& opts);
+
+/// Netlist-stage artifact: the cell library plus the gate-level design
+/// referencing it (the design holds a raw pointer into the library, so the
+/// two share lifetime here).
+struct DesignBundle {
+  std::shared_ptr<const netlist::CellLibrary> lib;
+  std::shared_ptr<const netlist::Design> design;
+};
+
+/// Result of Flow::migrate: the migrated design plus the target library it
+/// references (cache-shared; keep it alive as long as the design).
+struct MigratedDesign {
+  std::shared_ptr<const netlist::CellLibrary> target_lib;
+  MigrationResult result;
+};
+
+/// Handle on the stage graph: runs stages on demand, memoizing through the
+/// ExecContext's cache and tracing through its sink. Cheap to construct;
+/// copies the context.
+class Flow {
+ public:
+  Flow() = default;
+  explicit Flow(const ExecContext& ctx) : ctx_(ctx) {}
+
+  const ExecContext& ctx() const { return ctx_; }
+
+  /// TechLibrary stage: standard cells + resistor cells for spec's node.
+  std::shared_ptr<const netlist::CellLibrary> tech_library(
+      const AdcSpec& spec);
+
+  /// Netlist stage: the generated gate-level ADC over the tech library.
+  DesignBundle netlist(const AdcSpec& spec);
+
+  /// Floorplan stage: flattened leaves + regioned die.
+  std::shared_ptr<const synth::FloorplanStageResult> floorplan(
+      const AdcSpec& spec, const synth::SynthesisOptions& opts = {});
+
+  /// Placement stage.
+  std::shared_ptr<const synth::Placement> placement(
+      const AdcSpec& spec, const synth::SynthesisOptions& opts = {});
+
+  /// Route stage: routing estimate + detailed route + DRC, the full
+  /// SynthesisResult.
+  std::shared_ptr<const synth::SynthesisResult> synthesis(
+      const AdcSpec& spec, const synth::SynthesisOptions& opts = {});
+
+  /// SimRun stage for a spec (pulls the Netlist stage first).
+  std::shared_ptr<const RunResult> sim_run(const AdcSpec& spec,
+                                           const SimulationOptions& opts = {});
+
+  /// SimRun stage over an already-built design (the batch hot path: the
+  /// caller's design shares the cached netlist artifact).
+  std::shared_ptr<const RunResult> sim_run(const AdcDesign& design,
+                                           const SimulationOptions& opts = {});
+
+  /// Report stage: synthesis + simulation with the layout's wire load
+  /// folded into the power model. Assembled from the cached Route and
+  /// SimRun artifacts.
+  NodeReport report(const AdcSpec& spec, const SimulationOptions& sim = {},
+                    const synth::SynthesisOptions& synth_opts = {});
+
+  /// Migrates the spec's netlist onto another node's (cached) library.
+  MigratedDesign migrate(const AdcSpec& src_spec, double target_node_nm);
+
+ private:
+  /// Applies ExecContext knobs (route threads, trace) to synthesis options
+  /// without touching key-relevant fields.
+  synth::SynthesisOptions exec_opts(const synth::SynthesisOptions& opts) const;
+
+  ExecContext ctx_;
+};
+
+}  // namespace vcoadc::core

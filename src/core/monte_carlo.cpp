@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/flow.h"
+
 namespace vcoadc::core {
 
 double MonteCarloResult::yield(double spec_db) const {
@@ -17,17 +19,21 @@ MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
   MonteCarloResult result;
   if (opts.runs <= 0) return result;
 
+  ExecContext ctx = opts.exec;
+  ctx.threads = ctx.resolve_threads(opts.threads);
+  Flow flow(ctx);
   BatchOptions bopts;
-  bopts.threads = opts.threads;
+  bopts.threads = ctx.threads;
   bopts.seed0 = opts.seed0;
   BatchRunner runner(bopts);
   result.sndr_db = runner.map(
       static_cast<std::size_t>(opts.runs),
       [&](std::size_t, std::uint64_t seed) {
-        static thread_local msim::SimWorkspace ws;
+        // Each draw is a SimRun stage: distinct seed, distinct key, so the
+        // first batch populates the cache and a repeat batch is all hits.
         SimulationOptions sim = opts.sim;
         sim.seed = seed;
-        return design.simulate(sim, ws).sndr.sndr_db;
+        return flow.sim_run(design, sim)->sndr.sndr_db;
       });
   result.batch = runner.last_stats();
 
@@ -53,7 +59,8 @@ MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
 }
 
 std::vector<CornerResult> corner_sweep(const AdcDesign& design,
-                                       std::size_t n_samples, int threads) {
+                                       const ExecContext& exec,
+                                       std::size_t n_samples) {
   struct Corner {
     const char* name;
     PvtCorner pvt;
@@ -66,8 +73,9 @@ std::vector<CornerResult> corner_sweep(const AdcDesign& design,
       {"TT  1.10V  27C", {1.00, 1.10, 300.0}},
       {"TT  1.00V  125C", {1.00, 1.00, 398.0}},
   };
+  Flow flow(exec);
   BatchOptions bopts;
-  bopts.threads = threads;
+  bopts.threads = exec.threads;
   BatchRunner runner(bopts);
   return runner.map(
       std::size(kCorners), [&](std::size_t i, std::uint64_t) {
@@ -78,14 +86,21 @@ std::vector<CornerResult> corner_sweep(const AdcDesign& design,
         sim.n_samples = n_samples;
         sim.fin_target_hz = design.spec().bandwidth_hz / 5.0;
         sim.pvt = c.pvt;
-        const RunResult r = design.simulate(sim);
+        const auto r = flow.sim_run(design, sim);
         CornerResult cr;
         cr.name = c.name;
         cr.pvt = c.pvt;
-        cr.sndr_db = r.sndr.sndr_db;
-        cr.power_w = r.power.total_w();
+        cr.sndr_db = r->sndr.sndr_db;
+        cr.power_w = r->power.total_w();
         return cr;
       });
+}
+
+std::vector<CornerResult> corner_sweep(const AdcDesign& design,
+                                       std::size_t n_samples, int threads) {
+  ExecContext ctx = design.exec();
+  ctx.threads = ctx.resolve_threads(threads);
+  return corner_sweep(design, ctx, n_samples);
 }
 
 std::vector<CornerResult> corner_sweep(const AdcSpec& spec,

@@ -22,6 +22,7 @@
 #include "core/adc.h"
 #include "core/adc_spec.h"
 #include "core/batch.h"
+#include "core/exec_context.h"
 
 namespace vcoadc::core {
 
@@ -36,7 +37,11 @@ struct MonteCarloOptions {
     s.n_samples = 1 << 13;
     return s;
   }();
-  /// Worker threads; 0 = hardware concurrency, 1 = serial reference.
+  /// Execution environment (worker threads, trace sink, artifact cache);
+  /// every draw runs as a SimRun stage of the flow graph, so a repeated
+  /// batch over the same spec is served from the cache.
+  ExecContext exec;
+  /// DEPRECATED: forwards to exec.threads; honored when set (!= 0).
   int threads = 0;
   std::uint64_t seed0 = 1000;  ///< run i uses seed0 + i
 };
@@ -74,7 +79,14 @@ struct CornerResult {
 
 /// Evaluates the classic corner set (TT, FF, SS, plus low/high voltage and
 /// hot/cold temperature) on an already-built design, corners fanned across
-/// the engine. Results are ordered by the canonical corner table.
+/// the engine as SimRun stages of the flow graph. Results are ordered by
+/// the canonical corner table.
+std::vector<CornerResult> corner_sweep(const AdcDesign& design,
+                                       const ExecContext& exec,
+                                       std::size_t n_samples = 1 << 13);
+
+/// As above with the design's own ExecContext; `threads`, when set,
+/// overrides its worker count (the pre-ExecContext signature).
 std::vector<CornerResult> corner_sweep(const AdcDesign& design,
                                        std::size_t n_samples = 1 << 13,
                                        int threads = 0);

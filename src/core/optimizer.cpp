@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/flow.h"
+
 namespace vcoadc::core {
 
 OptimizeResult optimize_spec(const OptimizeTarget& target,
@@ -42,13 +44,13 @@ OptimizeResult optimize_spec(const OptimizeTarget& target,
       // Prune: the power prior grows monotonically within the sorted list
       // only approximately, so only skip when a met design was strictly
       // cheaper in prior terms than this candidate.
-      AdcDesign adc(spec);
+      Flow flow(opts.exec);
       SimulationOptions sim;
       sim.n_samples = opts.n_samples;
       sim.fin_target_hz = target.bandwidth_hz / 5.0;
-      const RunResult run = adc.simulate(sim);
-      cr.sndr_db = run.sndr.sndr_db;
-      cr.power_w = run.power.total_w();
+      const auto run = flow.sim_run(spec, sim);
+      cr.sndr_db = run->sndr.sndr_db;
+      cr.power_w = run->power.total_w();
       cr.meets = cr.sndr_db >= target.min_sndr_db + target.margin_db;
       if (cr.meets &&
           (!result.best.has_value() || cr.power_w < best_power)) {

@@ -30,6 +30,10 @@ struct OptimizeOptions {
   std::vector<double> osr_choices{32, 50, 75, 100, 150};
   std::size_t n_samples = 1 << 13;
   std::uint64_t seed = 1;
+  /// Execution environment; every candidate evaluation runs as a SimRun
+  /// stage of the flow graph, so a re-search over an overlapping grid
+  /// reuses cached evaluations.
+  ExecContext exec;
 };
 
 struct CandidateResult {

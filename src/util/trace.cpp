@@ -1,0 +1,202 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace vcoadc::util {
+
+namespace {
+
+// Innermost open span per (thread, Trace). A plain vector of pairs: a
+// thread holds at most a handful of nested spans across very few Trace
+// instances, so linear scans beat a map.
+thread_local std::vector<std::pair<const Trace*, int>> t_open_spans;
+
+int current_parent(const Trace* trace) {
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->first == trace) return it->second;
+  }
+  return -1;
+}
+
+void push_open(const Trace* trace, int token) {
+  t_open_spans.emplace_back(trace, token);
+}
+
+void pop_open(const Trace* trace, int token) {
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->first == trace && it->second == token) {
+      t_open_spans.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::string fmt_ms(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Trace::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+int Trace::begin(const std::string& name) {
+  const double t = now_s();
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_s = t;
+  ev.parent = current_parent(this);
+  const int token = static_cast<int>(events_.size());
+  events_.push_back(std::move(ev));
+  push_open(this, token);
+  return token;
+}
+
+void Trace::end(int token, const std::string& detail, int cache_hit,
+                std::size_t bytes) {
+  const double t = now_s();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (token < 0 || token >= static_cast<int>(events_.size())) return;
+  TraceEvent& ev = events_[static_cast<std::size_t>(token)];
+  ev.dur_s = t - ev.start_s;
+  if (!detail.empty()) ev.detail = detail;
+  ev.cache_hit = cache_hit;
+  ev.bytes = bytes;
+  pop_open(this, token);
+}
+
+void Trace::instant(const std::string& name, const std::string& detail) {
+  const double t = now_s();
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.name = name;
+  ev.detail = detail;
+  ev.start_s = t;
+  ev.parent = current_parent(this);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+bool Trace::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty();
+}
+
+std::string Trace::render_tree() const {
+  const std::vector<TraceEvent> evs = events();
+  // Children of each node, in begin order.
+  std::vector<std::vector<int>> children(evs.size() + 1);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const int p = evs[i].parent;
+    children[p < 0 ? evs.size() : static_cast<std::size_t>(p)].push_back(
+        static_cast<int>(i));
+  }
+
+  std::ostringstream os;
+  // Render one level: siblings with the same name collapse to one line.
+  auto render_level = [&](auto&& self, const std::vector<int>& ids,
+                          int depth) -> void {
+    std::vector<int> done(ids.size(), 0);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (done[i]) continue;
+      std::vector<int> group;
+      for (std::size_t j = i; j < ids.size(); ++j) {
+        if (!done[j] && evs[static_cast<std::size_t>(ids[j])].name ==
+                            evs[static_cast<std::size_t>(ids[i])].name) {
+          done[j] = 1;
+          group.push_back(ids[j]);
+        }
+      }
+      double total = 0, mn = 1e300, mx = 0;
+      std::size_t bytes = 0;
+      int hits = 0, misses = 0;
+      for (int id : group) {
+        const TraceEvent& e = evs[static_cast<std::size_t>(id)];
+        total += e.dur_s;
+        mn = std::min(mn, e.dur_s);
+        mx = std::max(mx, e.dur_s);
+        bytes += e.bytes;
+        if (e.cache_hit == 1) ++hits;
+        if (e.cache_hit == 0) ++misses;
+      }
+      const TraceEvent& first = evs[static_cast<std::size_t>(group[0])];
+      std::string line(static_cast<std::size_t>(depth) * 2, ' ');
+      line += first.name;
+      if (group.size() > 1) line += " x" + std::to_string(group.size());
+      while (line.size() < 34) line += ' ';
+      os << line << "  " << fmt_ms(total);
+      if (group.size() > 1) {
+        os << " (min " << fmt_ms(mn) << ", max " << fmt_ms(mx) << ")";
+      }
+      if (hits + misses > 0) {
+        os << "  [cache " << hits << " hit / " << misses << " miss]";
+      }
+      if (bytes > 0) os << "  " << bytes << " B";
+      if (group.size() == 1 && !first.detail.empty()) {
+        os << "  " << first.detail;
+      }
+      os << "\n";
+      // Children of the whole group render under the collapsed line.
+      std::vector<int> kids;
+      for (int id : group) {
+        const auto& c = children[static_cast<std::size_t>(id)];
+        kids.insert(kids.end(), c.begin(), c.end());
+      }
+      if (!kids.empty()) self(self, kids, depth + 1);
+    }
+  };
+  render_level(render_level, children[evs.size()], 0);
+  return os.str();
+}
+
+std::string Trace::render_jsonl() const {
+  const std::vector<TraceEvent> evs = events();
+  std::ostringstream os;
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    os << "{\"span\":" << i << ",\"name\":\"" << json_escape(e.name)
+       << "\",\"start_ms\":" << e.start_s * 1e3
+       << ",\"dur_ms\":" << e.dur_s * 1e3 << ",\"parent\":" << e.parent;
+    if (e.cache_hit >= 0) {
+      os << ",\"cache_hit\":" << (e.cache_hit == 1 ? "true" : "false");
+    }
+    if (e.bytes > 0) os << ",\"bytes\":" << e.bytes;
+    if (!e.detail.empty()) {
+      os << ",\"detail\":\"" << json_escape(e.detail) << "\"";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace vcoadc::util
