@@ -47,6 +47,14 @@ int usage(const char* prog) {
   return 2;
 }
 
+/// Structured-diagnostics epilogue: renders everything the flow collected
+/// ("[severity] stage item: reason" per line) and returns the exit code.
+int fail_with_diags(const util::DiagSink& sink) {
+  std::fprintf(stderr, "error: flow rejected the input\n%s",
+               sink.render().c_str());
+  return 1;
+}
+
 /// --trace / --cache-stats epilogue, shared by every command.
 void print_flow_stats(const util::ArgParser& args, const util::Trace& trace,
                       const core::ArtifactCache& cache) {
@@ -89,28 +97,44 @@ int main(int argc, char** argv) {
   spec.num_slices = args.get_int("slices", 16);
   spec.fs_hz = args.get_double("fs", 750e6);
   spec.bandwidth_hz = args.get_double("bw", 5e6);
-  const auto n_samples =
-      static_cast<std::size_t>(args.get_int("samples", 16384));
+  const long long samples_arg = args.get_int("samples", 16384);
+  const auto n_samples = samples_arg > 0
+                             ? static_cast<std::size_t>(samples_arg)
+                             : std::size_t{0};
   const std::string out_dir = args.get("out", ".");
-  const auto problems = spec.validate();
-  if (!problems.empty()) {
-    std::fprintf(stderr, "invalid spec:\n");
-    for (const auto& p : problems) std::fprintf(stderr, "  %s\n", p.c_str());
-    return 1;
-  }
-  std::printf("spec: %s\n", spec.describe().c_str());
 
   util::Trace trace;
+  util::DiagSink diags;
   core::ExecContext ctx;
   ctx.threads = args.get_int("threads", 0);
+  ctx.diag = &diags;
   if (args.has("trace")) ctx.trace = &trace;
   core::Flow flow(ctx);
+
+  // Boundary validation up front, rendered as structured diagnostics:
+  //   $ vcoadc_cli simulate --node=40 --slices=1 --fs=0
+  //   error: flow rejected the input
+  //   [error] spec: num_slices must be >= 2 (pseudo-differential ring)
+  //   [error] spec: fs must be positive
+  {
+    const auto spec_diags = core::validate_spec(spec);
+    core::SimulationOptions probe;
+    probe.n_samples = n_samples;
+    auto opt_diags = core::validate_sim_options(probe);
+    diags.add_all(spec_diags);
+    for (const auto& d : opt_diags) {
+      if (d.item == "n_samples") diags.add(d);  // the only CLI-settable knob
+    }
+    if (diags.has_errors()) return fail_with_diags(diags);
+  }
+  std::printf("spec: %s\n", spec.describe().c_str());
 
   if (cmd == "simulate") {
     core::SimulationOptions opts;
     opts.n_samples = n_samples;
     opts.fin_target_hz = spec.bandwidth_hz / 5.0;
     const auto res = flow.sim_run(spec, opts);
+    if (res == nullptr) return fail_with_diags(diags);
     std::printf("SNDR %.1f dB | ENOB %.2f | power %s | FOM %.0f fJ/conv\n",
                 res->sndr.sndr_db, res->sndr.enob,
                 util::si_format(res->power.total_w(), "W").c_str(),
@@ -120,6 +144,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "synthesize") {
     const auto res = flow.synthesis(spec);
+    if (res == nullptr || res->layout == nullptr) {
+      return fail_with_diags(diags);
+    }
     std::printf("area %.4f mm^2 | DRC %zu | routed %.0f um, %d vias, "
                 "%d overflow | HPWL %.0f um\n",
                 res->stats.die_area_m2 * 1e6, res->drc.violations.size(),
@@ -140,12 +167,14 @@ int main(int argc, char** argv) {
     opts.n_samples = n_samples;
     opts.exec = ctx;
     const auto ds = core::generate_datasheet(spec, opts);
+    if (!ds.complete) return fail_with_diags(diags);
     std::printf("%s", ds.render().c_str());
     print_flow_stats(args, trace, *ctx.cache);
     return 0;
   }
   if (cmd == "export") {
     core::AdcDesign adc(spec, ctx);
+    if (!adc.ok()) return fail_with_diags(diags);
     const tech::TechNode node = spec.tech_node();
     std::ofstream(out_dir + "/adc_top.v")
         << netlist::write_verilog(adc.netlist());
@@ -156,6 +185,9 @@ int main(int argc, char** argv) {
     std::ofstream(out_dir + "/stdcells.lib")
         << netlist::write_liberty(adc.library(), node);
     const auto synth_res = flow.synthesis(spec);
+    if (synth_res == nullptr || synth_res->layout == nullptr) {
+      return fail_with_diags(diags);
+    }
     std::ofstream(out_dir + "/adc.fp") << synth_res->floorplan_spec;
     const auto gds = synth::write_gdsii(*synth_res->layout, "vcoadc");
     std::ofstream gf(out_dir + "/adc_top.gds", std::ios::binary);

@@ -14,16 +14,11 @@ AdcDesign::AdcDesign(const AdcSpec& spec) : AdcDesign(spec, ExecContext{}) {}
 
 AdcDesign::AdcDesign(const AdcSpec& spec, const ExecContext& ctx)
     : spec_(spec), ctx_(ctx) {
-  const auto problems = spec_.validate();
-  if (!problems.empty()) {
-    std::fprintf(stderr, "AdcDesign: invalid spec (%s):\n",
-                 spec_.describe().c_str());
-    for (const auto& p : problems) std::fprintf(stderr, "  %s\n", p.c_str());
-    std::abort();
-  }
   // TechLibrary + Netlist stages, shared through the context's cache: two
   // designs of the same spec (or a batch rebuilt per worker) resolve to
-  // the same artifacts.
+  // the same artifacts. The Flow validates the spec at the boundary; on
+  // rejection it reports diagnostics through the context and returns an
+  // empty bundle, leaving this design unbuilt (ok() == false).
   DesignBundle bundle = Flow(ctx_).netlist(spec_);
   lib_ = std::move(bundle.lib);
   design_ = std::move(bundle.design);
@@ -37,6 +32,11 @@ RunResult AdcDesign::simulate(const SimulationOptions& opts) const {
 RunResult AdcDesign::simulate(const SimulationOptions& opts,
                               msim::SimWorkspace& ws) const {
   RunResult res;
+  if (!ok()) {
+    emit_diag(ctx_, util::Diagnostic{util::Severity::kError, "sim_run", "",
+                                     "design was not built (invalid spec)"});
+    return res;
+  }
   // Per-run overrides: seed and PVT only influence the behavioral model and
   // the power estimate, never the netlist, so applying them here is exactly
   // equivalent to rebuilding the design from a modified spec.
@@ -80,8 +80,11 @@ RunResult AdcDesign::simulate(const SimulationOptions& opts,
 synth::SynthesisResult AdcDesign::synthesize(
     const synth::SynthesisOptions& opts) const {
   // Route stage through the graph; the cached result is cloned so the
-  // caller owns its copy (the historical by-value contract).
-  return Flow(ctx_).synthesis(spec_, opts)->clone();
+  // caller owns its copy (the historical by-value contract). A rejected
+  // input yields an empty result (null layout) with diagnostics reported
+  // through the context, mirroring synth::synthesize().
+  auto syn = Flow(ctx_).synthesis(spec_, opts);
+  return syn != nullptr ? syn->clone() : synth::SynthesisResult{};
 }
 
 NodeReport AdcDesign::full_report(const SimulationOptions& opts) const {

@@ -63,6 +63,10 @@ struct NodeReport {
   RunResult run;
   synth::SynthesisResult synthesis;
   double area_mm2 = 0;
+  /// True when every stage completed; false means a stage rejected its
+  /// input (diagnostics were reported through the ExecContext) and the
+  /// other fields are default-constructed.
+  bool complete = false;
 };
 
 /// Thin façade over the stage graph (core/flow.h): construction pulls the
@@ -75,7 +79,16 @@ class AdcDesign {
   explicit AdcDesign(const AdcSpec& spec);
   /// As above with an explicit execution context (thread budget, trace
   /// sink, artifact cache) threaded into every stage this design runs.
+  /// A spec the validators reject does NOT abort: the failure is reported
+  /// through the context (ExecContext::diag, stderr when unset) and the
+  /// design is left unbuilt — check ok() before simulating/synthesizing.
   AdcDesign(const AdcSpec& spec, const ExecContext& ctx);
+
+  /// True when the spec validated and the library + netlist were built.
+  /// When false, simulate()/synthesize()/full_report() return empty
+  /// results (and report a diagnostic) instead of crashing, and
+  /// library()/netlist() must not be called.
+  bool ok() const { return lib_ != nullptr && design_ != nullptr; }
 
   /// Runs the behavioral model and the full spectrum analysis.
   RunResult simulate(const SimulationOptions& opts = {}) const;

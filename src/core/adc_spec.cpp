@@ -1,5 +1,7 @@
 #include "core/adc_spec.h"
 
+#include <cmath>
+
 #include "util/strings.h"
 
 namespace vcoadc::core {
@@ -36,27 +38,51 @@ AdcSpec AdcSpec::paper_180nm() {
 
 std::vector<std::string> AdcSpec::validate() const {
   std::vector<std::string> problems;
+  // Numeric sanity first: every later check divides or compares by these,
+  // and NaN slips through ordered comparisons.
+  const bool numerics_ok =
+      std::isfinite(node_nm) && std::isfinite(fs_hz) &&
+      std::isfinite(bandwidth_hz) && std::isfinite(loop_gain) &&
+      std::isfinite(vco_center_over_fs) && std::isfinite(pvt.process) &&
+      std::isfinite(pvt.voltage) && std::isfinite(pvt.temperature_k);
+  if (!numerics_ok) {
+    problems.push_back("spec contains non-finite numeric fields");
+  }
   const auto node = tech::TechDatabase::standard().find(node_nm);
   if (!node.has_value()) {
-    problems.push_back(util::format("unknown technology node %.0f nm",
+    problems.push_back(util::format("unknown technology node %g nm",
                                     node_nm));
   }
   if (num_slices < 2) {
     problems.push_back("num_slices must be >= 2 (pseudo-differential ring)");
+  } else if (num_slices > 64) {
+    problems.push_back(
+        "num_slices must be <= 64 (slice bits pack into one 64-bit word)");
   }
-  if (fs_hz <= 0) problems.push_back("fs must be positive");
-  if (bandwidth_hz <= 0) problems.push_back("bandwidth must be positive");
+  if (!(fs_hz > 0)) problems.push_back("fs must be positive");
+  if (!(bandwidth_hz > 0)) problems.push_back("bandwidth must be positive");
   if (bandwidth_hz > fs_hz / 2) {
     problems.push_back("bandwidth exceeds fs/2 (not an oversampled design)");
-  } else if (fs_hz > 0 && osr() < 8) {
+  } else if (numerics_ok && fs_hz > 0 && bandwidth_hz > 0 && osr() < 8) {
     problems.push_back(util::format(
         "OSR %.1f too low for first-order shaping (need >= 8)", osr()));
   }
   if (dac_fragments < 1) problems.push_back("dac_fragments must be >= 1");
-  if (loop_gain <= 0 || loop_gain > 4.0) {
+  if (!(loop_gain > 0) || loop_gain > 4.0) {
     problems.push_back("loop_gain outside the stable (0, 4] range");
   }
-  if (node.has_value() && num_slices >= 2 && fs_hz > 0) {
+  if (!(vco_center_over_fs > 0)) {
+    problems.push_back("vco_center_over_fs must be positive");
+  }
+  if (!(pvt.process > 0)) {
+    problems.push_back("pvt.process must be positive");
+  }
+  if (!(pvt.temperature_k > 0)) {
+    problems.push_back("pvt.temperature_k must be positive");
+  }
+  if (numerics_ok && node.has_value() && num_slices >= 2 &&
+      num_slices <= 64 && fs_hz > 0 && pvt.process > 0 &&
+      vco_center_over_fs > 0) {
     // The ring must be realizable: centre frequency below the node's
     // maximum ring rate at this stage count ("within the ADC performance
     // boundary in a given process", Sec. 2.2).

@@ -59,7 +59,9 @@ struct AdcSpec {
   /// Returns human-readable problems; empty = valid.
   std::vector<std::string> validate() const;
 
-  /// Resolves the technology node (aborts if the node is unknown).
+  /// Resolves the technology node. An unknown node degrades to the
+  /// nearest/interpolated node with a stderr warning (never aborts);
+  /// validate() is the authoritative rejection path.
   tech::TechNode tech_node() const;
 
   /// Derives the behavioral simulator configuration for this spec.

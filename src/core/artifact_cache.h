@@ -96,7 +96,11 @@ class ArtifactCache {
   /// miss. Concurrent callers with the same key share one build. `build`
   /// returns shared_ptr<const T>; `approx_bytes` (optional) sizes the entry
   /// for the stats. A key that resolves to a different artifact type is a
-  /// programming error (stage tags make it unreachable) and aborts.
+  /// programming error (stage tags make it unreachable); it is reported to
+  /// stderr and the artifact is rebuilt uncached rather than aborting. A
+  /// build that returns null (a stage that refused its input) is never
+  /// stored: the failure is returned to this caller, waiters get null, and
+  /// the next lookup rebuilds.
   template <typename T, typename BuildFn>
   std::shared_ptr<const T> get_or_build(
       const CacheKey& key, BuildFn&& build,
@@ -108,9 +112,11 @@ class ArtifactCache {
       if (it->second.type != std::type_index(typeid(T))) {
         std::fprintf(stderr,
                      "ArtifactCache: key %s maps to a different artifact "
-                     "type (stage-tag bug)\n",
+                     "type (stage-tag bug); rebuilding uncached\n",
                      key.hex().c_str());
-        std::abort();
+        lock.unlock();
+        if (out_hit) *out_hit = false;
+        return build();
       }
       ++hits_;
       if (out_hit) *out_hit = true;
@@ -145,6 +151,12 @@ class ArtifactCache {
         (approx_bytes && value) ? approx_bytes(*value) : sizeof(T);
     prom.set_value(std::static_pointer_cast<const void>(value));
     lock.lock();
+    if (value == nullptr) {
+      // Failed build (stage refused its input): unblock same-key waiters
+      // with the null, but never let the failure become a cached artifact.
+      map_.erase(key);
+      return nullptr;
+    }
     auto it2 = map_.find(key);
     if (it2 != map_.end()) {
       it2->second.ready = true;

@@ -19,9 +19,16 @@ Datasheet generate_datasheet(const AdcSpec& spec,
   Flow flow(ctx);
 
   AdcDesign adc(spec, ctx);
+  if (!adc.ok()) return ds;  // spec rejected; flow already reported why
   // The Route-stage artifact is shared, not cloned: the datasheet only
   // reads it, and a full_report() over the same spec reuses it for free.
   auto synth_res = flow.synthesis(spec);
+  if (synth_res == nullptr || synth_res->layout == nullptr) {
+    emit_diag(ctx, util::Diagnostic{util::Severity::kError, "datasheet", "",
+                                    "synthesis produced no layout; "
+                                    "datasheet incomplete"});
+    return ds;
+  }
   ds.layout = synth_res->stats;
   ds.drc = synth_res->drc;
   ds.routing = synth_res->detailed_routing;
@@ -48,7 +55,9 @@ Datasheet generate_datasheet(const AdcSpec& spec,
   sim.n_samples = opts.n_samples;
   sim.fin_target_hz = spec.bandwidth_hz / 5.0;
   sim.wire_cap_f = synth_res->routing.wire_cap_f;
-  ds.nominal = *flow.sim_run(adc, sim);
+  const auto nominal = flow.sim_run(adc, sim);
+  if (nominal == nullptr) return ds;  // options rejected; already reported
+  ds.nominal = *nominal;
 
   if (opts.mc_runs > 0) {
     MonteCarloOptions mc;
@@ -59,6 +68,7 @@ Datasheet generate_datasheet(const AdcSpec& spec,
     // Reuse the design built above instead of reconstructing it per run.
     ds.mc = monte_carlo_sndr(adc, mc);
   }
+  ds.complete = true;
   return ds;
 }
 

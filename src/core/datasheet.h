@@ -36,12 +36,18 @@ struct Datasheet {
   synth::PowerGridCheck power_grid;
   MonteCarloResult mc;  ///< empty when mc_runs == 0
   double area_mm2 = 0;
+  /// True when every stage completed. False means a stage rejected its
+  /// input: diagnostics were reported through the ExecContext and the
+  /// unreached sections are default-constructed.
+  bool complete = false;
 
   /// Renders the datasheet as a text document.
   std::string render() const;
 };
 
-/// Runs the full flow for a spec.
+/// Runs the full flow for a spec. Never aborts: a spec the validators
+/// reject yields an incomplete datasheet (complete == false) plus
+/// diagnostics through opts.exec.
 Datasheet generate_datasheet(const AdcSpec& spec,
                              const DatasheetOptions& opts = {});
 

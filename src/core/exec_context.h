@@ -15,6 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <utility>
+
+#include "util/diag.h"
 
 namespace vcoadc::util {
 class Trace;
@@ -37,6 +41,14 @@ struct ExecContext {
   /// Artifact store shared by all stages; null disables caching (every
   /// stage recomputes). Defaults to the bounded process-wide cache.
   ArtifactCache* cache = &default_artifact_cache();
+  /// Structured-diagnostics collector; every stage boundary reports
+  /// validation failures here. Null = diagnostics go to stderr (one line
+  /// each) so a failure is never silent.
+  util::DiagSink* diag = nullptr;
+  /// Test-only fault-injection plan (see util::FaultPlan); null in
+  /// production. Stages armed in the plan corrupt their input before
+  /// validation and always bypass the artifact cache.
+  const util::FaultPlan* faults = nullptr;
 
   /// Resolves a deprecated per-driver thread field against this context:
   /// an explicitly set legacy value (!= 0) wins, otherwise `threads`.
@@ -44,5 +56,20 @@ struct ExecContext {
     return legacy_threads != 0 ? legacy_threads : threads;
   }
 };
+
+/// Reports one diagnostic through the context: into its sink when present,
+/// otherwise one stderr line (a rejected input must never be silent).
+inline void emit_diag(const ExecContext& ctx, util::Diagnostic d) {
+  if (ctx.diag != nullptr) {
+    ctx.diag->add(std::move(d));
+  } else {
+    std::fprintf(stderr, "vcoadc: %s\n", d.to_string().c_str());
+  }
+}
+
+inline void emit_diags(const ExecContext& ctx,
+                       const std::vector<util::Diagnostic>& diags) {
+  for (const util::Diagnostic& d : diags) emit_diag(ctx, d);
+}
 
 }  // namespace vcoadc::core

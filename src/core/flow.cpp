@@ -1,15 +1,43 @@
 #include "core/flow.h"
 
+#include <cmath>
+#include <set>
 #include <utility>
 
 #include "msim/modulator.h"
 #include "netlist/generator.h"
 #include "synth/net_db.h"
+#include "util/strings.h"
 #include "util/trace.h"
 
 namespace vcoadc::core {
 
 namespace {
+
+using util::Diagnostic;
+using util::Severity;
+
+Diagnostic error_diag(const char* stage, std::string item,
+                      std::string reason) {
+  return Diagnostic{Severity::kError, stage, std::move(item),
+                    std::move(reason)};
+}
+
+/// Splits a Design::validate() message ("module/inst: reason") into item
+/// and reason, mirroring synth::FlowDiagnostic's convention.
+Diagnostic netlist_problem_diag(const std::string& msg) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.stage = "netlist";
+  const auto colon = msg.find(": ");
+  if (colon != std::string::npos) {
+    d.item = msg.substr(0, colon);
+    d.reason = msg.substr(colon + 2);
+  } else {
+    d.reason = msg;
+  }
+  return d;
+}
 
 // Bump when a stage's serialization or semantics change incompatibly, so
 // stale process-lifetime cache entries can never alias new ones.
@@ -127,6 +155,27 @@ std::size_t approx_bytes_run(const RunResult& r) {
   return n;
 }
 
+/// Reports boundary diagnostics through the context: errors always land
+/// (sink or stderr), warnings only when a sink is attached — a warning on
+/// a healthy run must not spam stderr.
+void report_diags(const ExecContext& ctx,
+                  const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) {
+      emit_diag(ctx, d);
+    } else if (ctx.diag != nullptr) {
+      ctx.diag->add(d);
+    }
+  }
+}
+
+/// True when the context's fault plan fires for this stage (test-only).
+/// The firing stage corrupts its input before validation and must bypass
+/// the artifact cache for the corrupted build.
+bool fault_fires(const ExecContext& ctx, Stage stage) {
+  return ctx.faults != nullptr && ctx.faults->consume(stage_name(stage));
+}
+
 /// Runs one memoized stage: wraps the lookup/build in a trace span and
 /// falls back to a direct build when the context has no cache.
 template <typename T, typename BuildFn>
@@ -152,6 +201,109 @@ std::shared_ptr<const T> run_stage(const ExecContext& ctx, Stage stage,
 }
 
 }  // namespace
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> validate_spec(const AdcSpec& spec) {
+  std::vector<Diagnostic> out;
+  for (const std::string& p : spec.validate()) {
+    out.push_back(error_diag("spec", "", p));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> validate_sim_options(const SimulationOptions& opts) {
+  std::vector<Diagnostic> out;
+  const std::size_t n = opts.n_samples;
+  if (n < 16 || (n & (n - 1)) != 0) {
+    out.push_back(error_diag(
+        "sim_run", "n_samples",
+        util::format("capture length %zu must be a power of two >= 16 "
+                     "(the spectrum FFT requires it)",
+                     n)));
+  } else if (n > (std::size_t{1} << 26)) {
+    out.push_back(error_diag(
+        "sim_run", "n_samples",
+        util::format("capture length %zu exceeds the 2^26 sample cap", n)));
+  }
+  if (!std::isfinite(opts.amplitude_dbfs)) {
+    out.push_back(
+        error_diag("sim_run", "amplitude_dbfs", "must be finite"));
+  }
+  if (!std::isfinite(opts.fin_target_hz) || opts.fin_target_hz < 0) {
+    out.push_back(error_diag("sim_run", "fin_target_hz",
+                             "must be finite and non-negative"));
+  }
+  if (!std::isfinite(opts.wire_cap_f) || opts.wire_cap_f < 0) {
+    out.push_back(error_diag("sim_run", "wire_cap_f",
+                             "must be finite and non-negative"));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> validate_netlist(const netlist::Design& design) {
+  std::vector<Diagnostic> out;
+  if (design.modules().empty()) {
+    out.push_back(error_diag("netlist", "", "design has no modules"));
+    return out;
+  }
+  for (const std::string& p : design.validate()) {
+    out.push_back(netlist_problem_diag(p));
+  }
+  const netlist::Module* top = design.find_module(design.top());
+  if (top != nullptr && top->instances().empty()) {
+    out.push_back(error_diag("netlist", design.top(),
+                             "top module has no instances"));
+  }
+  for (const netlist::Module& mod : design.modules()) {
+    // Duplicate instance names make flat paths ambiguous downstream.
+    std::set<std::string> seen;
+    std::set<std::string> used_nets;
+    for (const netlist::Instance& inst : mod.instances()) {
+      if (!seen.insert(inst.name).second) {
+        out.push_back(error_diag("netlist", mod.name() + "/" + inst.name,
+                                 "duplicate instance name"));
+      }
+      for (const auto& [pin, net] : inst.conn) used_nets.insert(net);
+    }
+    // Dangling nets are legal but suspicious — the usual symptom of a
+    // generator emitting a group it never populated.
+    for (const std::string& net : mod.nets()) {
+      if (used_nets.count(net) == 0 && !netlist::is_supply_net(net)) {
+        out.push_back(Diagnostic{Severity::kWarning, "netlist",
+                                 mod.name() + "/" + net,
+                                 "dangling net (declared but unconnected)"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> validate_synthesis_options(
+    const synth::SynthesisOptions& opts) {
+  std::vector<Diagnostic> out;
+  if (!std::isfinite(opts.target_utilization) ||
+      opts.target_utilization <= 0 || opts.target_utilization >= 1.0) {
+    out.push_back(error_diag(
+        "floorplan", "target_utilization",
+        util::format("%g outside the open interval (0, 1)",
+                     opts.target_utilization)));
+  }
+  if (!std::isfinite(opts.aspect_ratio) || opts.aspect_ratio <= 0) {
+    out.push_back(error_diag("floorplan", "aspect_ratio",
+                             "must be finite and positive"));
+  }
+  if (opts.barycenter_passes < 0 || opts.refine_passes < 0) {
+    out.push_back(error_diag("placement", "passes",
+                             "pass counts must be non-negative"));
+  }
+  return out;
+}
 
 const char* stage_name(Stage s) {
   switch (s) {
@@ -268,10 +420,15 @@ synth::SynthesisOptions Flow::exec_opts(
 
 std::shared_ptr<const netlist::CellLibrary> Flow::tech_library(
     const AdcSpec& spec) {
+  AdcSpec sp = spec;
+  if (fault_fires(ctx_, Stage::kTechLibrary)) sp.node_nm = -12345.0;
+  const auto diags = validate_spec(sp);
+  report_diags(ctx_, diags);
+  if (has_errors(diags)) return nullptr;
   return run_stage<netlist::CellLibrary>(
-      ctx_, Stage::kTechLibrary, tech_library_key(spec), &approx_bytes_library,
-      [&spec]() {
-        const tech::TechNode node = spec.tech_node();
+      ctx_, Stage::kTechLibrary, tech_library_key(sp), &approx_bytes_library,
+      [&sp]() {
+        const tech::TechNode node = sp.tech_node();
         auto lib = std::make_shared<netlist::CellLibrary>(
             netlist::make_standard_library(node));
         netlist::add_resistor_cells(*lib, node);
@@ -280,33 +437,97 @@ std::shared_ptr<const netlist::CellLibrary> Flow::tech_library(
 }
 
 DesignBundle Flow::netlist(const AdcSpec& spec) {
+  const auto spec_diags = validate_spec(spec);
+  report_diags(ctx_, spec_diags);
+  if (has_errors(spec_diags)) return {};
+  if (fault_fires(ctx_, Stage::kNetlist)) {
+    // Injected corruption: generate the design fresh (never through the
+    // cache), then break it the way a buggy generator or hand-edited
+    // netlist would — an instance of an unknown master on an undeclared
+    // net. The structural validator must catch it.
+    auto lib = tech_library(spec);
+    if (lib == nullptr) return {};
+    netlist::GeneratorConfig gen;
+    gen.num_slices = spec.num_slices;
+    gen.dac_fragments = spec.dac_fragments;
+    netlist::Design bad = netlist::build_adc_design(*lib, gen);
+    if (netlist::Module* top = bad.find_module(bad.top())) {
+      netlist::Instance evil;
+      evil.name = "fault_injected";
+      evil.master = "CELL_DOES_NOT_EXIST";
+      evil.conn["A"] = "net_does_not_exist";
+      top->add_instance(std::move(evil));
+    } else {
+      bad.set_top("<fault_injected>");
+    }
+    const auto diags = validate_netlist(bad);
+    report_diags(ctx_, diags);
+    return {};
+  }
   auto bundle = run_stage<DesignBundle>(
       ctx_, Stage::kNetlist, netlist_key(spec), &approx_bytes_bundle,
-      [this, &spec]() {
+      [this, &spec]() -> std::shared_ptr<const DesignBundle> {
         DesignBundle b;
         b.lib = tech_library(spec);
+        if (b.lib == nullptr) return nullptr;
         netlist::GeneratorConfig gen;
         gen.num_slices = spec.num_slices;
         gen.dac_fragments = spec.dac_fragments;
         b.design = std::make_shared<const netlist::Design>(
             netlist::build_adc_design(*b.lib, gen));
+        const auto diags = validate_netlist(*b.design);
+        report_diags(ctx_, diags);
+        if (has_errors(diags)) return nullptr;  // never cached
         return std::make_shared<const DesignBundle>(std::move(b));
       });
-  return *bundle;
+  return bundle ? *bundle : DesignBundle{};
 }
 
 std::shared_ptr<const synth::FloorplanStageResult> Flow::floorplan(
     const AdcSpec& spec, const synth::SynthesisOptions& opts) {
+  const auto opt_diags = validate_synthesis_options(opts);
+  report_diags(ctx_, opt_diags);
+  if (has_errors(opt_diags)) return nullptr;
   const synth::SynthesisOptions o = exec_opts(opts);
-  return run_stage<synth::FloorplanStageResult>(
+  if (fault_fires(ctx_, Stage::kFloorplan)) {
+    // Injected corruption: the stage's input design loses its top module,
+    // so the structural pre-validation must reject it. Cache bypassed.
+    const DesignBundle bundle = netlist(spec);
+    if (bundle.design == nullptr) return nullptr;
+    netlist::Design bad = *bundle.design;
+    bad.set_top("<fault_injected>");
+    std::vector<synth::FlowDiagnostic> fdiags;
+    (void)synth::run_floorplan_stage(bad, o, fdiags);
+    std::vector<Diagnostic> diags;
+    for (const auto& fd : fdiags) {
+      diags.push_back(error_diag("floorplan", fd.item,
+                                 fd.stage + ": " + fd.reason));
+    }
+    if (diags.empty()) {
+      diags.push_back(error_diag("floorplan", "", "injected fault"));
+    }
+    report_diags(ctx_, diags);
+    return nullptr;
+  }
+  auto art = run_stage<synth::FloorplanStageResult>(
       ctx_, Stage::kFloorplan, floorplan_key(spec, opts),
-      &approx_bytes_floorplan, [this, &spec, &o]() {
+      &approx_bytes_floorplan,
+      [this, &spec,
+       &o]() -> std::shared_ptr<const synth::FloorplanStageResult> {
         const DesignBundle bundle = netlist(spec);
+        if (bundle.design == nullptr) return nullptr;
         auto art = std::make_shared<synth::FloorplanStageResult>();
         std::vector<synth::FlowDiagnostic> diags;
         *art = synth::run_floorplan_stage(*bundle.design, o, diags);
-        // Generator output always validates (asserted by the netlist
-        // tests); a failure here would be an internal inconsistency.
+        if (!diags.empty()) {
+          std::vector<Diagnostic> out;
+          for (const auto& fd : diags) {
+            out.push_back(error_diag("floorplan", fd.item,
+                                     fd.stage + ": " + fd.reason));
+          }
+          report_diags(ctx_, out);
+          return nullptr;  // never cached
+        }
         art->flat.shrink_to_fit();
         // The flat instances point into the bundle's StdCells; pin the
         // bundle so the artifact survives netlist-artifact eviction (and
@@ -315,31 +536,119 @@ std::shared_ptr<const synth::FloorplanStageResult> Flow::floorplan(
         return std::shared_ptr<const synth::FloorplanStageResult>(
             std::move(art));
       });
+  // Post-conditions: a floorplan that cannot host placement is a failure
+  // here, not a crash two stages later.
+  if (art != nullptr) {
+    std::vector<Diagnostic> post;
+    if (art->flat.empty()) {
+      post.push_back(error_diag("floorplan", "", "no leaf instances"));
+    }
+    if (art->fp.regions.empty()) {
+      post.push_back(error_diag("floorplan", "", "no placement regions"));
+    }
+    if (!(std::isfinite(art->fp.die.w) && std::isfinite(art->fp.die.h) &&
+          art->fp.die.w > 0 && art->fp.die.h > 0)) {
+      post.push_back(error_diag("floorplan", "die",
+                                "degenerate die dimensions"));
+    }
+    if (!post.empty()) {
+      report_diags(ctx_, post);
+      return nullptr;
+    }
+  }
+  return art;
 }
 
 std::shared_ptr<const synth::Placement> Flow::placement(
     const AdcSpec& spec, const synth::SynthesisOptions& opts) {
   const synth::SynthesisOptions o = exec_opts(opts);
+  if (fault_fires(ctx_, Stage::kPlacement)) {
+    // Injected corruption: the upstream floorplan artifact arrives with no
+    // leaf instances; the pre-validation must reject it. Cache bypassed.
+    synth::FloorplanStageResult bad;
+    if (auto good = floorplan(spec, opts)) {
+      bad.fp = good->fp;
+      bad.floorplan_spec = good->floorplan_spec;  // flat left empty
+    }
+    report_diags(ctx_, {error_diag("placement", "",
+                                   "floorplan artifact has no instances")});
+    return nullptr;
+  }
   return run_stage<synth::Placement>(
       ctx_, Stage::kPlacement, placement_key(spec, opts),
-      &approx_bytes_placement, [this, &spec, &opts, &o]() {
+      &approx_bytes_placement,
+      [this, &spec, &opts, &o]() -> std::shared_ptr<const synth::Placement> {
         auto art = floorplan(spec, opts);
+        if (art == nullptr) return nullptr;  // upstream already reported
         // The NetDb borrows pin-name storage from `flat`, so it is rebuilt
         // over the cached artifact rather than cached itself.
         const synth::NetDb db(art->flat);
-        return std::make_shared<const synth::Placement>(
+        auto pl = std::make_shared<synth::Placement>(
             synth::run_placement_stage(*art, o, db));
+        // Post-conditions: one placed cell per flat instance, finite
+        // coordinates — anything else poisons routing and DRC downstream.
+        // Checked on build; a cache hit was validated when it was built.
+        std::vector<Diagnostic> post;
+        if (pl->cells.size() != art->flat.size()) {
+          post.push_back(error_diag(
+              "placement", "",
+              util::format("placed %zu of %zu instances", pl->cells.size(),
+                           art->flat.size())));
+        }
+        for (const synth::PlacedCell& c : pl->cells) {
+          if (!(std::isfinite(c.rect.x) && std::isfinite(c.rect.y))) {
+            const bool known =
+                c.flat_index >= 0 &&
+                static_cast<std::size_t>(c.flat_index) < art->flat.size();
+            post.push_back(
+                error_diag("placement",
+                           known ? art->flat[c.flat_index].path : "?",
+                           "non-finite placement coordinates"));
+            break;
+          }
+        }
+        if (!post.empty()) {
+          report_diags(ctx_, post);
+          return nullptr;  // never cached
+        }
+        return pl;
       });
 }
 
 std::shared_ptr<const synth::SynthesisResult> Flow::synthesis(
     const AdcSpec& spec, const synth::SynthesisOptions& opts) {
   const synth::SynthesisOptions o = exec_opts(opts);
+  if (fault_fires(ctx_, Stage::kRoute)) {
+    // Injected corruption: the placement loses a cell, so the route
+    // stage's pre-validation (size match) must reject it. Cache bypassed.
+    auto art = floorplan(spec, opts);
+    auto pl = placement(spec, opts);
+    if (art == nullptr || pl == nullptr) return nullptr;
+    synth::Placement bad = *pl;
+    if (!bad.cells.empty()) bad.cells.pop_back();
+    report_diags(ctx_,
+                 {error_diag("route", "",
+                             util::format(
+                                 "placement covers %zu of %zu instances",
+                                 bad.cells.size(), art->flat.size()))});
+    return nullptr;
+  }
   return run_stage<synth::SynthesisResult>(
       ctx_, Stage::kRoute, synthesis_key(spec, opts), &approx_bytes_synthesis,
-      [this, &spec, &opts, &o]() {
+      [this, &spec, &opts,
+       &o]() -> std::shared_ptr<const synth::SynthesisResult> {
         auto art = floorplan(spec, opts);
+        if (art == nullptr) return nullptr;  // upstream already reported
         auto pl = placement(spec, opts);
+        if (pl == nullptr) return nullptr;
+        if (pl->cells.size() != art->flat.size()) {
+          report_diags(
+              ctx_, {error_diag("route", "",
+                                util::format(
+                                    "placement covers %zu of %zu instances",
+                                    pl->cells.size(), art->flat.size()))});
+          return nullptr;
+        }
         const synth::NetDb db(art->flat);
         return std::make_shared<const synth::SynthesisResult>(
             synth::run_route_stage(*art, *pl, o, db));
@@ -348,22 +657,44 @@ std::shared_ptr<const synth::SynthesisResult> Flow::synthesis(
 
 std::shared_ptr<const RunResult> Flow::sim_run(const AdcSpec& spec,
                                                const SimulationOptions& opts) {
+  SimulationOptions o = opts;
+  if (fault_fires(ctx_, Stage::kSimRun)) {
+    // Injected corruption: a capture length no FFT can take. The option
+    // validator must reject it; the cache is bypassed (the validator fails
+    // before the lookup).
+    o.n_samples = 3;
+  }
+  auto diags = validate_spec(spec);
+  for (Diagnostic& d : validate_sim_options(o)) diags.push_back(std::move(d));
+  report_diags(ctx_, diags);
+  if (has_errors(diags)) return nullptr;
   return run_stage<RunResult>(
-      ctx_, Stage::kSimRun, sim_run_key(spec, opts), &approx_bytes_run,
-      [this, &spec, &opts]() {
+      ctx_, Stage::kSimRun, sim_run_key(spec, o), &approx_bytes_run,
+      [this, &spec, &o]() -> std::shared_ptr<const RunResult> {
         const AdcDesign design(spec, ctx_);
+        if (!design.ok()) return nullptr;  // ctor already reported
         static thread_local msim::SimWorkspace ws;
-        return std::make_shared<const RunResult>(design.simulate(opts, ws));
+        return std::make_shared<const RunResult>(design.simulate(o, ws));
       });
 }
 
 std::shared_ptr<const RunResult> Flow::sim_run(const AdcDesign& design,
                                                const SimulationOptions& opts) {
+  SimulationOptions o = opts;
+  if (fault_fires(ctx_, Stage::kSimRun)) o.n_samples = 3;
+  if (!design.ok()) {
+    report_diags(ctx_, {error_diag("sim_run", "",
+                                   "design was not built (invalid spec)")});
+    return nullptr;
+  }
+  const auto diags = validate_sim_options(o);
+  report_diags(ctx_, diags);
+  if (has_errors(diags)) return nullptr;
   return run_stage<RunResult>(
-      ctx_, Stage::kSimRun, sim_run_key(design.spec(), opts),
-      &approx_bytes_run, [&design, &opts]() {
+      ctx_, Stage::kSimRun, sim_run_key(design.spec(), o),
+      &approx_bytes_run, [&design, &o]() {
         static thread_local msim::SimWorkspace ws;
-        return std::make_shared<const RunResult>(design.simulate(opts, ws));
+        return std::make_shared<const RunResult>(design.simulate(o, ws));
       });
 }
 
@@ -371,12 +702,23 @@ NodeReport Flow::report(const AdcSpec& spec, const SimulationOptions& sim,
                         const synth::SynthesisOptions& synth_opts) {
   util::TraceSpan span(ctx_.trace, stage_name(Stage::kReport));
   NodeReport rep;
-  auto syn = synthesis(spec, synth_opts);
+  AdcSpec sp = spec;
+  if (fault_fires(ctx_, Stage::kReport)) {
+    // Injected corruption: the assembled report's spec goes out of range;
+    // the spec validator at the first pulled stage must reject it.
+    sp.num_slices = -7;
+  }
+  auto syn = synthesis(sp, synth_opts);
+  if (syn == nullptr) return rep;  // diagnostics already reported;
+                                   // rep.complete stays false
   rep.synthesis = syn->clone();
   SimulationOptions with_wire = sim;
   with_wire.wire_cap_f = syn->routing.wire_cap_f;
-  rep.run = *sim_run(spec, with_wire);
+  auto run = sim_run(sp, with_wire);
+  if (run == nullptr) return NodeReport{};
+  rep.run = *run;
   rep.area_mm2 = syn->stats.die_area_m2 * 1e6;
+  rep.complete = true;
   return rep;
 }
 
@@ -384,8 +726,18 @@ MigratedDesign Flow::migrate(const AdcSpec& src_spec, double target_node_nm) {
   util::TraceSpan span(ctx_.trace, "migrate");
   AdcSpec target = src_spec;
   target.node_nm = target_node_nm;
+  if (ctx_.faults != nullptr && ctx_.faults->consume("migrate")) {
+    // Injected corruption: a target node no library exists for.
+    target.node_nm = -1.0;
+  }
   auto target_lib = tech_library(target);
   const DesignBundle src = netlist(src_spec);
+  if (target_lib == nullptr || src.design == nullptr) {
+    // Upstream stages already reported why; hand back an empty migration
+    // (Design is not default-constructible, so build it over nothing).
+    MigrationResult empty{netlist::Design(nullptr), {}, 0, 0, {}};
+    return MigratedDesign{nullptr, std::move(empty)};
+  }
   MigrationResult result = migrate_design(*src.design, *target_lib);
   span.note(std::to_string(result.exact_matches) + " exact, " +
             std::to_string(result.nearest_matches) + " nearest");

@@ -54,6 +54,32 @@ enum class Stage {
 
 const char* stage_name(Stage s);
 
+// --- Stage-boundary validators -------------------------------------------
+// Every public stage of the Flow validates its inputs with these before it
+// builds (or serves) an artifact; a failed validation produces structured
+// diagnostics through the ExecContext and a null artifact — never an
+// abort. They are public so drivers and tests can pre-check inputs.
+
+/// Spec ranges, node validity, ring realizability, numeric sanity.
+std::vector<util::Diagnostic> validate_spec(const AdcSpec& spec);
+
+/// Capture-length (power of two, bounded), amplitude/frequency/wire-cap
+/// numeric sanity.
+std::vector<util::Diagnostic> validate_sim_options(
+    const SimulationOptions& opts);
+
+/// Structural netlist checks: Design::validate() (unknown masters, missing
+/// pins/nets, unconnected inputs) plus duplicate instance names, empty
+/// top/module detection and dangling-net warnings.
+std::vector<util::Diagnostic> validate_netlist(const netlist::Design& design);
+
+/// Floorplan/placement knobs: utilization in (0,1), aspect ratio, passes.
+std::vector<util::Diagnostic> validate_synthesis_options(
+    const synth::SynthesisOptions& opts);
+
+/// True if any entry is Severity::kError.
+bool has_errors(const std::vector<util::Diagnostic>& diags);
+
 // Content-hash key builders, exposed for the determinism tests: the same
 // spec + options always produce the same key (across threads, processes
 // and machines of equal endianness); any result-affecting field change
@@ -86,6 +112,15 @@ struct MigratedDesign {
 /// Handle on the stage graph: runs stages on demand, memoizing through the
 /// ExecContext's cache and tracing through its sink. Cheap to construct;
 /// copies the context.
+///
+/// Failure policy (DESIGN.md §3f): every stage validates its inputs at the
+/// boundary. A stage given malformed input reports structured diagnostics
+/// through the context (ExecContext::diag, stderr when unset) and returns
+/// a null artifact; downstream stages propagate the null. Failed builds
+/// are never cached. When the context carries a util::FaultPlan, stages
+/// armed in it corrupt their input before validation (bypassing the
+/// cache), which is how the fault-injection harness proves the validators
+/// actually guard every boundary.
 class Flow {
  public:
   Flow() = default;

@@ -1,13 +1,60 @@
 #include "core/linearity.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "dsp/signal_gen.h"
+#include "util/strings.h"
 
 namespace vcoadc::core {
 
-TransferCurve measure_transfer(const AdcSpec& spec,
-                               const TransferOptions& opts) {
+namespace {
+
+using util::Diagnostic;
+using util::Severity;
+
+Diagnostic linearity_error(std::string item, std::string reason) {
+  return Diagnostic{Severity::kError, "linearity", std::move(item),
+                    std::move(reason)};
+}
+
+}  // namespace
+
+util::Checked<TransferCurve> measure_transfer_checked(
+    const AdcSpec& spec, const TransferOptions& opts) {
+  // Degenerate sweeps made this function divide by zero (points == 1 hits
+  // `points - 1` in the input grid) and underflow the unsigned sample
+  // count (settle_samples >= the capture length). Reject them up front.
+  std::vector<Diagnostic> diags;
+  for (const std::string& p : spec.validate()) {
+    diags.push_back(Diagnostic{Severity::kError, "spec", "", p});
+  }
+  if (opts.points < 2) {
+    diags.push_back(linearity_error(
+        "points",
+        util::format("%d sweep points cannot span an input range "
+                     "(need >= 2)",
+                     opts.points)));
+  }
+  if (opts.samples_per_point == 0) {
+    diags.push_back(
+        linearity_error("samples_per_point", "must be positive"));
+  } else if (opts.settle_samples >= opts.samples_per_point) {
+    diags.push_back(linearity_error(
+        "settle_samples",
+        util::format("settling discard %zu leaves no samples of the "
+                     "%zu-sample capture to average",
+                     opts.settle_samples, opts.samples_per_point)));
+  }
+  if (!(std::isfinite(opts.span_of_fs) && opts.span_of_fs > 0 &&
+        opts.span_of_fs <= 1.0)) {
+    diags.push_back(linearity_error(
+        "span_of_fs", "sweep span must be in (0, 1] of full scale"));
+  }
+  if (!diags.empty()) {
+    return util::Checked<TransferCurve>::failure(std::move(diags));
+  }
+
   TransferCurve curve;
   const msim::SimConfig cfg = spec.to_sim_config();
   msim::VcoDsmModulator::Options mopts;
@@ -24,6 +71,15 @@ TransferCurve measure_transfer(const AdcSpec& spec,
     msim::VcoDsmModulator mod(cfg, mopts);
     const auto res =
         mod.run(dsp::make_dc(frac * fs), opts.samples_per_point);
+    if (res.output.size() <= opts.settle_samples) {
+      // The modulator returned fewer samples than requested; averaging
+      // would underflow. Surface it rather than fabricating a point.
+      return util::Checked<TransferCurve>::failure(linearity_error(
+          util::format("point %d", k),
+          util::format("capture returned %zu samples, <= the %zu-sample "
+                       "settling discard",
+                       res.output.size(), opts.settle_samples)));
+    }
     double mean = 0;
     for (std::size_t i = opts.settle_samples; i < res.output.size(); ++i) {
       mean += res.output[i];
@@ -35,11 +91,33 @@ TransferCurve measure_transfer(const AdcSpec& spec,
   return curve;
 }
 
+TransferCurve measure_transfer(const AdcSpec& spec,
+                               const TransferOptions& opts) {
+  auto checked = measure_transfer_checked(spec, opts);
+  if (!checked.ok()) {
+    for (const Diagnostic& d : checked.diagnostics()) {
+      std::fprintf(stderr, "vcoadc: %s\n", d.to_string().c_str());
+    }
+    return {};
+  }
+  return std::move(checked.value());
+}
+
 LinearityReport analyze_linearity(const TransferCurve& curve, double lsb) {
   LinearityReport rep;
   rep.lsb = lsb;
   const std::size_t n = curve.input_v.size();
-  if (n < 3 || lsb <= 0) return rep;
+  if (n < 3 || curve.output.size() != n) {
+    rep.diagnostics.push_back(linearity_error(
+        "curve", util::format("need >= 3 matched points, got %zu/%zu",
+                              n, curve.output.size())));
+    return rep;
+  }
+  if (!(lsb > 0) || !std::isfinite(lsb)) {
+    rep.diagnostics.push_back(
+        linearity_error("lsb", "quantizer step must be finite and positive"));
+    return rep;
+  }
 
   // Least-squares line through the curve.
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
@@ -50,7 +128,17 @@ LinearityReport analyze_linearity(const TransferCurve& curve, double lsb) {
     sxy += curve.input_v[i] * curve.output[i];
   }
   const double dn = static_cast<double>(n);
-  rep.gain = (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+  const double denom = dn * sxx - sx * sx;
+  // All inputs identical (or non-finite sums) make the normal equations
+  // singular; the old code returned gain = +/-inf here and every INL
+  // downstream was NaN.
+  if (!(std::isfinite(denom)) || denom <= 0) {
+    rep.diagnostics.push_back(linearity_error(
+        "curve", "input sweep is degenerate (all points at one voltage); "
+                 "gain fit is singular"));
+    return rep;
+  }
+  rep.gain = (dn * sxy - sx * sy) / denom;
   rep.offset = (sy - rep.gain * sx) / dn;
 
   rep.inl_lsb.resize(n);

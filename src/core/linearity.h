@@ -10,6 +10,7 @@
 
 #include "core/adc_spec.h"
 #include "msim/modulator.h"
+#include "util/diag.h"
 
 namespace vcoadc::core {
 
@@ -26,7 +27,15 @@ struct TransferOptions {
   msim::ElementMapping mapping = msim::ElementMapping::kIntrinsicRotation;
 };
 
-/// Measures the averaged DC transfer curve of the modulator at `spec`.
+/// Measures the averaged DC transfer curve of the modulator at `spec`,
+/// rejecting degenerate sweeps (fewer than 2 points, settle_samples eating
+/// the whole capture, invalid spec) with diagnostics instead of dividing
+/// by zero / underflowing the sample count.
+util::Checked<TransferCurve> measure_transfer_checked(
+    const AdcSpec& spec, const TransferOptions& opts = {});
+
+/// Historical unchecked entry point: returns the curve, or an empty curve
+/// (with diagnostics on stderr) when the sweep is degenerate.
 TransferCurve measure_transfer(const AdcSpec& spec,
                                const TransferOptions& opts = {});
 
@@ -37,10 +46,15 @@ struct LinearityReport {
   double max_dnl_lsb = 0;   ///< worst |step error| in quantizer LSB
   std::vector<double> inl_lsb;  ///< per measured point
   double lsb = 0;           ///< the LSB used (output units)
+  /// Why the fit was not produced (degenerate curve, identical inputs,
+  /// non-positive LSB). Empty when the report is usable.
+  std::vector<util::Diagnostic> diagnostics;
 };
 
 /// Endpoint/least-squares-fit linearity of a transfer curve; `lsb` is the
-/// quantizer step in output units (2/N for an N-slice modulator).
+/// quantizer step in output units (2/N for an N-slice modulator). A curve
+/// too degenerate to fit (under 3 points, all inputs identical, bad lsb)
+/// yields a zeroed report carrying `diagnostics` — never an infinite gain.
 LinearityReport analyze_linearity(const TransferCurve& curve, double lsb);
 
 }  // namespace vcoadc::core

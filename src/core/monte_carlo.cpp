@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/flow.h"
 
@@ -21,6 +22,19 @@ MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
 
   ExecContext ctx = opts.exec;
   ctx.threads = ctx.resolve_threads(opts.threads);
+  // Boundary checks before fanning out: a design that never built or
+  // rejected simulation options would fail identically in every worker.
+  if (!design.ok()) {
+    emit_diag(ctx, util::Diagnostic{util::Severity::kError, "monte_carlo",
+                                    "", "design was not built (invalid "
+                                        "spec); no runs executed"});
+    return result;
+  }
+  {
+    const auto diags = validate_sim_options(opts.sim);
+    emit_diags(ctx, diags);
+    if (has_errors(diags)) return result;
+  }
   Flow flow(ctx);
   BatchOptions bopts;
   bopts.threads = ctx.threads;
@@ -33,7 +47,11 @@ MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
         // first batch populates the cache and a repeat batch is all hits.
         SimulationOptions sim = opts.sim;
         sim.seed = seed;
-        return flow.sim_run(design, sim)->sndr.sndr_db;
+        const auto r = flow.sim_run(design, sim);
+        // A refused run (only reachable under fault injection here, since
+        // the options were validated above) reports through the context
+        // and contributes an explicit NaN rather than crashing the batch.
+        return r ? r->sndr.sndr_db : std::numeric_limits<double>::quiet_NaN();
       });
   result.batch = runner.last_stats();
 
@@ -55,7 +73,9 @@ MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
 
 MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
                                   const MonteCarloOptions& opts) {
-  return monte_carlo_sndr(AdcDesign(spec), opts);
+  // Build through the caller's context so spec-validation diagnostics land
+  // in its sink (and the build shares its artifact cache).
+  return monte_carlo_sndr(AdcDesign(spec, opts.exec), opts);
 }
 
 std::vector<CornerResult> corner_sweep(const AdcDesign& design,
@@ -73,6 +93,12 @@ std::vector<CornerResult> corner_sweep(const AdcDesign& design,
       {"TT  1.10V  27C", {1.00, 1.10, 300.0}},
       {"TT  1.00V  125C", {1.00, 1.00, 398.0}},
   };
+  if (!design.ok()) {
+    emit_diag(exec, util::Diagnostic{util::Severity::kError, "corner_sweep",
+                                     "", "design was not built (invalid "
+                                         "spec); no corners evaluated"});
+    return {};
+  }
   Flow flow(exec);
   BatchOptions bopts;
   bopts.threads = exec.threads;
@@ -90,8 +116,15 @@ std::vector<CornerResult> corner_sweep(const AdcDesign& design,
         CornerResult cr;
         cr.name = c.name;
         cr.pvt = c.pvt;
-        cr.sndr_db = r->sndr.sndr_db;
-        cr.power_w = r->power.total_w();
+        if (r != nullptr) {
+          cr.sndr_db = r->sndr.sndr_db;
+          cr.power_w = r->power.total_w();
+        } else {
+          // Refused run (fault injection / bad per-corner options): the
+          // flow already reported why; mark the corner unusable.
+          cr.sndr_db = std::numeric_limits<double>::quiet_NaN();
+          cr.power_w = std::numeric_limits<double>::quiet_NaN();
+        }
         return cr;
       });
 }

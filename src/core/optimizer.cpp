@@ -1,6 +1,7 @@
 #include "core/optimizer.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/flow.h"
 
@@ -9,6 +10,30 @@ namespace vcoadc::core {
 OptimizeResult optimize_spec(const OptimizeTarget& target,
                              const OptimizeOptions& opts) {
   OptimizeResult result;
+
+  // Target/grid sanity: a malformed target would otherwise just produce a
+  // grid of invalid candidates (or a division by zero in the fin choice).
+  {
+    std::vector<util::Diagnostic> diags;
+    if (!(std::isfinite(target.bandwidth_hz) && target.bandwidth_hz > 0)) {
+      diags.push_back(util::Diagnostic{
+          util::Severity::kError, "optimize", "bandwidth_hz",
+          "target bandwidth must be finite and positive"});
+    }
+    if (!std::isfinite(target.min_sndr_db) ||
+        !std::isfinite(target.margin_db)) {
+      diags.push_back(util::Diagnostic{util::Severity::kError, "optimize",
+                                       "min_sndr_db/margin_db",
+                                       "must be finite"});
+    }
+    if (opts.slice_choices.empty() || opts.osr_choices.empty()) {
+      diags.push_back(util::Diagnostic{util::Severity::kError, "optimize",
+                                       "choices",
+                                       "candidate grid is empty"});
+    }
+    emit_diags(opts.exec, diags);
+    if (has_errors(diags)) return result;
+  }
 
   struct Candidate {
     int slices;
@@ -49,6 +74,13 @@ OptimizeResult optimize_spec(const OptimizeTarget& target,
       sim.n_samples = opts.n_samples;
       sim.fin_target_hz = target.bandwidth_hz / 5.0;
       const auto run = flow.sim_run(spec, sim);
+      if (run == nullptr) {
+        // The flow refused the run (bad options / injected fault) and
+        // already reported why; record the candidate as unevaluated.
+        cr.valid = false;
+        result.evaluated.push_back(std::move(cr));
+        continue;
+      }
       cr.sndr_db = run->sndr.sndr_db;
       cr.power_w = run->power.total_w();
       cr.meets = cr.sndr_db >= target.min_sndr_db + target.margin_db;

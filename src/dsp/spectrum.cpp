@@ -1,8 +1,8 @@
 #include "dsp/spectrum.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <cstdio>
 
 #include "dsp/fft.h"
 #include "util/units.h"
@@ -63,7 +63,21 @@ SpectrumScratch& spectrum_scratch() {
 
 Spectrum compute_spectrum(const std::vector<double>& x, double fs_hz,
                           double full_scale, WindowKind window) {
-  assert(is_power_of_two(x.size()));
+  // The FFT plan requires a power-of-two record; the assert that used to
+  // guard this is compiled out of release builds, leaving UB. Degrade to
+  // an empty spectrum instead (analyze_sndr & friends already reject it).
+  if (x.empty() || !is_power_of_two(x.size()) ||
+      !(std::isfinite(full_scale) && full_scale > 0)) {
+    std::fprintf(stderr,
+                 "vcoadc: [error] spectrum: record length %zu / full scale "
+                 "%g unusable (need power-of-two samples, positive finite "
+                 "full scale)\n",
+                 x.size(), full_scale);
+    Spectrum empty;
+    empty.fs_hz = fs_hz;
+    empty.window = window;
+    return empty;
+  }
   const std::size_t n = x.size();
   SpectrumScratch& sc = spectrum_scratch();
   sc.prepare(window, n);
@@ -158,6 +172,12 @@ SndrReport analyze_sndr(const Spectrum& spec, double bw_hz,
     long long k = static_cast<long long>(kf) * h;
     const long long nfft = static_cast<long long>(n) * 2;
     k %= nfft;
+    // C++ % truncates toward zero, so a negative pre-modulo k (possible
+    // when a caller aliases the fundamental below DC) stays negative and
+    // the Nyquist fold below would index far out of band. Normalize into
+    // [0, nfft) first; a near-DC fundamental then folds its harmonics to
+    // the correct low bins instead of being skipped or mis-binned.
+    if (k < 0) k += nfft;
     if (k > nfft / 2) k = nfft - k;
     if (k <= 0 || static_cast<std::size_t>(k) >= n) continue;
     const double p = take_power(spec, taken, static_cast<std::size_t>(k), span);

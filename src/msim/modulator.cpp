@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <numbers>
 
 #include "msim/noise.h"
@@ -10,6 +11,41 @@ namespace vcoadc::msim {
 namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Clamps a config the solver cannot run with into the nearest runnable one,
+// warning once per offending field. Boundary validators (core::validate_spec)
+// reject bad specs upstream; this keeps direct msim users (tests, benches,
+// fuzzing) out of division-by-zero / allocation-blowup territory when they
+// hand-build a SimConfig.
+SimConfig sanitize(const SimConfig& cfg) {
+  SimConfig c = cfg;
+  auto fix_int = [](const char* field, int& v, int lo, int hi) {
+    if (v < lo || v > hi) {
+      std::fprintf(stderr,
+                   "vcoadc: [warning] msim %s: %d clamped into [%d, %d]\n",
+                   field, v, lo, hi);
+      v = v < lo ? lo : hi;
+    }
+  };
+  auto fix_pos = [](const char* field, double& v, double fallback) {
+    if (!(std::isfinite(v) && v > 0)) {
+      std::fprintf(stderr,
+                   "vcoadc: [warning] msim %s: %g replaced with %g "
+                   "(must be finite and positive)\n",
+                   field, v, fallback);
+      v = fallback;
+    }
+  };
+  // 64 slices is the SliceBits packing limit (one uint64 word per sample).
+  fix_int("num_slices", c.num_slices, 2, 64);
+  fix_int("substeps", c.substeps, 1, 1024);
+  fix_pos("fs_hz", c.fs_hz, SimConfig{}.fs_hz);
+  fix_pos("r_input_ohms", c.r_input_ohms, SimConfig{}.r_input_ohms);
+  fix_pos("r_dac_ohms", c.r_dac_ohms, SimConfig{}.r_dac_ohms);
+  fix_pos("c_node_f", c.c_node_f, SimConfig{}.c_node_f);
+  fix_pos("vco_center_hz", c.vco_center_hz, SimConfig{}.vco_center_hz);
+  return c;
+}
 
 // Wrap a phase to [0, 2*pi). Hot-path arguments are a wrapped tap phase
 // (< 4*pi) plus a sub-clock excursion, so the subtraction loop runs at most
@@ -23,76 +59,78 @@ double wrap_2pi(double p) {
 }  // namespace
 
 VcoDsmModulator::VcoDsmModulator(const SimConfig& cfg, const Options& opts)
-    : cfg_(cfg),
+    // cfg_ is the first member, so every later initializer reads the
+    // sanitized copy — a hand-built config with zero slices or a zero
+    // resistance is clamped (with a warning) instead of dividing by zero.
+    : cfg_(sanitize(cfg)),
       opts_(opts),
-      rng_(cfg.seed),
-      vco1_(cfg.num_slices, cfg.vco_center_hz, cfg.kvco_hz_per_v,
-            cfg.vctrl_mid, std::numbers::pi / 2.0, cfg.vco_stage_mismatch_sigma,
-            1.0 + ((cfg.vco_kvco_mismatch_sigma > 0)
-                       ? util::Rng(cfg.seed ^ 0xa5a5).gaussian(
-                             0.0, cfg.vco_kvco_mismatch_sigma)
+      rng_(cfg_.seed),
+      vco1_(cfg_.num_slices, cfg_.vco_center_hz, cfg_.kvco_hz_per_v,
+            cfg_.vctrl_mid, std::numbers::pi / 2.0,
+            cfg_.vco_stage_mismatch_sigma,
+            1.0 + ((cfg_.vco_kvco_mismatch_sigma > 0)
+                       ? util::Rng(cfg_.seed ^ 0xa5a5).gaussian(
+                             0.0, cfg_.vco_kvco_mismatch_sigma)
                        : 0.0),
-            cfg.vco_white_fm_hz2_per_hz, util::Rng(cfg.seed).fork("vco1")),
-      vco2_(cfg.num_slices, cfg.vco_center_hz, cfg.kvco_hz_per_v,
-            cfg.vctrl_mid, 0.0, cfg.vco_stage_mismatch_sigma,
-            1.0 + ((cfg.vco_kvco_mismatch_sigma > 0)
-                       ? util::Rng(cfg.seed ^ 0x5a5a).gaussian(
-                             0.0, cfg.vco_kvco_mismatch_sigma)
+            cfg_.vco_white_fm_hz2_per_hz, util::Rng(cfg_.seed).fork("vco1")),
+      vco2_(cfg_.num_slices, cfg_.vco_center_hz, cfg_.kvco_hz_per_v,
+            cfg_.vctrl_mid, 0.0, cfg_.vco_stage_mismatch_sigma,
+            1.0 + ((cfg_.vco_kvco_mismatch_sigma > 0)
+                       ? util::Rng(cfg_.seed ^ 0x5a5a).gaussian(
+                             0.0, cfg_.vco_kvco_mismatch_sigma)
                        : 0.0),
-            cfg.vco_white_fm_hz2_per_hz, util::Rng(cfg.seed).fork("vco2")),
-      dac_p_(cfg.num_slices, cfg.r_dac_ohms, cfg.vrefp,
-             cfg.r_dac_mismatch_sigma, util::Rng(cfg.seed).fork("dacp")),
-      dac_n_(cfg.num_slices, cfg.r_dac_ohms, cfg.vrefp,
-             cfg.r_dac_mismatch_sigma, util::Rng(cfg.seed).fork("dacn")),
-      cs_dac_p_(opts.cs_params, util::Rng(cfg.seed).fork("csdacp")),
-      cs_dac_n_(opts.cs_params, util::Rng(cfg.seed).fork("csdacn")),
-      node_p_({.g_input_s = 1.0 / cfg.r_input_ohms,
-               .g_load_s = cfg.g_vco_load_s,
-               .c_node_f = cfg.c_node_f,
-               .thermal_noise = cfg.thermal_noise,
-               .temperature_k = cfg.temperature_k,
-               .v_init = cfg.vctrl_mid},
-              util::Rng(cfg.seed).fork("nodep")),
-      node_n_({.g_input_s = 1.0 / cfg.r_input_ohms,
-               .g_load_s = cfg.g_vco_load_s,
-               .c_node_f = cfg.c_node_f,
-               .thermal_noise = cfg.thermal_noise,
-               .temperature_k = cfg.temperature_k,
-               .v_init = cfg.vctrl_mid},
-              util::Rng(cfg.seed).fork("noden")) {
-  assert(cfg.num_slices >= 2);
-  assert(cfg.substeps >= 1);
-
+            cfg_.vco_white_fm_hz2_per_hz, util::Rng(cfg_.seed).fork("vco2")),
+      dac_p_(cfg_.num_slices, cfg_.r_dac_ohms, cfg_.vrefp,
+             cfg_.r_dac_mismatch_sigma, util::Rng(cfg_.seed).fork("dacp")),
+      dac_n_(cfg_.num_slices, cfg_.r_dac_ohms, cfg_.vrefp,
+             cfg_.r_dac_mismatch_sigma, util::Rng(cfg_.seed).fork("dacn")),
+      cs_dac_p_(opts.cs_params, util::Rng(cfg_.seed).fork("csdacp")),
+      cs_dac_n_(opts.cs_params, util::Rng(cfg_.seed).fork("csdacn")),
+      node_p_({.g_input_s = 1.0 / cfg_.r_input_ohms,
+               .g_load_s = cfg_.g_vco_load_s,
+               .c_node_f = cfg_.c_node_f,
+               .thermal_noise = cfg_.thermal_noise,
+               .temperature_k = cfg_.temperature_k,
+               .v_init = cfg_.vctrl_mid},
+              util::Rng(cfg_.seed).fork("nodep")),
+      node_n_({.g_input_s = 1.0 / cfg_.r_input_ohms,
+               .g_load_s = cfg_.g_vco_load_s,
+               .c_node_f = cfg_.c_node_f,
+               .thermal_noise = cfg_.thermal_noise,
+               .temperature_k = cfg_.temperature_k,
+               .v_init = cfg_.vctrl_mid},
+              util::Rng(cfg_.seed).fork("noden")) {
   // Tap edge slew seen by the comparators; a starved ring's edge rise time
   // is about one stage delay of a ~0.5 V swing.
-  double slew = cfg.tap_slew_v_per_s;
+  double slew = cfg_.tap_slew_v_per_s;
   if (slew <= 0.0) {
-    slew = 0.5 * 2.0 * cfg.num_slices * cfg.vco_center_hz;
+    slew = 0.5 * 2.0 * cfg_.num_slices * cfg_.vco_center_hz;
   }
   SamplingFrontEnd::Params fp;
   fp.kind = opts_.comparator;
-  fp.offset_sigma_v = cfg.comparator_offset_sigma_v;
-  fp.noise_sigma_v = cfg.comparator_noise_sigma_v;
-  fp.meta_window_s = cfg.comparator_meta_window_s;
-  fp.buffer_delay_s = cfg.buffer_delay_s;
+  fp.offset_sigma_v = cfg_.comparator_offset_sigma_v;
+  fp.noise_sigma_v = cfg_.comparator_noise_sigma_v;
+  fp.meta_window_s = cfg_.comparator_meta_window_s;
+  fp.buffer_delay_s = cfg_.buffer_delay_s;
   fp.tap_slew_v_per_s = slew;
   fp.input_cm_v = opts_.input_cm_v;
-  fp.vdd = cfg.vdd;
-  util::Rng fe_rng = util::Rng(cfg.seed).fork("frontend");
-  for (int i = 0; i < cfg.num_slices; ++i) {
+  fp.vdd = cfg_.vdd;
+  util::Rng fe_rng = util::Rng(cfg_.seed).fork("frontend");
+  for (int i = 0; i < cfg_.num_slices; ++i) {
     fe1_.emplace_back(fp, fe_rng.fork("fe1"));
     fe2_.emplace_back(fp, fe_rng.fork("fe2"));
   }
 
   // Input common mode that biases the nodes at vctrl_mid for midscale duty.
-  const double g_in = 1.0 / cfg.r_input_ohms;
+  const double g_in = 1.0 / cfg_.r_input_ohms;
   if (opts_.dac == DacKind::kResistor) {
     const double g_dac = dac_p_.total_conductance();
-    const double g_tot = g_in + g_dac + cfg.g_vco_load_s;
-    vcm_in_ = (cfg.vctrl_mid * g_tot - 0.5 * g_dac * cfg.vrefp) / g_in;
+    const double g_tot = g_in + g_dac + cfg_.g_vco_load_s;
+    vcm_in_ = (cfg_.vctrl_mid * g_tot - 0.5 * g_dac * cfg_.vrefp) / g_in;
   } else {
-    const double g_tot = g_in + cfg.g_vco_load_s + cs_dac_p_.total_conductance();
-    vcm_in_ = cfg.vctrl_mid * g_tot / g_in;
+    const double g_tot =
+        g_in + cfg_.g_vco_load_s + cs_dac_p_.total_conductance();
+    vcm_in_ = cfg_.vctrl_mid * g_tot / g_in;
   }
 }
 

@@ -32,9 +32,13 @@ const PinSpec* StdCell::find_pin(const std::string& pin_name) const {
 
 void CellLibrary::add(StdCell cell) {
   if (contains(cell.name)) {
-    std::fprintf(stderr, "CellLibrary: duplicate cell '%s'\n",
+    // Degraded fallback instead of an abort: first definition wins (the
+    // invariant lookup order), the duplicate is dropped with a warning.
+    std::fprintf(stderr,
+                 "vcoadc: [warning] library: duplicate cell '%s'; keeping "
+                 "the first definition\n",
                  cell.name.c_str());
-    std::abort();
+    return;
   }
   cells_.push_back(std::move(cell));
 }
@@ -49,8 +53,19 @@ const StdCell* CellLibrary::find(const std::string& name) const {
 const StdCell& CellLibrary::at(const std::string& name) const {
   const StdCell* c = find(name);
   if (c == nullptr) {
-    std::fprintf(stderr, "CellLibrary: unknown cell '%s'\n", name.c_str());
-    std::abort();
+    // Degraded fallback instead of an abort: a zero-area placeholder cell
+    // keeps rendering/stats code alive; structural rejection of unknown
+    // masters happens in Design::validate / core::validate_netlist.
+    std::fprintf(stderr,
+                 "vcoadc: [warning] library: unknown cell '%s'; "
+                 "substituting a placeholder\n",
+                 name.c_str());
+    static const StdCell fallback = [] {
+      StdCell c;
+      c.name = "<unknown>";
+      return c;
+    }();
+    return fallback;
   }
   return *c;
 }

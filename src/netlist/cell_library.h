@@ -55,10 +55,14 @@ class CellLibrary {
  public:
   explicit CellLibrary(std::string name = "lib") : name_(std::move(name)) {}
 
-  /// Adds a master; aborts on duplicate names (a library invariant).
+  /// Adds a master. A duplicate name never aborts: the first definition
+  /// wins and the duplicate is dropped with a stderr warning.
   void add(StdCell cell);
 
   const StdCell* find(const std::string& name) const;
+  /// Lookup that must succeed. An unknown name degrades to a zero-area
+  /// placeholder cell with a stderr warning (never aborts); callers that
+  /// need a hard error use find() / core::validate_netlist.
   const StdCell& at(const std::string& name) const;
   bool contains(const std::string& name) const { return find(name) != nullptr; }
 

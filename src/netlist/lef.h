@@ -23,7 +23,8 @@ struct LefParseResult {
 };
 
 /// Parses LEF text (the subset produced by write_lef) into `lib`.
-/// Cells are appended; duplicate names abort (library invariant).
+/// Cells are appended; a duplicate name keeps the first definition and
+/// warns (see CellLibrary::add).
 LefParseResult parse_lef(const std::string& text, CellLibrary& lib);
 
 }  // namespace vcoadc::netlist

@@ -40,9 +40,15 @@ bool is_supply_net(const std::string& net) {
 }
 
 Module& Design::add_module(const std::string& name) {
-  if (find_module(name) != nullptr) {
-    std::fprintf(stderr, "Design: duplicate module '%s'\n", name.c_str());
-    std::abort();
+  if (Module* existing = find_module(name)) {
+    // Degraded fallback instead of an abort: the caller gets the existing
+    // module (the usual intent of a redundant add), and validate() /
+    // core::validate_netlist reject genuinely conflicting designs.
+    std::fprintf(stderr,
+                 "vcoadc: [warning] netlist: duplicate module '%s'; "
+                 "reusing the existing one\n",
+                 name.c_str());
+    return *existing;
   }
   modules_.emplace_back(name);
   return modules_.back();
@@ -65,8 +71,16 @@ const Module* Design::find_module(const std::string& name) const {
 Module& Design::at(const std::string& name) {
   Module* m = find_module(name);
   if (m == nullptr) {
-    std::fprintf(stderr, "Design: unknown module '%s'\n", name.c_str());
-    std::abort();
+    // Degraded fallback instead of an abort: hand back an empty sentinel
+    // module so rendering/stats code stays alive; callers that must hard-
+    // fail use find_module() or core::validate_netlist upstream.
+    std::fprintf(stderr,
+                 "vcoadc: [warning] netlist: unknown module '%s'; "
+                 "substituting an empty module\n",
+                 name.c_str());
+    static Module fallback("<unknown>");
+    fallback = Module("<unknown>");
+    return fallback;
   }
   return *m;
 }
@@ -74,8 +88,12 @@ Module& Design::at(const std::string& name) {
 const Module& Design::at(const std::string& name) const {
   const Module* m = find_module(name);
   if (m == nullptr) {
-    std::fprintf(stderr, "Design: unknown module '%s'\n", name.c_str());
-    std::abort();
+    std::fprintf(stderr,
+                 "vcoadc: [warning] netlist: unknown module '%s'; "
+                 "substituting an empty module\n",
+                 name.c_str());
+    static const Module fallback("<unknown>");
+    return fallback;
   }
   return *m;
 }

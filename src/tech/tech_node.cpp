@@ -89,8 +89,17 @@ std::optional<TechNode> TechDatabase::find(double gate_length_nm) const {
 
 TechNode TechDatabase::at(double gate_length_nm) const {
   if (auto n = find(gate_length_nm)) return *n;
-  std::fprintf(stderr, "TechDatabase: unknown node %.0f nm\n", gate_length_nm);
-  std::abort();
+  // Degraded fallback instead of an abort: callers that need a hard error
+  // validate the node first (AdcSpec::validate / core::validate_spec); this
+  // path only keeps describe()-style rendering alive on a rejected spec.
+  std::fprintf(stderr,
+               "TechDatabase: unknown node %g nm; substituting nearest "
+               "(validate the spec to reject it upstream)\n",
+               gate_length_nm);
+  if (!(std::isfinite(gate_length_nm) && gate_length_nm > 0)) {
+    return nodes_.back();
+  }
+  return interpolate(gate_length_nm);
 }
 
 TechNode TechDatabase::interpolate(double gate_length_nm) const {

@@ -64,8 +64,10 @@ class TechDatabase {
   /// Returns std::nullopt if the node is not in the table.
   std::optional<TechNode> find(double gate_length_nm) const;
 
-  /// Exact node lookup; aborts with a message if absent. Use for the two
-  /// nodes the paper evaluates, which are always present.
+  /// Exact node lookup. An absent node never aborts: it warns on stderr
+  /// and degrades to interpolate() (the newest node for non-positive or
+  /// non-finite lengths). Callers needing a hard error validate first
+  /// (find() or core::validate_spec).
   TechNode at(double gate_length_nm) const;
 
   /// Log-log interpolated node for arbitrary gate lengths within the

@@ -1,0 +1,111 @@
+#include "util/diag.h"
+
+namespace vcoadc::util {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = "[";
+  out += severity_name(severity);
+  out += "] ";
+  out += stage;
+  if (!item.empty()) {
+    out += " ";
+    out += item;
+  }
+  out += ": ";
+  out += reason;
+  return out;
+}
+
+void DiagSink::add(Diagnostic d) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  diags_.push_back(std::move(d));
+}
+
+void DiagSink::add(Severity severity, std::string stage, std::string item,
+                   std::string reason) {
+  add(Diagnostic{severity, std::move(stage), std::move(item),
+                 std::move(reason)});
+}
+
+void DiagSink::add_all(const std::vector<Diagnostic>& diags) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  diags_.insert(diags_.end(), diags.begin(), diags.end());
+}
+
+std::vector<Diagnostic> DiagSink::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diags_;
+}
+
+std::size_t DiagSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diags_.size();
+}
+
+std::size_t DiagSink::error_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) n += (d.severity == Severity::kError);
+  return n;
+}
+
+bool DiagSink::has_errors() const { return error_count() > 0; }
+
+bool DiagSink::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diags_.empty();
+}
+
+void DiagSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  diags_.clear();
+}
+
+std::string DiagSink::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+void FaultPlan::arm(std::string stage, int times) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  arms_[std::move(stage)] = times;
+}
+
+bool FaultPlan::armed(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = arms_.find(stage);
+  return it != arms_.end() && it->second != 0;
+}
+
+bool FaultPlan::consume(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = arms_.find(stage);
+  if (it == arms_.end() || it->second == 0) return false;
+  if (it->second > 0) --it->second;
+  ++injected_;
+  return true;
+}
+
+std::uint64_t FaultPlan::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+}  // namespace vcoadc::util

@@ -1,0 +1,483 @@
+// Degenerate-input suite (DESIGN.md §3f): every boundary that used to
+// assert, divide by zero or underflow an unsigned count now degrades with
+// structured diagnostics. These tests drive exactly those inputs — 0/1
+// point transfer sweeps, settle windows eating the whole capture, singular
+// linearity fits, empty/corrupt netlists, non-power-of-two and
+// zero-amplitude spectra — plain and (via the sanitizer variants in
+// tests/CMakeLists.txt) under ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/adc.h"
+#include "core/flow.h"
+#include "core/linearity.h"
+#include "dsp/spectrum.h"
+#include "msim/modulator.h"
+#include "netlist/cell_library.h"
+#include "netlist/netlist.h"
+#include "tech/tech_node.h"
+#include "util/diag.h"
+
+namespace {
+
+using namespace vcoadc;
+using core::AdcSpec;
+
+AdcSpec small_spec() {
+  AdcSpec spec = AdcSpec::paper_40nm();
+  spec.num_slices = 4;
+  return spec;
+}
+
+bool mentions(const std::vector<util::Diagnostic>& diags,
+              const std::string& needle) {
+  for (const auto& d : diags) {
+    if (d.to_string().find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Checked<T> plumbing
+
+TEST(CheckedTest, ValueAndFailureSemantics) {
+  util::Checked<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_TRUE(ok.diagnostics().empty());
+
+  auto bad = util::Checked<int>::failure(
+      util::Diagnostic{util::Severity::kError, "stage", "item", "reason"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+  ASSERT_EQ(bad.diagnostics().size(), 1u);
+  EXPECT_EQ(bad.diagnostics()[0].to_string(),
+            "[error] stage item: reason");
+
+  util::DiagSink sink;
+  bad.report_to(&sink);
+  EXPECT_EQ(sink.size(), 1u);
+  bad.report_to(nullptr);  // null-safe
+}
+
+// ---------------------------------------------------------------------------
+// Transfer-curve measurement: 0/1 points, settle >= samples
+
+TEST(DegenerateTransfer, RejectsSweepsTooShortToAverage) {
+  const AdcSpec spec = small_spec();
+
+  core::TransferOptions one;
+  one.points = 1;
+  const auto r1 = core::measure_transfer_checked(spec, one);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_TRUE(mentions(r1.diagnostics(), "points")) << r1.diagnostics().size();
+
+  core::TransferOptions zero;
+  zero.points = 0;
+  EXPECT_FALSE(core::measure_transfer_checked(spec, zero).ok());
+
+  // The unchecked wrapper degrades to an empty curve (it used to divide by
+  // points - 1 == 0 when building the sweep grid).
+  const core::TransferCurve curve = core::measure_transfer(spec, one);
+  EXPECT_TRUE(curve.input_v.empty());
+  EXPECT_TRUE(curve.output.empty());
+}
+
+TEST(DegenerateTransfer, RejectsSettleWindowEatingTheCapture) {
+  const AdcSpec spec = small_spec();
+  core::TransferOptions opts;
+  opts.points = 3;
+  opts.samples_per_point = 256;
+  opts.settle_samples = 256;  // output.size() - settle would underflow
+  const auto r = core::measure_transfer_checked(spec, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(mentions(r.diagnostics(), "settle"));
+
+  opts.settle_samples = 512;  // strictly larger, same refusal
+  EXPECT_FALSE(core::measure_transfer_checked(spec, opts).ok());
+}
+
+TEST(DegenerateTransfer, RejectsInvalidSpecAndSpan) {
+  AdcSpec bad = small_spec();
+  bad.num_slices = 0;
+  EXPECT_FALSE(core::measure_transfer_checked(bad, {}).ok());
+
+  core::TransferOptions span;
+  span.span_of_fs = 0.0;
+  EXPECT_FALSE(core::measure_transfer_checked(small_spec(), span).ok());
+}
+
+TEST(DegenerateTransfer, MinimalValidSweepStillWorks) {
+  core::TransferOptions opts;
+  opts.points = 2;  // the smallest legal sweep
+  opts.samples_per_point = 128;
+  opts.settle_samples = 32;
+  const auto r = core::measure_transfer_checked(small_spec(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().input_v.size(), 2u);
+  EXPECT_EQ(r.value().output.size(), 2u);
+  for (double v : r.value().output) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ---------------------------------------------------------------------------
+// Linearity fit: singular denominators never become +/-inf gains
+
+TEST(DegenerateLinearity, IdenticalInputsYieldDiagnosticsNotInfiniteGain) {
+  // All sweep inputs identical: dn*sxx - sx*sx == 0, the fit is singular.
+  core::TransferCurve curve;
+  curve.input_v = {0.1, 0.1, 0.1, 0.1};
+  curve.output = {-0.5, 0.0, 0.25, 0.5};
+  const core::LinearityReport rep = core::analyze_linearity(curve, 0.5);
+  EXPECT_FALSE(rep.diagnostics.empty());
+  EXPECT_TRUE(mentions(rep.diagnostics, "degenerate"));
+  EXPECT_TRUE(std::isfinite(rep.gain));
+  EXPECT_TRUE(std::isfinite(rep.offset));
+  EXPECT_TRUE(std::isfinite(rep.max_inl_lsb));
+}
+
+TEST(DegenerateLinearity, RejectsShortMismatchedOrBadLsbCurves) {
+  core::TransferCurve two;
+  two.input_v = {-1.0, 1.0};
+  two.output = {-0.9, 0.9};
+  EXPECT_FALSE(core::analyze_linearity(two, 0.5).diagnostics.empty());
+
+  core::TransferCurve mismatched;
+  mismatched.input_v = {-1.0, 0.0, 1.0};
+  mismatched.output = {-0.9, 0.9};
+  EXPECT_FALSE(core::analyze_linearity(mismatched, 0.5).diagnostics.empty());
+
+  core::TransferCurve fine;
+  fine.input_v = {-1.0, 0.0, 1.0};
+  fine.output = {-0.9, 0.0, 0.9};
+  EXPECT_FALSE(core::analyze_linearity(fine, 0.0).diagnostics.empty());
+  EXPECT_FALSE(
+      core::analyze_linearity(fine, std::nan("")).diagnostics.empty());
+
+  // The healthy 3-point fit still produces the expected gain, no diags.
+  const core::LinearityReport ok = core::analyze_linearity(fine, 0.5);
+  EXPECT_TRUE(ok.diagnostics.empty());
+  EXPECT_NEAR(ok.gain, 0.9, 1e-12);
+  EXPECT_NEAR(ok.offset, 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Spectrum: non-power-of-two, zero amplitude, near-DC harmonic folding
+
+TEST(DegenerateSpectrum, RejectsUnusableRecordsWithEmptySpectrum) {
+  const dsp::Spectrum empty = dsp::compute_spectrum(
+      {}, 750e6, 1.0, dsp::WindowKind::kHann);
+  EXPECT_TRUE(empty.power.empty());
+
+  const std::vector<double> odd(1000, 0.5);  // not a power of two
+  EXPECT_TRUE(dsp::compute_spectrum(odd, 750e6, 1.0, dsp::WindowKind::kHann)
+                  .power.empty());
+
+  const std::vector<double> x(1024, 0.5);
+  EXPECT_TRUE(dsp::compute_spectrum(x, 750e6, 0.0, dsp::WindowKind::kHann)
+                  .power.empty());
+  EXPECT_TRUE(dsp::compute_spectrum(x, 750e6, std::nan(""),
+                                    dsp::WindowKind::kHann)
+                  .power.empty());
+
+  // analyze_sndr on an empty spectrum returns the zeroed report.
+  const dsp::SndrReport rep = dsp::analyze_sndr(empty, 5e6);
+  EXPECT_EQ(rep.signal_power, 0.0);
+  EXPECT_EQ(rep.fundamental_hz, 0.0);
+}
+
+TEST(DegenerateSpectrum, ZeroAmplitudeInputAnalyzesWithoutNaN) {
+  const std::vector<double> silent(1 << 12, 0.0);
+  const dsp::Spectrum spec =
+      dsp::compute_spectrum(silent, 750e6, 1.0, dsp::WindowKind::kHann);
+  ASSERT_EQ(spec.power.size(), silent.size() / 2);
+  for (double p : spec.power) EXPECT_EQ(p, 0.0);
+
+  const dsp::SndrReport rep = dsp::analyze_sndr(spec, 5e6);
+  EXPECT_FALSE(std::isnan(rep.sndr_db));
+  EXPECT_FALSE(std::isnan(rep.snr_db));
+  EXPECT_FALSE(std::isnan(rep.sfdr_db));
+  EXPECT_FALSE(std::isnan(rep.enob));
+}
+
+TEST(DegenerateSpectrum, NearDcFundamentalFoldsHarmonicsIntoBand) {
+  // Synthetic one-sided spectrum: 512 bins over a 10.24 MHz Nyquist span.
+  // Fundamental near DC at bin 8; H2..H4 land at bins 16/24/32, all well
+  // inside the band. Before the negative-modulo guard in analyze_sndr, a
+  // mis-normalized fold could skip or mis-bin exactly these low harmonics.
+  dsp::Spectrum spec;
+  const std::size_t n = 512;
+  spec.bin_hz = 2e4;
+  spec.fs_hz = spec.bin_hz * 2 * n;
+  spec.window = dsp::WindowKind::kRect;
+  spec.freq_hz.resize(n);
+  spec.power.assign(n, 1e-12);
+  spec.dbfs.assign(n, -120.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    spec.freq_hz[k] = spec.bin_hz * static_cast<double>(k);
+  }
+  const std::size_t kf = 8;
+  spec.power[kf] = 1.0;
+  spec.power[2 * kf] = 1e-4;
+  spec.power[3 * kf] = 1e-5;
+  spec.power[4 * kf] = 1e-6;
+
+  const double bw = spec.freq_hz[n - 1];
+  const dsp::SndrReport rep =
+      dsp::analyze_sndr(spec, bw, spec.freq_hz[kf]);
+  EXPECT_EQ(rep.fundamental_hz, spec.freq_hz[kf]);
+  // The harmonic bins are attributed to distortion, not left in the noise.
+  EXPECT_NEAR(rep.distortion_power, 1e-4 + 1e-5 + 1e-6, 1e-8);
+  EXPECT_FALSE(std::isnan(rep.thd_db));
+}
+
+TEST(DegenerateSpectrum, HarmonicsFoldBackAcrossNyquist) {
+  // Fundamental high in the band: H2 of bin 300 (of 512) aliases to
+  // 1024 - 600 = 424, H3 to |900 - 1024| = 124. The fold must land there.
+  dsp::Spectrum spec;
+  const std::size_t n = 512;
+  spec.bin_hz = 2e4;
+  spec.fs_hz = spec.bin_hz * 2 * n;
+  spec.window = dsp::WindowKind::kRect;
+  spec.freq_hz.resize(n);
+  spec.power.assign(n, 0.0);
+  spec.dbfs.assign(n, -200.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    spec.freq_hz[k] = spec.bin_hz * static_cast<double>(k);
+  }
+  spec.power[300] = 1.0;
+  spec.power[424] = 1e-4;  // folded H2
+  spec.power[124] = 1e-5;  // folded H3
+
+  const dsp::SndrReport rep =
+      dsp::analyze_sndr(spec, spec.freq_hz[n - 1], spec.freq_hz[300]);
+  EXPECT_EQ(rep.fundamental_hz, spec.freq_hz[300]);
+  EXPECT_NEAR(rep.distortion_power, 1e-4 + 1e-5, 1e-9);
+  EXPECT_NEAR(rep.noise_power, 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Netlist validation: empty designs, duplicates, dangling nets
+
+TEST(DegenerateNetlist, EmptyDesignAndEmptyTopAreErrors) {
+  const netlist::Design empty(nullptr);
+  const auto no_modules = core::validate_netlist(empty);
+  ASSERT_FALSE(no_modules.empty());
+  EXPECT_TRUE(core::has_errors(no_modules));
+  EXPECT_TRUE(mentions(no_modules, "no modules"));
+
+  const netlist::CellLibrary lib("empty");
+  netlist::Design hollow(&lib);
+  hollow.add_module("adc_top");
+  hollow.set_top("adc_top");
+  const auto no_instances = core::validate_netlist(hollow);
+  EXPECT_TRUE(core::has_errors(no_instances));
+  EXPECT_TRUE(mentions(no_instances, "no instances"));
+}
+
+TEST(DegenerateNetlist, DuplicateInstanceNamesAreErrors) {
+  const AdcSpec spec = small_spec();
+  const tech::TechNode node = spec.tech_node();
+  netlist::CellLibrary lib = netlist::make_standard_library(node);
+  netlist::Design d(&lib);
+  netlist::Module& top = d.add_module("top");
+  d.set_top("top");
+  top.add_net("a");
+  top.add_net("y");
+  netlist::Instance inv;
+  inv.name = "u1";
+  inv.master = "INVX1";
+  inv.conn = {{"A", "a"}, {"Y", "y"}};
+  top.add_instance(inv);
+  top.add_instance(inv);  // same name again
+  const auto diags = core::validate_netlist(d);
+  EXPECT_TRUE(core::has_errors(diags));
+  EXPECT_TRUE(mentions(diags, "duplicate instance name"));
+}
+
+TEST(DegenerateNetlist, DanglingNetsAreWarningsNotErrors) {
+  const AdcSpec spec = small_spec();
+  const tech::TechNode node = spec.tech_node();
+  netlist::CellLibrary lib = netlist::make_standard_library(node);
+  netlist::Design d(&lib);
+  netlist::Module& top = d.add_module("top");
+  d.set_top("top");
+  top.add_net("a");
+  top.add_net("y");
+  top.add_net("never_used");
+  netlist::Instance inv;
+  inv.name = "u1";
+  inv.master = "INVX1";
+  inv.conn = {{"A", "a"}, {"Y", "y"}};
+  top.add_instance(inv);
+  const auto diags = core::validate_netlist(d);
+  EXPECT_FALSE(core::has_errors(diags));
+  bool warned = false;
+  for (const auto& dg : diags) {
+    if (dg.severity == util::Severity::kWarning &&
+        dg.item.find("never_used") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(DegenerateNetlist, GeneratedDesignValidatesClean) {
+  util::DiagSink sink;
+  core::ExecContext ctx;
+  core::ArtifactCache cache(16);
+  ctx.cache = &cache;
+  ctx.diag = &sink;
+  const auto bundle = core::Flow(ctx).netlist(small_spec());
+  ASSERT_NE(bundle.design, nullptr);
+  EXPECT_FALSE(core::has_errors(core::validate_netlist(*bundle.design)));
+}
+
+// ---------------------------------------------------------------------------
+// Flow boundaries: invalid specs and options propagate as null artifacts
+
+TEST(DegenerateFlow, InvalidSpecYieldsNullArtifactsEverywhere) {
+  util::DiagSink sink;
+  core::ExecContext ctx;
+  core::ArtifactCache cache(16);
+  ctx.cache = &cache;
+  ctx.diag = &sink;
+  core::Flow flow(ctx);
+
+  AdcSpec bad = small_spec();
+  bad.fs_hz = -750e6;
+  EXPECT_EQ(flow.tech_library(bad), nullptr);
+  EXPECT_EQ(flow.netlist(bad).design, nullptr);
+  EXPECT_EQ(flow.floorplan(bad), nullptr);
+  EXPECT_EQ(flow.synthesis(bad), nullptr);
+  EXPECT_EQ(flow.sim_run(bad, core::SimulationOptions{}), nullptr);
+  EXPECT_FALSE(flow.report(bad).complete);
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(cache.stats().entries, 0u);  // nothing poisoned the cache
+}
+
+TEST(DegenerateFlow, SimOptionValidatorCoversEveryKnob) {
+  auto errs = [](core::SimulationOptions o) {
+    return core::has_errors(core::validate_sim_options(o));
+  };
+  core::SimulationOptions o;
+  EXPECT_FALSE(errs(o));
+  o.n_samples = 0;
+  EXPECT_TRUE(errs(o));
+  o.n_samples = 1000;  // not a power of two
+  EXPECT_TRUE(errs(o));
+  o.n_samples = 8;  // below the 16-sample floor
+  EXPECT_TRUE(errs(o));
+  o.n_samples = std::size_t{1} << 27;  // above the FFT cap
+  EXPECT_TRUE(errs(o));
+
+  core::SimulationOptions amp;
+  amp.amplitude_dbfs = std::nan("");
+  EXPECT_TRUE(errs(amp));
+  core::SimulationOptions fin;
+  fin.fin_target_hz = -1.0;
+  EXPECT_TRUE(errs(fin));
+  core::SimulationOptions wc;
+  wc.wire_cap_f = -1e-15;
+  EXPECT_TRUE(errs(wc));
+}
+
+TEST(DegenerateFlow, SpecValidatorRejectsNonFiniteAndOversizedSpecs) {
+  AdcSpec nan_spec = small_spec();
+  nan_spec.bandwidth_hz = std::nan("");
+  EXPECT_FALSE(nan_spec.validate().empty());
+
+  AdcSpec wide = small_spec();
+  wide.num_slices = 65;  // SliceBits packs into one uint64
+  EXPECT_FALSE(wide.validate().empty());
+
+  AdcSpec inf_spec = small_spec();
+  inf_spec.fs_hz = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(inf_spec.validate().empty());
+
+  AdcSpec neg_vco = small_spec();
+  neg_vco.vco_center_over_fs = -2.7;
+  EXPECT_FALSE(neg_vco.validate().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Low-level degraded fallbacks: lookups warn and substitute, never abort
+
+TEST(DegenerateFallbacks, TechDatabaseUnknownNodeDegrades) {
+  const auto& db = tech::TechDatabase::standard();
+  EXPECT_FALSE(db.find(37.0).has_value());
+  const tech::TechNode interp = db.at(37.0);  // warns, interpolates
+  EXPECT_TRUE(std::isfinite(interp.vdd));
+  EXPECT_GT(interp.vdd, 0.0);
+  EXPECT_GT(interp.fo4_delay_s, 0.0);
+
+  const tech::TechNode junk = db.at(-5.0);  // warns, newest node
+  EXPECT_EQ(junk.gate_length_nm, db.nodes().back().gate_length_nm);
+  const tech::TechNode nan_node = db.at(std::nan(""));
+  EXPECT_EQ(nan_node.gate_length_nm, db.nodes().back().gate_length_nm);
+}
+
+TEST(DegenerateFallbacks, CellLibraryDuplicatesAndUnknownsDegrade) {
+  netlist::CellLibrary lib("t");
+  netlist::StdCell c;
+  c.name = "X1";
+  c.width_m = 1.0;
+  lib.add(c);
+  c.width_m = 2.0;
+  lib.add(c);  // duplicate: dropped with a warning
+  EXPECT_EQ(lib.cells().size(), 1u);
+  EXPECT_EQ(lib.at("X1").width_m, 1.0);  // first definition wins
+
+  const netlist::StdCell& ghost = lib.at("NO_SUCH_CELL");
+  EXPECT_EQ(ghost.name, "<unknown>");
+  EXPECT_EQ(ghost.width_m, 0.0);
+}
+
+TEST(DegenerateFallbacks, DesignModuleLookupsDegrade) {
+  const netlist::CellLibrary lib("t");
+  netlist::Design d(&lib);
+  d.add_module("m");
+  netlist::Module& dup = d.add_module("m");  // returns the existing module
+  EXPECT_EQ(dup.name(), "m");
+  EXPECT_EQ(d.modules().size(), 1u);
+  EXPECT_EQ(d.at("nope").name(), "<unknown>");
+}
+
+// ---------------------------------------------------------------------------
+// Modulator config sanitization: clamped, finite, allocation-safe
+
+TEST(DegenerateModulator, HostileConfigIsClampedAndRuns) {
+  msim::SimConfig cfg;
+  cfg.num_slices = 500;   // > the 64-slice cap
+  cfg.substeps = 0;       // would make the CT solver loop degenerate
+  cfg.fs_hz = -1.0;       // non-positive clock
+  cfg.r_input_ohms = 0;   // division by zero in the conductances
+  cfg.c_node_f = std::nan("");
+  msim::VcoDsmModulator mod(cfg);
+  EXPECT_LE(mod.config().num_slices, 64);
+  EXPECT_GE(mod.config().num_slices, 2);
+  EXPECT_GE(mod.config().substeps, 1);
+  EXPECT_GT(mod.config().fs_hz, 0.0);
+  EXPECT_GT(mod.config().r_input_ohms, 0.0);
+  EXPECT_TRUE(std::isfinite(mod.config().c_node_f));
+
+  const auto res = mod.run([](double) { return 0.0; }, 64);
+  ASSERT_EQ(res.output.size(), 64u);
+  for (double v : res.output) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(DegenerateModulator, SingleSliceConfigIsPromotedToAPair) {
+  msim::SimConfig cfg;
+  cfg.num_slices = 1;  // the ring needs at least a pseudo-differential pair
+  msim::VcoDsmModulator mod(cfg);
+  EXPECT_GE(mod.config().num_slices, 2);
+  const auto res = mod.run([](double) { return 0.0; }, 32);
+  EXPECT_EQ(res.output.size(), 32u);
+}
+
+}  // namespace
