@@ -11,12 +11,21 @@
 // contract), and the wall-clock speedup is recorded in BENCH JSON so the
 // figure is trackable across revisions.
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "core/artifact_cache.h"
+#include "core/artifact_store.h"
 #include "core/monte_carlo.h"
 #include "util/ascii_plot.h"
 #include "util/thread_pool.h"
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 using namespace vcoadc;
 
@@ -38,10 +47,10 @@ int main() {
   // must be all hits.
   core::ArtifactCache cache_serial(64), cache_parallel(64);
 
-  opts.threads = 1;  // serial reference
+  opts.exec.threads = 1;  // serial reference
   opts.exec.cache = &cache_serial;
   const auto mc_serial = core::monte_carlo_sndr(adc, opts);
-  opts.threads = 0;  // hardware concurrency
+  opts.exec.threads = 0;  // hardware concurrency
   opts.exec.cache = &cache_parallel;
   const auto mc = core::monte_carlo_sndr(adc, opts);
   const auto mc_warm = core::monte_carlo_sndr(adc, opts);  // cache hot
@@ -84,6 +93,51 @@ int main() {
       mc.batch.wall_s, mc_warm.batch.wall_s, warm_speedup,
       cache_hit_rate * 100.0);
 
+  // Persistent-store phase: phase A runs cold into a fresh store, phase B
+  // runs with a fresh in-process cache over the same store directory — the
+  // cross-process warm start, measured in-process. Every stage build in
+  // phase B must come off disk (store_cold_builds == 0).
+  namespace fs = std::filesystem;
+  const std::string store_dir =
+      (fs::temp_directory_path() /
+       ("vcoadc_bench_store_" + std::to_string(getpid())))
+          .string();
+  fs::remove_all(store_dir);
+  double wall_persist_cold = 0, wall_persist_warm = 0;
+  std::uint64_t store_cold_builds = 0;
+  bool persistent_identical = false;
+  {
+    core::MonteCarloOptions popts = opts;
+    core::ArtifactCache cache_a(64);
+    core::ArtifactStore store_a(store_dir);
+    popts.exec.cache = &cache_a;
+    popts.exec.store = &store_a;
+    const auto mc_a = core::monte_carlo_sndr(adc, popts);
+    wall_persist_cold = mc_a.batch.wall_s;
+
+    core::ArtifactCache cache_b(64);
+    core::ArtifactStore store_b(store_dir);
+    popts.exec.cache = &cache_b;
+    popts.exec.store = &store_b;
+    const auto mc_b = core::monte_carlo_sndr(adc, popts);
+    wall_persist_warm = mc_b.batch.wall_s;
+    store_cold_builds = store_b.stats().misses;
+
+    persistent_identical = mc_b.sndr_db.size() == mc.sndr_db.size();
+    for (std::size_t i = 0; persistent_identical && i < mc.sndr_db.size();
+         ++i) {
+      persistent_identical = (mc_b.sndr_db[i] == mc.sndr_db[i]);
+    }
+  }
+  fs::remove_all(store_dir);
+  const double persistent_warm_speedup =
+      wall_persist_warm > 0 ? wall_persist_cold / wall_persist_warm : 0.0;
+  std::printf(
+      "store: cold %.2f s -> persistent warm %.3f s | speedup %.1fx | "
+      "cold stage builds in warm pass %llu\n",
+      wall_persist_cold, wall_persist_warm, persistent_warm_speedup,
+      static_cast<unsigned long long>(store_cold_builds));
+
   const auto corners = core::corner_sweep(adc, 1 << 14);
   util::Table c("PVT corner sweep");
   c.set_header({"corner", "SNDR [dB]", "power [mW]"});
@@ -107,12 +161,18 @@ int main() {
       "\"speedup\":%.3f,\"utilization\":%.3f,\"max_queue_depth\":%zu,"
       "\"bit_identical\":%s,\"mean_db\":%.3f,\"sigma_db\":%.3f,"
       "\"yield_65db\":%.3f,\"wall_warm_s\":%.4f,\"warm_speedup\":%.3f,"
-      "\"cache_hit_rate\":%.3f,\"warm_identical\":%s}\n",
+      "\"cache_hit_rate\":%.3f,\"warm_identical\":%s,"
+      "\"wall_persistent_cold_s\":%.4f,\"wall_persistent_warm_s\":%.4f,"
+      "\"persistent_warm_speedup\":%.3f,\"store_cold_builds\":%llu,"
+      "\"persistent_identical\":%s}\n",
       opts.runs, mc.batch.threads, hw, mc_serial.batch.wall_s,
       mc.batch.wall_s, speedup, mc.batch.utilization,
       mc.batch.max_queue_depth, bit_identical ? "true" : "false", mc.mean_db,
       mc.stddev_db, mc.yield(65.0), mc_warm.batch.wall_s, warm_speedup,
-      cache_hit_rate, warm_identical ? "true" : "false");
+      cache_hit_rate, warm_identical ? "true" : "false",
+      wall_persist_cold, wall_persist_warm, persistent_warm_speedup,
+      static_cast<unsigned long long>(store_cold_builds),
+      persistent_identical ? "true" : "false");
 
   bench::shape_check("parallel SNDR vector bit-identical to threads=1",
                      bit_identical);
@@ -120,6 +180,12 @@ int main() {
                      warm_identical);
   bench::shape_check("warm re-run >= 1.5x faster than cold",
                      warm_speedup >= 1.5);
+  bench::shape_check("persistent warm pass >= 1.5x faster than cold",
+                     persistent_warm_speedup >= 1.5);
+  bench::shape_check("persistent warm pass built zero stages",
+                     store_cold_builds == 0);
+  bench::shape_check("persistent warm pass bit-identical to in-process run",
+                     persistent_identical);
   if (hw >= 4) {
     bench::shape_check("engine speedup >= 3x on >= 4 cores", speedup >= 3.0);
   } else {

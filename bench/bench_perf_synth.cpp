@@ -193,7 +193,7 @@ void emit_summary() {
     drc_clean &= res.drc.clean();
     no_overflow &= res.detailed_routing.overflowed_edges == 0 &&
                    res.detailed_routing.failed_nets == 0;
-    so.route_threads = 4;
+    so.threads = 4;
     auto res4 = adc.synthesize(so);
     parallel_ok &=
         routing_identical(res.detailed_routing, res4.detailed_routing);

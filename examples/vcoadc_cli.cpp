@@ -7,6 +7,9 @@
 //     synthesize   layout synthesis: area/DRC/routing, writes artifacts
 //     datasheet    full-flow datasheet
 //     export       write verilog/spice/lef/liberty/gds/fp artifacts
+//     serve        long-running evaluation service: newline-delimited JSON
+//                  requests on stdin, one JSON response per line on stdout
+//                  (spec flags are ignored; each request carries its own)
 //
 //   options (all commands):
 //     --node=40         technology node [nm]
@@ -16,13 +19,24 @@
 //     --samples=16384   capture length for simulate/datasheet
 //     --out=.           artifact output directory
 //     --threads=0       worker threads (0 = hardware concurrency)
-//     --trace[=json]    print per-stage timing after the run (tree or JSONL)
-//     --cache-stats     print artifact-cache counters after the run
+//     --store=<dir>     persistent artifact store: stages load cached
+//                       artifacts written by earlier processes and save
+//                       their own (serve shares one store across requests)
+//     --trace[=json]    print per-stage timing after the run (tree or JSONL;
+//                       serve embeds a "trace" array per response, json only)
+//     --cache-stats     print artifact-cache counters after the run (serve
+//                       embeds a per-request "cache" delta object)
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
 
 #include "core/adc.h"
+#include "core/artifact_store.h"
+#include "core/batch.h"
 #include "core/datasheet.h"
+#include "core/eval.h"
 #include "core/flow.h"
 #include "netlist/lef.h"
 #include "netlist/liberty.h"
@@ -39,10 +53,10 @@ namespace {
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s <simulate|synthesize|datasheet|export> "
+               "usage: %s <simulate|synthesize|datasheet|export|serve> "
                "[--node=40] [--slices=16] [--fs=750e6] [--bw=5e6] "
-               "[--samples=16384] [--out=.] [--threads=0] [--trace[=json]] "
-               "[--cache-stats]\n",
+               "[--samples=16384] [--out=.] [--threads=0] [--store=<dir>] "
+               "[--trace[=json]] [--cache-stats]\n",
                prog);
   return 2;
 }
@@ -55,9 +69,11 @@ int fail_with_diags(const util::DiagSink& sink) {
   return 1;
 }
 
-/// --trace / --cache-stats epilogue, shared by every command.
+/// --trace / --cache-stats epilogue, shared by every command. `store` is
+/// null when --store was not given.
 void print_flow_stats(const util::ArgParser& args, const util::Trace& trace,
-                      const core::ArtifactCache& cache) {
+                      const core::ArtifactCache& cache,
+                      const core::ArtifactStore* store) {
   if (args.has("trace")) {
     if (args.get("trace") == "json") {
       std::printf("%s", trace.render_jsonl().c_str());
@@ -75,7 +91,192 @@ void print_flow_stats(const util::ArgParser& args, const util::Trace& trace,
         static_cast<unsigned long long>(st.misses), st.hit_rate() * 100.0,
         static_cast<unsigned long long>(st.evictions), st.entries,
         static_cast<double>(st.bytes) / 1024.0);
+    if (store != nullptr) {
+      const core::ArtifactStoreStats ss = store->stats();
+      std::printf(
+          "-- artifact store --\n"
+          "  hits %llu | misses %llu (absent %llu, corrupt %llu, "
+          "version skew %llu)\n"
+          "  writes %llu (%llu failed) | read %.1f KiB | wrote %.1f KiB\n",
+          static_cast<unsigned long long>(ss.hits),
+          static_cast<unsigned long long>(ss.misses),
+          static_cast<unsigned long long>(ss.absent),
+          static_cast<unsigned long long>(ss.corrupt),
+          static_cast<unsigned long long>(ss.version_skew),
+          static_cast<unsigned long long>(ss.writes),
+          static_cast<unsigned long long>(ss.write_failures),
+          static_cast<double>(ss.bytes_read) / 1024.0,
+          static_cast<double>(ss.bytes_written) / 1024.0);
+    }
   }
+}
+
+namespace json = util::json;
+
+/// Renders a per-request trace as a JSON array (one object per span, same
+/// records as --trace=json's JSONL, parsed back so the response stays one
+/// well-formed document).
+json::Value trace_to_json(const util::Trace& trace) {
+  json::Value arr = json::Value::make_array();
+  const std::string jsonl = trace.render_jsonl();
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t nl = jsonl.find('\n', pos);
+    if (nl == std::string::npos) nl = jsonl.size();
+    const std::string_view line(jsonl.data() + pos, nl - pos);
+    if (!line.empty()) {
+      json::ParseResult pr = json::parse(line);
+      arr.push(pr.ok ? std::move(pr.value)
+                     : json::Value::make_string(std::string(line)));
+    }
+    pos = nl + 1;
+  }
+  return arr;
+}
+
+/// Per-request cache/store counter deltas. `cold_builds` is the number of
+/// stages this request had to build from scratch: store misses when a
+/// persistent store backs the run (a memory-cache miss that loads from disk
+/// is warm), plain cache misses otherwise.
+json::Value cache_delta_json(const core::ArtifactCacheStats& c0,
+                             const core::ArtifactCacheStats& c1,
+                             const core::ArtifactStore* store,
+                             const core::ArtifactStoreStats& s0) {
+  json::Value o = json::Value::make_object();
+  const auto num = [](std::uint64_t v) {
+    return json::Value::make_number(static_cast<double>(v));
+  };
+  o.set("hits", num(c1.hits - c0.hits));
+  o.set("misses", num(c1.misses - c0.misses));
+  std::uint64_t cold = c1.misses - c0.misses;
+  if (store != nullptr) {
+    const core::ArtifactStoreStats s1 = store->stats();
+    o.set("store_hits", num(s1.hits - s0.hits));
+    o.set("store_misses", num(s1.misses - s0.misses));
+    o.set("store_writes", num(s1.writes - s0.writes));
+    cold = s1.misses - s0.misses;
+  }
+  o.set("cold_builds", num(cold));
+  return o;
+}
+
+/// Echoes the request's "id" (as-is) into a response object, if present.
+void echo_id(const json::Value& req, json::Value* resp) {
+  if (const json::Value* id = req.find("id")) resp->set("id", *id);
+}
+
+json::Value error_response(const json::Value& req, const std::string& what) {
+  json::Value resp = json::Value::make_object();
+  echo_id(req, &resp);
+  resp.set("ok", json::Value::make_bool(false));
+  resp.set("error", json::Value::make_string(what));
+  return resp;
+}
+
+/// One evaluation request -> one response object. Diagnostics are request-
+/// local (fresh sink per request), the cache/store in `base` are shared
+/// across the whole serve session — that is the point of serving.
+json::Value handle_eval(const json::Value& reqv,
+                        const core::ExecContext& base, bool want_trace) {
+  core::EvalRequest req;
+  std::string err;
+  if (!core::eval_request_from_json(reqv, &req, &err)) {
+    return error_response(reqv, err);
+  }
+  util::DiagSink sink;
+  util::Trace trace;
+  core::ExecContext ctx = base;
+  ctx.diag = &sink;
+  ctx.trace = want_trace ? &trace : nullptr;
+  const core::EvalResponse resp = core::evaluate(req, ctx);
+
+  json::Value out = json::Value::make_object();
+  out.set("id", json::Value::make_string(resp.id));
+  out.set("cmd", json::Value::make_string(core::eval_kind_name(resp.kind)));
+  out.set("ok", json::Value::make_bool(resp.ok));
+  json::Value result = core::eval_result_to_json(resp);
+  out.set("result_fp",
+          json::Value::make_string(core::eval_result_fingerprint(result)));
+  out.set("result", std::move(result));
+  out.set("diagnostics", core::diagnostics_to_json(resp.diagnostics));
+  if (want_trace) out.set("trace", trace_to_json(trace));
+  return out;
+}
+
+/// {"cmd":"batch","requests":[...]} fans the sub-requests across a
+/// BatchRunner; sub-responses come back in request order and the outer ok
+/// is the conjunction. The shared cache/store make overlapping sub-requests
+/// (e.g. same spec, different analyses) converge on one stage build.
+json::Value handle_batch(const json::Value& reqv,
+                         const core::ExecContext& base, bool want_trace) {
+  const json::Value* reqs = reqv.find("requests");
+  if (reqs == nullptr || !reqs->is_array()) {
+    return error_response(reqv, "batch request needs a \"requests\" array");
+  }
+  core::BatchOptions bopts;
+  bopts.threads = base.threads;
+  core::BatchRunner runner(bopts);
+  std::vector<json::Value> results =
+      runner.map(reqs->array.size(), [&](std::size_t i, std::uint64_t) {
+        return handle_eval(reqs->array[i], base, want_trace);
+      });
+
+  json::Value out = json::Value::make_object();
+  echo_id(reqv, &out);
+  out.set("cmd", json::Value::make_string("batch"));
+  bool all_ok = true;
+  json::Value arr = json::Value::make_array();
+  for (json::Value& r : results) {
+    const json::Value* ok = r.find("ok");
+    all_ok = all_ok && ok != nullptr && ok->bool_or(false);
+    arr.push(std::move(r));
+  }
+  out.set("ok", json::Value::make_bool(all_ok));
+  out.set("results", std::move(arr));
+  return out;
+}
+
+/// The evaluation service: newline-delimited JSON requests on stdin, one
+/// response line each on stdout (nothing else is written to stdout — the
+/// stream stays machine-parseable). One warm ExecContext is shared by every
+/// request, so repeated specs hit the in-process cache; with --store the
+/// stage artifacts also persist across serve processes.
+int run_serve(const util::ArgParser& args, core::ExecContext ctx) {
+  const bool want_stats = args.has("cache-stats");
+  const bool want_trace = args.has("trace") && args.get("trace") == "json";
+  core::ArtifactCache cache(512);
+  ctx.cache = &cache;
+  ctx.diag = nullptr;   // per-request sinks; nothing global to collect into
+  ctx.trace = nullptr;  // per-request traces when --trace=json
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    json::Value out;
+    json::ParseResult pr = json::parse(line);
+    if (!pr.ok) {
+      out = error_response(json::Value::make_null(),
+                           "request parse error: " + pr.error);
+    } else {
+      const core::ArtifactCacheStats c0 = cache.stats();
+      const core::ArtifactStoreStats s0 =
+          ctx.store != nullptr ? ctx.store->stats() : core::ArtifactStoreStats{};
+      const json::Value* cmd = pr.value.find("cmd");
+      if (cmd != nullptr && cmd->is_string() && cmd->string == "batch") {
+        out = handle_batch(pr.value, ctx, want_trace);
+      } else {
+        out = handle_eval(pr.value, ctx, want_trace);
+      }
+      if (want_stats) {
+        out.set("cache", cache_delta_json(c0, cache.stats(), ctx.store, s0));
+      }
+    }
+    const std::string rendered = json::dump(out);
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -84,7 +285,7 @@ int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const auto unknown = args.unknown_flags({"node", "slices", "fs", "bw",
                                            "samples", "out", "threads",
-                                           "trace", "cache-stats"});
+                                           "store", "trace", "cache-stats"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: %s\n", unknown[0].c_str());
     return usage(argv[0]);
@@ -109,6 +310,21 @@ int main(int argc, char** argv) {
   ctx.threads = args.get_int("threads", 0);
   ctx.diag = &diags;
   if (args.has("trace")) ctx.trace = &trace;
+  std::optional<core::ArtifactStore> store;
+  if (args.has("store")) {
+    store.emplace(args.get("store", "."));
+    if (!store->ok()) {
+      std::fprintf(stderr, "error: cannot open artifact store at %s\n",
+                   store->dir().c_str());
+      return 1;
+    }
+    ctx.store = &*store;
+  }
+
+  // serve ignores the spec flags (each request carries its own spec), so it
+  // dispatches before spec validation and before anything prints to stdout.
+  if (cmd == "serve") return run_serve(args, ctx);
+
   core::Flow flow(ctx);
 
   // Boundary validation up front, rendered as structured diagnostics:
@@ -139,7 +355,7 @@ int main(int argc, char** argv) {
                 res->sndr.sndr_db, res->sndr.enob,
                 util::si_format(res->power.total_w(), "W").c_str(),
                 res->fom_fj);
-    print_flow_stats(args, trace, *ctx.cache);
+    print_flow_stats(args, trace, *ctx.cache, ctx.store);
     return 0;
   }
   if (cmd == "synthesize") {
@@ -159,7 +375,7 @@ int main(int argc, char** argv) {
         << res->layout->render_ascii(100);
     std::printf("wrote %s/adc.fp, %s/adc_layout.txt\n", out_dir.c_str(),
                 out_dir.c_str());
-    print_flow_stats(args, trace, *ctx.cache);
+    print_flow_stats(args, trace, *ctx.cache, ctx.store);
     return 0;
   }
   if (cmd == "datasheet") {
@@ -169,7 +385,7 @@ int main(int argc, char** argv) {
     const auto ds = core::generate_datasheet(spec, opts);
     if (!ds.complete) return fail_with_diags(diags);
     std::printf("%s", ds.render().c_str());
-    print_flow_stats(args, trace, *ctx.cache);
+    print_flow_stats(args, trace, *ctx.cache, ctx.store);
     return 0;
   }
   if (cmd == "export") {
@@ -195,7 +411,7 @@ int main(int argc, char** argv) {
              static_cast<long>(gds.size()));
     std::printf("wrote adc_top.v adc_top.sp stdcells.lef stdcells.lib "
                 "adc.fp adc_top.gds under %s\n", out_dir.c_str());
-    print_flow_stats(args, trace, *ctx.cache);
+    print_flow_stats(args, trace, *ctx.cache, ctx.store);
     return 0;
   }
   return usage(argv[0]);

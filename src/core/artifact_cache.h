@@ -33,6 +33,13 @@
 
 namespace vcoadc::core {
 
+/// Canonical key-format version, hashed into every stage key and written
+/// into every persistent-store record header. Bump when a stage's
+/// serialization or semantics change incompatibly: old in-process cache
+/// entries can then never alias new ones, and old on-disk records are
+/// rejected as version-skew misses instead of being deserialized wrong.
+inline constexpr std::uint64_t kKeyFormatVersion = 1;
+
 /// 128-bit content-hash key (two independent FNV-1a-64 lanes).
 struct CacheKey {
   std::uint64_t lo = 0;

@@ -1,0 +1,737 @@
+#include "core/artifact_serde.h"
+
+#include <set>
+#include <utility>
+
+namespace vcoadc::core {
+
+namespace {
+
+using netlist::CellLibrary;
+using netlist::FlatInstance;
+using netlist::PinSpec;
+using netlist::PortDir;
+using netlist::StdCell;
+
+// --- shared sub-encoders --------------------------------------------------
+
+void encode_cell(const StdCell& c, serde::Writer& w) {
+  w.str(c.name);
+  w.str(c.function);
+  w.i64(c.drive);
+  w.f64(c.width_m);
+  w.f64(c.height_m);
+  w.size(c.pins.size());
+  for (const PinSpec& p : c.pins) {
+    w.str(p.name);
+    w.u8(static_cast<std::uint8_t>(p.dir));
+  }
+  w.f64(c.input_cap_f);
+  w.f64(c.leakage_w);
+  w.boolean(c.is_resistor);
+  w.f64(c.resistance_ohms);
+  w.str(c.power_pin);
+  w.str(c.ground_pin);
+}
+
+bool decode_cell(serde::Reader& r, StdCell& c) {
+  c.name = r.str();
+  c.function = r.str();
+  c.drive = static_cast<int>(r.i64());
+  c.width_m = r.f64();
+  c.height_m = r.f64();
+  const std::size_t npins = r.size();
+  c.pins.clear();
+  c.pins.reserve(npins);
+  for (std::size_t i = 0; i < npins && r.ok(); ++i) {
+    PinSpec p;
+    p.name = r.str();
+    p.dir = static_cast<PortDir>(r.u8());
+    c.pins.push_back(std::move(p));
+  }
+  c.input_cap_f = r.f64();
+  c.leakage_w = r.f64();
+  c.is_resistor = r.boolean();
+  c.resistance_ohms = r.f64();
+  c.power_pin = r.str();
+  c.ground_pin = r.str();
+  return r.ok();
+}
+
+void encode_library(const CellLibrary& lib, serde::Writer& w) {
+  w.str(lib.name());
+  w.size(lib.cells().size());
+  for (const StdCell& c : lib.cells()) encode_cell(c, w);
+}
+
+std::shared_ptr<CellLibrary> decode_library(serde::Reader& r) {
+  auto lib = std::make_shared<CellLibrary>(r.str());
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    StdCell c;
+    if (!decode_cell(r, c)) return nullptr;
+    lib->add(std::move(c));
+  }
+  return r.ok() ? lib : nullptr;
+}
+
+void encode_string_map(const std::map<std::string, std::string>& m,
+                       serde::Writer& w) {
+  w.size(m.size());
+  for (const auto& [k, v] : m) {
+    w.str(k);
+    w.str(v);
+  }
+}
+
+bool decode_string_map(serde::Reader& r,
+                       std::map<std::string, std::string>& m) {
+  const std::size_t n = r.size();
+  m.clear();
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    std::string k = r.str();
+    m[std::move(k)] = r.str();
+  }
+  return r.ok();
+}
+
+/// Flat instances reference StdCells by pointer; on disk they go by name
+/// against the library the enclosing codec embeds.
+void encode_flat(const std::vector<FlatInstance>& flat, serde::Writer& w) {
+  w.size(flat.size());
+  for (const FlatInstance& fi : flat) {
+    w.str(fi.path);
+    w.str(fi.cell != nullptr ? fi.cell->name : std::string());
+    encode_string_map(fi.conn, w);
+    w.str(fi.power_domain);
+    w.str(fi.group);
+  }
+}
+
+bool decode_flat(serde::Reader& r, const CellLibrary& lib,
+                 std::vector<FlatInstance>& flat) {
+  const std::size_t n = r.size();
+  flat.clear();
+  flat.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    FlatInstance fi;
+    fi.path = r.str();
+    const std::string cell_name = r.str();
+    if (!cell_name.empty()) {
+      fi.cell = lib.find(cell_name);
+      if (fi.cell == nullptr) return false;  // dangling reference
+    }
+    if (!decode_string_map(r, fi.conn)) return false;
+    fi.power_domain = r.str();
+    fi.group = r.str();
+    flat.push_back(std::move(fi));
+  }
+  return r.ok();
+}
+
+/// Collects the distinct StdCells a flat vector references into a
+/// self-contained library (first-reference order, so the bytes are
+/// deterministic). The subset carries everything downstream stages read
+/// through FlatInstance::cell.
+CellLibrary referenced_cells(const std::vector<FlatInstance>& flat) {
+  CellLibrary lib("store");
+  std::set<std::string> seen;
+  for (const FlatInstance& fi : flat) {
+    if (fi.cell != nullptr && seen.insert(fi.cell->name).second) {
+      lib.add(*fi.cell);
+    }
+  }
+  return lib;
+}
+
+void encode_rect(const synth::Rect& rect, serde::Writer& w) {
+  w.f64(rect.x);
+  w.f64(rect.y);
+  w.f64(rect.w);
+  w.f64(rect.h);
+}
+
+synth::Rect decode_rect(serde::Reader& r) {
+  synth::Rect rect;
+  rect.x = r.f64();
+  rect.y = r.f64();
+  rect.w = r.f64();
+  rect.h = r.f64();
+  return rect;
+}
+
+void encode_floorplan(const synth::Floorplan& fp, serde::Writer& w) {
+  encode_rect(fp.die, w);
+  w.f64(fp.row_height_m);
+  w.f64(fp.site_width_m);
+  w.size(fp.regions.size());
+  for (const synth::PlacedRegion& pr : fp.regions) {
+    w.str(pr.spec.name);
+    w.boolean(pr.spec.is_group);
+    w.size(pr.spec.members.size());
+    for (const int m : pr.spec.members) w.i64(m);
+    w.f64(pr.spec.cell_area_m2);
+    w.f64(pr.spec.max_cell_width_m);
+    encode_rect(pr.rect, w);
+  }
+}
+
+bool decode_floorplan(serde::Reader& r, synth::Floorplan& fp) {
+  fp.die = decode_rect(r);
+  fp.row_height_m = r.f64();
+  fp.site_width_m = r.f64();
+  const std::size_t n = r.size();
+  fp.regions.clear();
+  fp.regions.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    synth::PlacedRegion pr;
+    pr.spec.name = r.str();
+    pr.spec.is_group = r.boolean();
+    const std::size_t nm = r.size();
+    pr.spec.members.reserve(nm);
+    for (std::size_t j = 0; j < nm && r.ok(); ++j) {
+      pr.spec.members.push_back(static_cast<int>(r.i64()));
+    }
+    pr.spec.cell_area_m2 = r.f64();
+    pr.spec.max_cell_width_m = r.f64();
+    pr.rect = decode_rect(r);
+    fp.regions.push_back(std::move(pr));
+  }
+  return r.ok();
+}
+
+void encode_placement(const synth::Placement& pl, serde::Writer& w) {
+  w.size(pl.cells.size());
+  for (const synth::PlacedCell& c : pl.cells) {
+    w.i64(c.flat_index);
+    encode_rect(c.rect, w);
+    w.i64(c.row);
+    w.str(c.region);
+  }
+  w.boolean(pl.overflow);
+}
+
+bool decode_placement(serde::Reader& r, synth::Placement& pl) {
+  const std::size_t n = r.size();
+  pl.cells.clear();
+  pl.cells.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    synth::PlacedCell c;
+    c.flat_index = static_cast<int>(r.i64());
+    c.rect = decode_rect(r);
+    c.row = static_cast<int>(r.i64());
+    c.region = r.str();
+    pl.cells.push_back(std::move(c));
+  }
+  pl.overflow = r.boolean();
+  return r.ok();
+}
+
+void encode_routing_estimate(const synth::RoutingEstimate& re,
+                             serde::Writer& w) {
+  w.size(re.nets.size());
+  for (const synth::NetRoute& nr : re.nets) {
+    w.str(nr.net);
+    w.i64(nr.pins);
+    w.f64(nr.hpwl_m);
+    w.f64(nr.est_length_m);
+  }
+  w.f64(re.total_hpwl_m);
+  w.f64(re.total_est_length_m);
+  w.i64(re.congestion.nx);
+  w.i64(re.congestion.ny);
+  w.size(re.congestion.demand.size());
+  for (const double d : re.congestion.demand) w.f64(d);
+  w.f64(re.congestion.max_demand);
+  w.f64(re.congestion.mean_demand);
+  w.f64(re.wire_cap_f);
+}
+
+bool decode_routing_estimate(serde::Reader& r, synth::RoutingEstimate& re) {
+  const std::size_t n = r.size();
+  re.nets.clear();
+  re.nets.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    synth::NetRoute nr;
+    nr.net = r.str();
+    nr.pins = static_cast<int>(r.i64());
+    nr.hpwl_m = r.f64();
+    nr.est_length_m = r.f64();
+    re.nets.push_back(std::move(nr));
+  }
+  re.total_hpwl_m = r.f64();
+  re.total_est_length_m = r.f64();
+  re.congestion.nx = static_cast<int>(r.i64());
+  re.congestion.ny = static_cast<int>(r.i64());
+  const std::size_t nd = r.size();
+  re.congestion.demand.clear();
+  re.congestion.demand.reserve(nd);
+  for (std::size_t i = 0; i < nd && r.ok(); ++i) {
+    re.congestion.demand.push_back(r.f64());
+  }
+  re.congestion.max_demand = r.f64();
+  re.congestion.mean_demand = r.f64();
+  re.wire_cap_f = r.f64();
+  return r.ok();
+}
+
+void encode_maze_result(const synth::MazeRouteResult& mr, serde::Writer& w) {
+  w.size(mr.nets.size());
+  for (const synth::RoutedNet& net : mr.nets) {
+    w.str(net.name);
+    w.i64(net.pins);
+    w.size(net.paths.size());
+    for (const auto& path : net.paths) {
+      w.size(path.size());
+      for (const synth::GridPoint& gp : path) {
+        w.i64(gp.x);
+        w.i64(gp.y);
+        w.i64(gp.layer);
+      }
+    }
+    w.f64(net.wirelength_m);
+    w.i64(net.vias);
+    w.boolean(net.routed);
+  }
+  w.f64(mr.total_wirelength_m);
+  w.i64(mr.total_vias);
+  w.i64(mr.failed_nets);
+  w.i64(mr.overflowed_edges);
+  w.i64(mr.grid_x);
+  w.i64(mr.grid_y);
+}
+
+bool decode_maze_result(serde::Reader& r, synth::MazeRouteResult& mr) {
+  const std::size_t n = r.size();
+  mr.nets.clear();
+  mr.nets.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    synth::RoutedNet net;
+    net.name = r.str();
+    net.pins = static_cast<int>(r.i64());
+    const std::size_t np = r.size();
+    net.paths.reserve(np);
+    for (std::size_t j = 0; j < np && r.ok(); ++j) {
+      const std::size_t npts = r.size();
+      std::vector<synth::GridPoint> path;
+      path.reserve(npts);
+      for (std::size_t k = 0; k < npts && r.ok(); ++k) {
+        synth::GridPoint gp;
+        gp.x = static_cast<int>(r.i64());
+        gp.y = static_cast<int>(r.i64());
+        gp.layer = static_cast<int>(r.i64());
+        path.push_back(gp);
+      }
+      net.paths.push_back(std::move(path));
+    }
+    net.wirelength_m = r.f64();
+    net.vias = static_cast<int>(r.i64());
+    net.routed = r.boolean();
+    mr.nets.push_back(std::move(net));
+  }
+  mr.total_wirelength_m = r.f64();
+  mr.total_vias = static_cast<int>(r.i64());
+  mr.failed_nets = static_cast<int>(r.i64());
+  mr.overflowed_edges = static_cast<int>(r.i64());
+  mr.grid_x = static_cast<int>(r.i64());
+  mr.grid_y = static_cast<int>(r.i64());
+  return r.ok();
+}
+
+void encode_drc(const synth::DrcReport& drc, serde::Writer& w) {
+  w.size(drc.violations.size());
+  for (const synth::DrcViolation& v : drc.violations) {
+    w.u8(static_cast<std::uint8_t>(v.kind));
+    w.str(v.detail);
+  }
+}
+
+bool decode_drc(serde::Reader& r, synth::DrcReport& drc) {
+  const std::size_t n = r.size();
+  drc.violations.clear();
+  drc.violations.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    synth::DrcViolation v;
+    v.kind = static_cast<synth::DrcKind>(r.u8());
+    v.detail = r.str();
+    drc.violations.push_back(std::move(v));
+  }
+  return r.ok();
+}
+
+void encode_layout_stats(const synth::LayoutStats& st, serde::Writer& w) {
+  w.f64(st.die_area_m2);
+  w.f64(st.cell_area_m2);
+  w.f64(st.utilization);
+  w.i64(st.num_cells);
+  w.i64(st.num_rows);
+  w.i64(st.num_regions);
+}
+
+synth::LayoutStats decode_layout_stats(serde::Reader& r) {
+  synth::LayoutStats st;
+  st.die_area_m2 = r.f64();
+  st.cell_area_m2 = r.f64();
+  st.utilization = r.f64();
+  st.num_cells = static_cast<int>(r.i64());
+  st.num_rows = static_cast<int>(r.i64());
+  st.num_regions = static_cast<int>(r.i64());
+  return st;
+}
+
+/// Hierarchical design over a decoded library (lives only inside the
+/// DesignBundle codec — flat-carrying artifacts store flat form).
+void encode_design(const netlist::Design& d, serde::Writer& w) {
+  w.str(d.top());
+  w.size(d.modules().size());
+  for (const netlist::Module& mod : d.modules()) {
+    w.str(mod.name());
+    w.size(mod.ports().size());
+    for (const netlist::Port& p : mod.ports()) {
+      w.str(p.name);
+      w.u8(static_cast<std::uint8_t>(p.dir));
+    }
+    w.size(mod.nets().size());
+    for (const std::string& net : mod.nets()) w.str(net);
+    w.size(mod.instances().size());
+    for (const netlist::Instance& inst : mod.instances()) {
+      w.str(inst.name);
+      w.str(inst.master);
+      encode_string_map(inst.conn, w);
+      w.str(inst.power_domain);
+      w.str(inst.group);
+    }
+  }
+}
+
+std::shared_ptr<netlist::Design> decode_design(serde::Reader& r,
+                                               const CellLibrary* lib) {
+  auto d = std::make_shared<netlist::Design>(lib);
+  const std::string top = r.str();
+  const std::size_t nmod = r.size();
+  for (std::size_t i = 0; i < nmod && r.ok(); ++i) {
+    netlist::Module& mod = d->add_module(r.str());
+    const std::size_t nports = r.size();
+    for (std::size_t j = 0; j < nports && r.ok(); ++j) {
+      const std::string name = r.str();
+      mod.add_port(name, static_cast<PortDir>(r.u8()));
+    }
+    const std::size_t nnets = r.size();
+    for (std::size_t j = 0; j < nnets && r.ok(); ++j) {
+      mod.add_net(r.str());
+    }
+    const std::size_t ninst = r.size();
+    for (std::size_t j = 0; j < ninst && r.ok(); ++j) {
+      netlist::Instance inst;
+      inst.name = r.str();
+      inst.master = r.str();
+      if (!decode_string_map(r, inst.conn)) return nullptr;
+      inst.power_domain = r.str();
+      inst.group = r.str();
+      mod.add_instance(std::move(inst));
+    }
+  }
+  d->set_top(top);
+  return r.ok() ? d : nullptr;
+}
+
+// --- the six artifact codecs ----------------------------------------------
+
+void encode_cell_library(const CellLibrary& lib, serde::Writer& w) {
+  encode_library(lib, w);
+}
+
+std::shared_ptr<const CellLibrary> decode_cell_library(serde::Reader& r) {
+  auto lib = decode_library(r);
+  return (lib != nullptr && r.ok() && r.at_end()) ? lib : nullptr;
+}
+
+void encode_design_bundle(const DesignBundle& b, serde::Writer& w) {
+  // A bundle with nulls is never cached (the netlist stage refuses it);
+  // encode defensively anyway so a future misuse fails on decode, not UB.
+  w.boolean(b.lib != nullptr && b.design != nullptr);
+  if (b.lib == nullptr || b.design == nullptr) return;
+  encode_library(*b.lib, w);
+  encode_design(*b.design, w);
+}
+
+std::shared_ptr<const DesignBundle> decode_design_bundle(serde::Reader& r) {
+  if (!r.boolean() || !r.ok()) return nullptr;
+  auto lib = decode_library(r);
+  if (lib == nullptr) return nullptr;
+  auto design = decode_design(r, lib.get());
+  if (design == nullptr || !r.ok() || !r.at_end()) return nullptr;
+  auto b = std::make_shared<DesignBundle>();
+  b->lib = std::move(lib);
+  b->design = std::move(design);
+  return b;
+}
+
+void encode_floorplan_artifact(const synth::FloorplanStageResult& a,
+                               serde::Writer& w) {
+  encode_library(referenced_cells(a.flat), w);
+  encode_flat(a.flat, w);
+  encode_floorplan(a.fp, w);
+  w.str(a.floorplan_spec);
+}
+
+std::shared_ptr<const synth::FloorplanStageResult> decode_floorplan_artifact(
+    serde::Reader& r) {
+  auto lib = decode_library(r);
+  if (lib == nullptr) return nullptr;
+  auto a = std::make_shared<synth::FloorplanStageResult>();
+  if (!decode_flat(r, *lib, a->flat)) return nullptr;
+  if (!decode_floorplan(r, a->fp)) return nullptr;
+  a->floorplan_spec = r.str();
+  if (!r.ok() || !r.at_end()) return nullptr;
+  a->owner = std::shared_ptr<const void>(lib);
+  return a;
+}
+
+void encode_placement_artifact(const synth::Placement& pl, serde::Writer& w) {
+  encode_placement(pl, w);
+}
+
+std::shared_ptr<const synth::Placement> decode_placement_artifact(
+    serde::Reader& r) {
+  auto pl = std::make_shared<synth::Placement>();
+  if (!decode_placement(r, *pl) || !r.at_end()) return nullptr;
+  return pl;
+}
+
+void encode_synthesis_artifact(const synth::SynthesisResult& s,
+                               serde::Writer& w) {
+  w.str(s.floorplan_spec);
+  // Failed results (diagnostics, null layout) are never cached, so the
+  // persisted form carries a layout by construction; keep the flag so a
+  // hand-damaged record fails decode instead of crashing.
+  w.boolean(s.layout != nullptr);
+  if (s.layout != nullptr) {
+    encode_library(referenced_cells(s.layout->flat()), w);
+    encode_flat(s.layout->flat(), w);
+    encode_floorplan(s.layout->floorplan(), w);
+    encode_placement(s.layout->placement(), w);
+  }
+  encode_routing_estimate(s.routing, w);
+  encode_maze_result(s.detailed_routing, w);
+  encode_drc(s.drc, w);
+  encode_layout_stats(s.stats, w);
+}
+
+std::shared_ptr<const synth::SynthesisResult> decode_synthesis_artifact(
+    serde::Reader& r) {
+  auto s = std::make_shared<synth::SynthesisResult>();
+  s->floorplan_spec = r.str();
+  if (!r.boolean() || !r.ok()) return nullptr;
+  auto lib = decode_library(r);
+  if (lib == nullptr) return nullptr;
+  std::vector<FlatInstance> flat;
+  if (!decode_flat(r, *lib, flat)) return nullptr;
+  synth::Floorplan fp;
+  if (!decode_floorplan(r, fp)) return nullptr;
+  synth::Placement pl;
+  if (!decode_placement(r, pl)) return nullptr;
+  s->layout = std::make_unique<synth::Layout>(std::move(flat), std::move(fp),
+                                              std::move(pl));
+  if (!decode_routing_estimate(r, s->routing)) return nullptr;
+  if (!decode_maze_result(r, s->detailed_routing)) return nullptr;
+  if (!decode_drc(r, s->drc)) return nullptr;
+  s->stats = decode_layout_stats(r);
+  if (!r.ok() || !r.at_end()) return nullptr;
+  s->owner = std::shared_ptr<const void>(lib);
+  return s;
+}
+
+void encode_run_result(const RunResult& res, serde::Writer& w) {
+  w.f64(res.fin_hz);
+  w.f64(res.amplitude_v);
+  w.f64(res.full_scale_v);
+  w.size(res.mod.output.size());
+  for (const double v : res.mod.output) w.f64(v);
+  w.size(res.mod.counts.size());
+  for (const int v : res.mod.counts) w.i64(v);
+  w.size(res.mod.slice_bits.size());
+  for (const auto& bits : res.mod.slice_bits) {
+    w.size(bits.size());
+    std::uint8_t acc = 0;
+    int fill = 0;
+    for (const bool b : bits) {
+      acc = static_cast<std::uint8_t>(acc | ((b ? 1 : 0) << fill));
+      if (++fill == 8) {
+        w.u8(acc);
+        acc = 0;
+        fill = 0;
+      }
+    }
+    if (fill != 0) w.u8(acc);
+  }
+  w.f64(res.mod.mean_vctrlp);
+  w.f64(res.mod.mean_vctrln);
+  w.f64(res.mod.mean_freq1_hz);
+  w.f64(res.mod.mean_freq2_hz);
+  w.f64(res.mod.bit_toggle_rate);
+  w.size(res.spectrum.freq_hz.size());
+  for (const double v : res.spectrum.freq_hz) w.f64(v);
+  w.size(res.spectrum.power.size());
+  for (const double v : res.spectrum.power) w.f64(v);
+  w.size(res.spectrum.dbfs.size());
+  for (const double v : res.spectrum.dbfs) w.f64(v);
+  w.f64(res.spectrum.fs_hz);
+  w.f64(res.spectrum.bin_hz);
+  w.f64(res.spectrum.enbw_bins);
+  w.u8(static_cast<std::uint8_t>(res.spectrum.window));
+  w.f64(res.sndr.fundamental_hz);
+  w.f64(res.sndr.fundamental_dbfs);
+  w.f64(res.sndr.signal_power);
+  w.f64(res.sndr.nad_power);
+  w.f64(res.sndr.noise_power);
+  w.f64(res.sndr.distortion_power);
+  w.f64(res.sndr.sndr_db);
+  w.f64(res.sndr.snr_db);
+  w.f64(res.sndr.thd_db);
+  w.f64(res.sndr.sfdr_db);
+  w.f64(res.sndr.enob);
+  w.f64(res.shaping.db_per_decade);
+  w.f64(res.shaping.r_squared);
+  w.size(res.idle_tones.size());
+  for (const dsp::IdleTone& t : res.idle_tones) {
+    w.f64(t.freq_hz);
+    w.f64(t.dbfs);
+    w.f64(t.above_floor_db);
+  }
+  w.f64(res.power.vco_w);
+  w.f64(res.power.sampling_w);
+  w.f64(res.power.dac_drive_w);
+  w.f64(res.power.buffer_sw_w);
+  w.f64(res.power.wire_w);
+  w.f64(res.power.leakage_w);
+  w.f64(res.power.dac_static_w);
+  w.f64(res.power.buffer_bias_w);
+  w.f64(res.fom_fj);
+}
+
+std::shared_ptr<const RunResult> decode_run_result(serde::Reader& r) {
+  auto res = std::make_shared<RunResult>();
+  res->fin_hz = r.f64();
+  res->amplitude_v = r.f64();
+  res->full_scale_v = r.f64();
+  {
+    const std::size_t n = r.size();
+    res->mod.output.reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) {
+      res->mod.output.push_back(r.f64());
+    }
+  }
+  {
+    const std::size_t n = r.size();
+    res->mod.counts.reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) {
+      res->mod.counts.push_back(static_cast<int>(r.i64()));
+    }
+  }
+  {
+    const std::size_t nslices = r.size();
+    res->mod.slice_bits.reserve(nslices);
+    for (std::size_t i = 0; i < nslices && r.ok(); ++i) {
+      const std::size_t nbits = r.size();
+      std::vector<bool> bits;
+      bits.reserve(nbits);
+      std::uint8_t acc = 0;
+      for (std::size_t j = 0; j < nbits && r.ok(); ++j) {
+        if (j % 8 == 0) acc = r.u8();
+        bits.push_back(((acc >> (j % 8)) & 1) != 0);
+      }
+      res->mod.slice_bits.push_back(std::move(bits));
+    }
+  }
+  res->mod.mean_vctrlp = r.f64();
+  res->mod.mean_vctrln = r.f64();
+  res->mod.mean_freq1_hz = r.f64();
+  res->mod.mean_freq2_hz = r.f64();
+  res->mod.bit_toggle_rate = r.f64();
+  for (std::vector<double>* vec :
+       {&res->spectrum.freq_hz, &res->spectrum.power, &res->spectrum.dbfs}) {
+    const std::size_t n = r.size();
+    vec->reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) vec->push_back(r.f64());
+  }
+  res->spectrum.fs_hz = r.f64();
+  res->spectrum.bin_hz = r.f64();
+  res->spectrum.enbw_bins = r.f64();
+  res->spectrum.window = static_cast<dsp::WindowKind>(r.u8());
+  res->sndr.fundamental_hz = r.f64();
+  res->sndr.fundamental_dbfs = r.f64();
+  res->sndr.signal_power = r.f64();
+  res->sndr.nad_power = r.f64();
+  res->sndr.noise_power = r.f64();
+  res->sndr.distortion_power = r.f64();
+  res->sndr.sndr_db = r.f64();
+  res->sndr.snr_db = r.f64();
+  res->sndr.thd_db = r.f64();
+  res->sndr.sfdr_db = r.f64();
+  res->sndr.enob = r.f64();
+  res->shaping.db_per_decade = r.f64();
+  res->shaping.r_squared = r.f64();
+  {
+    const std::size_t n = r.size();
+    res->idle_tones.reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) {
+      dsp::IdleTone t;
+      t.freq_hz = r.f64();
+      t.dbfs = r.f64();
+      t.above_floor_db = r.f64();
+      res->idle_tones.push_back(t);
+    }
+  }
+  res->power.vco_w = r.f64();
+  res->power.sampling_w = r.f64();
+  res->power.dac_drive_w = r.f64();
+  res->power.buffer_sw_w = r.f64();
+  res->power.wire_w = r.f64();
+  res->power.leakage_w = r.f64();
+  res->power.dac_static_w = r.f64();
+  res->power.buffer_bias_w = r.f64();
+  res->fom_fj = r.f64();
+  if (!r.ok() || !r.at_end()) return nullptr;
+  return res;
+}
+
+}  // namespace
+
+const ArtifactCodec<CellLibrary>& cell_library_codec() {
+  static const ArtifactCodec<CellLibrary> codec{
+      "cell_library", 1, &encode_cell_library, &decode_cell_library};
+  return codec;
+}
+
+const ArtifactCodec<DesignBundle>& design_bundle_codec() {
+  static const ArtifactCodec<DesignBundle> codec{
+      "design_bundle", 1, &encode_design_bundle, &decode_design_bundle};
+  return codec;
+}
+
+const ArtifactCodec<synth::FloorplanStageResult>& floorplan_codec() {
+  static const ArtifactCodec<synth::FloorplanStageResult> codec{
+      "floorplan", 1, &encode_floorplan_artifact, &decode_floorplan_artifact};
+  return codec;
+}
+
+const ArtifactCodec<synth::Placement>& placement_codec() {
+  static const ArtifactCodec<synth::Placement> codec{
+      "placement", 1, &encode_placement_artifact, &decode_placement_artifact};
+  return codec;
+}
+
+const ArtifactCodec<synth::SynthesisResult>& synthesis_codec() {
+  static const ArtifactCodec<synth::SynthesisResult> codec{
+      "synthesis", 1, &encode_synthesis_artifact, &decode_synthesis_artifact};
+  return codec;
+}
+
+const ArtifactCodec<RunResult>& run_result_codec() {
+  static const ArtifactCodec<RunResult> codec{
+      "run_result", 1, &encode_run_result, &decode_run_result};
+  return codec;
+}
+
+}  // namespace vcoadc::core

@@ -1,0 +1,248 @@
+#include "core/artifact_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "core/serde.h"
+#include "util/strings.h"
+
+#if defined(_WIN32)
+#include <process.h>
+#define VCOADC_GETPID _getpid
+#else
+#include <unistd.h>
+#define VCOADC_GETPID ::getpid
+#endif
+
+namespace vcoadc::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44414356u;  // "VCAD" little-endian
+constexpr std::uint32_t kContainerVersion = 1;
+
+// Framing overhead without the type tag's characters: magic + container
+// version + key-format version + key echo + tag length + type version +
+// payload size + trailing checksum.
+constexpr std::size_t kFixedFrameBytes = 4 + 4 + 8 + 16 + 8 + 4 + 8 + 8;
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Reads a whole file; false on open/read failure.
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  if (len < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<std::size_t>(len));
+  const std::size_t got =
+      len > 0 ? std::fread(out->data(), 1, out->size(), f) : 0;
+  std::fclose(f);
+  return got == out->size();
+}
+
+bool write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t put =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  return put == bytes.size() && flushed;
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  ok_ = !ec && fs::is_directory(dir_, ec) && !ec;
+}
+
+void ArtifactStore::warn(util::DiagSink* diag, const std::string& item,
+                         std::string reason) const {
+  if (diag != nullptr) {
+    diag->add(util::Diagnostic{util::Severity::kWarning, "artifact_store",
+                               item, std::move(reason)});
+  }
+}
+
+std::string ArtifactStore::path_for(const CacheKey& key) const {
+  const std::string hex = key.hex();
+  return dir_ + "/" + hex.substr(0, 2) + "/" + hex + ".art";
+}
+
+bool ArtifactStore::save(const CacheKey& key, std::string_view type_tag,
+                         std::uint32_t type_version,
+                         const std::vector<std::uint8_t>& payload,
+                         util::DiagSink* diag) {
+  const std::string final_path = path_for(key);
+  auto fail = [&](std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.write_failures;
+    }
+    warn(diag, key.hex(), std::move(reason));
+    return false;
+  };
+  if (!ok_) return fail("store root is unusable: " + dir_);
+
+  serde::Writer w;
+  w.u32(kMagic);
+  w.u32(kContainerVersion);
+  w.u64(kKeyFormatVersion);
+  w.u64(key.lo);
+  w.u64(key.hi);
+  w.str(type_tag);
+  w.u32(type_version);
+  w.u64(payload.size());
+  std::vector<std::uint8_t> record = w.take();
+  record.insert(record.end(), payload.begin(), payload.end());
+  {
+    serde::Writer trailer;
+    trailer.u64(fnv1a64(record.data(), record.size()));
+    const auto& t = trailer.bytes();
+    record.insert(record.end(), t.begin(), t.end());
+  }
+
+  std::uint64_t serial = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    serial = ++tmp_counter_;
+  }
+  // Unique temp name per (process, attempt): concurrent writers never
+  // share a temp file, and the final rename is atomic, so a reader sees
+  // either a complete old record or a complete new one.
+  const std::string tmp_path = util::format(
+      "%s.tmp.%d.%llu", final_path.c_str(),
+      static_cast<int>(VCOADC_GETPID()),
+      static_cast<unsigned long long>(serial));
+
+  std::error_code ec;
+  fs::create_directories(fs::path(final_path).parent_path(), ec);
+  if (ec) return fail("cannot create shard directory: " + ec.message());
+  if (!write_file(tmp_path, record)) {
+    fs::remove(tmp_path, ec);
+    return fail("write failed: " + tmp_path);
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return fail("rename failed: " + ec.message());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.writes;
+    stats_.bytes_written += record.size();
+  }
+  return true;
+}
+
+bool ArtifactStore::load(const CacheKey& key, std::string_view type_tag,
+                         std::uint32_t type_version,
+                         std::vector<std::uint8_t>* payload,
+                         util::DiagSink* diag) {
+  enum class Miss { kAbsent, kCorrupt, kVersionSkew };
+  auto miss = [&](Miss why, std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      if (why == Miss::kAbsent) ++stats_.absent;
+      if (why == Miss::kCorrupt) ++stats_.corrupt;
+      if (why == Miss::kVersionSkew) ++stats_.version_skew;
+    }
+    if (why != Miss::kAbsent) warn(diag, key.hex(), std::move(reason));
+    return false;
+  };
+
+  std::vector<std::uint8_t> record;
+  if (!ok_ || !read_file(path_for(key), &record)) {
+    return miss(Miss::kAbsent, {});
+  }
+  if (record.size() < kFixedFrameBytes) {
+    return miss(Miss::kCorrupt, "record truncated below frame size");
+  }
+  // Checksum first: nothing in a corrupted record can be trusted, not
+  // even its version fields.
+  serde::Reader trailer(record.data() + record.size() - 8, 8);
+  if (trailer.u64() != fnv1a64(record.data(), record.size() - 8)) {
+    return miss(Miss::kCorrupt, "checksum mismatch (corrupt record)");
+  }
+  serde::Reader r(record.data(), record.size() - 8);
+  if (r.u32() != kMagic) {
+    return miss(Miss::kCorrupt, "bad magic (not an artifact record)");
+  }
+  if (const std::uint32_t v = r.u32(); v != kContainerVersion) {
+    return miss(Miss::kVersionSkew,
+                util::format("container version %u, want %u", v,
+                             kContainerVersion));
+  }
+  if (const std::uint64_t v = r.u64(); v != kKeyFormatVersion) {
+    return miss(Miss::kVersionSkew,
+                util::format("key format version %llu, want %llu",
+                             static_cast<unsigned long long>(v),
+                             static_cast<unsigned long long>(
+                                 kKeyFormatVersion)));
+  }
+  if (r.u64() != key.lo || r.u64() != key.hi) {
+    return miss(Miss::kCorrupt, "key echo mismatch (misfiled record)");
+  }
+  if (const std::string tag = r.str(); tag != type_tag) {
+    return miss(Miss::kCorrupt,
+                "type tag '" + tag + "' where '" + std::string(type_tag) +
+                    "' was expected (stage-tag bug?)");
+  }
+  if (const std::uint32_t v = r.u32(); v != type_version) {
+    return miss(Miss::kVersionSkew,
+                util::format("type format version %u, want %u", v,
+                             type_version));
+  }
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n != r.remaining()) {
+    return miss(Miss::kCorrupt, "payload size disagrees with record size");
+  }
+  payload->assign(record.end() - 8 - static_cast<std::ptrdiff_t>(n),
+                  record.end() - 8);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    stats_.bytes_read += record.size();
+  }
+  return true;
+}
+
+void ArtifactStore::note_decode_failure(const CacheKey& key,
+                                        std::string_view type_tag,
+                                        util::DiagSink* diag) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stats_.hits > 0) --stats_.hits;
+    ++stats_.misses;
+    ++stats_.corrupt;
+  }
+  warn(diag, key.hex(),
+       "payload failed to decode as '" + std::string(type_tag) +
+           "'; rebuilding");
+}
+
+ArtifactStoreStats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace vcoadc::core

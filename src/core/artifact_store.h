@@ -1,0 +1,112 @@
+// ArtifactStore: the disk-backed second tier under the in-process
+// ArtifactCache.
+//
+// The cache makes warm re-runs inside one process ~free; the store makes
+// them free across processes. Every record is addressed by the same
+// 128-bit content-hash key the cache uses, serialized in the canonical
+// field-tag/little-endian form (see serde.h) and framed with a header that
+// folds in kKeyFormatVersion plus a per-artifact-type tag and format
+// version, so a record can never be deserialized as the wrong type or
+// against stale semantics.
+//
+// Durability policy:
+//   - writes are write-then-rename: a record is either fully present or
+//     absent, never torn, even with concurrent writers (last one wins,
+//     and all writers of one key write identical bytes by construction);
+//   - loads verify a whole-record checksum before any field is trusted;
+//   - every failure mode (absent, truncated, corrupted, wrong version,
+//     wrong type tag) degrades to a miss — the stage rebuilds — with a
+//     kWarning Diagnostic for the non-absent cases; the store never
+//     throws across its boundary and never crashes the flow.
+//
+// On-disk layout: <dir>/<first-2-hex-of-key>/<32-hex-key>.art
+// Record framing (all little-endian, via serde::Writer):
+//   u32  magic 'VCAD'             u32  container version (kContainerVersion)
+//   u64  kKeyFormatVersion        u64  key.lo       u64 key.hi
+//   str  type_tag                 u32  type_version
+//   u64  payload size             ...  payload bytes
+//   u64  FNV-1a-64 checksum over every preceding record byte
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/artifact_cache.h"
+#include "util/diag.h"
+
+namespace vcoadc::core {
+
+struct ArtifactStoreStats {
+  std::uint64_t hits = 0;    ///< loads served from disk
+  std::uint64_t misses = 0;  ///< loads with no usable record
+  // Miss breakdown (misses == absent + corrupt + version_skew):
+  std::uint64_t absent = 0;        ///< no record on disk (the normal miss)
+  std::uint64_t corrupt = 0;       ///< checksum/framing/decode failure
+  std::uint64_t version_skew = 0;  ///< container/key-format/type version
+  std::uint64_t writes = 0;
+  std::uint64_t write_failures = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double hit_rate() const {
+    const double n = static_cast<double>(hits + misses);
+    return n > 0 ? static_cast<double>(hits) / n : 0.0;
+  }
+};
+
+/// Key-addressed persistent byte store. Thread-safe; cheap to construct
+/// (one mkdir). Typed encode/decode lives in artifact_serde.h — the store
+/// itself only frames, checksums and atomically persists raw payloads,
+/// which keeps it self-contained enough for the sanitizer test variants.
+class ArtifactStore {
+ public:
+  /// Opens (creating directories as needed) the store rooted at `dir`.
+  /// A root that cannot be created leaves the store in a degraded state:
+  /// every load is an absent-miss and every save a write_failure.
+  explicit ArtifactStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  bool ok() const { return ok_; }
+
+  /// Persists `payload` under (key, type_tag, type_version) atomically.
+  /// Returns false (and emits a kWarning through `diag` when given) on
+  /// any I/O failure; the previous record, if any, stays intact.
+  bool save(const CacheKey& key, std::string_view type_tag,
+            std::uint32_t type_version,
+            const std::vector<std::uint8_t>& payload,
+            util::DiagSink* diag = nullptr);
+
+  /// Loads the payload for (key, type_tag, type_version). Returns false on
+  /// a miss: absent records silently, corrupt/version-skewed/mistagged
+  /// records with a kWarning through `diag`. Never throws.
+  bool load(const CacheKey& key, std::string_view type_tag,
+            std::uint32_t type_version, std::vector<std::uint8_t>* payload,
+            util::DiagSink* diag = nullptr);
+
+  /// Demotes an already-counted hit to a corrupt-miss: called by the flow
+  /// when a record's frame verified but its payload failed to decode (the
+  /// codec rejected it), so the stats still satisfy "hits == stage builds
+  /// actually avoided".
+  void note_decode_failure(const CacheKey& key, std::string_view type_tag,
+                           util::DiagSink* diag = nullptr);
+
+  /// Final path of the record for `key` (exposed for tests that corrupt
+  /// or inspect records directly).
+  std::string path_for(const CacheKey& key) const;
+
+  ArtifactStoreStats stats() const;
+
+ private:
+  void warn(util::DiagSink* diag, const std::string& item,
+            std::string reason) const;
+
+  std::string dir_;
+  bool ok_ = false;
+  mutable std::mutex mutex_;  ///< guards stats_ and tmp_counter_
+  ArtifactStoreStats stats_;
+  std::uint64_t tmp_counter_ = 0;
+};
+
+}  // namespace vcoadc::core

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/driver_impl.h"
+#include "core/eval.h"
 #include "core/flow.h"
 #include "util/strings.h"
 #include "util/trace.h"
@@ -9,13 +11,11 @@
 
 namespace vcoadc::core {
 
-Datasheet generate_datasheet(const AdcSpec& spec,
-                             const DatasheetOptions& opts) {
+Datasheet detail::datasheet_impl(const ExecContext& ctx, const AdcSpec& spec,
+                                 const DatasheetOptions& opts) {
   Datasheet ds;
   ds.spec = spec;
 
-  ExecContext ctx = opts.exec;
-  ctx.threads = ctx.resolve_threads(opts.threads);
   Flow flow(ctx);
 
   AdcDesign adc(spec, ctx);
@@ -64,12 +64,21 @@ Datasheet generate_datasheet(const AdcSpec& spec,
     mc.runs = opts.mc_runs;
     mc.sim.n_samples = std::min<std::size_t>(opts.n_samples, 1 << 13);
     mc.sim.fin_target_hz = sim.fin_target_hz;
-    mc.exec = ctx;
-    // Reuse the design built above instead of reconstructing it per run.
-    ds.mc = monte_carlo_sndr(adc, mc);
+    // Reuse the design built above instead of reconstructing it per run;
+    // calling the impl directly keeps this one evaluate() request.
+    ds.mc = detail::monte_carlo_impl(ctx, adc, mc);
   }
   ds.complete = true;
   return ds;
+}
+
+Datasheet generate_datasheet(const AdcSpec& spec,
+                             const DatasheetOptions& opts) {
+  EvalRequest req;
+  req.kind = EvalKind::kDatasheet;
+  req.spec = spec;
+  req.datasheet = opts;
+  return std::move(evaluate(req, opts.exec).datasheet);
 }
 
 std::string Datasheet::render() const {

@@ -22,8 +22,6 @@ struct DatasheetOptions {
   /// Execution environment; the datasheet's synthesis, nominal run and MC
   /// batch all execute as stages of the flow graph, sharing its cache.
   ExecContext exec;
-  /// DEPRECATED: forwards to exec.threads; honored when set (!= 0).
-  int threads = 0;
 };
 
 struct Datasheet {
@@ -45,9 +43,10 @@ struct Datasheet {
   std::string render() const;
 };
 
-/// Runs the full flow for a spec. Never aborts: a spec the validators
-/// reject yields an incomplete datasheet (complete == false) plus
-/// diagnostics through opts.exec.
+/// Runs the full flow for a spec — a thin shim over
+/// core::evaluate(EvalKind::kDatasheet). Never aborts: a spec the
+/// validators reject yields an incomplete datasheet (complete == false)
+/// plus diagnostics through opts.exec.
 Datasheet generate_datasheet(const AdcSpec& spec,
                              const DatasheetOptions& opts = {});
 

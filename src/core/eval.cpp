@@ -1,0 +1,397 @@
+#include "core/eval.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "core/driver_impl.h"
+
+namespace vcoadc::core {
+
+namespace json = util::json;
+
+const char* eval_kind_name(EvalKind kind) {
+  switch (kind) {
+    case EvalKind::kDatasheet:
+      return "datasheet";
+    case EvalKind::kMonteCarlo:
+      return "monte_carlo";
+    case EvalKind::kCornerSweep:
+      return "corner_sweep";
+    case EvalKind::kSynthesize:
+      return "synthesize";
+    case EvalKind::kMigrate:
+      return "migrate";
+    case EvalKind::kOptimize:
+      return "optimize";
+  }
+  return "?";
+}
+
+bool eval_kind_from_name(std::string_view name, EvalKind* out) {
+  for (EvalKind k :
+       {EvalKind::kDatasheet, EvalKind::kMonteCarlo, EvalKind::kCornerSweep,
+        EvalKind::kSynthesize, EvalKind::kMigrate, EvalKind::kOptimize}) {
+    if (name == eval_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+EvalResponse evaluate(const EvalRequest& req, const ExecContext& ctx) {
+  EvalResponse resp;
+  resp.kind = req.kind;
+  resp.id = req.id;
+
+  // Every stage of this request reports into a request-local sink, so the
+  // response carries its own complete diagnostic record even when the
+  // caller's context has a sink of its own (the serve loop depends on
+  // per-request isolation).
+  util::DiagSink local;
+  ExecContext sub = ctx;
+  sub.diag = &local;
+
+  switch (req.kind) {
+    case EvalKind::kDatasheet: {
+      resp.datasheet = detail::datasheet_impl(sub, req.spec, req.datasheet);
+      resp.ok = resp.datasheet.complete;
+      break;
+    }
+    case EvalKind::kMonteCarlo: {
+      const AdcDesign design(req.spec, sub);
+      resp.monte_carlo =
+          detail::monte_carlo_impl(sub, design, req.monte_carlo);
+      resp.ok = design.ok() && !local.has_errors();
+      break;
+    }
+    case EvalKind::kCornerSweep: {
+      const AdcDesign design(req.spec, sub);
+      resp.corners =
+          detail::corner_sweep_impl(sub, design, req.corners.n_samples);
+      resp.ok = design.ok() && !local.has_errors();
+      break;
+    }
+    case EvalKind::kSynthesize: {
+      Flow flow(sub);
+      resp.synthesis = flow.synthesis(req.spec, req.synthesis);
+      resp.ok = resp.synthesis != nullptr && resp.synthesis->layout != nullptr;
+      break;
+    }
+    case EvalKind::kMigrate: {
+      MigratedDesign m =
+          detail::migrate_impl(sub, req.spec, req.migrate_target_node_nm);
+      resp.ok = m.target_lib != nullptr;
+      resp.migrated = std::make_shared<const MigratedDesign>(std::move(m));
+      break;
+    }
+    case EvalKind::kOptimize: {
+      resp.optimize =
+          detail::optimize_impl(sub, req.optimize_target, req.optimize);
+      resp.ok = !local.has_errors();
+      break;
+    }
+  }
+
+  resp.diagnostics = local.all();
+  // Re-emit through the caller's context: everything into its sink when it
+  // has one; otherwise only errors to stderr — a refused request is never
+  // silent, but a healthy serve loop's stderr stays quiet.
+  if (ctx.diag != nullptr) {
+    ctx.diag->add_all(resp.diagnostics);
+  } else {
+    for (const util::Diagnostic& d : resp.diagnostics) {
+      if (d.severity == util::Severity::kError) {
+        std::fprintf(stderr, "vcoadc: %s\n", d.to_string().c_str());
+      }
+    }
+  }
+  return resp;
+}
+
+// --- JSON bridging --------------------------------------------------------
+
+namespace {
+
+void spec_from_json(const json::Value& v, AdcSpec* spec) {
+  if (const json::Value* x = v.find("node")) {
+    spec->node_nm = x->number_or(spec->node_nm);
+  }
+  if (const json::Value* x = v.find("slices")) {
+    spec->num_slices = static_cast<int>(x->number_or(spec->num_slices));
+  }
+  if (const json::Value* x = v.find("fs")) {
+    spec->fs_hz = x->number_or(spec->fs_hz);
+  }
+  if (const json::Value* x = v.find("bw")) {
+    spec->bandwidth_hz = x->number_or(spec->bandwidth_hz);
+  }
+  if (const json::Value* x = v.find("loop_gain")) {
+    spec->loop_gain = x->number_or(spec->loop_gain);
+  }
+  if (const json::Value* x = v.find("dac_fragments")) {
+    spec->dac_fragments = static_cast<int>(x->number_or(spec->dac_fragments));
+  }
+  if (const json::Value* x = v.find("vco_center_over_fs")) {
+    spec->vco_center_over_fs = x->number_or(spec->vco_center_over_fs);
+  }
+  if (const json::Value* x = v.find("with_nonidealities")) {
+    spec->with_nonidealities = x->bool_or(spec->with_nonidealities);
+  }
+  if (const json::Value* x = v.find("seed")) {
+    spec->seed = static_cast<std::uint64_t>(
+        x->number_or(static_cast<double>(spec->seed)));
+  }
+  if (const json::Value* pvt = v.find("pvt"); pvt != nullptr) {
+    if (const json::Value* x = pvt->find("process")) {
+      spec->pvt.process = x->number_or(spec->pvt.process);
+    }
+    if (const json::Value* x = pvt->find("voltage")) {
+      spec->pvt.voltage = x->number_or(spec->pvt.voltage);
+    }
+    if (const json::Value* x = pvt->find("temperature_k")) {
+      spec->pvt.temperature_k = x->number_or(spec->pvt.temperature_k);
+    }
+  }
+}
+
+double opt_number(const json::Value* obj, const char* key, double fallback) {
+  if (obj == nullptr) return fallback;
+  const json::Value* x = obj->find(key);
+  return x != nullptr ? x->number_or(fallback) : fallback;
+}
+
+json::Value spec_to_json(const AdcSpec& spec) {
+  json::Value v = json::Value::make_object();
+  v.set("node", json::Value::make_number(spec.node_nm));
+  v.set("slices", json::Value::make_number(spec.num_slices));
+  v.set("fs", json::Value::make_number(spec.fs_hz));
+  v.set("bw", json::Value::make_number(spec.bandwidth_hz));
+  return v;
+}
+
+json::Value mc_to_json(const MonteCarloResult& mc) {
+  json::Value v = json::Value::make_object();
+  v.set("runs",
+        json::Value::make_number(static_cast<double>(mc.sndr_db.size())));
+  v.set("mean_db", json::Value::make_number(mc.mean_db));
+  v.set("stddev_db", json::Value::make_number(mc.stddev_db));
+  v.set("min_db", json::Value::make_number(mc.min_db));
+  v.set("max_db", json::Value::make_number(mc.max_db));
+  json::Value runs = json::Value::make_array();
+  for (const double s : mc.sndr_db) runs.push(json::Value::make_number(s));
+  v.set("sndr_db", std::move(runs));
+  return v;
+}
+
+}  // namespace
+
+bool eval_request_from_json(const json::Value& v, EvalRequest* out,
+                            std::string* error) {
+  if (!v.is_object()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+  const json::Value* cmd = v.find("cmd");
+  if (cmd == nullptr || !cmd->is_string()) {
+    *error = "request is missing a string \"cmd\"";
+    return false;
+  }
+  EvalRequest req;
+  if (!eval_kind_from_name(cmd->string, &req.kind)) {
+    *error = "unknown cmd \"" + cmd->string +
+             "\" (want datasheet|monte_carlo|corner_sweep|synthesize|"
+             "migrate|optimize)";
+    return false;
+  }
+  if (const json::Value* id = v.find("id")) {
+    req.id = id->is_string() ? id->string : json::dump(*id);
+  }
+  if (const json::Value* spec = v.find("spec")) {
+    if (!spec->is_object()) {
+      *error = "\"spec\" must be an object";
+      return false;
+    }
+    spec_from_json(*spec, &req.spec);
+  }
+  const json::Value* o = v.find("options");
+  if (o != nullptr && !o->is_object()) {
+    *error = "\"options\" must be an object";
+    return false;
+  }
+  switch (req.kind) {
+    case EvalKind::kDatasheet:
+      req.datasheet.n_samples = static_cast<std::size_t>(opt_number(
+          o, "n_samples", static_cast<double>(req.datasheet.n_samples)));
+      req.datasheet.mc_runs =
+          static_cast<int>(opt_number(o, "mc_runs", req.datasheet.mc_runs));
+      break;
+    case EvalKind::kMonteCarlo:
+      req.monte_carlo.runs =
+          static_cast<int>(opt_number(o, "runs", req.monte_carlo.runs));
+      req.monte_carlo.sim.n_samples = static_cast<std::size_t>(
+          opt_number(o, "n_samples",
+                     static_cast<double>(req.monte_carlo.sim.n_samples)));
+      req.monte_carlo.sim.fin_target_hz = opt_number(
+          o, "fin", req.monte_carlo.sim.fin_target_hz);
+      req.monte_carlo.sim.amplitude_dbfs = opt_number(
+          o, "amplitude_dbfs", req.monte_carlo.sim.amplitude_dbfs);
+      req.monte_carlo.seed0 = static_cast<std::uint64_t>(opt_number(
+          o, "seed0", static_cast<double>(req.monte_carlo.seed0)));
+      break;
+    case EvalKind::kCornerSweep:
+      req.corners.n_samples = static_cast<std::size_t>(opt_number(
+          o, "n_samples", static_cast<double>(req.corners.n_samples)));
+      break;
+    case EvalKind::kSynthesize:
+      req.synthesis.target_utilization = opt_number(
+          o, "target_utilization", req.synthesis.target_utilization);
+      req.synthesis.aspect_ratio =
+          opt_number(o, "aspect_ratio", req.synthesis.aspect_ratio);
+      req.synthesis.seed = static_cast<std::uint64_t>(opt_number(
+          o, "seed", static_cast<double>(req.synthesis.seed)));
+      if (o != nullptr) {
+        if (const json::Value* x = o->find("detailed_route")) {
+          req.synthesis.detailed_route =
+              x->bool_or(req.synthesis.detailed_route);
+        }
+      }
+      break;
+    case EvalKind::kMigrate:
+      req.migrate_target_node_nm =
+          opt_number(o, "target_node", req.migrate_target_node_nm);
+      break;
+    case EvalKind::kOptimize:
+      req.optimize_target.node_nm =
+          opt_number(o, "node", req.optimize_target.node_nm);
+      req.optimize_target.min_sndr_db =
+          opt_number(o, "min_sndr_db", req.optimize_target.min_sndr_db);
+      req.optimize_target.bandwidth_hz =
+          opt_number(o, "bandwidth_hz", req.optimize_target.bandwidth_hz);
+      req.optimize_target.margin_db =
+          opt_number(o, "margin_db", req.optimize_target.margin_db);
+      req.optimize.n_samples = static_cast<std::size_t>(opt_number(
+          o, "n_samples", static_cast<double>(req.optimize.n_samples)));
+      req.optimize.seed = static_cast<std::uint64_t>(
+          opt_number(o, "seed", static_cast<double>(req.optimize.seed)));
+      break;
+  }
+  *out = std::move(req);
+  return true;
+}
+
+json::Value diagnostics_to_json(const std::vector<util::Diagnostic>& diags) {
+  json::Value arr = json::Value::make_array();
+  for (const util::Diagnostic& d : diags) {
+    json::Value v = json::Value::make_object();
+    v.set("severity",
+          json::Value::make_string(util::severity_name(d.severity)));
+    v.set("stage", json::Value::make_string(d.stage));
+    v.set("item", json::Value::make_string(d.item));
+    v.set("reason", json::Value::make_string(d.reason));
+    arr.push(std::move(v));
+  }
+  return arr;
+}
+
+json::Value eval_result_to_json(const EvalResponse& resp) {
+  json::Value v = json::Value::make_object();
+  switch (resp.kind) {
+    case EvalKind::kDatasheet: {
+      const Datasheet& ds = resp.datasheet;
+      v.set("complete", json::Value::make_bool(ds.complete));
+      v.set("sndr_db", json::Value::make_number(ds.nominal.sndr.sndr_db));
+      v.set("snr_db", json::Value::make_number(ds.nominal.sndr.snr_db));
+      v.set("sfdr_db", json::Value::make_number(ds.nominal.sndr.sfdr_db));
+      v.set("enob", json::Value::make_number(ds.nominal.sndr.enob));
+      v.set("shaping_db_per_dec",
+            json::Value::make_number(ds.nominal.shaping.db_per_decade));
+      v.set("power_w", json::Value::make_number(ds.nominal.power.total_w()));
+      v.set("fom_fj", json::Value::make_number(ds.nominal.fom_fj));
+      v.set("area_mm2", json::Value::make_number(ds.area_mm2));
+      v.set("cells", json::Value::make_number(ds.layout.num_cells));
+      v.set("drc_violations", json::Value::make_number(
+                                  static_cast<double>(ds.drc.violations.size())));
+      v.set("slack_ps", json::Value::make_number(ds.timing.slack_s * 1e12));
+      v.set("power_grid_clean",
+            json::Value::make_bool(ds.power_grid.clean()));
+      if (!ds.mc.sndr_db.empty()) v.set("mc", mc_to_json(ds.mc));
+      break;
+    }
+    case EvalKind::kMonteCarlo:
+      v = mc_to_json(resp.monte_carlo);
+      break;
+    case EvalKind::kCornerSweep: {
+      json::Value arr = json::Value::make_array();
+      for (const CornerResult& c : resp.corners) {
+        json::Value cv = json::Value::make_object();
+        cv.set("name", json::Value::make_string(c.name));
+        cv.set("process", json::Value::make_number(c.pvt.process));
+        cv.set("voltage", json::Value::make_number(c.pvt.voltage));
+        cv.set("temperature_k",
+               json::Value::make_number(c.pvt.temperature_k));
+        cv.set("sndr_db", json::Value::make_number(c.sndr_db));
+        cv.set("power_w", json::Value::make_number(c.power_w));
+        arr.push(std::move(cv));
+      }
+      v.set("corners", std::move(arr));
+      break;
+    }
+    case EvalKind::kSynthesize: {
+      if (resp.synthesis == nullptr) break;
+      const synth::SynthesisResult& s = *resp.synthesis;
+      v.set("cells", json::Value::make_number(s.stats.num_cells));
+      v.set("regions", json::Value::make_number(s.stats.num_regions));
+      v.set("die_area_mm2",
+            json::Value::make_number(s.stats.die_area_m2 * 1e6));
+      v.set("utilization", json::Value::make_number(s.stats.utilization));
+      v.set("wirelength_um", json::Value::make_number(
+                                 s.detailed_routing.total_wirelength_m * 1e6));
+      v.set("vias", json::Value::make_number(s.detailed_routing.total_vias));
+      v.set("failed_nets",
+            json::Value::make_number(s.detailed_routing.failed_nets));
+      v.set("overflowed_edges",
+            json::Value::make_number(s.detailed_routing.overflowed_edges));
+      v.set("drc_violations", json::Value::make_number(
+                                  static_cast<double>(s.drc.violations.size())));
+      v.set("wire_cap_f", json::Value::make_number(s.routing.wire_cap_f));
+      break;
+    }
+    case EvalKind::kMigrate: {
+      if (resp.migrated == nullptr) break;
+      const MigratedDesign& m = *resp.migrated;
+      v.set("exact_matches",
+            json::Value::make_number(m.result.exact_matches));
+      v.set("nearest_matches",
+            json::Value::make_number(m.result.nearest_matches));
+      v.set("remapped", json::Value::make_number(
+                            static_cast<double>(m.result.remapped.size())));
+      json::Value un = json::Value::make_array();
+      for (const std::string& fn : m.result.unmappable) {
+        un.push(json::Value::make_string(fn));
+      }
+      v.set("unmappable", std::move(un));
+      break;
+    }
+    case EvalKind::kOptimize: {
+      const OptimizeResult& r = resp.optimize;
+      v.set("found", json::Value::make_bool(r.best.has_value()));
+      if (r.best.has_value()) v.set("best", spec_to_json(*r.best));
+      v.set("best_power_w", json::Value::make_number(r.best_power_w));
+      v.set("best_sndr_db", json::Value::make_number(r.best_sndr_db));
+      v.set("evaluated", json::Value::make_number(
+                             static_cast<double>(r.evaluated.size())));
+      break;
+    }
+  }
+  return v;
+}
+
+std::string eval_result_fingerprint(const json::Value& result) {
+  KeyHasher h;
+  h.tag("eval_result");
+  h.str(json::dump(result));
+  return h.digest().hex();
+}
+
+}  // namespace vcoadc::core

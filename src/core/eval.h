@@ -1,0 +1,124 @@
+// The unified evaluation service: one request/response entry point over
+// every flow driver.
+//
+// Each driver (datasheet, Monte Carlo, corner sweep, synthesis, migration,
+// spec optimization) used to be its own free function with its own
+// (spec|design, options) signature. They still exist — as thin wrappers —
+// but all of them now funnel through core::evaluate(EvalRequest,
+// ExecContext): one place that owns the shared semantics (validation
+// order, diagnostic routing, cache/store use, ok-ness), and the seam the
+// CLI's server mode speaks NDJSON through.
+//
+// EvalRequest is a tagged union over the driver request kinds, embedding
+// the existing per-driver options structs unchanged; `kind` selects which
+// members are read. The ExecContext passed to evaluate() is authoritative
+// for execution knobs — any ExecContext embedded in an options struct
+// (e.g. MonteCarloOptions::exec) is ignored by evaluate(), so a server can
+// run every request on one shared warm context.
+//
+// Diagnostics: evaluate() collects every stage diagnostic of the request
+// into EvalResponse::diagnostics (for the structured response), then
+// re-emits them through the caller's context — all of them into ctx.diag
+// when a sink is attached, otherwise only errors to stderr (the repo-wide
+// never-silent policy; warnings without a sink would be noise in a serve
+// loop's stderr).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/datasheet.h"
+#include "core/flow.h"
+#include "core/monte_carlo.h"
+#include "core/optimizer.h"
+#include "util/json.h"
+
+namespace vcoadc::core {
+
+enum class EvalKind {
+  kDatasheet,
+  kMonteCarlo,
+  kCornerSweep,
+  kSynthesize,
+  kMigrate,
+  kOptimize,
+};
+
+/// Wire name of a kind ("datasheet", "monte_carlo", "corner_sweep",
+/// "synthesize", "migrate", "optimize").
+const char* eval_kind_name(EvalKind kind);
+
+/// Inverse of eval_kind_name; false when `name` matches no kind.
+bool eval_kind_from_name(std::string_view name, EvalKind* out);
+
+/// Corner sweeps had no options struct before the unified API; this one
+/// exists so every request kind is (spec, options)-shaped.
+struct CornerSweepOptions {
+  std::size_t n_samples = 1 << 13;
+};
+
+/// One driver request. `kind` selects which option members are read;
+/// unused members stay default-constructed and are never touched.
+struct EvalRequest {
+  EvalKind kind = EvalKind::kDatasheet;
+  /// Caller correlation tag, echoed verbatim into the response (the serve
+  /// loop uses it to match NDJSON responses to requests).
+  std::string id;
+  AdcSpec spec;
+
+  DatasheetOptions datasheet;         // kDatasheet
+  MonteCarloOptions monte_carlo;      // kMonteCarlo
+  CornerSweepOptions corners;         // kCornerSweep
+  synth::SynthesisOptions synthesis;  // kSynthesize
+  double migrate_target_node_nm = 180;  // kMigrate
+  OptimizeTarget optimize_target;     // kOptimize (spec is unused)
+  OptimizeOptions optimize;           // kOptimize
+};
+
+/// The matching response. Exactly the member selected by `kind` is
+/// populated; `ok` means the driver ran to completion on valid input
+/// (datasheet complete, design built, layout produced, target library
+/// resolved — the same conditions the legacy drivers signalled ad hoc).
+struct EvalResponse {
+  EvalKind kind = EvalKind::kDatasheet;
+  std::string id;
+  bool ok = false;
+  /// Every diagnostic any stage of this request reported, in order.
+  std::vector<util::Diagnostic> diagnostics;
+
+  Datasheet datasheet;                // kDatasheet
+  MonteCarloResult monte_carlo;       // kMonteCarlo
+  std::vector<CornerResult> corners;  // kCornerSweep
+  std::shared_ptr<const synth::SynthesisResult> synthesis;  // kSynthesize
+  std::shared_ptr<const MigratedDesign> migrated;           // kMigrate
+  OptimizeResult optimize;            // kOptimize
+};
+
+/// Runs one request on `ctx`. Never throws; invalid input yields
+/// ok == false plus diagnostics (in the response and via ctx).
+EvalResponse evaluate(const EvalRequest& req, const ExecContext& ctx);
+
+// --- JSON bridging (the serve protocol's vocabulary) ----------------------
+
+/// Parses a request object: {"cmd": <kind name>, "id": ..., "spec":
+/// {node,slices,fs,bw,...}, "options": {...}}. Unknown keys are ignored
+/// (forward compatibility); a missing/unknown "cmd" or a non-object is an
+/// error. False on error with a human-readable reason in `*error`.
+bool eval_request_from_json(const util::json::Value& v, EvalRequest* out,
+                            std::string* error);
+
+/// Renders the kind-selected result as a JSON object (summary numbers, not
+/// full waveforms: spectra and per-run outputs stay process-side).
+util::json::Value eval_result_to_json(const EvalResponse& resp);
+
+util::json::Value diagnostics_to_json(
+    const std::vector<util::Diagnostic>& diags);
+
+/// Stable 128-bit hex fingerprint of a rendered result — what the serve
+/// protocol reports as "result_fp" so two processes can assert
+/// bit-identical results without shipping the full artifacts.
+std::string eval_result_fingerprint(const util::json::Value& result);
+
+}  // namespace vcoadc::core

@@ -1,17 +1,14 @@
 // ExecContext: the one execution-environment knob bundle threaded through
 // every flow driver (Monte Carlo, corner sweeps, datasheets, synthesis,
-// the optimizer, benches and the CLI).
-//
-// Before the stage graph, each driver carried its own copy of the same
-// three knobs — MonteCarloOptions.threads, DatasheetOptions.threads,
-// SynthesisOptions.route_threads — plus ad-hoc seed plumbing. They are
-// folded here; the old fields remain as deprecated forwarding members
-// (honored when explicitly set) so existing call sites keep compiling.
+// the optimizer, core::evaluate, benches and the CLI). It is the single
+// source of truth for execution knobs — the per-driver thread forwarders
+// that once shadowed `threads` are gone.
 //
 // None of these fields participate in artifact cache keys: thread count,
-// trace sink and cache pointer must never change result bytes (the
-// engine's determinism contract), so two runs that differ only in
-// ExecContext share every cached artifact.
+// trace sink, cache and store pointers must never change result bytes
+// (the engine's determinism contract), so two runs that differ only in
+// ExecContext share every cached artifact — including, via `store`, runs
+// in different processes.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +24,7 @@ class Trace;
 namespace vcoadc::core {
 
 class ArtifactCache;
+class ArtifactStore;
 ArtifactCache& default_artifact_cache();
 
 struct ExecContext {
@@ -45,16 +43,15 @@ struct ExecContext {
   /// validation failures here. Null = diagnostics go to stderr (one line
   /// each) so a failure is never silent.
   util::DiagSink* diag = nullptr;
+  /// Persistent artifact store (disk tier under `cache`); null = no
+  /// persistence. When set, a cache-missed stage first tries to load the
+  /// artifact's canonical bytes from disk, and saves them after a real
+  /// build — so a second process over the same inputs builds nothing.
+  ArtifactStore* store = nullptr;
   /// Test-only fault-injection plan (see util::FaultPlan); null in
   /// production. Stages armed in the plan corrupt their input before
   /// validation and always bypass the artifact cache.
   const util::FaultPlan* faults = nullptr;
-
-  /// Resolves a deprecated per-driver thread field against this context:
-  /// an explicitly set legacy value (!= 0) wins, otherwise `threads`.
-  int resolve_threads(int legacy_threads) const {
-    return legacy_threads != 0 ? legacy_threads : threads;
-  }
 };
 
 /// Reports one diagnostic through the context: into its sink when present,

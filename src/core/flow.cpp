@@ -4,6 +4,11 @@
 #include <set>
 #include <utility>
 
+#include "core/artifact_serde.h"
+#include "core/artifact_store.h"
+#include "core/driver_impl.h"
+#include "core/eval.h"
+#include "core/serde.h"
 #include "msim/modulator.h"
 #include "netlist/generator.h"
 #include "synth/net_db.h"
@@ -38,10 +43,6 @@ Diagnostic netlist_problem_diag(const std::string& msg) {
   }
   return d;
 }
-
-// Bump when a stage's serialization or semantics change incompatibly, so
-// stale process-lifetime cache entries can never alias new ones.
-constexpr std::uint64_t kKeyFormatVersion = 1;
 
 void hash_pvt(KeyHasher& h, const PvtCorner& pvt) {
   h.f64(pvt.process);
@@ -177,26 +178,55 @@ bool fault_fires(const ExecContext& ctx, Stage stage) {
 }
 
 /// Runs one memoized stage: wraps the lookup/build in a trace span and
-/// falls back to a direct build when the context has no cache.
+/// falls back to a direct build when the context has no cache. When the
+/// context carries an ArtifactStore and the stage a codec, a cache miss
+/// first tries the disk tier (decode failures demote to a rebuild with a
+/// warning), and a real build persists its canonical bytes — both happen
+/// inside the cache's single-flight, so one process writes each record
+/// once and waiters share the in-memory artifact.
 template <typename T, typename BuildFn>
 std::shared_ptr<const T> run_stage(const ExecContext& ctx, Stage stage,
                                    const CacheKey& key,
                                    std::size_t (*bytes_of)(const T&),
+                                   const ArtifactCodec<T>* codec,
                                    BuildFn&& build) {
   util::TraceSpan span(ctx.trace, stage_name(stage));
+  bool from_store = false;
+  auto build_or_load = [&]() -> std::shared_ptr<const T> {
+    if (ctx.store != nullptr && codec != nullptr) {
+      std::vector<std::uint8_t> payload;
+      if (ctx.store->load(key, codec->type_tag, codec->type_version,
+                          &payload, ctx.diag)) {
+        serde::Reader r(payload);
+        if (std::shared_ptr<const T> loaded = codec->decode(r)) {
+          from_store = true;
+          return loaded;
+        }
+        ctx.store->note_decode_failure(key, codec->type_tag, ctx.diag);
+      }
+    }
+    std::shared_ptr<const T> built = build();
+    if (built != nullptr && ctx.store != nullptr && codec != nullptr) {
+      serde::Writer w;
+      codec->encode(*built, w);
+      ctx.store->save(key, codec->type_tag, codec->type_version, w.bytes(),
+                      ctx.diag);
+    }
+    return built;
+  };
   std::shared_ptr<const T> value;
   bool hit = false;
   if (ctx.cache) {
     value = ctx.cache->get_or_build<T>(
-        key, std::forward<BuildFn>(build),
+        key, build_or_load,
         bytes_of ? std::function<std::size_t(const T&)>(bytes_of)
                  : std::function<std::size_t(const T&)>{},
         &hit);
   } else {
-    value = build();
+    value = build_or_load();
   }
   if (value) span.cache(hit, bytes_of ? bytes_of(*value) : sizeof(T));
-  span.note("key=" + key.hex());
+  span.note("key=" + key.hex() + (from_store ? " src=store" : ""));
   return value;
 }
 
@@ -411,7 +441,7 @@ synth::SynthesisOptions Flow::exec_opts(
     const synth::SynthesisOptions& opts) const {
   synth::SynthesisOptions o = opts;
   // ExecContext knobs only — neither may appear in a cache key.
-  o.route_threads = ctx_.resolve_threads(opts.route_threads);
+  o.threads = ctx_.threads;
   // Flow spans cover the stage boundaries; the synth-internal spans are
   // for direct synth::synthesize() callers.
   o.trace = nullptr;
@@ -427,7 +457,7 @@ std::shared_ptr<const netlist::CellLibrary> Flow::tech_library(
   if (has_errors(diags)) return nullptr;
   return run_stage<netlist::CellLibrary>(
       ctx_, Stage::kTechLibrary, tech_library_key(sp), &approx_bytes_library,
-      [&sp]() {
+      &cell_library_codec(), [&sp]() {
         const tech::TechNode node = sp.tech_node();
         auto lib = std::make_shared<netlist::CellLibrary>(
             netlist::make_standard_library(node));
@@ -466,6 +496,7 @@ DesignBundle Flow::netlist(const AdcSpec& spec) {
   }
   auto bundle = run_stage<DesignBundle>(
       ctx_, Stage::kNetlist, netlist_key(spec), &approx_bytes_bundle,
+      &design_bundle_codec(),
       [this, &spec]() -> std::shared_ptr<const DesignBundle> {
         DesignBundle b;
         b.lib = tech_library(spec);
@@ -511,7 +542,7 @@ std::shared_ptr<const synth::FloorplanStageResult> Flow::floorplan(
   }
   auto art = run_stage<synth::FloorplanStageResult>(
       ctx_, Stage::kFloorplan, floorplan_key(spec, opts),
-      &approx_bytes_floorplan,
+      &approx_bytes_floorplan, &floorplan_codec(),
       [this, &spec,
        &o]() -> std::shared_ptr<const synth::FloorplanStageResult> {
         const DesignBundle bundle = netlist(spec);
@@ -576,7 +607,7 @@ std::shared_ptr<const synth::Placement> Flow::placement(
   }
   return run_stage<synth::Placement>(
       ctx_, Stage::kPlacement, placement_key(spec, opts),
-      &approx_bytes_placement,
+      &approx_bytes_placement, &placement_codec(),
       [this, &spec, &opts, &o]() -> std::shared_ptr<const synth::Placement> {
         auto art = floorplan(spec, opts);
         if (art == nullptr) return nullptr;  // upstream already reported
@@ -635,6 +666,7 @@ std::shared_ptr<const synth::SynthesisResult> Flow::synthesis(
   }
   return run_stage<synth::SynthesisResult>(
       ctx_, Stage::kRoute, synthesis_key(spec, opts), &approx_bytes_synthesis,
+      &synthesis_codec(),
       [this, &spec, &opts,
        &o]() -> std::shared_ptr<const synth::SynthesisResult> {
         auto art = floorplan(spec, opts);
@@ -670,6 +702,7 @@ std::shared_ptr<const RunResult> Flow::sim_run(const AdcSpec& spec,
   if (has_errors(diags)) return nullptr;
   return run_stage<RunResult>(
       ctx_, Stage::kSimRun, sim_run_key(spec, o), &approx_bytes_run,
+      &run_result_codec(),
       [this, &spec, &o]() -> std::shared_ptr<const RunResult> {
         const AdcDesign design(spec, ctx_);
         if (!design.ok()) return nullptr;  // ctor already reported
@@ -692,7 +725,7 @@ std::shared_ptr<const RunResult> Flow::sim_run(const AdcDesign& design,
   if (has_errors(diags)) return nullptr;
   return run_stage<RunResult>(
       ctx_, Stage::kSimRun, sim_run_key(design.spec(), o),
-      &approx_bytes_run, [&design, &o]() {
+      &approx_bytes_run, &run_result_codec(), [&design, &o]() {
         static thread_local msim::SimWorkspace ws;
         return std::make_shared<const RunResult>(design.simulate(o, ws));
       });
@@ -722,16 +755,19 @@ NodeReport Flow::report(const AdcSpec& spec, const SimulationOptions& sim,
   return rep;
 }
 
-MigratedDesign Flow::migrate(const AdcSpec& src_spec, double target_node_nm) {
-  util::TraceSpan span(ctx_.trace, "migrate");
+MigratedDesign detail::migrate_impl(const ExecContext& ctx,
+                                    const AdcSpec& src_spec,
+                                    double target_node_nm) {
+  util::TraceSpan span(ctx.trace, "migrate");
+  Flow flow(ctx);
   AdcSpec target = src_spec;
   target.node_nm = target_node_nm;
-  if (ctx_.faults != nullptr && ctx_.faults->consume("migrate")) {
+  if (ctx.faults != nullptr && ctx.faults->consume("migrate")) {
     // Injected corruption: a target node no library exists for.
     target.node_nm = -1.0;
   }
-  auto target_lib = tech_library(target);
-  const DesignBundle src = netlist(src_spec);
+  auto target_lib = flow.tech_library(target);
+  const DesignBundle src = flow.netlist(src_spec);
   if (target_lib == nullptr || src.design == nullptr) {
     // Upstream stages already reported why; hand back an empty migration
     // (Design is not default-constructible, so build it over nothing).
@@ -742,6 +778,17 @@ MigratedDesign Flow::migrate(const AdcSpec& src_spec, double target_node_nm) {
   span.note(std::to_string(result.exact_matches) + " exact, " +
             std::to_string(result.nearest_matches) + " nearest");
   return MigratedDesign{std::move(target_lib), std::move(result)};
+}
+
+MigratedDesign Flow::migrate(const AdcSpec& src_spec, double target_node_nm) {
+  EvalRequest req;
+  req.kind = EvalKind::kMigrate;
+  req.spec = src_spec;
+  req.migrate_target_node_nm = target_node_nm;
+  EvalResponse resp = evaluate(req, ctx_);
+  if (resp.migrated != nullptr) return *resp.migrated;
+  MigrationResult empty{netlist::Design(nullptr), {}, 0, 0, {}};
+  return MigratedDesign{nullptr, std::move(empty)};
 }
 
 }  // namespace vcoadc::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/driver_impl.h"
+#include "core/eval.h"
 #include "core/flow.h"
 
 namespace vcoadc::core {
@@ -15,13 +17,12 @@ double MonteCarloResult::yield(double spec_db) const {
   return static_cast<double>(pass) / static_cast<double>(sndr_db.size());
 }
 
-MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
-                                  const MonteCarloOptions& opts) {
+MonteCarloResult detail::monte_carlo_impl(const ExecContext& ctx,
+                                          const AdcDesign& design,
+                                          const MonteCarloOptions& opts) {
   MonteCarloResult result;
   if (opts.runs <= 0) return result;
 
-  ExecContext ctx = opts.exec;
-  ctx.threads = ctx.resolve_threads(opts.threads);
   // Boundary checks before fanning out: a design that never built or
   // rejected simulation options would fail identically in every worker.
   if (!design.ok()) {
@@ -71,16 +72,29 @@ MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
   return result;
 }
 
-MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
+MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
                                   const MonteCarloOptions& opts) {
-  // Build through the caller's context so spec-validation diagnostics land
-  // in its sink (and the build shares its artifact cache).
-  return monte_carlo_sndr(AdcDesign(spec, opts.exec), opts);
+  // The caller's design shares the spec's cached stage artifacts, so the
+  // evaluate() path re-derives an equivalent design for free.
+  EvalRequest req;
+  req.kind = EvalKind::kMonteCarlo;
+  req.spec = design.spec();
+  req.monte_carlo = opts;
+  return std::move(evaluate(req, opts.exec).monte_carlo);
 }
 
-std::vector<CornerResult> corner_sweep(const AdcDesign& design,
-                                       const ExecContext& exec,
-                                       std::size_t n_samples) {
+MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
+                                  const MonteCarloOptions& opts) {
+  EvalRequest req;
+  req.kind = EvalKind::kMonteCarlo;
+  req.spec = spec;
+  req.monte_carlo = opts;
+  return std::move(evaluate(req, opts.exec).monte_carlo);
+}
+
+std::vector<CornerResult> detail::corner_sweep_impl(const ExecContext& ctx,
+                                                    const AdcDesign& design,
+                                                    std::size_t n_samples) {
   struct Corner {
     const char* name;
     PvtCorner pvt;
@@ -94,14 +108,14 @@ std::vector<CornerResult> corner_sweep(const AdcDesign& design,
       {"TT  1.00V  125C", {1.00, 1.00, 398.0}},
   };
   if (!design.ok()) {
-    emit_diag(exec, util::Diagnostic{util::Severity::kError, "corner_sweep",
-                                     "", "design was not built (invalid "
-                                         "spec); no corners evaluated"});
+    emit_diag(ctx, util::Diagnostic{util::Severity::kError, "corner_sweep",
+                                    "", "design was not built (invalid "
+                                        "spec); no corners evaluated"});
     return {};
   }
-  Flow flow(exec);
+  Flow flow(ctx);
   BatchOptions bopts;
-  bopts.threads = exec.threads;
+  bopts.threads = ctx.threads;
   BatchRunner runner(bopts);
   return runner.map(
       std::size(kCorners), [&](std::size_t i, std::uint64_t) {
@@ -129,16 +143,34 @@ std::vector<CornerResult> corner_sweep(const AdcDesign& design,
       });
 }
 
+namespace {
+
+std::vector<CornerResult> sweep_via_eval(const AdcSpec& spec,
+                                         const ExecContext& exec,
+                                         std::size_t n_samples) {
+  EvalRequest req;
+  req.kind = EvalKind::kCornerSweep;
+  req.spec = spec;
+  req.corners.n_samples = n_samples;
+  return std::move(evaluate(req, exec).corners);
+}
+
+}  // namespace
+
 std::vector<CornerResult> corner_sweep(const AdcDesign& design,
-                                       std::size_t n_samples, int threads) {
-  ExecContext ctx = design.exec();
-  ctx.threads = ctx.resolve_threads(threads);
-  return corner_sweep(design, ctx, n_samples);
+                                       const ExecContext& exec,
+                                       std::size_t n_samples) {
+  return sweep_via_eval(design.spec(), exec, n_samples);
+}
+
+std::vector<CornerResult> corner_sweep(const AdcDesign& design,
+                                       std::size_t n_samples) {
+  return sweep_via_eval(design.spec(), design.exec(), n_samples);
 }
 
 std::vector<CornerResult> corner_sweep(const AdcSpec& spec,
-                                       std::size_t n_samples, int threads) {
-  return corner_sweep(AdcDesign(spec), n_samples, threads);
+                                       std::size_t n_samples) {
+  return sweep_via_eval(spec, ExecContext{}, n_samples);
 }
 
 }  // namespace vcoadc::core

@@ -41,8 +41,6 @@ struct MonteCarloOptions {
   /// every draw runs as a SimRun stage of the flow graph, so a repeated
   /// batch over the same spec is served from the cache.
   ExecContext exec;
-  /// DEPRECATED: forwards to exec.threads; honored when set (!= 0).
-  int threads = 0;
   std::uint64_t seed0 = 1000;  ///< run i uses seed0 + i
 };
 
@@ -62,11 +60,12 @@ struct MonteCarloResult {
 
 /// Runs `opts.runs` simulations of an already-built design with independent
 /// mismatch draws (seed of run i = seed0 + i), fanned across the engine.
+/// Thin shim over core::evaluate(EvalKind::kMonteCarlo) — the design's
+/// stages are cache-shared, so re-deriving them from its spec is free.
 MonteCarloResult monte_carlo_sndr(const AdcDesign& design,
                                   const MonteCarloOptions& opts = {});
 
-/// Convenience wrapper: builds the AdcDesign once, then runs the overload
-/// above. Prefer the AdcDesign overload when you already hold a design.
+/// Spec-shaped shim over the same evaluate() entry point.
 MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
                                   const MonteCarloOptions& opts = {});
 
@@ -80,20 +79,17 @@ struct CornerResult {
 /// Evaluates the classic corner set (TT, FF, SS, plus low/high voltage and
 /// hot/cold temperature) on an already-built design, corners fanned across
 /// the engine as SimRun stages of the flow graph. Results are ordered by
-/// the canonical corner table.
+/// the canonical corner table. All three signatures are thin shims over
+/// core::evaluate(EvalKind::kCornerSweep); they differ only in where the
+/// ExecContext comes from (explicit, the design's own, or a default).
 std::vector<CornerResult> corner_sweep(const AdcDesign& design,
                                        const ExecContext& exec,
                                        std::size_t n_samples = 1 << 13);
 
-/// As above with the design's own ExecContext; `threads`, when set,
-/// overrides its worker count (the pre-ExecContext signature).
 std::vector<CornerResult> corner_sweep(const AdcDesign& design,
-                                       std::size_t n_samples = 1 << 13,
-                                       int threads = 0);
+                                       std::size_t n_samples = 1 << 13);
 
-/// Convenience wrapper that builds the design first.
 std::vector<CornerResult> corner_sweep(const AdcSpec& spec,
-                                       std::size_t n_samples = 1 << 13,
-                                       int threads = 0);
+                                       std::size_t n_samples = 1 << 13);
 
 }  // namespace vcoadc::core

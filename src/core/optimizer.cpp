@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/driver_impl.h"
+#include "core/eval.h"
 #include "core/flow.h"
 
 namespace vcoadc::core {
 
-OptimizeResult optimize_spec(const OptimizeTarget& target,
-                             const OptimizeOptions& opts) {
+OptimizeResult detail::optimize_impl(const ExecContext& ctx,
+                                     const OptimizeTarget& target,
+                                     const OptimizeOptions& opts) {
   OptimizeResult result;
 
   // Target/grid sanity: a malformed target would otherwise just produce a
@@ -31,7 +34,7 @@ OptimizeResult optimize_spec(const OptimizeTarget& target,
                                        "choices",
                                        "candidate grid is empty"});
     }
-    emit_diags(opts.exec, diags);
+    emit_diags(ctx, diags);
     if (has_errors(diags)) return result;
   }
 
@@ -69,7 +72,7 @@ OptimizeResult optimize_spec(const OptimizeTarget& target,
       // Prune: the power prior grows monotonically within the sorted list
       // only approximately, so only skip when a met design was strictly
       // cheaper in prior terms than this candidate.
-      Flow flow(opts.exec);
+      Flow flow(ctx);
       SimulationOptions sim;
       sim.n_samples = opts.n_samples;
       sim.fin_target_hz = target.bandwidth_hz / 5.0;
@@ -95,6 +98,15 @@ OptimizeResult optimize_spec(const OptimizeTarget& target,
   }
   result.best_power_w = best_power;
   return result;
+}
+
+OptimizeResult optimize_spec(const OptimizeTarget& target,
+                             const OptimizeOptions& opts) {
+  EvalRequest req;
+  req.kind = EvalKind::kOptimize;
+  req.optimize_target = target;
+  req.optimize = opts;
+  return std::move(evaluate(req, opts.exec).optimize);
 }
 
 }  // namespace vcoadc::core

@@ -53,7 +53,8 @@ struct OptimizeResult {
 
 /// Exhaustive search over the candidate grid with early pruning: candidates
 /// are ordered by a power prior (slices * fs) and a candidate is skipped
-/// once a cheaper design already met the target.
+/// once a cheaper design already met the target. Thin shim over
+/// core::evaluate(EvalKind::kOptimize).
 OptimizeResult optimize_spec(const OptimizeTarget& target,
                              const OptimizeOptions& opts = {});
 

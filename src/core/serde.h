@@ -1,0 +1,153 @@
+// Canonical little-endian byte serialization for persistent artifacts.
+//
+// The artifact store keeps every stage output on disk in the same
+// canonical form the cache keys are built from (field order fixed by the
+// codec, numbers as raw little-endian bit patterns): deserializing a
+// record therefore reproduces the exact bytes a fresh build would have
+// produced, which is what makes a store-warm run bit-identical to a cold
+// one. Doubles round-trip by bit pattern — no text formatting, no
+// -0.0/NaN normalization (unlike KeyHasher, which normalizes -0.0 because
+// keys must treat equal values as equal; payloads must preserve bits).
+//
+// Reader is fail-safe, never throwing and never reading past the end: any
+// short or malformed read latches ok() to false and yields zeros, so a
+// truncated or corrupted record decodes to "reject and rebuild", not UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcoadc::core::serde {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Raw bit pattern — exact round trip, including NaN payloads and -0.0.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed bytes.
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void size(std::size_t n) { u64(n); }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : p_(data), n_(n) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  /// False once any read ran past the end (or a bounded read overflowed);
+  /// every subsequent read yields zero. Check once after decoding.
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return n_ - pos_; }
+  bool at_end() const { return pos_ == n_; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return p_[pos_ - 1];
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p_[pos_ - 4 + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p_[pos_ - 8 + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint64_t len = u64();
+    if (!ok_ || len > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p_ + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  /// Element-count read, bounded by the remaining payload so a corrupted
+  /// count can never drive a multi-gigabyte reserve: every element costs
+  /// at least one byte, so a valid count is <= remaining().
+  std::size_t size() {
+    const std::uint64_t n = u64();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace vcoadc::core::serde

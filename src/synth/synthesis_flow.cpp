@@ -113,7 +113,7 @@ SynthesisResult run_route_stage(const FloorplanStageResult& art,
     result.routing = estimate_routing(art.flat, pl, art.fp.die, ropts, db);
     if (opts.detailed_route) {
       MazeRouterOptions mopts;
-      mopts.threads = opts.route_threads;
+      mopts.threads = opts.threads;
       result.detailed_routing =
           maze_route(art.flat, pl, art.fp.die, mopts, db);
       span.note(std::to_string(result.detailed_routing.nets.size()) +

@@ -57,11 +57,11 @@ struct SynthesisOptions {
   /// Run the maze router after placement (per-net detailed routes, vias,
   /// overflow check) in addition to the HPWL/congestion estimate.
   bool detailed_route = true;
-  /// DEPRECATED: forwards to core::ExecContext::threads when routed
-  /// through the stage graph; honored directly when set (!= 0). Worker
-  /// threads for the router's rip-up batches; 0 runs inline. Any value
-  /// yields bit-identical routing (see route_grid.h).
-  int route_threads = 0;
+  /// Worker threads for the router's rip-up batches; 0 runs inline. The
+  /// stage graph overwrites this with core::ExecContext::threads — set it
+  /// only when calling synth::synthesize() directly. Any value yields
+  /// bit-identical routing (see route_grid.h).
+  int threads = 0;
   std::uint64_t seed = 1;
   /// Per-stage event sink (floorplan/placement/route/drc spans); null =
   /// no tracing. Never part of a cache key — tracing must not change

@@ -1,0 +1,108 @@
+// Minimal JSON value model, parser and writer for the evaluation service
+// (`vcoadc_cli serve`): newline-delimited request/response objects, nothing
+// exotic. Self-contained (no external dependencies), strict enough to
+// reject malformed wire input with a positioned error instead of guessing.
+//
+// The value model is deliberately small: null / bool / number (double) /
+// string / array / object. Object members keep insertion order so a dumped
+// response is byte-stable across runs — the serve round-trip test and the
+// response fingerprint (`result_fp`) both rely on that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vcoadc::util::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Members in insertion order (no hashing: responses must dump the same
+  /// bytes for the same content, and requests are small).
+  std::vector<std::pair<std::string, Value>> object;
+
+  static Value make_null() { return Value{}; }
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind = Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+  static Value make_number(double d) {
+    Value v;
+    v.kind = Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+  static Value make_string(std::string s) {
+    Value v;
+    v.kind = Kind::kString;
+    v.string = std::move(s);
+    return v;
+  }
+  static Value make_array() {
+    Value v;
+    v.kind = Kind::kArray;
+    return v;
+  }
+  static Value make_object() {
+    Value v;
+    v.kind = Kind::kObject;
+    return v;
+  }
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  // Typed reads with a fallback for absent/mistyped values — wire options
+  // are all optional, so "missing means default" is the normal path.
+  bool bool_or(bool fallback) const {
+    return is_bool() ? boolean : fallback;
+  }
+  double number_or(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+  std::string string_or(std::string fallback) const {
+    return is_string() ? string : fallback;
+  }
+
+  /// Object builder: appends (serve responses never repeat a key).
+  Value& set(std::string key, Value v);
+  /// Array builder.
+  void push(Value v);
+};
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;  ///< "byte N: reason" when !ok
+  Value value;
+};
+
+/// Parses one JSON document. Trailing garbage after the document is an
+/// error (NDJSON framing already split the stream into lines).
+ParseResult parse(std::string_view text);
+
+/// Compact (no whitespace) dump. Numbers print as a round-trippable
+/// shortest-ish form: integers without a fraction, everything else %.17g,
+/// and non-finite values (which JSON cannot carry) as null.
+std::string dump(const Value& v);
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+std::string escape(std::string_view s);
+
+}  // namespace vcoadc::util::json

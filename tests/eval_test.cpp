@@ -1,0 +1,224 @@
+// core::evaluate(): the unified request/response driver entry point. The
+// contract under test: the legacy drivers (monte_carlo_sndr, corner_sweep,
+// generate_datasheet, ...) are thin shims over evaluate() and agree with
+// it exactly; diagnostics are request-local (collected into the response,
+// not leaked between requests); and the JSON bridging parses the serve
+// protocol's vocabulary and fingerprints results stably.
+#include "core/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/datasheet.h"
+#include "core/flow.h"
+#include "core/monte_carlo.h"
+#include "util/json.h"
+
+using namespace vcoadc;
+namespace json = util::json;
+
+namespace {
+
+core::AdcSpec small_spec() {
+  core::AdcSpec spec = core::AdcSpec::paper_40nm();
+  spec.num_slices = 6;
+  spec.fs_hz = 400e6;
+  spec.bandwidth_hz = 2e6;
+  return spec;
+}
+
+TEST(EvalKindTest, NamesRoundTrip) {
+  const core::EvalKind kinds[] = {
+      core::EvalKind::kDatasheet,  core::EvalKind::kMonteCarlo,
+      core::EvalKind::kCornerSweep, core::EvalKind::kSynthesize,
+      core::EvalKind::kMigrate,    core::EvalKind::kOptimize,
+  };
+  for (core::EvalKind k : kinds) {
+    core::EvalKind back{};
+    ASSERT_TRUE(core::eval_kind_from_name(core::eval_kind_name(k), &back))
+        << core::eval_kind_name(k);
+    EXPECT_EQ(back, k);
+  }
+  core::EvalKind dummy{};
+  EXPECT_FALSE(core::eval_kind_from_name("frobnicate", &dummy));
+  EXPECT_FALSE(core::eval_kind_from_name("", &dummy));
+}
+
+TEST(EvalRequestJsonTest, ParsesSpecAndOptions) {
+  const char* text =
+      "{\"id\": 42, \"cmd\": \"monte_carlo\","
+      " \"spec\": {\"slices\": 6, \"fs\": 4e8, \"bw\": 2e6, \"seed\": 9},"
+      " \"options\": {\"runs\": 3, \"n_samples\": 2048}}";
+  json::ParseResult pr = json::parse(text);
+  ASSERT_TRUE(pr.ok) << pr.error;
+
+  core::EvalRequest req;
+  std::string err;
+  ASSERT_TRUE(core::eval_request_from_json(pr.value, &req, &err)) << err;
+  EXPECT_EQ(req.kind, core::EvalKind::kMonteCarlo);
+  EXPECT_EQ(req.id, "42");
+  EXPECT_EQ(req.spec.num_slices, 6);
+  EXPECT_EQ(req.spec.fs_hz, 4e8);
+  EXPECT_EQ(req.spec.bandwidth_hz, 2e6);
+  EXPECT_EQ(req.spec.seed, 9u);
+  EXPECT_EQ(req.monte_carlo.runs, 3);
+  EXPECT_EQ(req.monte_carlo.sim.n_samples, 2048u);
+}
+
+TEST(EvalRequestJsonTest, RejectsMissingOrUnknownCmd) {
+  core::EvalRequest req;
+  std::string err;
+  json::ParseResult pr = json::parse("{\"spec\": {}}");
+  ASSERT_TRUE(pr.ok);
+  EXPECT_FALSE(core::eval_request_from_json(pr.value, &req, &err));
+  EXPECT_FALSE(err.empty());
+
+  pr = json::parse("{\"cmd\": \"launch_rocket\"}");
+  ASSERT_TRUE(pr.ok);
+  EXPECT_FALSE(core::eval_request_from_json(pr.value, &req, &err));
+
+  pr = json::parse("[1, 2, 3]");
+  ASSERT_TRUE(pr.ok);
+  EXPECT_FALSE(core::eval_request_from_json(pr.value, &req, &err));
+}
+
+TEST(EvalRequestJsonTest, UnknownKeysAreIgnoredForForwardCompat) {
+  json::ParseResult pr = json::parse(
+      "{\"cmd\": \"synthesize\", \"spec\": {\"slices\": 8},"
+      " \"options\": {\"target_utilization\": 0.5},"
+      " \"future_field\": {\"nested\": true}}");
+  ASSERT_TRUE(pr.ok);
+  core::EvalRequest req;
+  std::string err;
+  ASSERT_TRUE(core::eval_request_from_json(pr.value, &req, &err)) << err;
+  EXPECT_EQ(req.kind, core::EvalKind::kSynthesize);
+  EXPECT_EQ(req.spec.num_slices, 8);
+  EXPECT_EQ(req.synthesis.target_utilization, 0.5);
+}
+
+TEST(EvalTest, MonteCarloShimMatchesEvaluateExactly) {
+  const core::AdcSpec spec = small_spec();
+
+  core::MonteCarloOptions opts;
+  opts.runs = 2;
+  opts.sim.n_samples = 1 << 12;
+  opts.exec.threads = 1;
+  const core::MonteCarloResult via_shim = core::monte_carlo_sndr(spec, opts);
+
+  core::EvalRequest req;
+  req.kind = core::EvalKind::kMonteCarlo;
+  req.spec = spec;
+  req.monte_carlo = opts;
+  core::ExecContext ctx;
+  ctx.threads = 1;
+  const core::EvalResponse resp = core::evaluate(req, ctx);
+  ASSERT_TRUE(resp.ok);
+
+  // Not approximately: the shim *is* evaluate(), so the draws, seeds and
+  // reductions are the same computation.
+  EXPECT_EQ(resp.monte_carlo.sndr_db, via_shim.sndr_db);
+  EXPECT_EQ(resp.monte_carlo.mean_db, via_shim.mean_db);
+  EXPECT_EQ(resp.monte_carlo.stddev_db, via_shim.stddev_db);
+}
+
+TEST(EvalTest, CornerSweepShimMatchesEvaluateExactly) {
+  const core::AdcSpec spec = small_spec();
+  const auto via_shim = core::corner_sweep(spec, 1 << 11);
+
+  core::EvalRequest req;
+  req.kind = core::EvalKind::kCornerSweep;
+  req.spec = spec;
+  req.corners.n_samples = 1 << 11;
+  core::ExecContext ctx;
+  const core::EvalResponse resp = core::evaluate(req, ctx);
+  ASSERT_TRUE(resp.ok);
+
+  ASSERT_EQ(resp.corners.size(), via_shim.size());
+  for (std::size_t i = 0; i < via_shim.size(); ++i) {
+    EXPECT_EQ(resp.corners[i].name, via_shim[i].name);
+    EXPECT_EQ(resp.corners[i].sndr_db, via_shim[i].sndr_db);
+  }
+}
+
+TEST(EvalTest, InvalidSpecFailsWithRequestLocalDiagnostics) {
+  core::EvalRequest req;
+  req.kind = core::EvalKind::kDatasheet;
+  req.spec = small_spec();
+  req.spec.num_slices = 1;  // rejected: pseudo-differential ring needs >= 2
+  req.datasheet.n_samples = 1 << 12;
+
+  core::ExecContext ctx;  // deliberately no sink: nothing to leak into
+  const core::EvalResponse resp = core::evaluate(req, ctx);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.diagnostics.empty());
+
+  bool found_error = false;
+  for (const auto& d : resp.diagnostics) {
+    if (d.severity == util::Severity::kError) found_error = true;
+  }
+  EXPECT_TRUE(found_error);
+}
+
+TEST(EvalTest, DiagnosticsAreReEmittedIntoTheContextSink) {
+  core::EvalRequest req;
+  req.kind = core::EvalKind::kMigrate;
+  req.spec = small_spec();
+  req.migrate_target_node_nm = 180;
+
+  util::DiagSink sink;
+  core::ExecContext ctx;
+  ctx.diag = &sink;
+  const core::EvalResponse resp = core::evaluate(req, ctx);
+  ASSERT_TRUE(resp.ok);
+  ASSERT_NE(resp.migrated, nullptr);
+  EXPECT_NE(resp.migrated->target_lib, nullptr);
+  // Everything in the response's diagnostics also reached the caller's
+  // sink (the response is authoritative; the sink is a convenience).
+  EXPECT_EQ(sink.size(), resp.diagnostics.size());
+}
+
+TEST(EvalTest, ResultJsonAndFingerprintAreStable) {
+  core::EvalRequest req;
+  req.kind = core::EvalKind::kCornerSweep;
+  req.spec = small_spec();
+  req.corners.n_samples = 1 << 11;
+  core::ExecContext ctx;
+
+  const core::EvalResponse r1 = core::evaluate(req, ctx);
+  const core::EvalResponse r2 = core::evaluate(req, ctx);
+  ASSERT_TRUE(r1.ok);
+  const json::Value j1 = core::eval_result_to_json(r1);
+  const json::Value j2 = core::eval_result_to_json(r2);
+  EXPECT_EQ(json::dump(j1), json::dump(j2));
+  EXPECT_EQ(core::eval_result_fingerprint(j1),
+            core::eval_result_fingerprint(j2));
+  EXPECT_EQ(core::eval_result_fingerprint(j1).size(), 32u);  // 128-bit hex
+
+  // A different result must fingerprint differently.
+  core::EvalRequest other = req;
+  other.spec.num_slices = 8;
+  const core::EvalResponse r3 = core::evaluate(other, ctx);
+  ASSERT_TRUE(r3.ok);
+  EXPECT_NE(core::eval_result_fingerprint(core::eval_result_to_json(r3)),
+            core::eval_result_fingerprint(j1));
+}
+
+TEST(EvalTest, DatasheetShimMatchesEvaluate) {
+  const core::AdcSpec spec = small_spec();
+  core::DatasheetOptions opts;
+  opts.n_samples = 1 << 12;
+  const core::Datasheet via_shim = core::generate_datasheet(spec, opts);
+  ASSERT_TRUE(via_shim.complete);
+
+  core::EvalRequest req;
+  req.kind = core::EvalKind::kDatasheet;
+  req.spec = spec;
+  req.datasheet = opts;
+  core::ExecContext ctx;
+  const core::EvalResponse resp = core::evaluate(req, ctx);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.datasheet.render(), via_shim.render());
+}
+
+}  // namespace

@@ -171,7 +171,7 @@ TEST(FlowKeys, SynthesisOptionsChangeTheRightStages) {
 
   // Execution knobs (threads, trace) must not change any key.
   synth::SynthesisOptions ex = base;
-  ex.route_threads = 8;
+  ex.threads = 8;
   util::Trace trace;
   ex.trace = &trace;
   EXPECT_EQ(core::synthesis_key(spec, ex), core::synthesis_key(spec, base));
@@ -388,15 +388,6 @@ TEST(ArtifactCacheTest, LruEvictionBoundsResidency) {
   }, {}, &hit);
   EXPECT_FALSE(hit);
   EXPECT_EQ(*v, 100);
-}
-
-TEST(ArtifactCacheTest, ExecContextResolveThreads) {
-  ExecContext ctx;
-  ctx.threads = 6;
-  EXPECT_EQ(ctx.resolve_threads(0), 6);   // unset legacy -> context wins
-  EXPECT_EQ(ctx.resolve_threads(3), 3);   // set legacy -> legacy wins
-  ExecContext dflt;
-  EXPECT_EQ(dflt.resolve_threads(0), 0);  // both unset -> hardware default
 }
 
 // ---------------------------------------------------------------------------

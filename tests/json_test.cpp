@@ -1,0 +1,133 @@
+// util::json: the serve protocol's wire format. What matters here is
+// strictness (malformed wire input is rejected with a positioned error,
+// never guessed at), round-trip stability (dump(parse(x)) is a fixed
+// point, since result_fp hashes dumped bytes) and insertion-order
+// preservation (responses must be byte-stable run to run).
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+using namespace vcoadc::util;
+
+namespace {
+
+json::Value parse_ok(const std::string& text) {
+  json::ParseResult pr = json::parse(text);
+  EXPECT_TRUE(pr.ok) << text << " -> " << pr.error;
+  return pr.value;
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").bool_or(false));
+  EXPECT_FALSE(parse_ok("false").bool_or(true));
+  EXPECT_EQ(parse_ok("42").number_or(0), 42.0);
+  EXPECT_EQ(parse_ok("-0.5").number_or(0), -0.5);
+  EXPECT_EQ(parse_ok("4e8").number_or(0), 4e8);
+  EXPECT_EQ(parse_ok("1.25e-3").number_or(0), 1.25e-3);
+  EXPECT_EQ(parse_ok("\"hi\"").string_or(""), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parse_ok("\"a\\\"b\"").string_or(""), "a\"b");
+  EXPECT_EQ(parse_ok("\"line\\nbreak\"").string_or(""), "line\nbreak");
+  EXPECT_EQ(parse_ok("\"tab\\there\"").string_or(""), "tab\there");
+  EXPECT_EQ(parse_ok("\"back\\\\slash\"").string_or(""), "back\\slash");
+  EXPECT_EQ(parse_ok("\"\\u0041\"").string_or(""), "A");
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  const json::Value v = parse_ok(
+      "{\"a\": [1, 2, {\"b\": true}], \"c\": {\"d\": null}, \"e\": \"x\"}");
+  ASSERT_TRUE(v.is_object());
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].number_or(0), 2.0);
+  const json::Value* b = a->array[2].find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->bool_or(false));
+  EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(JsonParseTest, MalformedInputsRejectedWithPosition) {
+  const char* bad[] = {
+      "",            "{",           "[1, 2",        "{\"a\": }",
+      "{\"a\" 1}",   "{bad: 1}",    "\"unterminated",
+      "1 2",         "nul",         "[1,]",          "{\"a\":1,}",
+      "\"bad \\q escape\"",
+  };
+  for (const char* text : bad) {
+    json::ParseResult pr = json::parse(text);
+    EXPECT_FALSE(pr.ok) << "accepted: " << text;
+    EXPECT_FALSE(pr.error.empty()) << text;
+  }
+}
+
+TEST(JsonParseTest, TrailingGarbageIsAnError) {
+  // NDJSON framing already split lines; anything after the document is
+  // a protocol violation, not a second document.
+  EXPECT_FALSE(json::parse("{} {}").ok);
+  EXPECT_FALSE(json::parse("42 null").ok);
+  EXPECT_TRUE(json::parse("  {\"a\": 1}  ").ok);  // whitespace is fine
+}
+
+TEST(JsonDumpTest, RoundTripIsAFixedPoint) {
+  const char* docs[] = {
+      "null",
+      "[1,2.5,-3,\"x\",true,null]",
+      "{\"a\":1,\"b\":[{\"c\":\"d\"}],\"e\":{}}",
+      "{\"nested\":{\"deep\":[[[1]]]}}",
+  };
+  for (const char* text : docs) {
+    const std::string once = json::dump(parse_ok(text));
+    const std::string twice = json::dump(parse_ok(once));
+    EXPECT_EQ(once, twice) << text;
+  }
+}
+
+TEST(JsonDumpTest, ObjectsKeepInsertionOrder) {
+  json::Value v = json::Value::make_object();
+  v.set("zulu", json::Value::make_number(1));
+  v.set("alpha", json::Value::make_number(2));
+  v.set("mike", json::Value::make_number(3));
+  EXPECT_EQ(json::dump(v), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+}
+
+TEST(JsonDumpTest, NumbersPrintRoundTrippably) {
+  EXPECT_EQ(json::dump(json::Value::make_number(42)), "42");
+  EXPECT_EQ(json::dump(json::Value::make_number(-7)), "-7");
+  // A value with a fraction must survive parse(dump(x)) bit-exactly.
+  const double pi = 3.141592653589793;
+  const json::Value back = parse_ok(json::dump(json::Value::make_number(pi)));
+  EXPECT_EQ(back.number_or(0), pi);
+}
+
+TEST(JsonDumpTest, NonFiniteNumbersDumpAsNull) {
+  // JSON cannot carry inf/nan; the writer must not emit invalid documents.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(json::dump(json::Value::make_number(inf)), "null");
+  EXPECT_EQ(json::dump(json::Value::make_number(nan)), "null");
+}
+
+TEST(JsonDumpTest, StringsEscapeControlAndQuoteCharacters) {
+  json::Value v = json::Value::make_string("a\"b\\c\nd\te");
+  const std::string dumped = json::dump(v);
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(parse_ok(dumped).string_or(""), "a\"b\\c\nd\te");
+}
+
+TEST(JsonValueTest, TypedReadsFallBackOnMismatch) {
+  const json::Value v = parse_ok("{\"s\": \"x\", \"n\": 5}");
+  EXPECT_EQ(v.find("s")->number_or(-1), -1.0);  // string read as number
+  EXPECT_EQ(v.find("n")->string_or("fb"), "fb");
+  EXPECT_TRUE(v.find("s")->bool_or(true));
+}
+
+}  // namespace

@@ -55,9 +55,9 @@ TEST(MonteCarlo, ParallelIsBitIdenticalToSerial) {
   opts.runs = 6;
   opts.sim.n_samples = 1 << 12;
 
-  opts.threads = 1;
+  opts.exec.threads = 1;
   const MonteCarloResult serial = monte_carlo_sndr(adc, opts);
-  opts.threads = 4;
+  opts.exec.threads = 4;
   const MonteCarloResult parallel = monte_carlo_sndr(adc, opts);
 
   ASSERT_EQ(serial.sndr_db.size(), parallel.sndr_db.size());
@@ -75,7 +75,7 @@ TEST(MonteCarlo, DesignOverloadMatchesSpecOverload) {
   MonteCarloOptions opts;
   opts.runs = 3;
   opts.sim.n_samples = 1 << 12;
-  opts.threads = 1;
+  opts.exec.threads = 1;
   const MonteCarloResult from_spec = monte_carlo_sndr(spec, opts);
   AdcDesign adc(spec);
   const MonteCarloResult from_design = monte_carlo_sndr(adc, opts);
@@ -90,7 +90,7 @@ TEST(MonteCarlo, BatchInstrumentationIsPopulated) {
   MonteCarloOptions opts;
   opts.runs = 4;
   opts.sim.n_samples = 1 << 12;
-  opts.threads = 2;
+  opts.exec.threads = 2;
   const MonteCarloResult res = monte_carlo_sndr(spec, opts);
   EXPECT_EQ(res.batch.threads, 2);
   EXPECT_GT(res.batch.wall_s, 0.0);
@@ -113,9 +113,9 @@ TEST(MonteCarlo, ZeroRunsIsEmptyNotUndefined) {
 
 TEST(Corners, DesignOverloadMatchesSpecOverload) {
   AdcSpec spec = AdcSpec::paper_40nm();
-  const auto from_spec = corner_sweep(spec, 1 << 12, /*threads=*/1);
+  const auto from_spec = corner_sweep(spec, 1 << 12);
   AdcDesign adc(spec);
-  const auto from_design = corner_sweep(adc, 1 << 12, /*threads=*/2);
+  const auto from_design = corner_sweep(adc, 1 << 12);
   ASSERT_EQ(from_spec.size(), from_design.size());
   for (std::size_t i = 0; i < from_spec.size(); ++i) {
     EXPECT_EQ(from_spec[i].name, from_design[i].name);

@@ -1,0 +1,80 @@
+# Cross-process round trip of `vcoadc_cli serve` (ctest -P script).
+#
+# Runs the serve loop twice over the same request fixture and the same
+# persistent artifact store:
+#   run 1: empty store — every stage builds cold and is persisted;
+#   run 2: fresh process, warm store — must report the *same* result
+#          fingerprints (bit-identical results across processes) and
+#          zero cold stage builds on every request.
+#
+# Expects -DCLI=<vcoadc_cli path> -DFIXTURE=<requests.jsonl> -DWORK=<dir>.
+
+foreach(var CLI FIXTURE WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "serve_roundtrip: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+set(STORE "${WORK}/store")
+
+function(run_serve out_var)
+  execute_process(
+    COMMAND "${CLI}" serve "--store=${STORE}" --cache-stats --threads=2
+    INPUT_FILE "${FIXTURE}"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serve exited with ${rc}\nstderr:\n${err}")
+  endif()
+  if(out MATCHES "\"ok\":false")
+    message(FATAL_ERROR "serve reported a failed request:\n${out}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_serve(OUT1)
+run_serve(OUT2)
+
+# Result fingerprints, in response order, must agree between the two
+# processes: the warm run reproduced the cold run bit-identically.
+string(REGEX MATCHALL "\"result_fp\":\"[0-9a-f]+\"" FP1 "${OUT1}")
+string(REGEX MATCHALL "\"result_fp\":\"[0-9a-f]+\"" FP2 "${OUT2}")
+list(LENGTH FP1 N1)
+if(N1 EQUAL 0)
+  message(FATAL_ERROR "no result fingerprints in serve output:\n${OUT1}")
+endif()
+if(NOT FP1 STREQUAL FP2)
+  message(FATAL_ERROR
+    "cross-process results differ:\nrun1: ${FP1}\nrun2: ${FP2}")
+endif()
+
+# The cold run must have built stages (nonzero cold_builds somewhere);
+# the warm run must have built nothing: every request all-hit from disk.
+string(REGEX MATCHALL "\"cold_builds\":[0-9]+" COLD1 "${OUT1}")
+string(REGEX MATCHALL "\"cold_builds\":[0-9]+" COLD2 "${OUT2}")
+list(LENGTH COLD2 NC2)
+if(NC2 EQUAL 0)
+  message(FATAL_ERROR "no cold_builds counters in serve output:\n${OUT2}")
+endif()
+set(SAW_COLD FALSE)
+foreach(c IN LISTS COLD1)
+  if(NOT c STREQUAL "\"cold_builds\":0")
+    set(SAW_COLD TRUE)
+  endif()
+endforeach()
+if(NOT SAW_COLD)
+  message(FATAL_ERROR "cold run reported no cold builds — store was not"
+    " empty or counters are broken:\n${OUT1}")
+endif()
+foreach(c IN LISTS COLD2)
+  if(NOT c STREQUAL "\"cold_builds\":0")
+    message(FATAL_ERROR
+      "warm run rebuilt stages cold (${c}) — persistence failed:\n${OUT2}")
+  endif()
+endforeach()
+
+message(STATUS "serve round trip: ${N1} fingerprints identical, warm run"
+  " had zero cold builds")

@@ -302,7 +302,7 @@ TEST(ParallelRoute, BitIdenticalToSerialOnFullAdc) {
                                  : core::AdcSpec::paper_180nm());
     SynthesisOptions so;
     auto serial = adc.synthesize(so);
-    so.route_threads = 4;
+    so.threads = 4;
     auto parallel = adc.synthesize(so);
 
     const auto& a = serial.detailed_routing;
