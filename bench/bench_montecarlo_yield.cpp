@@ -17,8 +17,11 @@
 #include "bench/bench_common.h"
 #include "core/artifact_cache.h"
 #include "core/artifact_store.h"
+#include "core/eval.h"
 #include "core/monte_carlo.h"
+#include "msim/batched_modulator.h"
 #include "util/ascii_plot.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 #if defined(_WIN32)
@@ -138,6 +141,50 @@ int main() {
       wall_persist_cold, wall_persist_warm, persistent_warm_speedup,
       static_cast<unsigned long long>(store_cold_builds));
 
+  // Batched-vs-scalar engine phase: the same draws once through the scalar
+  // per-draw path (batch_width = 1) and once through the SoA lockstep
+  // engine (batch_width = 0 = host-preferred width), each into a fresh
+  // cache at one thread so the comparison is engine time, not scheduling.
+  // Both go through evaluate() so the serve protocol's result_fp — the
+  // fingerprint two processes compare — is what asserts bit-identity.
+  const int resolved_width = msim::BatchedModulator::preferred_width();
+  double wall_engine_scalar = 0, wall_engine_batched = 0;
+  std::string fp_scalar, fp_batched;
+  {
+    core::EvalRequest req;
+    req.kind = core::EvalKind::kMonteCarlo;
+    req.spec = spec;
+    req.monte_carlo = opts;
+    req.monte_carlo.exec = core::ExecContext{};
+
+    core::ArtifactCache cache_eng_scalar(64), cache_eng_batched(64);
+    core::ExecContext ectx;
+    ectx.threads = 1;
+
+    req.monte_carlo.batch_width = 1;
+    ectx.cache = &cache_eng_scalar;
+    const auto resp_scalar = core::evaluate(req, ectx);
+    wall_engine_scalar = resp_scalar.monte_carlo.batch.wall_s;
+    fp_scalar =
+        core::eval_result_fingerprint(core::eval_result_to_json(resp_scalar));
+
+    req.monte_carlo.batch_width = 0;
+    ectx.cache = &cache_eng_batched;
+    const auto resp_batched = core::evaluate(req, ectx);
+    wall_engine_batched = resp_batched.monte_carlo.batch.wall_s;
+    fp_batched =
+        core::eval_result_fingerprint(core::eval_result_to_json(resp_batched));
+  }
+  const double batched_speedup =
+      wall_engine_batched > 0 ? wall_engine_scalar / wall_engine_batched : 0.0;
+  std::printf(
+      "engine: scalar %.2f s -> batched (width %d, %s) %.2f s | speedup "
+      "%.2fx | result_fp %s %s\n",
+      wall_engine_scalar, resolved_width,
+      util::simd::tier_name(util::simd::active_tier()), wall_engine_batched,
+      batched_speedup, fp_batched.c_str(),
+      fp_scalar == fp_batched ? "(matches scalar)" : "(MISMATCH)");
+
   const auto corners = core::corner_sweep(adc, 1 << 14);
   util::Table c("PVT corner sweep");
   c.set_header({"corner", "SNDR [dB]", "power [mW]"});
@@ -164,7 +211,11 @@ int main() {
       "\"cache_hit_rate\":%.3f,\"warm_identical\":%s,"
       "\"wall_persistent_cold_s\":%.4f,\"wall_persistent_warm_s\":%.4f,"
       "\"persistent_warm_speedup\":%.3f,\"store_cold_builds\":%llu,"
-      "\"persistent_identical\":%s}\n",
+      "\"persistent_identical\":%s,"
+      "\"batch_width\":%d,\"simd_tier\":\"%s\","
+      "\"wall_engine_scalar_s\":%.4f,\"wall_engine_batched_s\":%.4f,"
+      "\"batched_speedup\":%.3f,\"result_fp\":\"%s\","
+      "\"batched_fp_match\":%s}\n",
       opts.runs, mc.batch.threads, hw, mc_serial.batch.wall_s,
       mc.batch.wall_s, speedup, mc.batch.utilization,
       mc.batch.max_queue_depth, bit_identical ? "true" : "false", mc.mean_db,
@@ -172,7 +223,10 @@ int main() {
       cache_hit_rate, warm_identical ? "true" : "false",
       wall_persist_cold, wall_persist_warm, persistent_warm_speedup,
       static_cast<unsigned long long>(store_cold_builds),
-      persistent_identical ? "true" : "false");
+      persistent_identical ? "true" : "false", resolved_width,
+      util::simd::tier_name(util::simd::active_tier()),
+      wall_engine_scalar, wall_engine_batched, batched_speedup,
+      fp_batched.c_str(), fp_scalar == fp_batched ? "true" : "false");
 
   bench::shape_check("parallel SNDR vector bit-identical to threads=1",
                      bit_identical);
@@ -186,6 +240,8 @@ int main() {
                      store_cold_builds == 0);
   bench::shape_check("persistent warm pass bit-identical to in-process run",
                      persistent_identical);
+  bench::shape_check("batched engine result_fp matches the scalar engine",
+                     !fp_batched.empty() && fp_scalar == fp_batched);
   if (hw >= 4) {
     bench::shape_check("engine speedup >= 3x on >= 4 cores", speedup >= 3.0);
   } else {

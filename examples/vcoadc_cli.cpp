@@ -44,6 +44,7 @@
 #include "netlist/verilog_writer.h"
 #include "synth/gdsii.h"
 #include "util/cli.h"
+#include "util/simd.h"
 #include "util/trace.h"
 #include "util/units.h"
 
@@ -82,6 +83,8 @@ void print_flow_stats(const util::ArgParser& args, const util::Trace& trace,
     }
   }
   if (args.has("cache-stats")) {
+    std::printf("-- simd --\n  %s\n",
+                util::simd::runtime_summary().c_str());
     const core::ArtifactCacheStats st = cache.stats();
     std::printf(
         "-- artifact cache --\n"

@@ -10,6 +10,33 @@
 
 namespace vcoadc::core {
 
+namespace {
+
+/// Everything downstream of the modulator run: spectrum, SNDR, shaping
+/// slope, idle tones, power, FOM. Shared verbatim by the scalar and the
+/// batched simulation paths so their RunResults cannot drift apart.
+void analyze_run(const AdcSpec& sp, const msim::SimConfig& cfg,
+                 const SimulationOptions& opts,
+                 const netlist::Design& design, RunResult& res) {
+  res.spectrum = dsp::compute_spectrum(res.mod.output, cfg.fs_hz, 1.0,
+                                       dsp::WindowKind::kHann);
+  res.sndr = dsp::analyze_sndr(res.spectrum, sp.bandwidth_hz, res.fin_hz);
+  // Shaping slope fitted from just above the band edge to fs/4.
+  res.shaping = dsp::fit_noise_slope(res.spectrum, sp.bandwidth_hz * 1.2,
+                                     cfg.fs_hz / 4.0);
+  res.idle_tones = dsp::find_idle_tones(res.spectrum, res.sndr,
+                                        res.fin_hz * 3.0,
+                                        sp.bandwidth_hz, 12.0);
+
+  PowerModelOptions popts;
+  popts.wire_cap_f = opts.wire_cap_f;
+  res.power = estimate_power(sp, design, res.mod, popts);
+  res.fom_fj = util::walden_fom_fj(res.power.total_w(), res.sndr.sndr_db,
+                                   sp.bandwidth_hz);
+}
+
+}  // namespace
+
 AdcDesign::AdcDesign(const AdcSpec& spec) : AdcDesign(spec, ExecContext{}) {}
 
 AdcDesign::AdcDesign(const AdcSpec& spec, const ExecContext& ctx)
@@ -58,23 +85,74 @@ RunResult AdcDesign::simulate(const SimulationOptions& opts,
       res.full_scale_v * util::from_db_amplitude(opts.amplitude_dbfs);
   res.mod = mod.run(dsp::make_sine(res.amplitude_v, res.fin_hz),
                     opts.n_samples, ws);
-
-  res.spectrum = dsp::compute_spectrum(res.mod.output, cfg.fs_hz, 1.0,
-                                       dsp::WindowKind::kHann);
-  res.sndr = dsp::analyze_sndr(res.spectrum, sp.bandwidth_hz, res.fin_hz);
-  // Shaping slope fitted from just above the band edge to fs/4.
-  res.shaping = dsp::fit_noise_slope(res.spectrum, sp.bandwidth_hz * 1.2,
-                                     cfg.fs_hz / 4.0);
-  res.idle_tones = dsp::find_idle_tones(res.spectrum, res.sndr,
-                                        res.fin_hz * 3.0,
-                                        sp.bandwidth_hz, 12.0);
-
-  PowerModelOptions popts;
-  popts.wire_cap_f = opts.wire_cap_f;
-  res.power = estimate_power(sp, *design_, res.mod, popts);
-  res.fom_fj = util::walden_fom_fj(res.power.total_w(), res.sndr.sndr_db,
-                                   sp.bandwidth_hz);
+  analyze_run(sp, cfg, opts, *design_, res);
   return res;
+}
+
+std::vector<RunResult> AdcDesign::simulate_batch(
+    const SimulationOptions& opts, const std::vector<std::uint64_t>& seeds,
+    msim::BatchedWorkspace& ws) const {
+  std::vector<RunResult> out(seeds.size());
+  if (seeds.empty()) return out;
+  if (!ok()) {
+    emit_diag(ctx_, util::Diagnostic{util::Severity::kError, "sim_run", "",
+                                     "design was not built (invalid spec)"});
+    return out;
+  }
+  // Lanes share every option but the seed, so the spec/PVT resolution and
+  // the coherent-bin snap happen once. Lane k's effective seed follows the
+  // scalar rule (0 = keep the spec's own seed).
+  AdcSpec sp = spec_;
+  if (opts.pvt.has_value()) sp.pvt = *opts.pvt;
+  std::vector<std::uint64_t> eff(seeds.size());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    eff[k] = seeds[k] != 0 ? seeds[k] : sp.seed;
+  }
+  const msim::SimConfig cfg = sp.to_sim_config();
+
+  msim::VcoDsmModulator::Options mopts;
+  mopts.comparator = opts.comparator;
+  mopts.dac = opts.dac;
+  mopts.record_bits = opts.record_bits;
+  auto batch = msim::BatchedModulator::create(cfg, eff, mopts);
+  if (batch == nullptr) {
+    // Unsupported configuration (non-resistor DAC, or a width the kernels
+    // are not instantiated for): serial fallback, same results.
+    msim::SimWorkspace sws;
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      SimulationOptions o = opts;
+      o.seed = seeds[k];
+      out[k] = simulate(o, sws);
+    }
+    return out;
+  }
+
+  const double fin =
+      dsp::coherent_freq(opts.fin_target_hz, cfg.fs_hz, opts.n_samples);
+  const int W = static_cast<int>(seeds.size());
+  std::vector<double> scale(seeds.size());
+  for (int k = 0; k < W; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    out[sk].fin_hz = fin;
+    out[sk].full_scale_v = batch->full_scale_diff(k);
+    out[sk].amplitude_v =
+        out[sk].full_scale_v * util::from_db_amplitude(opts.amplitude_dbfs);
+    // The kernel evaluates scale * base(t) per lane; with a unit-amplitude
+    // base this is fl(amplitude * sin(...)), the scalar path's expression.
+    scale[sk] = out[sk].amplitude_v;
+  }
+  const std::vector<msim::ModulatorResult>& lanes =
+      batch->run(dsp::make_sine(1.0, fin), scale, opts.n_samples, ws);
+  for (int k = 0; k < W; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    out[sk].mod = lanes[sk];
+    // The per-lane spec carries the lane's seed so the analysis inputs
+    // match the scalar path's field-for-field.
+    AdcSpec lane_sp = sp;
+    lane_sp.seed = eff[sk];
+    analyze_run(lane_sp, cfg, opts, *design_, out[sk]);
+  }
+  return out;
 }
 
 synth::SynthesisResult AdcDesign::synthesize(

@@ -17,6 +17,7 @@
 #include "core/exec_context.h"
 #include "core/power_model.h"
 #include "dsp/spectrum.h"
+#include "msim/batched_modulator.h"
 #include "msim/modulator.h"
 #include "netlist/cell_library.h"
 #include "netlist/netlist.h"
@@ -100,6 +101,18 @@ class AdcDesign {
   /// are bit-identical to the workspace-free overload.
   RunResult simulate(const SimulationOptions& opts,
                      msim::SimWorkspace& ws) const;
+
+  /// Simulates one Monte-Carlo lane group: seeds[k] plays the role of
+  /// opts.seed for result k (0 = keep the spec's seed). When the batched
+  /// SoA engine supports the configuration (resistor DAC, lane width 2/4/8)
+  /// all lanes run in SIMD lockstep through one msim::BatchedModulator;
+  /// otherwise each seed runs through the scalar path. Either way every
+  /// RunResult is bit-identical to simulate() with that seed — the batched
+  /// kernel's per-lane IEEE operation sequence matches the scalar
+  /// modulator's (see util/simd.h), and the analysis stack is shared.
+  std::vector<RunResult> simulate_batch(const SimulationOptions& opts,
+                                        const std::vector<std::uint64_t>& seeds,
+                                        msim::BatchedWorkspace& ws) const;
 
   /// Runs the Fig. 9 layout-synthesis flow on the generated netlist.
   synth::SynthesisResult synthesize(

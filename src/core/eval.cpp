@@ -238,6 +238,8 @@ bool eval_request_from_json(const json::Value& v, EvalRequest* out,
           o, "amplitude_dbfs", req.monte_carlo.sim.amplitude_dbfs);
       req.monte_carlo.seed0 = static_cast<std::uint64_t>(opt_number(
           o, "seed0", static_cast<double>(req.monte_carlo.seed0)));
+      req.monte_carlo.batch_width = static_cast<int>(
+          opt_number(o, "batch_width", req.monte_carlo.batch_width));
       break;
     case EvalKind::kCornerSweep:
       req.corners.n_samples = static_cast<std::size_t>(opt_number(

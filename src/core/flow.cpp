@@ -9,6 +9,7 @@
 #include "core/driver_impl.h"
 #include "core/eval.h"
 #include "core/serde.h"
+#include "msim/batched_modulator.h"
 #include "msim/modulator.h"
 #include "netlist/generator.h"
 #include "synth/net_db.h"
@@ -729,6 +730,63 @@ std::shared_ptr<const RunResult> Flow::sim_run(const AdcDesign& design,
         static thread_local msim::SimWorkspace ws;
         return std::make_shared<const RunResult>(design.simulate(o, ws));
       });
+}
+
+std::vector<std::shared_ptr<const RunResult>> Flow::sim_run_batch(
+    const AdcDesign& design, const SimulationOptions& opts,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<std::shared_ptr<const RunResult>> out;
+  out.reserve(seeds.size());
+  // Fault plans corrupt per-stage inputs; route every entry through the
+  // scalar stage so each draw consumes its own fault trigger exactly as an
+  // unbatched loop would.
+  if (ctx_.faults != nullptr) {
+    for (std::uint64_t seed : seeds) {
+      SimulationOptions o = opts;
+      o.seed = seed;
+      out.push_back(sim_run(design, o));
+    }
+    return out;
+  }
+  if (!design.ok()) {
+    report_diags(ctx_, {error_diag("sim_run", "",
+                                   "design was not built (invalid spec)")});
+    out.assign(seeds.size(), nullptr);
+    return out;
+  }
+  {
+    const auto diags = validate_sim_options(opts);
+    report_diags(ctx_, diags);
+    if (has_errors(diags)) {
+      out.assign(seeds.size(), nullptr);
+      return out;
+    }
+  }
+  // Lazy group build: the first cold entry simulates all lanes in one
+  // batched run; warm entries never reach the builder. Results move out of
+  // the group one lane at a time (each index is built at most once).
+  struct Group {
+    std::vector<RunResult> results;
+    bool built = false;
+  };
+  auto group = std::make_shared<Group>();
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    SimulationOptions o = opts;
+    o.seed = seeds[k];
+    out.push_back(run_stage<RunResult>(
+        ctx_, Stage::kSimRun, sim_run_key(design.spec(), o),
+        &approx_bytes_run, &run_result_codec(),
+        [&design, &opts, &seeds, &group, k]() {
+          if (!group->built) {
+            static thread_local msim::BatchedWorkspace ws;
+            group->results = design.simulate_batch(opts, seeds, ws);
+            group->built = true;
+          }
+          return std::make_shared<const RunResult>(
+              std::move(group->results[k]));
+        }));
+  }
+  return out;
 }
 
 NodeReport Flow::report(const AdcSpec& spec, const SimulationOptions& sim,

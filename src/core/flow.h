@@ -157,6 +157,19 @@ class Flow {
   std::shared_ptr<const RunResult> sim_run(const AdcDesign& design,
                                            const SimulationOptions& opts = {});
 
+  /// One SimRun stage per seed (seeds[k] becomes opts.seed for entry k),
+  /// cold entries built together through the batched SoA engine. Each entry
+  /// keeps its own cache key — the same key sim_run() would use — so warm
+  /// entries are served from the cache/store without constructing a
+  /// modulator, and a batched build stores byte-identical artifacts (the
+  /// lanes are bit-identical to the scalar path). The group is built
+  /// lazily on the first cold entry; an all-warm group never simulates.
+  /// Under an armed fault plan every entry takes the scalar sim_run() path
+  /// so per-stage fault semantics are unchanged.
+  std::vector<std::shared_ptr<const RunResult>> sim_run_batch(
+      const AdcDesign& design, const SimulationOptions& opts,
+      const std::vector<std::uint64_t>& seeds);
+
   /// Report stage: synthesis + simulation with the layout's wire load
   /// folded into the power model. Assembled from the cached Route and
   /// SimRun artifacts.

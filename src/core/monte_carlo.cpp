@@ -7,6 +7,7 @@
 #include "core/driver_impl.h"
 #include "core/eval.h"
 #include "core/flow.h"
+#include "msim/batched_modulator.h"
 
 namespace vcoadc::core {
 
@@ -37,24 +38,77 @@ MonteCarloResult detail::monte_carlo_impl(const ExecContext& ctx,
     if (has_errors(diags)) return result;
   }
   Flow flow(ctx);
+
+  // Lane-group partition for the batched SoA engine: draws [gW, gW+W) run
+  // in SIMD lockstep as one task, the remainder draws run scalar, one task
+  // each. batch_width 1 (or an unsupported width) degenerates to the
+  // all-scalar partition; fault plans also force it so per-draw fault
+  // triggers fire exactly as before.
+  int width = opts.batch_width == 0 ? msim::BatchedModulator::preferred_width()
+                                    : opts.batch_width;
+  if (!msim::BatchedModulator::width_supported(width) ||
+      ctx.faults != nullptr) {
+    width = 1;
+  }
+  const std::size_t runs = static_cast<std::size_t>(opts.runs);
+  const std::size_t w = static_cast<std::size_t>(width);
+  const std::size_t n_groups = width > 1 ? runs / w : 0;
+  const std::size_t grouped = n_groups * w;
+  const std::size_t n_tasks = n_groups + (runs - grouped);
+
   BatchOptions bopts;
   bopts.threads = ctx.threads;
   bopts.seed0 = opts.seed0;
   BatchRunner runner(bopts);
-  result.sndr_db = runner.map(
-      static_cast<std::size_t>(opts.runs),
-      [&](std::size_t, std::uint64_t seed) {
+  const std::vector<std::vector<double>> per_task = runner.map(
+      n_tasks, [&](std::size_t task, std::uint64_t) -> std::vector<double> {
         // Each draw is a SimRun stage: distinct seed, distinct key, so the
         // first batch populates the cache and a repeat batch is all hits.
+        // Group tasks issue their W keys through sim_run_batch (cold
+        // entries simulate together in lockstep); remainder tasks are the
+        // scalar stage. A refused run (only reachable under fault
+        // injection here, since the options were validated above) reports
+        // through the context and contributes an explicit NaN rather than
+        // crashing the batch.
+        if (task < n_groups) {
+          std::vector<std::uint64_t> seeds(w);
+          for (std::size_t k = 0; k < w; ++k) {
+            seeds[k] = opts.seed0 + task * w + k;
+          }
+          const auto group = flow.sim_run_batch(design, opts.sim, seeds);
+          std::vector<double> sndr(w);
+          for (std::size_t k = 0; k < w; ++k) {
+            sndr[k] = group[k] != nullptr
+                          ? group[k]->sndr.sndr_db
+                          : std::numeric_limits<double>::quiet_NaN();
+          }
+          return sndr;
+        }
         SimulationOptions sim = opts.sim;
-        sim.seed = seed;
+        sim.seed = opts.seed0 + grouped + (task - n_groups);
         const auto r = flow.sim_run(design, sim);
-        // A refused run (only reachable under fault injection here, since
-        // the options were validated above) reports through the context
-        // and contributes an explicit NaN rather than crashing the batch.
-        return r ? r->sndr.sndr_db : std::numeric_limits<double>::quiet_NaN();
+        return {r ? r->sndr.sndr_db
+                  : std::numeric_limits<double>::quiet_NaN()};
       });
+  result.sndr_db.reserve(runs);
+  for (const auto& t : per_task) {
+    result.sndr_db.insert(result.sndr_db.end(), t.begin(), t.end());
+  }
   result.batch = runner.last_stats();
+  // Stats stay per draw (the engine timed per task): a group's wall time
+  // is amortized uniformly over its lanes.
+  if (result.batch.task_wall_s.size() == n_tasks && n_tasks != runs) {
+    std::vector<double> per_draw;
+    per_draw.reserve(runs);
+    for (std::size_t task = 0; task < n_tasks; ++task) {
+      const std::size_t lanes = task < n_groups ? w : 1;
+      for (std::size_t k = 0; k < lanes; ++k) {
+        per_draw.push_back(result.batch.task_wall_s[task] /
+                           static_cast<double>(lanes));
+      }
+    }
+    result.batch.task_wall_s = std::move(per_draw);
+  }
 
   const double n = static_cast<double>(result.sndr_db.size());
   double sum = 0, sum2 = 0;

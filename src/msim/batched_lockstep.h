@@ -1,0 +1,450 @@
+// Internal lane-lockstep kernel of the batched transient engine.
+//
+// run_lockstep<W>() is a line-for-line transcription of
+// VcoDsmModulator::run() with every per-draw scalar replaced by a W-lane
+// structure-of-arrays value (util::simd::vec). It is compiled three times —
+// batched_tier_{scalar,sse2,avx2}.cpp — with different codegen flags and
+// dispatched at runtime (see util/simd.h). The TUs contain no intrinsics
+// and never enable FMA, so each lane's IEEE operation sequence is identical
+// across tiers and identical to the scalar modulator's; the tier changes
+// only how many lanes one instruction retires.
+//
+// Everything allocation- or libm-setup-related (pole factors, noise
+// amplitudes, mismatch transposition, result-buffer sizing) happens in
+// batched_modulator.cpp (baseline TU) and arrives here precomputed in
+// BatchedSetup; the kernel holds only the per-clock hot loop.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "msim/batched_modulator.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace vcoadc::msim::lockstep {
+
+/// Flattened, lane-major launch state. Per-lane vectors are indexed [w];
+/// per-slice-per-lane vectors are indexed [i * width + w] so the lane loop
+/// over one slice touches contiguous memory.
+struct BatchedSetup {
+  int width = 0;
+  int n_slices = 0;
+  int substeps = 0;
+  std::size_t n_samples = 0;
+  double ts = 0.0;
+  double dt = 0.0;
+
+  // Shared run constants (identical across lanes by construction).
+  double vctrl_mid = 0.0;
+  double f_center = 0.0;
+  double f_floor = 0.0;  ///< 0.01 * f_center (RingVco's stall clamp)
+  double g_input = 0.0;
+  double vrefp = 0.0;
+  bool vref_ripple = false;
+  double ripple_amp = 0.0;
+  double ripple_freq = 0.0;
+  bool thermal_noise = false;
+  bool white_fm = false;
+  double fm_noise_amp = 0.0;  ///< 2*pi*sqrt(white_fm*dt), RingVco's cache
+  double jitter_sigma = 0.0;
+  double comp_noise_sigma = 0.0;
+  double comp_meta_window = 0.0;
+  double comp_slew_div = 1.0;  ///< max(tap_slew, 1.0)
+  double comp_buffer_delay = 0.0;
+  double cm_error_prob = 0.0;
+  bool record_bits = false;
+  bool static_mapping = false;
+  std::uint64_t d_init = 0;  ///< SliceBits::alternating start word
+
+  // Per-lane constants [w].
+  std::vector<double> scale, vcm_in, kvco1, kvco2, phase1, phase2;
+  std::vector<double> g_total_p, g_total_n, g_fold;
+  std::vector<double> pole_a, pole_g_total, node_noise_sigma;
+  // Per-slice-per-lane constants [i * width + w].
+  std::vector<double> tap_off1, tap_off2, offt1, offt2, g_p, g_n;
+  // RNG stream positions to install into the lanes (scalar Rng copies,
+  // exactly as the per-lane modulators forked them).
+  std::vector<util::Rng> rng_node_p, rng_node_n, rng_vco1, rng_vco2,
+      rng_jit;                          // [w]
+  std::vector<util::Rng> rng_fe1, rng_fe2;  // [i * width + w]
+};
+
+// `static` is load-bearing: as an ordinary header template this would be a
+// weak (comdat) symbol, and the linker would merge the three tier TUs'
+// instantiations into one — silently running a single tier's codegen under
+// every dispatch table entry. Internal linkage keeps one independently
+// compiled copy per TU, which is the whole point of the tier scheme.
+template <int W>
+static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
+  using V = util::simd::vec<W>;
+  using util::simd::vmax;
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  constexpr double kPi = std::numbers::pi;
+
+  const int n_slices = s.n_slices;
+  const double dt = s.dt;
+  // Input signal / reference pre-evaluated per substep instant by run();
+  // the hot loop below is call-free on its common path.
+  const double* bv = ws.base_vals.data();
+  const double* vv = ws.vref_vals.data();
+
+  // Every shared run constant is copied to a local: the result buffers are
+  // written through ws (heap pointers the compiler cannot prove distinct
+  // from the setup struct's storage), so reads of s.* inside the clock loop
+  // would otherwise be reloaded — and re-broadcast — on every use.
+  const int substeps = s.substeps;
+  const double vctrl_mid = s.vctrl_mid;
+  const double f_center = s.f_center;
+  const double f_floor = s.f_floor;
+  const double g_input = s.g_input;
+  const double vrefp = s.vrefp;
+  const bool vref_ripple = s.vref_ripple;
+  const bool thermal_noise = s.thermal_noise;
+  const bool white_fm = s.white_fm;
+  const double fm_noise_amp = s.fm_noise_amp;
+  const double jitter_sigma = s.jitter_sigma;
+  const double comp_noise_sigma = s.comp_noise_sigma;
+  const double comp_meta_window = s.comp_meta_window;
+  const double comp_slew_div = s.comp_slew_div;
+  const double comp_buffer_delay = s.comp_buffer_delay;
+  const double cm_error_prob = s.cm_error_prob;
+  const bool record_bits = s.record_bits;
+  const bool static_mapping = s.static_mapping;
+  const double* g_p_data = s.g_p.data();
+  const double* g_n_data = s.g_n.data();
+  const double* tap_off1_data = s.tap_off1.data();
+  const double* tap_off2_data = s.tap_off2.data();
+  const double* offt1_data = s.offt1.data();
+  const double* offt2_data = s.offt2.data();
+
+  // Install the RNG streams (SoA lanes).
+  util::LaneRng<W> rng_np, rng_nn, rng_v1, rng_v2, rng_jit;
+  std::vector<util::LaneRng<W>> rng_fe1(static_cast<std::size_t>(n_slices));
+  std::vector<util::LaneRng<W>> rng_fe2(static_cast<std::size_t>(n_slices));
+  for (int w = 0; w < W; ++w) {
+    rng_np.set_lane(w, s.rng_node_p[static_cast<std::size_t>(w)]);
+    rng_nn.set_lane(w, s.rng_node_n[static_cast<std::size_t>(w)]);
+    rng_v1.set_lane(w, s.rng_vco1[static_cast<std::size_t>(w)]);
+    rng_v2.set_lane(w, s.rng_vco2[static_cast<std::size_t>(w)]);
+    rng_jit.set_lane(w, s.rng_jit[static_cast<std::size_t>(w)]);
+    for (int i = 0; i < n_slices; ++i) {
+      const std::size_t iw = static_cast<std::size_t>(i * W + w);
+      rng_fe1[static_cast<std::size_t>(i)].set_lane(w, s.rng_fe1[iw]);
+      rng_fe2[static_cast<std::size_t>(i)].set_lane(w, s.rng_fe2[iw]);
+    }
+  }
+
+  // Lane state.
+  const V scale = V::load(s.scale.data());
+  const V vcm_in = V::load(s.vcm_in.data());
+  const V kvco1 = V::load(s.kvco1.data());
+  const V kvco2 = V::load(s.kvco2.data());
+  const V g_total_p = V::load(s.g_total_p.data());
+  const V g_total_n = V::load(s.g_total_n.data());
+  const V g_fold = V::load(s.g_fold.data());
+  const V pole_a = V::load(s.pole_a.data());
+  const V pole_g_total = V::load(s.pole_g_total.data());
+  const V node_sigma = V::load(s.node_noise_sigma.data());
+  V ph1 = V::load(s.phase1.data());
+  V ph2 = V::load(s.phase2.data());
+  V vp = V::splat(s.vctrl_mid);
+  V vn = V::splat(s.vctrl_mid);
+  V acc_vp = V::splat(0.0), acc_vn = V::splat(0.0);
+  V acc_f1 = V::splat(0.0), acc_f2 = V::splat(0.0);
+  std::uint64_t d[W];
+  std::size_t toggles[W];
+  for (int w = 0; w < W; ++w) {
+    d[w] = s.d_init;
+    toggles[w] = 0;
+  }
+
+  // DAC running on-conductance sums for the current bits, rebuilt in slice
+  // order per edge exactly like ResistorDacBank::set_levels (the off-slice
+  // contributes +0.0, which is bitwise the same as skipping the add for
+  // the positive partial sums involved). P sees the complement of d.
+  V g_on_p, g_on_n;
+  auto sync_dac_levels = [&]() {
+    g_on_p = V::splat(0.0);
+    g_on_n = V::splat(0.0);
+#if VCOADC_SIMD_NATIVE
+    // Branch-free: the DAC word bits are effectively random, so the
+    // per-lane ternary below is an unpredictable branch 2*W*n_slices times
+    // per clock. The masked adds accumulate the identical partial sums
+    // (+0.0 for the off term, exactly as the scalar code's ternary).
+    typename util::simd::native_u64vec<W>::type dv;
+    for (int w = 0; w < W; ++w) dv[w] = d[w];
+    const V zero = V::splat(0.0);
+    for (int k = 0; k < n_slices; ++k) {
+      const V gp = V::load(&g_p_data[static_cast<std::size_t>(k * W)]);
+      const V gn = V::load(&g_n_data[static_cast<std::size_t>(k * W)]);
+      const auto on = ((dv >> k) & 1ULL) != 0;
+      g_on_p.v += on ? zero.v : gp.v;
+      g_on_n.v += on ? gn.v : zero.v;
+    }
+#else
+    for (int k = 0; k < n_slices; ++k) {
+      const double* gp = &g_p_data[static_cast<std::size_t>(k * W)];
+      const double* gn = &g_n_data[static_cast<std::size_t>(k * W)];
+      for (int w = 0; w < W; ++w) {
+        const bool on = (d[w] >> k) & 1ULL;
+        g_on_p.v[w] += on ? 0.0 : gp[w];
+        g_on_n.v[w] += on ? gn[w] : 0.0;
+      }
+    }
+#endif
+  };
+  sync_dac_levels();
+
+  // Same conditional-subtract wrap as the scalar modulator's wrap_2pi.
+  auto wrap_2pi = [](double p) {
+    while (p >= kTwoPi) p -= kTwoPi;
+    while (p < 0.0) p += kTwoPi;
+    return p;
+  };
+
+  double lanes_buf[W], lanes_buf2[W];
+  bool s1[W], s2[W];
+
+  std::size_t sub_k = 0;
+  for (std::size_t n = 0; n < s.n_samples; ++n) {
+    for (int m = 0; m < substeps; ++m, ++sub_k) {
+      const double sb = bv[sub_k];
+      const double vref = vref_ripple ? vv[sub_k] : vrefp;
+      const V vin = scale * sb;
+      const V vinp = vcm_in + 0.5 * vin;
+      const V vinn = vcm_in - 0.5 * vin;
+      const V ip = g_on_p * vref - g_total_p * vp;
+      const V in = g_on_n * vref - g_total_n * vn;
+      // ControlNode::step, exact expression per lane.
+      const V i_fixed_p = g_input * vinp + ip + g_fold * vp;
+      const V i_fixed_n = g_input * vinn + in + g_fold * vn;
+      const V v_inf_p = i_fixed_p / pole_g_total;
+      const V v_inf_n = i_fixed_n / pole_g_total;
+      vp = v_inf_p + (vp - v_inf_p) * pole_a;
+      vn = v_inf_n + (vn - v_inf_n) * pole_a;
+      if (thermal_noise) {
+        rng_np.gaussian_lanes(lanes_buf);
+        rng_nn.gaussian_lanes(lanes_buf2);
+        // Rng::gaussian(mean, sigma) is mean + sigma * g; the vector ops
+        // below run that exact expression per lane.
+        vp += 0.0 + node_sigma * V::load(lanes_buf);
+        vn += 0.0 + node_sigma * V::load(lanes_buf2);
+      }
+      // RingVco::advance per lane.
+      const V f1 = vmax(f_center + kvco1 * (vp - vctrl_mid), f_floor);
+      const V f2 = vmax(f_center + kvco2 * (vn - vctrl_mid), f_floor);
+      V dphi1 = kTwoPi * f1 * dt;
+      V dphi2 = kTwoPi * f2 * dt;
+      if (white_fm) {
+        rng_v1.gaussian_lanes(lanes_buf);
+        rng_v2.gaussian_lanes(lanes_buf2);
+        dphi1 += fm_noise_amp * V::load(lanes_buf);
+        dphi2 += fm_noise_amp * V::load(lanes_buf2);
+      }
+      // RingVco's wrap, if-converted so it packs: one conditional subtract
+      // (or add) is exact for every phase increment the physics can produce
+      // (|dphi| < 2*pi); the fmod fallback of the scalar code survives as a
+      // rare scalar fixup, so the transcription is exact for any input.
+      const V p1 = ph1 + dphi1;
+      const V p2 = ph2 + dphi2;
+      ph1 = util::simd::select_lt(p1, 0.0, p1 + kTwoPi,
+                                  util::simd::select_ge(p1, kTwoPi,
+                                                        p1 - kTwoPi, p1));
+      ph2 = util::simd::select_lt(p2, 0.0, p2 + kTwoPi,
+                                  util::simd::select_ge(p2, kTwoPi,
+                                                        p2 - kTwoPi, p2));
+      int wrap_rare = 0;
+      for (int w = 0; w < W; ++w) {
+        wrap_rare |= (ph1.v[w] >= kTwoPi) | (ph1.v[w] < 0.0) |
+                     (ph2.v[w] >= kTwoPi) | (ph2.v[w] < 0.0);
+      }
+      if (wrap_rare != 0) [[unlikely]] {
+        for (int w = 0; w < W; ++w) {
+          double p = p1.v[w];
+          if (p >= kTwoPi) {
+            p -= kTwoPi;
+            if (p >= kTwoPi) p = std::fmod(p, kTwoPi);
+          } else if (p < 0.0) {
+            p += kTwoPi;
+          }
+          ph1.v[w] = p;
+          double q = p2.v[w];
+          if (q >= kTwoPi) {
+            q -= kTwoPi;
+            if (q >= kTwoPi) q = std::fmod(q, kTwoPi);
+          } else if (q < 0.0) {
+            q += kTwoPi;
+          }
+          ph2.v[w] = q;
+        }
+      }
+      acc_vp += vp;
+      acc_vn += vn;
+      acc_f1 += f1;
+      acc_f2 += f2;
+    }
+
+    // Clock edge.
+    V jit;
+    if (jitter_sigma > 0.0) {
+      rng_jit.gaussian_lanes(lanes_buf);
+      jit = 0.0 + jitter_sigma * V::load(lanes_buf);
+    } else {
+      jit = V::splat(0.0);
+    }
+    const V f1e = vmax(f_center + kvco1 * (vp - vctrl_mid), f_floor);
+    const V f2e = vmax(f_center + kvco2 * (vn - vctrl_mid), f_floor);
+    const V w1 = kTwoPi * f1e;
+    const V w2 = kTwoPi * f2e;
+    std::uint64_t raw[W];
+    for (int w = 0; w < W; ++w) raw[w] = 0;
+    // SamplingFrontEnd::sample for one ring across all lanes of one slice.
+    // The common path is if-converted select arithmetic (so it packs); the
+    // unbounded while-wrap of the scalar code survives as a rare per-lane
+    // fixup, keeping the transcription exact for any argument. The
+    // metastability window is resolved per lane because its coin flip is a
+    // data-dependent draw on that lane's stream alone.
+    // Force-inlined: left to its own devices GCC outlines this lambda and
+    // re-loads every by-reference capture through the frame on each of the
+    // 2 * n_slices calls per clock, which costs more than the sampling math
+    // itself.
+    auto sample_ring = [&](const V& ph, const double* tap, const double* offt,
+                           const V& omega, const V& fe, util::LaneRng<W>& rng,
+                           bool out[W]) VCOADC_LANE_INLINE_LAMBDA {
+      V t_eff = (V::load(offt) + comp_buffer_delay) + jit;
+      if (comp_noise_sigma > 0.0) {
+        rng.gaussian_lanes(lanes_buf);
+        t_eff += (0.0 + comp_noise_sigma * V::load(lanes_buf)) /
+                 comp_slew_div;
+      }
+      const V arg = (ph + V::load(tap)) + omega * t_eff;
+      V wr = util::simd::select_ge(arg, kTwoPi, arg - kTwoPi, arg);
+      wr = util::simd::select_ge(wr, kTwoPi, wr - kTwoPi, wr);
+      wr = util::simd::select_lt(wr, 0.0, wr + kTwoPi, wr);
+      int rare = 0;
+      for (int w = 0; w < W; ++w) {
+        rare |= (wr.v[w] >= kTwoPi) | (wr.v[w] < 0.0);
+      }
+      if (rare != 0) [[unlikely]] {
+        for (int w = 0; w < W; ++w) wr.v[w] = wrap_2pi(arg.v[w]);
+      }
+      for (int w = 0; w < W; ++w) out[w] = wr.v[w] < kPi;
+      if (comp_meta_window > 0.0) {
+        // ph < 2*pi and tap < 2*pi, so the scalar `while (p >= pi) p -= pi`
+        // runs at most 3 times; three chained conditional subtracts replay
+        // it exactly, with a per-lane fallback for anything larger.
+        const V p0 = ph + V::load(tap);
+        V p = util::simd::select_ge(p0, kPi, p0 - kPi, p0);
+        p = util::simd::select_ge(p, kPi, p - kPi, p);
+        p = util::simd::select_ge(p, kPi, p - kPi, p);
+        int wrap_more = 0;
+        for (int w = 0; w < W; ++w) wrap_more |= (p.v[w] >= kPi);
+        if (wrap_more != 0) [[unlikely]] {
+          for (int w = 0; w < W; ++w) {
+            double pw = p0.v[w];
+            while (pw >= kPi) pw -= kPi;
+            p.v[w] = pw;
+          }
+        }
+        // The scalar decision is `fl(fl(pi - p) / fl(2*pi*fe)) < window`,
+        // one division per lane per decision — the costliest instruction on
+        // the edge path, and ~99.9% of the quotients land far from the
+        // aperture. Pre-filter with a conservative multiply: any true hit
+        // satisfies (pi - p) < window * (2*pi*fe) * (1 + 1e-9), because the
+        // divide and multiply round within 2^-52 each, orders of magnitude
+        // inside the 1e-9 margin. Only candidate lanes (mostly none) pay
+        // the exact division, which then decides, bit-for-bit.
+        const V lhs = kPi - p;
+        const V bnd = (kTwoPi * fe) * (comp_meta_window * (1.0 + 1e-9));
+        int cand = 0;
+        for (int w = 0; w < W; ++w) {
+          cand |= (lhs.v[w] < bnd.v[w]) << w;
+        }
+        if (cand != 0) [[unlikely]] {
+          for (int w = 0; w < W; ++w) {
+            if (((cand >> w) & 1) == 0) continue;
+            const double tte = lhs.v[w] / (kTwoPi * fe.v[w]);
+            if (tte < comp_meta_window) {
+              out[w] = rng.bernoulli_lane(w, 0.5);
+            }
+          }
+        }
+      }
+      if (cm_error_prob > 0.0) {
+        rng.uniform_lanes(lanes_buf);
+        for (int w = 0; w < W; ++w) {
+          if (lanes_buf[w] < cm_error_prob) out[w] = !out[w];
+        }
+      }
+    };
+    for (int i = 0; i < n_slices; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      sample_ring(ph1, &tap_off1_data[static_cast<std::size_t>(i * W)],
+                  &offt1_data[static_cast<std::size_t>(i * W)], w1, f1e,
+                  rng_fe1[si], s1);
+      sample_ring(ph2, &tap_off2_data[static_cast<std::size_t>(i * W)],
+                  &offt2_data[static_cast<std::size_t>(i * W)], w2, f2e,
+                  rng_fe2[si], s2);
+      for (int w = 0; w < W; ++w) {
+        const bool di = s1[w] != s2[w];
+        // Branch-free: di is the modulator's output bit, i.e. unpredictable.
+        raw[w] |= static_cast<std::uint64_t>(di) << i;
+        if (record_bits) {
+          ws.results[static_cast<std::size_t>(w)].slice_bits[si].push_back(
+              di);
+        }
+      }
+    }
+    for (int w = 0; w < W; ++w) {
+      const int count = std::popcount(raw[w]);
+      toggles[w] += static_cast<std::size_t>(std::popcount(raw[w] ^ d[w]));
+      d[w] = static_mapping
+                 ? ((count >= 64) ? ~0ULL : ((1ULL << count) - 1ULL))
+                 : raw[w];
+      ModulatorResult& res = ws.results[static_cast<std::size_t>(w)];
+      res.counts.push_back(count);
+      res.output.push_back((2.0 * count - n_slices) /
+                           static_cast<double>(n_slices));
+    }
+    sync_dac_levels();
+  }
+
+  const double steps = static_cast<double>(s.n_samples) *
+                       static_cast<double>(substeps);
+  for (int w = 0; w < W; ++w) {
+    ModulatorResult& res = ws.results[static_cast<std::size_t>(w)];
+    if (steps > 0) {
+      res.mean_vctrlp = acc_vp.v[w] / steps;
+      res.mean_vctrln = acc_vn.v[w] / steps;
+      res.mean_freq1_hz = acc_f1.v[w] / steps;
+      res.mean_freq2_hz = acc_f2.v[w] / steps;
+    }
+    if (s.n_samples > 0) {
+      res.bit_toggle_rate = static_cast<double>(toggles[w]) /
+                            static_cast<double>(s.n_samples);
+    }
+  }
+}
+
+/// Per-tier entry points (one TU per tier; see batched_tier_*.cpp).
+using LockstepFn = void (*)(const BatchedSetup&, BatchedWorkspace&);
+struct LockstepTable {
+  LockstepFn w2 = nullptr;
+  LockstepFn w4 = nullptr;
+  LockstepFn w8 = nullptr;
+};
+namespace tier_scalar {
+const LockstepTable& table();
+}
+namespace tier_sse2 {
+const LockstepTable& table();
+}
+namespace tier_avx2 {
+const LockstepTable& table();
+}
+
+}  // namespace vcoadc::msim::lockstep

@@ -1,0 +1,260 @@
+#include "msim/batched_modulator.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "msim/batched_lockstep.h"
+#include "util/simd.h"
+#include "util/units.h"
+
+namespace vcoadc::msim {
+
+/// Friend-access transposer: reads the private post-construction state of
+/// the W per-lane scalar modulators into the flattened lane-major setup.
+/// Construction itself already happened through the scalar code path, so
+/// every ctor-time mismatch draw is the serial one by construction; this
+/// struct only copies results out, it never mutates a lane modulator.
+struct BatchedStateAccess {
+  static lockstep::BatchedSetup build(
+      const std::vector<VcoDsmModulator>& lanes) {
+    const int W = static_cast<int>(lanes.size());
+    const VcoDsmModulator& m0 = lanes.front();
+    const SimConfig& cfg = m0.cfg_;
+    const int n_slices = cfg.num_slices;
+
+    lockstep::BatchedSetup s;
+    s.width = W;
+    s.n_slices = n_slices;
+    s.substeps = cfg.substeps;
+    s.ts = 1.0 / cfg.fs_hz;
+    s.dt = s.ts / cfg.substeps;
+    s.vctrl_mid = cfg.vctrl_mid;
+    s.f_center = m0.vco1_.center_freq_hz();
+    s.f_floor = 0.01 * s.f_center;
+    s.g_input = m0.node_p_.params_.g_input_s;
+    s.vrefp = cfg.vrefp;
+    s.vref_ripple = cfg.vref_ripple_amp_v > 0.0;
+    s.ripple_amp = cfg.vref_ripple_amp_v;
+    s.ripple_freq = cfg.vref_ripple_freq_hz;
+    s.thermal_noise = cfg.thermal_noise;
+    s.white_fm = m0.vco1_.white_fm_ > 0.0;
+    // RingVco::advance caches 2*pi*sqrt(S_f*dt) on its first step; same
+    // expression here (baseline TU), shared by all lanes (S_f, dt shared).
+    s.fm_noise_amp =
+        2.0 * std::numbers::pi * std::sqrt(m0.vco1_.white_fm_ * s.dt);
+    s.jitter_sigma = cfg.clock_jitter_sigma_s;
+    const SamplingFrontEnd::Params& fp = m0.fe1_.front().params_;
+    s.comp_noise_sigma = fp.noise_sigma_v;
+    s.comp_meta_window = fp.meta_window_s;
+    s.comp_slew_div = std::max(fp.tap_slew_v_per_s, 1.0);
+    s.comp_buffer_delay = fp.buffer_delay_s;
+    s.cm_error_prob = m0.fe1_.front().cm_error_prob_;
+    s.record_bits = m0.opts_.record_bits;
+    s.static_mapping = m0.opts_.mapping == ElementMapping::kStaticThermometer;
+    s.d_init = SliceBits::alternating(n_slices).mask();
+
+    const std::size_t lw = static_cast<std::size_t>(W);
+    const std::size_t slw = static_cast<std::size_t>(n_slices) * lw;
+    s.scale.resize(lw);
+    s.vcm_in.resize(lw);
+    s.kvco1.resize(lw);
+    s.kvco2.resize(lw);
+    s.phase1.resize(lw);
+    s.phase2.resize(lw);
+    s.g_total_p.resize(lw);
+    s.g_total_n.resize(lw);
+    s.g_fold.resize(lw);
+    s.pole_a.resize(lw);
+    s.pole_g_total.resize(lw);
+    s.node_noise_sigma.resize(lw);
+    s.tap_off1.resize(slw);
+    s.tap_off2.resize(slw);
+    s.offt1.resize(slw);
+    s.offt2.resize(slw);
+    s.g_p.resize(slw);
+    s.g_n.resize(slw);
+    s.rng_node_p.resize(lw);
+    s.rng_node_n.resize(lw);
+    s.rng_vco1.resize(lw);
+    s.rng_vco2.resize(lw);
+    s.rng_jit.resize(lw);
+    s.rng_fe1.resize(slw);
+    s.rng_fe2.resize(slw);
+
+    for (int w = 0; w < W; ++w) {
+      const VcoDsmModulator& m = lanes[static_cast<std::size_t>(w)];
+      const std::size_t sw = static_cast<std::size_t>(w);
+      s.vcm_in[sw] = m.vcm_in_;
+      s.kvco1[sw] = m.vco1_.kvco();
+      s.kvco2[sw] = m.vco2_.kvco();
+      s.phase1[sw] = m.vco1_.phase();
+      s.phase2[sw] = m.vco2_.phase();
+      s.g_total_p[sw] = m.dac_p_.total_conductance();
+      s.g_total_n[sw] = m.dac_n_.total_conductance();
+      // The scalar run folds dac_p's conductance into BOTH node poles.
+      s.g_fold[sw] = s.g_total_p[sw];
+      // ControlNode::prepare_pole, exact expressions (both nodes share the
+      // parameters and the folded conductance, hence one pole per lane).
+      const ControlNode::Params& np = m.node_p_.params_;
+      const double pole_g_total = np.g_input_s + np.g_load_s + s.g_fold[sw];
+      const double tau = np.c_node_f / pole_g_total;
+      const double pole_a = std::exp(-s.dt / tau);
+      const double var_stat =
+          util::kBoltzmann * np.temperature_k / np.c_node_f;
+      s.pole_g_total[sw] = pole_g_total;
+      s.pole_a[sw] = pole_a;
+      s.node_noise_sigma[sw] = std::sqrt(var_stat * (1.0 - pole_a * pole_a));
+      s.rng_node_p[sw] = m.node_p_.rng_;
+      s.rng_node_n[sw] = m.node_n_.rng_;
+      s.rng_vco1[sw] = m.vco1_.rng_;
+      s.rng_vco2[sw] = m.vco2_.rng_;
+      // The scalar run() constructs the jitter stream at run time from the
+      // lane seed; replicate the same fork.
+      s.rng_jit[sw] = util::Rng(m.cfg_.seed).fork("clkjit");
+      for (int i = 0; i < n_slices; ++i) {
+        const std::size_t si = static_cast<std::size_t>(i);
+        const std::size_t iw = static_cast<std::size_t>(i * W + w);
+        s.tap_off1[iw] = m.vco1_.tap_offsets()[si];
+        s.tap_off2[iw] = m.vco2_.tap_offsets()[si];
+        s.offt1[iw] = m.fe1_[si].offset_time_s();
+        s.offt2[iw] = m.fe2_[si].offset_time_s();
+        s.g_p[iw] = m.dac_p_.conductances()[si];
+        s.g_n[iw] = m.dac_n_.conductances()[si];
+        s.rng_fe1[iw] = m.fe1_[si].rng_;
+        s.rng_fe2[iw] = m.fe2_[si].rng_;
+      }
+    }
+    return s;
+  }
+};
+
+namespace {
+
+const lockstep::LockstepTable& tier_table(util::simd::Tier t) {
+  switch (t) {
+    case util::simd::Tier::kAvx2: return lockstep::tier_avx2::table();
+    case util::simd::Tier::kSse2: return lockstep::tier_sse2::table();
+    case util::simd::Tier::kScalar: break;
+  }
+  return lockstep::tier_scalar::table();
+}
+
+lockstep::LockstepFn pick_kernel(int width) {
+  const lockstep::LockstepTable& t = tier_table(util::simd::active_tier());
+  if (width == 2) return t.w2;
+  if (width == 4) return t.w4;
+  return t.w8;
+}
+
+}  // namespace
+
+int BatchedModulator::preferred_width() {
+  const int w = util::simd::active_width();
+  return width_supported(w) ? w : 2;
+}
+
+std::unique_ptr<BatchedModulator> BatchedModulator::create(
+    const SimConfig& cfg, const std::vector<std::uint64_t>& seeds,
+    const Options& opts) {
+  if (!width_supported(static_cast<int>(seeds.size()))) return nullptr;
+  // The current-steering bank threads one shared bias-noise stream through
+  // every substep — a serial dependency the lane model cannot batch.
+  if (opts.dac != DacKind::kResistor) return nullptr;
+  std::vector<VcoDsmModulator> lanes;
+  lanes.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    SimConfig lane_cfg = cfg;
+    lane_cfg.seed = seed;
+    lanes.emplace_back(lane_cfg, opts);
+  }
+  return std::unique_ptr<BatchedModulator>(
+      new BatchedModulator(std::move(lanes)));
+}
+
+double BatchedModulator::full_scale_diff(int lane) const {
+  return lanes_[static_cast<std::size_t>(lane)].full_scale_diff();
+}
+
+double BatchedModulator::input_common_mode(int lane) const {
+  return lanes_[static_cast<std::size_t>(lane)].input_common_mode();
+}
+
+const std::vector<ModulatorResult>& BatchedModulator::run(
+    const dsp::SignalFn& base, const std::vector<double>& lane_scale,
+    std::size_t n_samples, BatchedWorkspace& ws) const {
+  const int W = width();
+  const SimConfig& cfg = config();
+  lockstep::BatchedSetup setup = BatchedStateAccess::build(lanes_);
+  setup.n_samples = n_samples;
+  for (int w = 0; w < W; ++w) {
+    setup.scale[static_cast<std::size_t>(w)] =
+        lane_scale[static_cast<std::size_t>(w)];
+  }
+
+  // Same buffer reuse contract as the scalar SimWorkspace: clear() keeps
+  // capacity, so a warmed-up workspace runs allocation-free.
+  ws.results.resize(static_cast<std::size_t>(W));
+  for (ModulatorResult& res : ws.results) {
+    res.output.clear();
+    res.output.reserve(n_samples);
+    res.counts.clear();
+    res.counts.reserve(n_samples);
+    if (setup.record_bits) {
+      res.slice_bits.resize(static_cast<std::size_t>(cfg.num_slices));
+      for (auto& v : res.slice_bits) {
+        v.clear();
+        v.reserve(n_samples);
+      }
+    } else {
+      res.slice_bits.clear();
+    }
+    res.mean_vctrlp = res.mean_vctrln = 0.0;
+    res.mean_freq1_hz = res.mean_freq2_hz = 0.0;
+    res.bit_toggle_rate = 0.0;
+  }
+  if (ws.substep_frac.size() != static_cast<std::size_t>(cfg.substeps)) {
+    ws.substep_frac.resize(static_cast<std::size_t>(cfg.substeps));
+    for (int m = 0; m < cfg.substeps; ++m) {
+      ws.substep_frac[static_cast<std::size_t>(m)] =
+          static_cast<double>(m) / cfg.substeps;
+    }
+  }
+
+  // Pre-evaluate the input (and the reference ripple, when enabled) at
+  // every substep instant. The instants depend only on (n, m), and the
+  // pre-pass calls `base` once per instant in exactly the order the scalar
+  // modulator would, so even a stateful SignalFn sees the identical call
+  // sequence and the values are bit-identical.
+  const std::size_t n_sub =
+      n_samples * static_cast<std::size_t>(cfg.substeps);
+  ws.base_vals.resize(n_sub);
+  if (setup.vref_ripple) {
+    ws.vref_vals.resize(n_sub);
+  } else {
+    ws.vref_vals.clear();
+  }
+  {
+    constexpr double kTwoPi = 2.0 * std::numbers::pi;
+    const double* frac = ws.substep_frac.data();
+    double* bv = ws.base_vals.data();
+    double* vv = ws.vref_vals.data();
+    std::size_t k = 0;
+    for (std::size_t n = 0; n < n_samples; ++n) {
+      for (int m = 0; m < cfg.substeps; ++m, ++k) {
+        const double t =
+            (static_cast<double>(n) + frac[m]) * setup.ts;
+        bv[k] = base(t);
+        if (setup.vref_ripple) {
+          vv[k] = setup.vrefp +
+                  setup.ripple_amp *
+                      std::sin(kTwoPi * setup.ripple_freq * t);
+        }
+      }
+    }
+  }
+
+  pick_kernel(W)(setup, ws);
+  return ws.results;
+}
+
+}  // namespace vcoadc::msim

@@ -1,0 +1,26 @@
+// SSE2 tier of the lockstep kernel: baseline x86-64 codegen (SSE2 is
+// architectural there), which lets the auto-vectorizer pack 2 doubles per
+// operation. On non-x86 hosts this TU is plain portable C++ and the
+// dispatcher never selects it.
+#include "msim/batched_lockstep.h"
+
+namespace vcoadc::msim::lockstep::tier_sse2 {
+
+namespace {
+void run_w2(const BatchedSetup& s, BatchedWorkspace& ws) {
+  run_lockstep<2>(s, ws);
+}
+void run_w4(const BatchedSetup& s, BatchedWorkspace& ws) {
+  run_lockstep<4>(s, ws);
+}
+void run_w8(const BatchedSetup& s, BatchedWorkspace& ws) {
+  run_lockstep<8>(s, ws);
+}
+}  // namespace
+
+const LockstepTable& table() {
+  static const LockstepTable t{&run_w2, &run_w4, &run_w8};
+  return t;
+}
+
+}  // namespace vcoadc::msim::lockstep::tier_sse2

@@ -83,6 +83,9 @@ class SamplingFrontEnd {
   double offset_time_s() const { return offset_time_s_; }
 
  private:
+  // Batched engine state transposer (batched_modulator.cpp).
+  friend struct BatchedStateAccess;
+
   Params params_;
   util::Rng rng_;
   double offset_v_ = 0.0;

@@ -124,6 +124,12 @@ class VcoDsmModulator {
   const SimConfig& config() const { return cfg_; }
 
  private:
+  // Batched engine state transposer (batched_modulator.cpp): after W
+  // per-lane modulators are constructed (which replays the exact ctor-time
+  // mismatch draw order), their component state is read out into
+  // structure-of-arrays lanes.
+  friend struct BatchedStateAccess;
+
   SimConfig cfg_;
   Options opts_;
   util::Rng rng_;

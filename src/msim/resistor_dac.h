@@ -179,6 +179,9 @@ class ControlNode {
   void set_voltage(double v) { v_ = v; }
 
  private:
+  // Batched engine state transposer (batched_modulator.cpp).
+  friend struct BatchedStateAccess;
+
   void prepare_pole(double g_dac_total, double dt) {
     pole_g_dac_ = g_dac_total;
     pole_dt_ = dt;

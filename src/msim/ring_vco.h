@@ -107,6 +107,10 @@ class RingVco {
   const std::vector<double>& tap_offsets() const { return tap_offsets_; }
 
  private:
+  // Batched engine state transposer (batched_modulator.cpp): reads the
+  // mismatch-drawn constants and the noise stream to build SoA lanes.
+  friend struct BatchedStateAccess;
+
   static constexpr double kTwoPi_ = 2.0 * std::numbers::pi;
 
   int num_stages_;

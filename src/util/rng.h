@@ -9,9 +9,12 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <string_view>
+
+#include "util/simd.h"
 
 namespace vcoadc::util {
 
@@ -137,6 +140,9 @@ class Rng {
   result_type operator()() { return next_u64(); }
 
  private:
+  template <int W>
+  friend class LaneRng;
+
   static std::uint64_t rotl_(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
@@ -146,6 +152,159 @@ class Rng {
   double gaussian_slow_(std::uint64_t u);
 
   std::array<std::uint64_t, 4> state_{};
+};
+
+/// W independent xoshiro256++ streams stored structure-of-arrays, for the
+/// batched (lane-lockstep) transient engine. Lane w is seeded from a scalar
+/// Rng and from then on produces the exact draw sequence that Rng would
+/// have produced on its own: next_lanes() runs the identical state update
+/// per lane (one packed instruction per line once vectorized), and the
+/// ziggurat rejection path falls back to the scalar Rng::gaussian_slow_ on
+/// the extracted lane state. Lanes are independent streams — a slow-path
+/// retry in one lane never advances another — so "lockstep" refers only to
+/// the call structure, not to shared state.
+// The lane-batch hot path must inline into each kernel tier's translation
+// unit so it is compiled under that TU's codegen flags (the out-of-line
+// template instantiation would be a comdat symbol: one TU's codegen would
+// silently serve every tier, and the state-update loops would never pack).
+#if defined(__GNUC__) || defined(__clang__)
+#define VCOADC_LANE_INLINE inline __attribute__((always_inline))
+#define VCOADC_LANE_INLINE_LAMBDA __attribute__((always_inline))
+#else
+#define VCOADC_LANE_INLINE inline
+#define VCOADC_LANE_INLINE_LAMBDA
+#endif
+
+template <int W>
+class LaneRng {
+ public:
+  LaneRng() = default;
+
+  /// Installs `r`'s current state as lane `w`'s stream position.
+  void set_lane(int w, const Rng& r) {
+    for (int j = 0; j < 4; ++j) s_[j][w] = r.state_[j];
+  }
+
+  /// Advances every lane one step and returns the raw 64-bit draws.
+  /// With native vectors the whole xoshiro update is a handful of packed
+  /// integer instructions; the per-lane bit pattern is identical either way
+  /// (shifts, xors and adds have no rounding or ordering freedom).
+  VCOADC_LANE_INLINE void next_lanes(std::uint64_t out[W]) {
+#if VCOADC_SIMD_NATIVE
+    UV r;
+    next_v_(&r);
+    for (int w = 0; w < W; ++w) out[w] = r[w];
+#else
+    for (int w = 0; w < W; ++w) {
+      out[w] = Rng::rotl_(s_[0][w] + s_[3][w], 23) + s_[0][w];
+    }
+    for (int w = 0; w < W; ++w) {
+      const std::uint64_t t = s_[1][w] << 17;
+      s_[2][w] ^= s_[0][w];
+      s_[3][w] ^= s_[1][w];
+      s_[1][w] ^= s_[2][w];
+      s_[0][w] ^= s_[3][w];
+      s_[2][w] ^= t;
+      s_[3][w] = Rng::rotl_(s_[3][w], 45);
+    }
+#endif
+  }
+
+  /// One standard-normal draw per lane; identical per-lane sequence to
+  /// Rng::gaussian(). The ~99% ziggurat accept path stays in the lane loop;
+  /// rejections round-trip the lane state through the scalar slow path.
+  VCOADC_LANE_INLINE void gaussian_lanes(double out[W]) {
+    // The ziggurat accept path stays per lane: the layer tables are indexed
+    // by random bytes, so the convert / scale / sign flip per lane start
+    // from scalar table loads anyway. (A packed variant with one combined
+    // all-lanes-accept branch measured ~10% slower at W=4 on AVX2: the
+    // fallback re-runs the lane loop, and the combined branch mispredicts
+    // ~1 - 0.985^W of the time.)
+    std::uint64_t u[W];
+    next_lanes(u);
+    for (int w = 0; w < W; ++w) {
+      const std::size_t idx = static_cast<std::size_t>(u[w] & 255u);
+      const std::uint64_t rabs = u[w] >> 12;
+      if (rabs < detail::kZig.k[idx]) [[likely]] {
+        const double x = static_cast<double>(rabs) * detail::kZig.w[idx];
+        // Branchless sign: x >= 0 here, so flipping the sign bit is exactly
+        // Rng::gaussian's `(u & 256u) ? -x : x` — but without a 50/50
+        // data-dependent branch per lane per draw.
+        out[w] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(x) ^
+                                       ((u[w] & 256u) << 55));
+      } else {
+        out[w] = slow_lane_(w, u[w]);
+      }
+    }
+  }
+
+  /// One uniform [0,1) draw per lane (Rng::uniform's mantissa mapping).
+  VCOADC_LANE_INLINE void uniform_lanes(double out[W]) {
+    std::uint64_t u[W];
+    next_lanes(u);
+    for (int w = 0; w < W; ++w) {
+      out[w] = static_cast<double>(u[w] >> 11) * 0x1.0p-53;
+    }
+  }
+
+  /// Advances only lane `w` (scalar xoshiro step). Used for the data-
+  /// dependent draws (metastability resolution) that fire per lane.
+  std::uint64_t next_lane(int w) {
+    const std::uint64_t result =
+        Rng::rotl_(s_[0][w] + s_[3][w], 23) + s_[0][w];
+    const std::uint64_t t = s_[1][w] << 17;
+    s_[2][w] ^= s_[0][w];
+    s_[3][w] ^= s_[1][w];
+    s_[1][w] ^= s_[2][w];
+    s_[0][w] ^= s_[3][w];
+    s_[2][w] ^= t;
+    s_[3][w] = Rng::rotl_(s_[3][w], 45);
+    return result;
+  }
+
+  double uniform_lane(int w) {
+    return static_cast<double>(next_lane(w) >> 11) * 0x1.0p-53;
+  }
+
+  /// Rng::bernoulli on lane `w` (consumes a draw only for p in (0,1)).
+  bool bernoulli_lane(int w, double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_lane(w) < p;
+  }
+
+ private:
+  double slow_lane_(int w, std::uint64_t u) {
+    Rng r;
+    for (int j = 0; j < 4; ++j) r.state_[j] = s_[j][w];
+    const double x = r.gaussian_slow_(u);
+    for (int j = 0; j < 4; ++j) s_[j][w] = r.state_[j];
+    return x;
+  }
+
+#if VCOADC_SIMD_NATIVE
+  using UV = typename simd::native_u64vec<W>::type;
+
+  /// Packed xoshiro256++ step for all lanes; the draw lands in *out. The
+  /// rotates are spelled out and the result leaves through a pointer: a
+  /// helper returning the vector type by value would draw -Wpsabi at every
+  /// instantiation point, pragma regions notwithstanding.
+  VCOADC_LANE_INLINE void next_v_(UV* out) {
+    const UV sum = s_[0] + s_[3];
+    *out = ((sum << 23) | (sum >> 41)) + s_[0];
+    const UV t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = (s_[3] << 45) | (s_[3] >> 19);
+  }
+
+  UV s_[4] = {};  // state word j of lane w at s_[j][w]
+#else
+  std::uint64_t s_[4][W] = {};  // state word j of lane w at s_[j][w]
+#endif
 };
 
 /// 64-bit FNV-1a hash, used to derive fork seeds from tags.

@@ -1,0 +1,108 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace vcoadc::util::simd {
+
+namespace {
+
+// VCOADC_SIMD_CAP is injected by CMake (0 scalar, 1 sse2, 2 avx2); the
+// default build carries the full ladder and relies on runtime dispatch.
+#if !defined(VCOADC_SIMD_CAP)
+#define VCOADC_SIMD_CAP 2
+#endif
+
+Tier clamp_tier(int t) {
+  if (t <= 0) return Tier::kScalar;
+  if (t == 1) return Tier::kSse2;
+  return Tier::kAvx2;
+}
+
+Tier min_tier(Tier a, Tier b) {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+/// Parses a tier spelling; anything unrecognized (including "auto" and an
+/// unset variable) means "no ceiling".
+Tier parse_tier(const char* s) {
+  if (s == nullptr) return Tier::kAvx2;
+  if (std::strcmp(s, "scalar") == 0) return Tier::kScalar;
+  if (std::strcmp(s, "sse2") == 0) return Tier::kSse2;
+  if (std::strcmp(s, "avx2") == 0) return Tier::kAvx2;
+  return Tier::kAvx2;
+}
+
+// -1 = no override; otherwise the forced tier (testing hook).
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSse2: return "sse2";
+    case Tier::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+Tier compiled_cap() { return clamp_tier(VCOADC_SIMD_CAP); }
+
+Tier cpu_tier() {
+#if defined(__x86_64__) || defined(__i386__)
+  // SSE2 is architectural on x86-64; probe only for the AVX2 step.
+  static const Tier t =
+      __builtin_cpu_supports("avx2") ? Tier::kAvx2 : Tier::kSse2;
+  return t;
+#else
+  // Unknown ISA: the "sse2"/"avx2" TUs are portable C++ compiled without
+  // x86 flags, so any tier is safe to run; keep the scalar tier to make
+  // the dispatch decision honest about vector width.
+  return Tier::kScalar;
+#endif
+}
+
+Tier env_cap() {
+  static const Tier t = parse_tier(std::getenv("VCOADC_SIMD"));
+  return t;
+}
+
+Tier active_tier() {
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return min_tier(clamp_tier(ov), compiled_cap());
+  static const Tier t = min_tier(min_tier(compiled_cap(), cpu_tier()),
+                                 env_cap());
+  return t;
+}
+
+int active_width() {
+  // One vector register of lanes at avx2 (W=4 == one ymm per live value;
+  // W=8 spills the kernel's ~20 live values catastrophically), two lanes
+  // elsewhere (the narrower tiers hit xmm pressure already at W=4). Both
+  // choices measured, not derived — see DESIGN.md 3i.
+  return active_tier() == Tier::kAvx2 ? 4 : 2;
+}
+
+void set_tier_override_for_testing(int t) {
+  g_override.store(t < 0 ? -1 : t, std::memory_order_relaxed);
+}
+
+std::string runtime_summary() {
+  const Tier t = active_tier();
+  const char* env = std::getenv("VCOADC_SIMD");
+  std::string s = "tier ";
+  s += tier_name(t);
+  s += " (width ";
+  s += std::to_string(tier_width(t));
+  s += ") | compiled cap ";
+  s += tier_name(compiled_cap());
+  s += " | cpu ";
+  s += tier_name(cpu_tier());
+  s += " | env ";
+  s += (env != nullptr && env[0] != '\0') ? env : "-";
+  return s;
+}
+
+}  // namespace vcoadc::util::simd

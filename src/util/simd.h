@@ -1,0 +1,254 @@
+// SIMD dispatch shim for the batched (structure-of-arrays) transient engine.
+//
+// The batched modulator compiles one portable lane-lockstep kernel into
+// three translation units with different codegen flags — scalar (tree
+// vectorizer off), sse2 (baseline x86-64), avx2 (-mavx2) — and picks one at
+// runtime. This header owns the tier model:
+//
+//   * compiled_cap()  - the VCOADC_SIMD CMake option (auto|avx2|sse2|scalar)
+//                       baked in as a compile-time ceiling.
+//   * cpu_tier()      - what the executing CPU supports (CPUID probe).
+//   * env_cap()       - the VCOADC_SIMD environment variable, so a test run
+//                       can force the portable path on an AVX2 host without
+//                       a rebuild (ctest's scalar-fallback variant).
+//   * active_tier()   - min of the three, cached; the dispatcher's choice.
+//
+// Bit-identity contract: no tier TU enables FMA (AVX2 is requested without
+// -mfma and baseline x86-64 has no FMA), so the compiler can never contract
+// a*b+c across tiers, and every per-lane IEEE operation sequence is
+// identical in all three TUs. Which tier runs can therefore never change a
+// result bit — only how many lanes retire per cycle.
+//
+// vec<double, W> is the fixed-width value type the kernel's straight-line
+// arithmetic uses: a plain array with elementwise operators, written so the
+// auto-vectorizer can turn each operator into one packed instruction at the
+// TU's ISA level, and so the scalar TU lowers it to the exact same scalar
+// IEEE operations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vcoadc::util::simd {
+
+/// Instruction-set tiers, ordered: a higher tier strictly contains the
+/// lower one. Values are stable (used in env/CMake parsing and BENCH JSON).
+enum class Tier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Human name, e.g. for the CLI epilogue and BENCH_JSON.
+const char* tier_name(Tier t);
+
+/// Native doubles per vector register at this tier (1 / 2 / 4).
+constexpr int tier_width(Tier t) {
+  return t == Tier::kAvx2 ? 4 : (t == Tier::kSse2 ? 2 : 1);
+}
+
+/// Ceiling baked in by the VCOADC_SIMD CMake option.
+Tier compiled_cap();
+
+/// Highest tier the executing CPU supports.
+Tier cpu_tier();
+
+/// Ceiling from the VCOADC_SIMD environment variable ("scalar" | "sse2" |
+/// "avx2" | "auto"/unset = no ceiling). Read once per process.
+Tier env_cap();
+
+/// The dispatch decision: min(compiled_cap, cpu_tier, env_cap), cached
+/// after the first call (the test override below invalidates the cache).
+Tier active_tier();
+
+/// Monte-Carlo lane width the active tier prefers: 4 on avx2 (one ymm per
+/// live kernel value; wider spills), 2 elsewhere (narrower tiers hit
+/// register pressure at 4, and even the scalar tier batches 2 lanes to
+/// amortize the shared input-signal evaluation). Measured, not derived.
+int active_width();
+
+/// Test hook: force active_tier() to `t` regardless of CPU/env (still
+/// clamped to compiled_cap); pass a negative value to restore automatic
+/// selection. Not thread-safe against concurrent active_tier() callers.
+void set_tier_override_for_testing(int t);
+
+/// One-line summary for --cache-stats-style epilogues, e.g.
+/// "tier avx2 (width 4) | compiled cap avx2 | cpu avx2 | env -".
+std::string runtime_summary();
+
+// vec's methods must inline into each kernel tier's translation unit so
+// they compile under that TU's -m flags (an out-of-line instantiation would
+// be a comdat symbol: one TU's codegen would silently serve every tier).
+#if defined(__GNUC__) || defined(__clang__)
+#define VCOADC_SIMD_INLINE inline __attribute__((always_inline))
+// Native GCC/Clang vector types: every elementwise operator and select is a
+// guaranteed packed instruction at the TU's ISA level — the kernel's codegen
+// no longer depends on the auto-vectorizer's if-conversion heuristics (GCC
+// 12 fully unrolls W-sized loops and then refuses to if-convert the wrap
+// selects, leaving data-dependent branches on the hot path).
+#define VCOADC_SIMD_NATIVE 1
+#else
+#define VCOADC_SIMD_INLINE inline
+#endif
+
+#if VCOADC_SIMD_NATIVE
+// vector_size cannot take a template-dependent size in GCC, so the three
+// kernel widths are enumerated. native_u64vec is the matching integer-lane
+// type (xoshiro state words, DAC bit masks).
+template <int W>
+struct native_vec;
+template <>
+struct native_vec<2> {
+  typedef double type __attribute__((vector_size(16)));
+};
+template <>
+struct native_vec<4> {
+  typedef double type __attribute__((vector_size(32)));
+};
+template <>
+struct native_vec<8> {
+  typedef double type __attribute__((vector_size(64)));
+};
+template <int W>
+struct native_u64vec;
+template <>
+struct native_u64vec<2> {
+  typedef unsigned long long type __attribute__((vector_size(16)));
+};
+template <>
+struct native_u64vec<4> {
+  typedef unsigned long long type __attribute__((vector_size(32)));
+};
+template <>
+struct native_u64vec<8> {
+  typedef unsigned long long type __attribute__((vector_size(64)));
+};
+#endif
+
+/// Fixed-width elementwise value type for the lockstep kernels. Each
+/// operator performs the identical per-lane IEEE operation the scalar
+/// modulator performs (contraction is never enabled — see the FMA note
+/// above), so the representation can never change a result bit; with native
+/// vectors it retires tier_width lanes per instruction.
+template <int W>
+struct vec {
+#if VCOADC_SIMD_NATIVE
+  typename native_vec<W>::type v;
+#else
+  double v[W];
+#endif
+
+  static VCOADC_SIMD_INLINE vec splat(double x) {
+    vec r;
+    for (int w = 0; w < W; ++w) r.v[w] = x;
+    return r;
+  }
+  static VCOADC_SIMD_INLINE vec load(const double* p) {
+    vec r;
+    for (int w = 0; w < W; ++w) r.v[w] = p[w];
+    return r;
+  }
+  VCOADC_SIMD_INLINE void store(double* p) const {
+    for (int w = 0; w < W; ++w) p[w] = v[w];
+  }
+  double operator[](int w) const { return v[w]; }
+#if !VCOADC_SIMD_NATIVE
+  double& operator[](int w) { return v[w]; }
+#endif
+
+  friend VCOADC_SIMD_INLINE vec operator+(const vec& a, const vec& b) {
+    vec r;
+#if VCOADC_SIMD_NATIVE
+    r.v = a.v + b.v;
+#else
+    for (int w = 0; w < W; ++w) r.v[w] = a.v[w] + b.v[w];
+#endif
+    return r;
+  }
+  friend VCOADC_SIMD_INLINE vec operator-(const vec& a, const vec& b) {
+    vec r;
+#if VCOADC_SIMD_NATIVE
+    r.v = a.v - b.v;
+#else
+    for (int w = 0; w < W; ++w) r.v[w] = a.v[w] - b.v[w];
+#endif
+    return r;
+  }
+  friend VCOADC_SIMD_INLINE vec operator*(const vec& a, const vec& b) {
+    vec r;
+#if VCOADC_SIMD_NATIVE
+    r.v = a.v * b.v;
+#else
+    for (int w = 0; w < W; ++w) r.v[w] = a.v[w] * b.v[w];
+#endif
+    return r;
+  }
+  friend VCOADC_SIMD_INLINE vec operator/(const vec& a, const vec& b) {
+    vec r;
+#if VCOADC_SIMD_NATIVE
+    r.v = a.v / b.v;
+#else
+    for (int w = 0; w < W; ++w) r.v[w] = a.v[w] / b.v[w];
+#endif
+    return r;
+  }
+  friend VCOADC_SIMD_INLINE vec operator+(const vec& a, double b) {
+    return a + splat(b);
+  }
+  friend VCOADC_SIMD_INLINE vec operator-(const vec& a, double b) {
+    return a - splat(b);
+  }
+  friend VCOADC_SIMD_INLINE vec operator*(const vec& a, double b) {
+    return a * splat(b);
+  }
+  friend VCOADC_SIMD_INLINE vec operator/(const vec& a, double b) {
+    return a / splat(b);
+  }
+  friend VCOADC_SIMD_INLINE vec operator+(double a, const vec& b) {
+    return splat(a) + b;
+  }
+  friend VCOADC_SIMD_INLINE vec operator-(double a, const vec& b) {
+    return splat(a) - b;
+  }
+  friend VCOADC_SIMD_INLINE vec operator*(double a, const vec& b) {
+    return splat(a) * b;
+  }
+  VCOADC_SIMD_INLINE vec& operator+=(const vec& b) {
+    return *this = *this + b;
+  }
+};
+
+/// Elementwise `a >= c ? t : f`. A bitwise select (compare + blend, no
+/// arithmetic), so it cannot perturb lane values; it exists because GCC 12
+/// will not reliably if-convert the equivalent scalar ternary, leaving a
+/// data-dependent branch per lane on the wrap hot path. NaN compares false
+/// and selects `f`, matching the ternary.
+template <int W>
+VCOADC_SIMD_INLINE vec<W> select_ge(const vec<W>& a, double c,
+                                    const vec<W>& t, const vec<W>& f) {
+  vec<W> r;
+#if VCOADC_SIMD_NATIVE
+  r.v = (a.v >= c) ? t.v : f.v;
+#else
+  for (int w = 0; w < W; ++w) r.v[w] = a.v[w] >= c ? t.v[w] : f.v[w];
+#endif
+  return r;
+}
+
+/// Elementwise `a < c ? t : f` (same contract as select_ge).
+template <int W>
+VCOADC_SIMD_INLINE vec<W> select_lt(const vec<W>& a, double c,
+                                    const vec<W>& t, const vec<W>& f) {
+  vec<W> r;
+#if VCOADC_SIMD_NATIVE
+  r.v = (a.v < c) ? t.v : f.v;
+#else
+  for (int w = 0; w < W; ++w) r.v[w] = a.v[w] < c ? t.v[w] : f.v[w];
+#endif
+  return r;
+}
+
+/// Elementwise max against a scalar floor — same select std::max performs,
+/// so it lowers to maxpd without changing the scalar result.
+template <int W>
+VCOADC_SIMD_INLINE vec<W> vmax(const vec<W>& a, double floor_v) {
+  return select_lt(a, floor_v, vec<W>::splat(floor_v), a);
+}
+
+}  // namespace vcoadc::util::simd

@@ -7,15 +7,19 @@
 // short, fully-featured fixed-seed run so any future change to the hot loop
 // that silently perturbs results — RNG draw order, summation order, cached
 // constants — fails loudly instead of shifting SNDR statistics.
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "dsp/signal_gen.h"
+#include "msim/batched_modulator.h"
 #include "msim/modulator.h"
 #include "msim/resistor_dac.h"
 #include "msim/slice_bits.h"
+#include "util/simd.h"
 
 namespace vcoadc {
 namespace {
@@ -122,6 +126,149 @@ TEST(ModulatorGoldenTest, RecordBitsConsistentWithCounts) {
     for (const auto& bits : res.slice_bits) sum += bits[n] ? 1 : 0;
     EXPECT_EQ(sum, res.counts[n]) << "sample " << n;
   }
+}
+
+// ---- Batched (SoA) engine: lane-k must equal serial draw-k bit-for-bit ----
+
+/// Scalar reference: a fresh modulator at `seed` driven by the same signal
+/// shape the batched run uses (0.45 FS sine at fs/64).
+msim::ModulatorResult run_scalar_at_seed(
+    std::uint64_t seed,
+    const msim::VcoDsmModulator::Options& opts = {},
+    msim::SimConfig cfg = golden_config()) {
+  cfg.seed = seed;
+  msim::VcoDsmModulator mod(cfg, opts);
+  const dsp::SignalFn sine =
+      dsp::make_sine(0.45 * mod.full_scale_diff(), cfg.fs_hz / 64.0);
+  return mod.run(sine, kGoldenSamples);
+}
+
+/// Exact equality on every ModulatorResult field (EXPECT_EQ on doubles is
+/// bit-compare up to -0.0/NaN, which the equivalence contract forbids).
+void expect_bit_identical(const msim::ModulatorResult& got,
+                          const msim::ModulatorResult& want) {
+  EXPECT_EQ(got.counts, want.counts);
+  EXPECT_EQ(got.output, want.output);
+  EXPECT_EQ(got.slice_bits, want.slice_bits);
+  EXPECT_EQ(got.mean_vctrlp, want.mean_vctrlp);
+  EXPECT_EQ(got.mean_vctrln, want.mean_vctrln);
+  EXPECT_EQ(got.mean_freq1_hz, want.mean_freq1_hz);
+  EXPECT_EQ(got.mean_freq2_hz, want.mean_freq2_hz);
+  EXPECT_EQ(got.bit_toggle_rate, want.bit_toggle_rate);
+}
+
+/// Runs a batch over `seeds` and checks lane k against the scalar run at
+/// seeds[k].
+void check_batch_vs_serial(const std::vector<std::uint64_t>& seeds,
+                           const msim::VcoDsmModulator::Options& opts = {},
+                           const msim::SimConfig& cfg = golden_config()) {
+  auto batch = msim::BatchedModulator::create(cfg, seeds, opts);
+  ASSERT_NE(batch, nullptr) << "width " << seeds.size();
+  const dsp::SignalFn base = dsp::make_sine(1.0, cfg.fs_hz / 64.0);
+  std::vector<double> scale(seeds.size());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    scale[k] = 0.45 * batch->full_scale_diff(static_cast<int>(k));
+  }
+  msim::BatchedWorkspace ws;
+  const auto& res = batch->run(base, scale, kGoldenSamples, ws);
+  ASSERT_EQ(res.size(), seeds.size());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    SCOPED_TRACE(::testing::Message() << "lane " << k << " seed " << seeds[k]);
+    expect_bit_identical(res[k], run_scalar_at_seed(seeds[k], opts, cfg));
+  }
+}
+
+TEST(BatchedModulatorTest, LanesBitIdenticalToSerialAtEveryWidth) {
+  check_batch_vs_serial({42, 7});
+  check_batch_vs_serial({42, 7, 1000, 1001});
+  check_batch_vs_serial({42, 7, 1000, 1001, 5, 6, 99, 123456789});
+}
+
+TEST(BatchedModulatorTest, LaneZeroMatchesPinnedGolden) {
+  // The W=2 batch containing seed 42 must reproduce the pinned scalar
+  // golden above, not merely agree with a freshly-run scalar modulator.
+  const msim::SimConfig cfg = golden_config();
+  auto batch = msim::BatchedModulator::create(cfg, {42, 7});
+  ASSERT_NE(batch, nullptr);
+  const dsp::SignalFn base = dsp::make_sine(1.0, cfg.fs_hz / 64.0);
+  const std::vector<double> scale = {0.45 * batch->full_scale_diff(0),
+                                     0.45 * batch->full_scale_diff(1)};
+  msim::BatchedWorkspace ws;
+  const auto& res = batch->run(base, scale, kGoldenSamples, ws);
+  EXPECT_DOUBLE_EQ(res[0].mean_vctrlp, 0.54830643026514958);
+  EXPECT_DOUBLE_EQ(res[0].mean_vctrln, 0.55171783827349186);
+  EXPECT_DOUBLE_EQ(res[0].mean_freq1_hz, 2042240083.1979506);
+  EXPECT_DOUBLE_EQ(res[0].mean_freq2_hz, 2043780337.4088008);
+  EXPECT_DOUBLE_EQ(res[0].bit_toggle_rate, 5.625);
+}
+
+TEST(BatchedModulatorTest, AllCompiledTiersProduceIdenticalBits) {
+  // Which kernel TU runs (scalar / sse2 / avx2) must never change a result
+  // bit — only throughput. Runs the same batch under every tier this build
+  // and CPU can execute and compares element-wise.
+  const auto max_tier =
+      std::min(util::simd::compiled_cap(), util::simd::cpu_tier());
+  const msim::SimConfig cfg = golden_config();
+  const std::vector<std::uint64_t> seeds = {42, 7, 1000, 1001};
+  const dsp::SignalFn base = dsp::make_sine(1.0, cfg.fs_hz / 64.0);
+
+  std::vector<msim::ModulatorResult> reference;
+  for (int t = 0; t <= static_cast<int>(max_tier); ++t) {
+    util::simd::set_tier_override_for_testing(t);
+    SCOPED_TRACE(::testing::Message()
+                 << "tier "
+                 << util::simd::tier_name(static_cast<util::simd::Tier>(t)));
+    auto batch = msim::BatchedModulator::create(cfg, seeds);
+    ASSERT_NE(batch, nullptr);
+    std::vector<double> scale(seeds.size());
+    for (std::size_t k = 0; k < seeds.size(); ++k) {
+      scale[k] = 0.45 * batch->full_scale_diff(static_cast<int>(k));
+    }
+    msim::BatchedWorkspace ws;
+    const auto& res = batch->run(base, scale, kGoldenSamples, ws);
+    if (t == 0) {
+      reference = res;
+    } else {
+      for (std::size_t k = 0; k < seeds.size(); ++k) {
+        SCOPED_TRACE(::testing::Message() << "lane " << k);
+        expect_bit_identical(res[k], reference[k]);
+      }
+    }
+  }
+  util::simd::set_tier_override_for_testing(-1);
+}
+
+TEST(BatchedModulatorTest, RecordBitsAndStaticMappingMatchSerial) {
+  msim::VcoDsmModulator::Options opts;
+  opts.record_bits = true;
+  opts.mapping = msim::ElementMapping::kStaticThermometer;
+  check_batch_vs_serial({42, 7, 1000, 1001}, opts);
+}
+
+TEST(BatchedModulatorTest, RippleAndMetastabilityMatchSerial) {
+  // Exercises the remaining kernel branches: VREF ripple evaluation, the
+  // data-dependent metastability draw, and the common-mode error flip.
+  msim::SimConfig cfg = golden_config();
+  cfg.vref_ripple_amp_v = 0.01;
+  cfg.vref_ripple_freq_hz = 60e6;
+  cfg.comparator_meta_window_s = 5e-12;
+  check_batch_vs_serial({42, 7, 1000, 1001}, {}, cfg);
+}
+
+TEST(BatchedModulatorTest, CurrentSteeringDacFallsBackToScalar) {
+  msim::VcoDsmModulator::Options opts;
+  opts.dac = msim::DacKind::kCurrentSteering;
+  EXPECT_EQ(msim::BatchedModulator::create(golden_config(), {42, 7}, opts),
+            nullptr);
+  EXPECT_EQ(msim::BatchedModulator::create(golden_config(), {42, 7, 9}),
+            nullptr)
+      << "width 3 is not a kernel width";
+}
+
+TEST(BatchedModulatorTest, PreferredWidthIsSupported) {
+  EXPECT_TRUE(
+      msim::BatchedModulator::width_supported(msim::BatchedModulator::preferred_width()));
+  EXPECT_GE(msim::BatchedModulator::preferred_width(), 2);
 }
 
 TEST(ResistorDacEquivalenceTest, PackedRunningSumMatchesLegacyPath) {

@@ -102,6 +102,56 @@ TEST(MonteCarlo, BatchInstrumentationIsPopulated) {
   EXPECT_GT(res.batch.effective_parallelism(), 0.0);
 }
 
+TEST(MonteCarlo, BatchedEngineIsBitIdenticalToScalarPath) {
+  // The batched SoA engine's whole-pipeline contract: grouping draws into
+  // SIMD lanes (default width) changes nothing but wall time versus the
+  // forced per-draw scalar path — the SNDR vector matches bit for bit.
+  AdcSpec spec = AdcSpec::paper_40nm();
+  AdcDesign adc(spec);
+  MonteCarloOptions opts;
+  opts.runs = 6;
+  opts.sim.n_samples = 1 << 12;
+  opts.exec.threads = 1;
+
+  opts.batch_width = 1;  // scalar per-draw reference
+  const MonteCarloResult scalar = monte_carlo_sndr(adc, opts);
+  opts.batch_width = 0;  // host-preferred lane width
+  const MonteCarloResult batched = monte_carlo_sndr(adc, opts);
+
+  ASSERT_EQ(scalar.sndr_db.size(), batched.sndr_db.size());
+  for (std::size_t i = 0; i < scalar.sndr_db.size(); ++i) {
+    EXPECT_EQ(scalar.sndr_db[i], batched.sndr_db[i]) << "run " << i;
+  }
+  EXPECT_EQ(scalar.mean_db, batched.mean_db);
+  EXPECT_EQ(scalar.stddev_db, batched.stddev_db);
+}
+
+TEST(MonteCarlo, BatchedRemainderPartitionCoversEveryDraw) {
+  // runs = 7 at a forced width of 4 partitions into one lane group plus
+  // three scalar remainder draws; every draw must land at its own index
+  // with its own seed, identical to the all-scalar partition, and the
+  // per-draw wall times must stay populated (group time amortized).
+  AdcSpec spec = AdcSpec::paper_40nm();
+  AdcDesign adc(spec);
+  MonteCarloOptions opts;
+  opts.runs = 7;
+  opts.sim.n_samples = 1 << 12;
+  opts.exec.threads = 1;
+
+  opts.batch_width = 1;
+  const MonteCarloResult scalar = monte_carlo_sndr(adc, opts);
+  opts.batch_width = 4;
+  const MonteCarloResult batched = monte_carlo_sndr(adc, opts);
+
+  ASSERT_EQ(scalar.sndr_db.size(), 7u);
+  ASSERT_EQ(batched.sndr_db.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(scalar.sndr_db[i], batched.sndr_db[i]) << "run " << i;
+  }
+  ASSERT_EQ(batched.batch.task_wall_s.size(), 7u);
+  for (double t : batched.batch.task_wall_s) EXPECT_GT(t, 0.0);
+}
+
 TEST(MonteCarlo, ZeroRunsIsEmptyNotUndefined) {
   AdcSpec spec = AdcSpec::paper_40nm();
   MonteCarloOptions opts;
