@@ -9,6 +9,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,6 +37,52 @@ inline void shape_check(const std::string& what, bool ok) {
 
 inline std::string fmt(const char* f, double v) {
   return util::format(f, v);
+}
+
+/// Resolves the BENCH_JSON sink file and strips the flag from argv so
+/// downstream parsers (google-benchmark's Initialize) never see it:
+/// `--json-out=<file>` / `--json-out <file>` name the file, a bare
+/// `--json-out` defaults to BENCH_perf.json, and without the flag the
+/// BENCH_JSON_FILE environment variable is consulted. Empty result means
+/// stdout-only emission.
+inline std::string json_out_path(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--json-out") == 0) {
+      if (i + 1 < *argc && argv[i + 1][0] != '-') {
+        path = argv[++i];
+      } else {
+        path = "BENCH_perf.json";
+      }
+    } else if (std::strncmp(a, "--json-out=", 11) == 0) {
+      path = a + 11;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  if (path.empty()) {
+    if (const char* env = std::getenv("BENCH_JSON_FILE")) path = env;
+  }
+  return path;
+}
+
+/// Emits one machine-readable summary line: "BENCH_JSON <payload>" on
+/// stdout (the scrape-friendly form every bench already prints) and, when
+/// `path` is non-empty, the bare payload appended as one line to that file
+/// — BENCH_perf.json collection without scraping the experiment log.
+inline void emit_json(const std::string& path, const std::string& payload) {
+  std::printf("\nBENCH_JSON %s\n", payload.c_str());
+  if (path.empty()) return;
+  std::ofstream f(path, std::ios::app);
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot append BENCH_JSON to %s\n",
+                 path.c_str());
+    return;
+  }
+  f << payload << '\n';
 }
 
 /// Standard capture length for spectra (Fig. 16-18, Table 3/4).

@@ -32,7 +32,8 @@
 
 using namespace vcoadc;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_out = bench::json_out_path(&argc, argv);
   bench::header("Extension - Monte-Carlo mismatch yield and PVT corners",
                 "statistical backing for the Sec. 2.2 robustness claims");
 
@@ -200,9 +201,58 @@ int main() {
     if (cr.name.rfind("TT  1.00V  27C", 0) == 0) tt = cr.sndr_db;
   }
 
-  // Machine-readable record so BENCH_*.json tracking sees the speedup.
+  // Heterogeneous-lane phase: the corner sweep and the datasheet amplitude
+  // sweep run once scalar (batch_width = 1) and once through the SoA
+  // engine with per-lane PVT / drive constants (batch_width = 0), each
+  // into a fresh cache — the per-entry cache keys are shared between the
+  // two paths, so fresh caches are what make the second run actually
+  // simulate. evaluate()'s result_fp asserts bit-identity end to end.
+  std::string corners_fp_scalar, corners_fp_batched;
+  std::string amp_fp_scalar, amp_fp_batched;
+  {
+    core::EvalRequest creq;
+    creq.kind = core::EvalKind::kCornerSweep;
+    creq.spec = spec;
+    creq.corners.n_samples = 1 << 13;
+    core::ExecContext ectx;
+    ectx.threads = 1;
+
+    core::ArtifactCache cc_scalar(64), cc_batched(64);
+    creq.corners.batch_width = 1;
+    ectx.cache = &cc_scalar;
+    corners_fp_scalar = core::eval_result_fingerprint(
+        core::eval_result_to_json(core::evaluate(creq, ectx)));
+    creq.corners.batch_width = 0;
+    ectx.cache = &cc_batched;
+    corners_fp_batched = core::eval_result_fingerprint(
+        core::eval_result_to_json(core::evaluate(creq, ectx)));
+
+    core::EvalRequest dreq;
+    dreq.kind = core::EvalKind::kDatasheet;
+    dreq.spec = spec;
+    dreq.datasheet.n_samples = 1 << 12;
+    dreq.datasheet.amp_sweep_points = 4;
+    core::ArtifactCache dc_scalar(64), dc_batched(64);
+    dreq.datasheet.batch_width = 1;
+    ectx.cache = &dc_scalar;
+    amp_fp_scalar = core::eval_result_fingerprint(
+        core::eval_result_to_json(core::evaluate(dreq, ectx)));
+    dreq.datasheet.batch_width = 0;
+    ectx.cache = &dc_batched;
+    amp_fp_batched = core::eval_result_fingerprint(
+        core::eval_result_to_json(core::evaluate(dreq, ectx)));
+  }
   std::printf(
-      "\nBENCH_JSON {\"bench\":\"montecarlo_yield\",\"runs\":%d,"
+      "sweeps: corner result_fp %s %s | amp-sweep result_fp %s %s\n",
+      corners_fp_batched.c_str(),
+      corners_fp_scalar == corners_fp_batched ? "(matches scalar)"
+                                              : "(MISMATCH)",
+      amp_fp_batched.c_str(),
+      amp_fp_scalar == amp_fp_batched ? "(matches scalar)" : "(MISMATCH)");
+
+  // Machine-readable record so BENCH_*.json tracking sees the speedup.
+  const std::string payload = util::format(
+      "{\"bench\":\"montecarlo_yield\",\"runs\":%d,"
       "\"threads\":%d,\"hardware_threads\":%d,"
       "\"wall_serial_s\":%.4f,\"wall_parallel_s\":%.4f,"
       "\"speedup\":%.3f,\"utilization\":%.3f,\"max_queue_depth\":%zu,"
@@ -212,10 +262,11 @@ int main() {
       "\"wall_persistent_cold_s\":%.4f,\"wall_persistent_warm_s\":%.4f,"
       "\"persistent_warm_speedup\":%.3f,\"store_cold_builds\":%llu,"
       "\"persistent_identical\":%s,"
-      "\"batch_width\":%d,\"simd_tier\":\"%s\","
+      "\"batch_width\":%d,\"simd_tier\":\"%s\",\"simd_width\":%d,"
       "\"wall_engine_scalar_s\":%.4f,\"wall_engine_batched_s\":%.4f,"
       "\"batched_speedup\":%.3f,\"result_fp\":\"%s\","
-      "\"batched_fp_match\":%s}\n",
+      "\"batched_fp_match\":%s,"
+      "\"corners_fp_match\":%s,\"amp_sweep_fp_match\":%s}",
       opts.runs, mc.batch.threads, hw, mc_serial.batch.wall_s,
       mc.batch.wall_s, speedup, mc.batch.utilization,
       mc.batch.max_queue_depth, bit_identical ? "true" : "false", mc.mean_db,
@@ -225,8 +276,12 @@ int main() {
       static_cast<unsigned long long>(store_cold_builds),
       persistent_identical ? "true" : "false", resolved_width,
       util::simd::tier_name(util::simd::active_tier()),
+      util::simd::active_width(),
       wall_engine_scalar, wall_engine_batched, batched_speedup,
-      fp_batched.c_str(), fp_scalar == fp_batched ? "true" : "false");
+      fp_batched.c_str(), fp_scalar == fp_batched ? "true" : "false",
+      corners_fp_scalar == corners_fp_batched ? "true" : "false",
+      amp_fp_scalar == amp_fp_batched ? "true" : "false");
+  bench::emit_json(json_out, payload);
 
   bench::shape_check("parallel SNDR vector bit-identical to threads=1",
                      bit_identical);
@@ -242,6 +297,12 @@ int main() {
                      persistent_identical);
   bench::shape_check("batched engine result_fp matches the scalar engine",
                      !fp_batched.empty() && fp_scalar == fp_batched);
+  bench::shape_check("batched corner sweep result_fp matches scalar",
+                     !corners_fp_batched.empty() &&
+                         corners_fp_scalar == corners_fp_batched);
+  bench::shape_check("batched amplitude sweep result_fp matches scalar",
+                     !amp_fp_batched.empty() &&
+                         amp_fp_scalar == amp_fp_batched);
   if (hw >= 4) {
     bench::shape_check("engine speedup >= 3x on >= 4 cores", speedup >= 3.0);
   } else {

@@ -151,7 +151,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 // Standalone summary timings (independent of the google-benchmark reporter)
 // so the BENCH_JSON line is emitted even under --benchmark_filter.
-void emit_bench_json_summary() {
+void emit_bench_json_summary(const std::string& json_out) {
   auto spec = core::AdcSpec::paper_40nm();
 
   // Modulator throughput: repeated fixed-size runs with a warm workspace.
@@ -175,13 +175,14 @@ void emit_bench_json_summary() {
   // Batched SoA engine: same config, lane-clocks/s (clocks x lanes) at each
   // kernel width; the summary reports the best width. The shape gate only
   // applies when the active tier has real vector registers (width >= 4
-  // doubles per op, i.e. AVX2) — on narrower hosts the batch still wins but
-  // the floor is not promised. The gate is 2x, below the 4-8x a pure-SIMD
-  // argument would promise: with the paper_40nm noise model on, ~40% of the
-  // per-lane work is irreducibly serial (ziggurat table lookups and accept
-  // tests per lane, lane extraction of comparator bits, per-lane result
-  // write-out), which caps the lockstep speedup near 2.5x regardless of
-  // width (measured: W=4 per-lane cost ~0.46x scalar, W=8 spills).
+  // doubles per op, i.e. AVX2+) — on narrower hosts the batch still wins
+  // but the floor is not promised. The gate is 2.5x, below the 4-8x a
+  // pure-SIMD argument would promise: the packed ziggurat and packed
+  // comparator-bit extraction moved most of the once-serial per-lane work
+  // into the lanes, but the rejection tail, metastability draws and result
+  // write-out stay per-lane (measured on the avx512 reference host: W=4
+  // ~2.7-3.0x, W=8 ~2.3-2.6x — 32 zmm registers hold the W=8 state, the
+  // wider rejection tail is what costs it the lead).
   const util::simd::Tier tier = util::simd::active_tier();
   const int simd_width = util::simd::tier_width(tier);
   double batched_clocks_per_s = 0.0;
@@ -214,8 +215,8 @@ void emit_bench_json_summary() {
   }
   std::printf("  simd: %s\n", util::simd::runtime_summary().c_str());
   if (simd_width >= 4) {
-    bench::shape_check("batched engine >= 2x scalar modulator throughput",
-                       batched_clocks_per_s >= 2.0 * clocks_per_s);
+    bench::shape_check("batched engine >= 2.5x scalar modulator throughput",
+                       batched_clocks_per_s >= 2.5 * clocks_per_s);
   }
 
   // Real-FFT throughput at the spectrum-analysis size (2^16).
@@ -248,30 +249,34 @@ void emit_bench_json_summary() {
   const auto res = design.simulate(opts, ws);
   const double sample_ms = seconds_since(t0) * 1e3;
 
-  std::printf(
-      "\nBENCH_JSON {\"bench\":\"perf_engine\","
-      "\"modulator_clocks_per_s\":%.0f,"
-      "\"batched_modulator_clocks_per_s\":%.0f,"
-      "\"batched_width\":%d,"
-      "\"simd_tier\":\"%s\","
-      "\"simd_width\":%d,"
-      "\"hw_threads\":%u,"
-      "\"fft_real_msamples_per_s\":%.2f,"
-      "\"mc_sample_2e16_ms\":%.2f,"
-      "\"mc_sample_sndr_db\":%.2f}\n",
-      clocks_per_s, batched_clocks_per_s, batched_width,
-      util::simd::tier_name(tier), simd_width,
-      std::thread::hardware_concurrency(), fft_msamples_per_s, sample_ms,
-      res.sndr.sndr_db);
+  bench::emit_json(
+      json_out,
+      util::format(
+          "{\"bench\":\"perf_engine\","
+          "\"modulator_clocks_per_s\":%.0f,"
+          "\"batched_modulator_clocks_per_s\":%.0f,"
+          "\"batched_width\":%d,"
+          "\"simd_tier\":\"%s\","
+          "\"simd_width\":%d,"
+          "\"hw_threads\":%u,"
+          "\"fft_real_msamples_per_s\":%.2f,"
+          "\"mc_sample_2e16_ms\":%.2f,"
+          "\"mc_sample_sndr_db\":%.2f}",
+          clocks_per_s, batched_clocks_per_s, batched_width,
+          util::simd::tier_name(tier), simd_width,
+          std::thread::hardware_concurrency(), fft_msamples_per_s, sample_ms,
+          res.sndr.sndr_db));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --json-out is ours, not google-benchmark's: resolve and strip it first.
+  const std::string json_out = bench::json_out_path(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  emit_bench_json_summary();
+  emit_bench_json_summary(json_out);
   return 0;
 }

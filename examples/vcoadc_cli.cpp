@@ -5,7 +5,10 @@
 //   commands:
 //     simulate     behavioral run: SNDR/ENOB/power/FOM for a spec
 //     synthesize   layout synthesis: area/DRC/routing, writes artifacts
-//     datasheet    full-flow datasheet
+//     datasheet    full-flow datasheet (--amp-sweep adds the SNDR-vs-level
+//                  curve, batched through the SIMD engine)
+//     montecarlo   mismatch Monte Carlo: SNDR distribution over --runs draws
+//     corners      PVT corner sweep: SNDR/power at the canonical six corners
 //     export       write verilog/spice/lef/liberty/gds/fp artifacts
 //     serve        long-running evaluation service: newline-delimited JSON
 //                  requests on stdin, one JSON response per line on stdout
@@ -16,7 +19,15 @@
 //     --slices=16       number of slices
 //     --fs=750e6        modulator clock [Hz]
 //     --bw=5e6          signal bandwidth [Hz]
-//     --samples=16384   capture length for simulate/datasheet
+//     --samples=16384   capture length for simulate/datasheet/montecarlo/
+//                       corners
+//     --runs=20         Monte-Carlo draw count (montecarlo)
+//     --seed0=1000      seed of draw 0; draw i uses seed0 + i (montecarlo)
+//     --batch-width=0   SIMD lane width for the batched transient engine
+//                       (montecarlo/corners/datasheet): 0 = host-preferred,
+//                       1 = scalar, 2/4/8 = forced width; results are
+//                       bit-identical at every setting
+//     --amp-sweep=0     SNDR-vs-amplitude sweep points (datasheet); 0 = off
 //     --out=.           artifact output directory
 //     --threads=0       worker threads (0 = hardware concurrency)
 //     --store=<dir>     persistent artifact store: stages load cached
@@ -54,10 +65,12 @@ namespace {
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s <simulate|synthesize|datasheet|export|serve> "
+               "usage: %s <simulate|synthesize|datasheet|montecarlo|corners|"
+               "export|serve> "
                "[--node=40] [--slices=16] [--fs=750e6] [--bw=5e6] "
-               "[--samples=16384] [--out=.] [--threads=0] [--store=<dir>] "
-               "[--trace[=json]] [--cache-stats]\n",
+               "[--samples=16384] [--runs=20] [--seed0=1000] "
+               "[--batch-width=0] [--amp-sweep=0] [--out=.] [--threads=0] "
+               "[--store=<dir>] [--trace[=json]] [--cache-stats]\n",
                prog);
   return 2;
 }
@@ -160,6 +173,13 @@ json::Value cache_delta_json(const core::ArtifactCacheStats& c0,
     cold = s1.misses - s0.misses;
   }
   o.set("cold_builds", num(cold));
+  // Active SIMD dispatch of the batched transient engine: clients asserting
+  // result_fp across hosts read this to know which tier produced the
+  // (bit-identical) result, and perf dashboards bucket timings by it.
+  o.set("simd_tier", json::Value::make_string(
+                         util::simd::tier_name(util::simd::active_tier())));
+  o.set("simd_width", num(static_cast<std::uint64_t>(
+                          util::simd::active_width())));
   return o;
 }
 
@@ -287,8 +307,10 @@ int run_serve(const util::ArgParser& args, core::ExecContext ctx) {
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const auto unknown = args.unknown_flags({"node", "slices", "fs", "bw",
-                                           "samples", "out", "threads",
-                                           "store", "trace", "cache-stats"});
+                                           "samples", "runs", "seed0",
+                                           "batch-width", "amp-sweep", "out",
+                                           "threads", "store", "trace",
+                                           "cache-stats"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: %s\n", unknown[0].c_str());
     return usage(argv[0]);
@@ -384,10 +406,48 @@ int main(int argc, char** argv) {
   if (cmd == "datasheet") {
     core::DatasheetOptions opts;
     opts.n_samples = n_samples;
+    opts.amp_sweep_points = args.get_int("amp-sweep", 0);
+    opts.batch_width = args.get_int("batch-width", 0);
     opts.exec = ctx;
     const auto ds = core::generate_datasheet(spec, opts);
     if (!ds.complete) return fail_with_diags(diags);
     std::printf("%s", ds.render().c_str());
+    print_flow_stats(args, trace, *ctx.cache, ctx.store);
+    return 0;
+  }
+  if (cmd == "montecarlo") {
+    // Thin shim over evaluate(kMonteCarlo) — the same entry point serve
+    // requests take, so the CLI and the wire protocol cannot drift.
+    core::MonteCarloOptions opts;
+    opts.runs = args.get_int("runs", 20);
+    opts.sim.n_samples = n_samples;
+    opts.sim.fin_target_hz = spec.bandwidth_hz / 5.0;
+    opts.seed0 = static_cast<std::uint64_t>(args.get_int("seed0", 1000));
+    opts.batch_width = args.get_int("batch-width", 0);
+    opts.exec = ctx;
+    const core::MonteCarloResult mc = core::monte_carlo_sndr(spec, opts);
+    if (mc.sndr_db.empty() || diags.has_errors()) {
+      return fail_with_diags(diags);
+    }
+    std::printf("MC SNDR over %zu draws: mean %.1f dB | sigma %.2f | "
+                "min %.1f | max %.1f\n",
+                mc.sndr_db.size(), mc.mean_db, mc.stddev_db, mc.min_db,
+                mc.max_db);
+    print_flow_stats(args, trace, *ctx.cache, ctx.store);
+    return 0;
+  }
+  if (cmd == "corners") {
+    core::EvalRequest req;
+    req.kind = core::EvalKind::kCornerSweep;
+    req.spec = spec;
+    req.corners.n_samples = n_samples;
+    req.corners.batch_width = args.get_int("batch-width", 0);
+    const core::EvalResponse resp = core::evaluate(req, ctx);
+    if (!resp.ok) return fail_with_diags(diags);
+    for (const core::CornerResult& c : resp.corners) {
+      std::printf("%-18s SNDR %.1f dB | power %s\n", c.name.c_str(),
+                  c.sndr_db, util::si_format(c.power_w, "W").c_str());
+    }
     print_flow_stats(args, trace, *ctx.cache, ctx.store);
     return 0;
   }

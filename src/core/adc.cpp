@@ -155,6 +155,79 @@ std::vector<RunResult> AdcDesign::simulate_batch(
   return out;
 }
 
+std::vector<RunResult> AdcDesign::simulate_batch(
+    const std::vector<SimulationOptions>& opts_list,
+    msim::BatchedWorkspace& ws) const {
+  std::vector<RunResult> out(opts_list.size());
+  if (opts_list.empty()) return out;
+  if (!ok()) {
+    emit_diag(ctx_, util::Diagnostic{util::Severity::kError, "sim_run", "",
+                                     "design was not built (invalid spec)"});
+    return out;
+  }
+  // The lanes share one input-sample schedule (n_samples * substeps base
+  // values) and one analysis netlist, so the non-PVT knobs must agree;
+  // anything else goes through the scalar loop below.
+  const SimulationOptions& o0 = opts_list.front();
+  bool shared_shape = true;
+  for (const SimulationOptions& o : opts_list) {
+    shared_shape = shared_shape && o.n_samples == o0.n_samples &&
+                   o.fin_target_hz == o0.fin_target_hz &&
+                   o.comparator == o0.comparator && o.dac == o0.dac &&
+                   o.record_bits == o0.record_bits;
+  }
+
+  // Per-lane spec/PVT resolution replays the scalar rule exactly.
+  std::vector<AdcSpec> lane_sp(opts_list.size(), spec_);
+  std::vector<msim::SimConfig> cfgs;
+  cfgs.reserve(opts_list.size());
+  for (std::size_t k = 0; k < opts_list.size(); ++k) {
+    if (opts_list[k].seed != 0) lane_sp[k].seed = opts_list[k].seed;
+    if (opts_list[k].pvt.has_value()) lane_sp[k].pvt = *opts_list[k].pvt;
+    cfgs.push_back(lane_sp[k].to_sim_config());
+  }
+
+  std::unique_ptr<msim::BatchedModulator> batch;
+  if (shared_shape) {
+    msim::VcoDsmModulator::Options mopts;
+    mopts.comparator = o0.comparator;
+    mopts.dac = o0.dac;
+    mopts.record_bits = o0.record_bits;
+    batch = msim::BatchedModulator::create(cfgs, mopts);
+  }
+  if (batch == nullptr) {
+    msim::SimWorkspace sws;
+    for (std::size_t k = 0; k < opts_list.size(); ++k) {
+      out[k] = simulate(opts_list[k], sws);
+    }
+    return out;
+  }
+
+  // PVT never moves fs (AdcSpec::to_sim_config derives fs from OSR and
+  // bandwidth alone), so the coherent-bin snap is one shared computation.
+  const double fin =
+      dsp::coherent_freq(o0.fin_target_hz, cfgs.front().fs_hz, o0.n_samples);
+  const int W = static_cast<int>(opts_list.size());
+  std::vector<double> scale(opts_list.size());
+  for (int k = 0; k < W; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    out[sk].fin_hz = fin;
+    out[sk].full_scale_v = batch->full_scale_diff(k);
+    out[sk].amplitude_v =
+        out[sk].full_scale_v *
+        util::from_db_amplitude(opts_list[sk].amplitude_dbfs);
+    scale[sk] = out[sk].amplitude_v;
+  }
+  const std::vector<msim::ModulatorResult>& lanes =
+      batch->run(dsp::make_sine(1.0, fin), scale, o0.n_samples, ws);
+  for (int k = 0; k < W; ++k) {
+    const std::size_t sk = static_cast<std::size_t>(k);
+    out[sk].mod = lanes[sk];
+    analyze_run(lane_sp[sk], cfgs[sk], opts_list[sk], *design_, out[sk]);
+  }
+  return out;
+}
+
 synth::SynthesisResult AdcDesign::synthesize(
     const synth::SynthesisOptions& opts) const {
   // Route stage through the graph; the cached result is cloned so the

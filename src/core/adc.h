@@ -114,6 +114,19 @@ class AdcDesign {
                                         const std::vector<std::uint64_t>& seeds,
                                         msim::BatchedWorkspace& ws) const;
 
+  /// Heterogeneous lane group: result k is bit-identical to
+  /// simulate(opts_list[k]). Lanes may differ in seed, PVT corner,
+  /// amplitude and wire load (PVT moves supply/VCO/noise *values* but not
+  /// the clock structure, so corner sweeps batch cleanly); they must agree
+  /// on n_samples, fin_target_hz, comparator, dac and record_bits — the
+  /// lanes share one input-sample schedule and one netlist. Option lists
+  /// the batched engine cannot take (disagreeing options, unsupported
+  /// width, current-steering DAC, or a PVT split that flips a noise-source
+  /// on/off flag across lanes) run through the scalar path instead.
+  std::vector<RunResult> simulate_batch(
+      const std::vector<SimulationOptions>& opts_list,
+      msim::BatchedWorkspace& ws) const;
+
   /// Runs the Fig. 9 layout-synthesis flow on the generated netlist.
   synth::SynthesisResult synthesize(
       const synth::SynthesisOptions& opts = {}) const;

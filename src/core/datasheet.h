@@ -19,9 +19,25 @@ struct DatasheetOptions {
   std::size_t n_samples = 1 << 15;
   /// Monte-Carlo runs for the min/max SNDR lines; 0 disables.
   int mc_runs = 0;
+  /// Points for the SNDR-vs-amplitude sweep (the dynamic-range curve a
+  /// datasheet's "SNDR vs input level" plot carries); 0 disables. Point k
+  /// drives the input at -3 - 6k dBFS, so the first point coincides with
+  /// the nominal run and is served from the cache.
+  int amp_sweep_points = 0;
+  /// SIMD lane width for the amplitude sweep's batched lane groups, the
+  /// MonteCarloOptions convention: 0 = host-preferred, 1 = scalar per-point
+  /// stages, 2/4/8 = forced width. Bit-identical at every setting.
+  int batch_width = 0;
   /// Execution environment; the datasheet's synthesis, nominal run and MC
   /// batch all execute as stages of the flow graph, sharing its cache.
   ExecContext exec;
+};
+
+/// One point of the SNDR-vs-amplitude curve.
+struct AmplitudePoint {
+  double amplitude_dbfs = 0;
+  double sndr_db = 0;
+  double enob = 0;
 };
 
 struct Datasheet {
@@ -33,6 +49,7 @@ struct Datasheet {
   synth::TimingReport timing;
   synth::PowerGridCheck power_grid;
   MonteCarloResult mc;  ///< empty when mc_runs == 0
+  std::vector<AmplitudePoint> amp_sweep;  ///< empty when amp_sweep_points == 0
   double area_mm2 = 0;
   /// True when every stage completed. False means a stage rejected its
   /// input: diagnostics were reported through the ExecContext and the

@@ -20,10 +20,15 @@ MonteCarloResult monte_carlo_impl(const ExecContext& ctx,
                                   const AdcDesign& design,
                                   const MonteCarloOptions& opts);
 
-/// Body of corner_sweep over an already-built design.
+/// Body of corner_sweep over an already-built design. `batch_width`
+/// follows the MonteCarloOptions convention: 0 = host-preferred SIMD lane
+/// width, 1 = scalar per-corner stages, 2/4/8 = forced width; corners are
+/// partitioned into supported-width groups that run through the
+/// heterogeneous batched engine (results bit-identical at every setting).
 std::vector<CornerResult> corner_sweep_impl(const ExecContext& ctx,
                                             const AdcDesign& design,
-                                            std::size_t n_samples);
+                                            std::size_t n_samples,
+                                            int batch_width);
 
 /// Body of generate_datasheet; `opts.exec` is ignored in favor of `ctx`.
 Datasheet datasheet_impl(const ExecContext& ctx, const AdcSpec& spec,

@@ -67,8 +67,8 @@ EvalResponse evaluate(const EvalRequest& req, const ExecContext& ctx) {
     }
     case EvalKind::kCornerSweep: {
       const AdcDesign design(req.spec, sub);
-      resp.corners =
-          detail::corner_sweep_impl(sub, design, req.corners.n_samples);
+      resp.corners = detail::corner_sweep_impl(
+          sub, design, req.corners.n_samples, req.corners.batch_width);
       resp.ok = design.ok() && !local.has_errors();
       break;
     }
@@ -225,6 +225,10 @@ bool eval_request_from_json(const json::Value& v, EvalRequest* out,
           o, "n_samples", static_cast<double>(req.datasheet.n_samples)));
       req.datasheet.mc_runs =
           static_cast<int>(opt_number(o, "mc_runs", req.datasheet.mc_runs));
+      req.datasheet.amp_sweep_points = static_cast<int>(opt_number(
+          o, "amp_sweep_points", req.datasheet.amp_sweep_points));
+      req.datasheet.batch_width = static_cast<int>(
+          opt_number(o, "batch_width", req.datasheet.batch_width));
       break;
     case EvalKind::kMonteCarlo:
       req.monte_carlo.runs =
@@ -244,6 +248,8 @@ bool eval_request_from_json(const json::Value& v, EvalRequest* out,
     case EvalKind::kCornerSweep:
       req.corners.n_samples = static_cast<std::size_t>(opt_number(
           o, "n_samples", static_cast<double>(req.corners.n_samples)));
+      req.corners.batch_width = static_cast<int>(
+          opt_number(o, "batch_width", req.corners.batch_width));
       break;
     case EvalKind::kSynthesize:
       req.synthesis.target_utilization = opt_number(
@@ -318,6 +324,18 @@ json::Value eval_result_to_json(const EvalResponse& resp) {
       v.set("power_grid_clean",
             json::Value::make_bool(ds.power_grid.clean()));
       if (!ds.mc.sndr_db.empty()) v.set("mc", mc_to_json(ds.mc));
+      if (!ds.amp_sweep.empty()) {
+        json::Value arr = json::Value::make_array();
+        for (const AmplitudePoint& pt : ds.amp_sweep) {
+          json::Value pv = json::Value::make_object();
+          pv.set("amplitude_dbfs",
+                 json::Value::make_number(pt.amplitude_dbfs));
+          pv.set("sndr_db", json::Value::make_number(pt.sndr_db));
+          pv.set("enob", json::Value::make_number(pt.enob));
+          arr.push(std::move(pv));
+        }
+        v.set("amp_sweep", std::move(arr));
+      }
       break;
     }
     case EvalKind::kMonteCarlo:

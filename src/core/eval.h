@@ -57,6 +57,12 @@ bool eval_kind_from_name(std::string_view name, EvalKind* out);
 /// exists so every request kind is (spec, options)-shaped.
 struct CornerSweepOptions {
   std::size_t n_samples = 1 << 13;
+  /// SIMD lane width for the batched transient engine, the
+  /// MonteCarloOptions convention: 0 = host-preferred, 1 = scalar
+  /// per-corner stages, 2/4/8 = forced width. Corners batch as
+  /// heterogeneous lanes (per-lane PVT); results are bit-identical at
+  /// every setting.
+  int batch_width = 0;
 };
 
 /// One driver request. `kind` selects which option members are read;

@@ -789,6 +789,58 @@ std::vector<std::shared_ptr<const RunResult>> Flow::sim_run_batch(
   return out;
 }
 
+std::vector<std::shared_ptr<const RunResult>> Flow::sim_run_batch(
+    const AdcDesign& design,
+    const std::vector<SimulationOptions>& opts_list) {
+  std::vector<std::shared_ptr<const RunResult>> out;
+  out.reserve(opts_list.size());
+  // Same fault-plan policy as the seed-batch overload: scalar stages so
+  // each entry consumes its own fault trigger.
+  if (ctx_.faults != nullptr) {
+    for (const SimulationOptions& o : opts_list) {
+      out.push_back(sim_run(design, o));
+    }
+    return out;
+  }
+  if (!design.ok()) {
+    report_diags(ctx_, {error_diag("sim_run", "",
+                                   "design was not built (invalid spec)")});
+    out.assign(opts_list.size(), nullptr);
+    return out;
+  }
+  for (const SimulationOptions& o : opts_list) {
+    const auto diags = validate_sim_options(o);
+    report_diags(ctx_, diags);
+    if (has_errors(diags)) {
+      out.assign(opts_list.size(), nullptr);
+      return out;
+    }
+  }
+  // Lazy group build, as in the seed-batch overload: per-entry keys are
+  // the scalar sim_run() keys, so a warm sweep never touches a modulator
+  // and a cold one simulates all lanes in one batched run.
+  struct Group {
+    std::vector<RunResult> results;
+    bool built = false;
+  };
+  auto group = std::make_shared<Group>();
+  for (std::size_t k = 0; k < opts_list.size(); ++k) {
+    out.push_back(run_stage<RunResult>(
+        ctx_, Stage::kSimRun, sim_run_key(design.spec(), opts_list[k]),
+        &approx_bytes_run, &run_result_codec(),
+        [&design, &opts_list, &group, k]() {
+          if (!group->built) {
+            static thread_local msim::BatchedWorkspace ws;
+            group->results = design.simulate_batch(opts_list, ws);
+            group->built = true;
+          }
+          return std::make_shared<const RunResult>(
+              std::move(group->results[k]));
+        }));
+  }
+  return out;
+}
+
 NodeReport Flow::report(const AdcSpec& spec, const SimulationOptions& sim,
                         const synth::SynthesisOptions& synth_opts) {
   util::TraceSpan span(ctx_.trace, stage_name(Stage::kReport));

@@ -170,6 +170,17 @@ class Flow {
       const AdcDesign& design, const SimulationOptions& opts,
       const std::vector<std::uint64_t>& seeds);
 
+  /// Heterogeneous variant: entry k is the SimRun stage for opts_list[k]
+  /// (lanes may differ in seed, PVT corner, amplitude, wire load — the
+  /// corner-sweep and amplitude-sweep hot path). Cache keys are exactly
+  /// the per-entry sim_run() keys; cold entries are built together through
+  /// AdcDesign::simulate_batch(opts_list), which falls back to the scalar
+  /// path for shapes the batched engine cannot take. Under an armed fault
+  /// plan every entry routes through scalar sim_run().
+  std::vector<std::shared_ptr<const RunResult>> sim_run_batch(
+      const AdcDesign& design,
+      const std::vector<SimulationOptions>& opts_list);
+
   /// Report stage: synthesis + simulation with the layout's wire load
   /// folded into the power model. Assembled from the cached Route and
   /// SimRun artifacts.

@@ -148,7 +148,8 @@ MonteCarloResult monte_carlo_sndr(const AdcSpec& spec,
 
 std::vector<CornerResult> detail::corner_sweep_impl(const ExecContext& ctx,
                                                     const AdcDesign& design,
-                                                    std::size_t n_samples) {
+                                                    std::size_t n_samples,
+                                                    int batch_width) {
   struct Corner {
     const char* name;
     PvtCorner pvt;
@@ -168,33 +169,83 @@ std::vector<CornerResult> detail::corner_sweep_impl(const ExecContext& ctx,
     return {};
   }
   Flow flow(ctx);
+
+  // Width resolution mirrors monte_carlo_impl; fault plans force the
+  // scalar partition so per-corner fault triggers fire exactly as before.
+  int width = batch_width == 0 ? msim::BatchedModulator::preferred_width()
+                               : batch_width;
+  if (!msim::BatchedModulator::width_supported(width) ||
+      ctx.faults != nullptr) {
+    width = 1;
+  }
+  // Greedy partition of the corner table into lane groups: each chunk is
+  // the largest supported width that fits both the chosen width and the
+  // remaining corners (6 corners at width >= 4 become a 4-lane group plus
+  // a 2-lane group; width 2 gives three pairs; width 1, six scalar
+  // stages). Corners differ only in PVT — a run-value change the
+  // heterogeneous batched engine takes directly.
+  struct Chunk {
+    std::size_t start;
+    std::size_t len;
+  };
+  std::vector<Chunk> chunks;
+  for (std::size_t at = 0; at < std::size(kCorners);) {
+    const std::size_t left = std::size(kCorners) - at;
+    std::size_t len = 1;
+    for (int w : {8, 4, 2}) {
+      const std::size_t sw = static_cast<std::size_t>(w);
+      if (w <= width && sw <= left) {
+        len = sw;
+        break;
+      }
+    }
+    chunks.push_back({at, len});
+    at += len;
+  }
+
   BatchOptions bopts;
   bopts.threads = ctx.threads;
   BatchRunner runner(bopts);
-  return runner.map(
-      std::size(kCorners), [&](std::size_t i, std::uint64_t) {
+  const std::vector<std::vector<CornerResult>> per_chunk = runner.map(
+      chunks.size(), [&](std::size_t ci, std::uint64_t) {
+        const Chunk& chunk = chunks[ci];
         // Corners keep the spec's own seed (sim.seed = 0 means "no
         // override"): a corner changes the operating point, not the draw.
-        const Corner& c = kCorners[i];
-        SimulationOptions sim;
-        sim.n_samples = n_samples;
-        sim.fin_target_hz = design.spec().bandwidth_hz / 5.0;
-        sim.pvt = c.pvt;
-        const auto r = flow.sim_run(design, sim);
-        CornerResult cr;
-        cr.name = c.name;
-        cr.pvt = c.pvt;
-        if (r != nullptr) {
-          cr.sndr_db = r->sndr.sndr_db;
-          cr.power_w = r->power.total_w();
-        } else {
-          // Refused run (fault injection / bad per-corner options): the
-          // flow already reported why; mark the corner unusable.
-          cr.sndr_db = std::numeric_limits<double>::quiet_NaN();
-          cr.power_w = std::numeric_limits<double>::quiet_NaN();
+        std::vector<SimulationOptions> sims(chunk.len);
+        for (std::size_t k = 0; k < chunk.len; ++k) {
+          sims[k].n_samples = n_samples;
+          sims[k].fin_target_hz = design.spec().bandwidth_hz / 5.0;
+          sims[k].pvt = kCorners[chunk.start + k].pvt;
         }
-        return cr;
+        // Per-corner cache keys are the scalar sim_run() keys, so mixing
+        // batched and scalar sweeps over one store never double-builds.
+        const auto runs = chunk.len > 1
+                              ? flow.sim_run_batch(design, sims)
+                              : std::vector<std::shared_ptr<const RunResult>>{
+                                    flow.sim_run(design, sims.front())};
+        std::vector<CornerResult> crs(chunk.len);
+        for (std::size_t k = 0; k < chunk.len; ++k) {
+          const Corner& c = kCorners[chunk.start + k];
+          crs[k].name = c.name;
+          crs[k].pvt = c.pvt;
+          if (runs[k] != nullptr) {
+            crs[k].sndr_db = runs[k]->sndr.sndr_db;
+            crs[k].power_w = runs[k]->power.total_w();
+          } else {
+            // Refused run (fault injection / bad per-corner options): the
+            // flow already reported why; mark the corner unusable.
+            crs[k].sndr_db = std::numeric_limits<double>::quiet_NaN();
+            crs[k].power_w = std::numeric_limits<double>::quiet_NaN();
+          }
+        }
+        return crs;
       });
+  std::vector<CornerResult> out;
+  out.reserve(std::size(kCorners));
+  for (const auto& crs : per_chunk) {
+    out.insert(out.end(), crs.begin(), crs.end());
+  }
+  return out;
 }
 
 namespace {

@@ -2,12 +2,13 @@
 //
 // run_lockstep<W>() is a line-for-line transcription of
 // VcoDsmModulator::run() with every per-draw scalar replaced by a W-lane
-// structure-of-arrays value (util::simd::vec). It is compiled three times —
-// batched_tier_{scalar,sse2,avx2}.cpp — with different codegen flags and
-// dispatched at runtime (see util/simd.h). The TUs contain no intrinsics
-// and never enable FMA, so each lane's IEEE operation sequence is identical
-// across tiers and identical to the scalar modulator's; the tier changes
-// only how many lanes one instruction retires.
+// structure-of-arrays value (util::simd::vec). It is compiled four times —
+// batched_tier_{scalar,sse2,avx2,avx512}.cpp — with different codegen flags
+// and dispatched at runtime (see util/simd.h). The TUs contain no
+// intrinsics and never contract FMA (the avx512 TU carries -ffp-contract=off
+// because -mavx512f implies FMA), so each lane's IEEE operation sequence is
+// identical across tiers and identical to the scalar modulator's; the tier
+// changes only how many lanes one instruction retires.
 //
 // Everything allocation- or libm-setup-related (pole factors, noise
 // amplitudes, mismatch transposition, result-buffer sizing) happens in
@@ -38,27 +39,35 @@ struct BatchedSetup {
   double ts = 0.0;
   double dt = 0.0;
 
-  // Shared run constants (identical across lanes by construction).
-  double vctrl_mid = 0.0;
-  double f_center = 0.0;
-  double f_floor = 0.0;  ///< 0.01 * f_center (RingVco's stall clamp)
-  double g_input = 0.0;
-  double vrefp = 0.0;
+  // Shared control-flow flags (identical across lanes by construction —
+  // BatchedModulator::create refuses batches whose lanes disagree, because
+  // gaussian_lanes advances every lane's stream: a noise source firing in
+  // one lane but not another would desynchronize the per-lane draw
+  // sequences from the scalar modulator's).
   bool vref_ripple = false;
   double ripple_amp = 0.0;
   double ripple_freq = 0.0;
   bool thermal_noise = false;
   bool white_fm = false;
-  double fm_noise_amp = 0.0;  ///< 2*pi*sqrt(white_fm*dt), RingVco's cache
-  double jitter_sigma = 0.0;
-  double comp_noise_sigma = 0.0;
-  double comp_meta_window = 0.0;
-  double comp_slew_div = 1.0;  ///< max(tap_slew, 1.0)
-  double comp_buffer_delay = 0.0;
-  double cm_error_prob = 0.0;
+  bool has_jitter = false;
+  bool has_comp_noise = false;
+  bool has_meta = false;
+  bool has_cm_error = false;
   bool record_bits = false;
   bool static_mapping = false;
   std::uint64_t d_init = 0;  ///< SliceBits::alternating start word
+
+  // Per-lane run constants [w]. Formerly shared scalars; heterogeneous
+  // batches (PVT corners, amplitude sweeps) give each lane its own value.
+  // Only the *values* may differ lane-to-lane — the flags above must agree.
+  // A homogeneous batch loads W identical values, which is the exact same
+  // compare/arithmetic the old splat produced, so bits are unchanged.
+  std::vector<double> vctrl_mid, f_center, g_input, vrefp;
+  std::vector<double> f_floor;  ///< 0.01 * f_center (RingVco's stall clamp)
+  std::vector<double> fm_noise_amp;  ///< 2*pi*sqrt(white_fm*dt) per lane
+  std::vector<double> jitter_sigma, comp_noise_sigma, comp_meta_window;
+  std::vector<double> comp_slew_div;  ///< max(tap_slew, 1.0)
+  std::vector<double> comp_buffer_delay, cm_error_prob;
 
   // Per-lane constants [w].
   std::vector<double> scale, vcm_in, kvco1, kvco2, phase1, phase2;
@@ -92,26 +101,37 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
   const double* bv = ws.base_vals.data();
   const double* vv = ws.vref_vals.data();
 
-  // Every shared run constant is copied to a local: the result buffers are
+  // Every run constant is copied to a local: the result buffers are
   // written through ws (heap pointers the compiler cannot prove distinct
   // from the setup struct's storage), so reads of s.* inside the clock loop
-  // would otherwise be reloaded — and re-broadcast — on every use.
+  // would otherwise be reloaded — and re-broadcast — on every use. The
+  // formerly shared scalars are now per-lane vectors (heterogeneous
+  // corner/amplitude batches); a homogeneous batch loads W identical
+  // values, making every V⊙V below bit-identical to the old V⊙scalar.
   const int substeps = s.substeps;
-  const double vctrl_mid = s.vctrl_mid;
-  const double f_center = s.f_center;
-  const double f_floor = s.f_floor;
-  const double g_input = s.g_input;
-  const double vrefp = s.vrefp;
+  const V vctrl_mid = V::load(s.vctrl_mid.data());
+  const V f_center = V::load(s.f_center.data());
+  const V f_floor = V::load(s.f_floor.data());
+  const V g_input = V::load(s.g_input.data());
+  const V vrefp = V::load(s.vrefp.data());
   const bool vref_ripple = s.vref_ripple;
   const bool thermal_noise = s.thermal_noise;
   const bool white_fm = s.white_fm;
-  const double fm_noise_amp = s.fm_noise_amp;
-  const double jitter_sigma = s.jitter_sigma;
-  const double comp_noise_sigma = s.comp_noise_sigma;
-  const double comp_meta_window = s.comp_meta_window;
-  const double comp_slew_div = s.comp_slew_div;
-  const double comp_buffer_delay = s.comp_buffer_delay;
-  const double cm_error_prob = s.cm_error_prob;
+  const V fm_noise_amp = V::load(s.fm_noise_amp.data());
+  const bool has_jitter = s.has_jitter;
+  const V jitter_sigma = V::load(s.jitter_sigma.data());
+  const bool has_comp_noise = s.has_comp_noise;
+  const V comp_noise_sigma = V::load(s.comp_noise_sigma.data());
+  const bool has_meta = s.has_meta;
+  // The scalar path computes `window * (1.0 + 1e-9)` once outside the loop;
+  // the same per-lane product here keeps the pre-filter bound's association.
+  const V meta_margin =
+      V::load(s.comp_meta_window.data()) * (1.0 + 1e-9);
+  const double* meta_window_data = s.comp_meta_window.data();
+  const V comp_slew_div = V::load(s.comp_slew_div.data());
+  const V comp_buffer_delay = V::load(s.comp_buffer_delay.data());
+  const bool has_cm_error = s.has_cm_error;
+  const double* cm_error_data = s.cm_error_prob.data();
   const bool record_bits = s.record_bits;
   const bool static_mapping = s.static_mapping;
   const double* g_p_data = s.g_p.data();
@@ -151,8 +171,8 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
   const V node_sigma = V::load(s.node_noise_sigma.data());
   V ph1 = V::load(s.phase1.data());
   V ph2 = V::load(s.phase2.data());
-  V vp = V::splat(s.vctrl_mid);
-  V vn = V::splat(s.vctrl_mid);
+  V vp = vctrl_mid;
+  V vn = vctrl_mid;
   V acc_vp = V::splat(0.0), acc_vn = V::splat(0.0);
   V acc_f1 = V::splat(0.0), acc_f2 = V::splat(0.0);
   std::uint64_t d[W];
@@ -160,6 +180,17 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
   for (int w = 0; w < W; ++w) {
     d[w] = s.d_init;
     toggles[w] = 0;
+  }
+
+  // Streamed per-group write-out: run() pre-sizes counts/output to
+  // n_samples, so the per-clock stores below are branch-free indexed writes
+  // through cached data pointers instead of per-lane push_backs (each of
+  // which re-checks capacity and re-loads the vector header per value).
+  int* counts_ptr[W];
+  double* out_ptr[W];
+  for (int w = 0; w < W; ++w) {
+    counts_ptr[w] = ws.results[static_cast<std::size_t>(w)].counts.data();
+    out_ptr[w] = ws.results[static_cast<std::size_t>(w)].output.data();
   }
 
   // DAC running on-conductance sums for the current bits, rebuilt in slice
@@ -207,13 +238,17 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
   };
 
   double lanes_buf[W], lanes_buf2[W];
+#if !VCOADC_SIMD_NATIVE
   bool s1[W], s2[W];
+#endif
 
   std::size_t sub_k = 0;
   for (std::size_t n = 0; n < s.n_samples; ++n) {
     for (int m = 0; m < substeps; ++m, ++sub_k) {
       const double sb = bv[sub_k];
-      const double vref = vref_ripple ? vv[sub_k] : vrefp;
+      // With ripple the reference is a shared time series (create() demands
+      // a uniform vrefp in that case); otherwise each lane's own reference.
+      const V vref = vref_ripple ? V::splat(vv[sub_k]) : vrefp;
       const V vin = scale * sb;
       const V vinp = vcm_in + 0.5 * vin;
       const V vinn = vcm_in - 0.5 * vin;
@@ -290,7 +325,7 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
 
     // Clock edge.
     V jit;
-    if (jitter_sigma > 0.0) {
+    if (has_jitter) {
       rng_jit.gaussian_lanes(lanes_buf);
       jit = 0.0 + jitter_sigma * V::load(lanes_buf);
     } else {
@@ -300,8 +335,6 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
     const V f2e = vmax(f_center + kvco2 * (vn - vctrl_mid), f_floor);
     const V w1 = kTwoPi * f1e;
     const V w2 = kTwoPi * f2e;
-    std::uint64_t raw[W];
-    for (int w = 0; w < W; ++w) raw[w] = 0;
     // SamplingFrontEnd::sample for one ring across all lanes of one slice.
     // The common path is if-converted select arithmetic (so it packs); the
     // unbounded while-wrap of the scalar code survives as a rare per-lane
@@ -312,11 +345,18 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
     // re-loads every by-reference capture through the frame on each of the
     // 2 * n_slices calls per clock, which costs more than the sampling math
     // itself.
+#if VCOADC_SIMD_NATIVE
+    // Packed comparator path: the decision leaves each sample_ring call as
+    // a 0/1 lane-mask vector, the two-ring XOR happens packed, and the
+    // decision bit is gathered into the per-lane DAC words with one packed
+    // shift+or per slice (movemask-style bit gather). The only per-lane
+    // extraction left is one transfer of the W finished words per clock.
+    using MV = typename util::simd::native_u64vec<W>::type;
     auto sample_ring = [&](const V& ph, const double* tap, const double* offt,
                            const V& omega, const V& fe, util::LaneRng<W>& rng,
-                           bool out[W]) VCOADC_LANE_INLINE_LAMBDA {
+                           MV* outm) VCOADC_LANE_INLINE_LAMBDA {
       V t_eff = (V::load(offt) + comp_buffer_delay) + jit;
-      if (comp_noise_sigma > 0.0) {
+      if (has_comp_noise) {
         rng.gaussian_lanes(lanes_buf);
         t_eff += (0.0 + comp_noise_sigma * V::load(lanes_buf)) /
                  comp_slew_div;
@@ -332,8 +372,11 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
       if (rare != 0) [[unlikely]] {
         for (int w = 0; w < W; ++w) wr.v[w] = wrap_2pi(arg.v[w]);
       }
-      for (int w = 0; w < W; ++w) out[w] = wr.v[w] < kPi;
-      if (comp_meta_window > 0.0) {
+      // The packed compare yields 0/~0 per lane; masking with 1 leaves the
+      // scalar decision bit (wr < pi) in every lane at once. (The vector
+      // cast reinterprets bits; std::bit_cast would draw -Wpsabi.)
+      MV m = (MV)(wr.v < kPi) & 1ULL;
+      if (has_meta) {
         // ph < 2*pi and tap < 2*pi, so the scalar `while (p >= pi) p -= pi`
         // runs at most 3 times; three chained conditional subtracts replay
         // it exactly, with a per-lane fallback for anything larger.
@@ -359,7 +402,7 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
         // inside the 1e-9 margin. Only candidate lanes (mostly none) pay
         // the exact division, which then decides, bit-for-bit.
         const V lhs = kPi - p;
-        const V bnd = (kTwoPi * fe) * (comp_meta_window * (1.0 + 1e-9));
+        const V bnd = (kTwoPi * fe) * meta_margin;
         int cand = 0;
         for (int w = 0; w < W; ++w) {
           cand |= (lhs.v[w] < bnd.v[w]) << w;
@@ -368,19 +411,102 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
           for (int w = 0; w < W; ++w) {
             if (((cand >> w) & 1) == 0) continue;
             const double tte = lhs.v[w] / (kTwoPi * fe.v[w]);
-            if (tte < comp_meta_window) {
+            if (tte < meta_window_data[w]) {
+              m[w] = rng.bernoulli_lane(w, 0.5) ? 1ULL : 0ULL;
+            }
+          }
+        }
+      }
+      if (has_cm_error) {
+        rng.uniform_lanes(lanes_buf);
+        for (int w = 0; w < W; ++w) {
+          if (lanes_buf[w] < cm_error_data[w]) m[w] ^= 1ULL;
+        }
+      }
+      *outm = m;
+    };
+    MV raw_v = {};
+    for (int i = 0; i < n_slices; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      MV m1, m2;
+      sample_ring(ph1, &tap_off1_data[static_cast<std::size_t>(i * W)],
+                  &offt1_data[static_cast<std::size_t>(i * W)], w1, f1e,
+                  rng_fe1[si], &m1);
+      sample_ring(ph2, &tap_off2_data[static_cast<std::size_t>(i * W)],
+                  &offt2_data[static_cast<std::size_t>(i * W)], w2, f2e,
+                  rng_fe2[si], &m2);
+      const MV di = m1 ^ m2;
+      raw_v |= di << i;
+      if (record_bits) {
+        for (int w = 0; w < W; ++w) {
+          ws.results[static_cast<std::size_t>(w)].slice_bits[si].push_back(
+              di[w] != 0);
+        }
+      }
+    }
+    std::uint64_t raw[W];
+    for (int w = 0; w < W; ++w) raw[w] = raw_v[w];
+#else
+    auto sample_ring = [&](const V& ph, const double* tap, const double* offt,
+                           const V& omega, const V& fe, util::LaneRng<W>& rng,
+                           bool out[W]) VCOADC_LANE_INLINE_LAMBDA {
+      V t_eff = (V::load(offt) + comp_buffer_delay) + jit;
+      if (has_comp_noise) {
+        rng.gaussian_lanes(lanes_buf);
+        t_eff += (0.0 + comp_noise_sigma * V::load(lanes_buf)) /
+                 comp_slew_div;
+      }
+      const V arg = (ph + V::load(tap)) + omega * t_eff;
+      V wr = util::simd::select_ge(arg, kTwoPi, arg - kTwoPi, arg);
+      wr = util::simd::select_ge(wr, kTwoPi, wr - kTwoPi, wr);
+      wr = util::simd::select_lt(wr, 0.0, wr + kTwoPi, wr);
+      int rare = 0;
+      for (int w = 0; w < W; ++w) {
+        rare |= (wr.v[w] >= kTwoPi) | (wr.v[w] < 0.0);
+      }
+      if (rare != 0) [[unlikely]] {
+        for (int w = 0; w < W; ++w) wr.v[w] = wrap_2pi(arg.v[w]);
+      }
+      for (int w = 0; w < W; ++w) out[w] = wr.v[w] < kPi;
+      if (has_meta) {
+        const V p0 = ph + V::load(tap);
+        V p = util::simd::select_ge(p0, kPi, p0 - kPi, p0);
+        p = util::simd::select_ge(p, kPi, p - kPi, p);
+        p = util::simd::select_ge(p, kPi, p - kPi, p);
+        int wrap_more = 0;
+        for (int w = 0; w < W; ++w) wrap_more |= (p.v[w] >= kPi);
+        if (wrap_more != 0) [[unlikely]] {
+          for (int w = 0; w < W; ++w) {
+            double pw = p0.v[w];
+            while (pw >= kPi) pw -= kPi;
+            p.v[w] = pw;
+          }
+        }
+        const V lhs = kPi - p;
+        const V bnd = (kTwoPi * fe) * meta_margin;
+        int cand = 0;
+        for (int w = 0; w < W; ++w) {
+          cand |= (lhs.v[w] < bnd.v[w]) << w;
+        }
+        if (cand != 0) [[unlikely]] {
+          for (int w = 0; w < W; ++w) {
+            if (((cand >> w) & 1) == 0) continue;
+            const double tte = lhs.v[w] / (kTwoPi * fe.v[w]);
+            if (tte < meta_window_data[w]) {
               out[w] = rng.bernoulli_lane(w, 0.5);
             }
           }
         }
       }
-      if (cm_error_prob > 0.0) {
+      if (has_cm_error) {
         rng.uniform_lanes(lanes_buf);
         for (int w = 0; w < W; ++w) {
-          if (lanes_buf[w] < cm_error_prob) out[w] = !out[w];
+          if (lanes_buf[w] < cm_error_data[w]) out[w] = !out[w];
         }
       }
     };
+    std::uint64_t raw[W];
+    for (int w = 0; w < W; ++w) raw[w] = 0;
     for (int i = 0; i < n_slices; ++i) {
       const std::size_t si = static_cast<std::size_t>(i);
       sample_ring(ph1, &tap_off1_data[static_cast<std::size_t>(i * W)],
@@ -399,16 +525,16 @@ static void run_lockstep(const BatchedSetup& s, BatchedWorkspace& ws) {
         }
       }
     }
+#endif
     for (int w = 0; w < W; ++w) {
       const int count = std::popcount(raw[w]);
       toggles[w] += static_cast<std::size_t>(std::popcount(raw[w] ^ d[w]));
       d[w] = static_mapping
                  ? ((count >= 64) ? ~0ULL : ((1ULL << count) - 1ULL))
                  : raw[w];
-      ModulatorResult& res = ws.results[static_cast<std::size_t>(w)];
-      res.counts.push_back(count);
-      res.output.push_back((2.0 * count - n_slices) /
-                           static_cast<double>(n_slices));
+      counts_ptr[w][n] = count;
+      out_ptr[w][n] = (2.0 * count - n_slices) /
+                      static_cast<double>(n_slices);
     }
     sync_dac_levels();
   }
@@ -444,6 +570,9 @@ namespace tier_sse2 {
 const LockstepTable& table();
 }
 namespace tier_avx2 {
+const LockstepTable& table();
+}
+namespace tier_avx512 {
 const LockstepTable& table();
 }
 

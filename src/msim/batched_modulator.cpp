@@ -15,6 +15,56 @@ namespace vcoadc::msim {
 /// every ctor-time mismatch draw is the serial one by construction; this
 /// struct only copies results out, it never mutates a lane modulator.
 struct BatchedStateAccess {
+  /// True when the constructed lanes can run in lockstep. Per-lane run
+  /// *values* (kvco, vrefp, noise amplitudes, ...) may differ freely — the
+  /// kernel holds them in lane vectors — but the clock structure and every
+  /// noise-source on/off decision must agree: gaussian_lanes advances all
+  /// lane streams together, so a source firing in one lane but not another
+  /// would desynchronize the per-lane draw sequences from the scalar
+  /// modulator's. Checked on the *derived* component state (not the raw
+  /// SimConfig) because e.g. the comparator's common-mode error rate is a
+  /// function of vdd and could cross zero between corners.
+  static bool batchable(const std::vector<VcoDsmModulator>& lanes) {
+    const VcoDsmModulator& m0 = lanes.front();
+    const SimConfig& c0 = m0.cfg_;
+    for (const VcoDsmModulator& m : lanes) {
+      const SimConfig& c = m.cfg_;
+      // Clock / loop structure shapes the substep schedule and buffers.
+      if (c.fs_hz != c0.fs_hz || c.substeps != c0.substeps ||
+          c.num_slices != c0.num_slices) {
+        return false;
+      }
+      if (c.thermal_noise != c0.thermal_noise) return false;
+      if ((m.vco1_.white_fm_ > 0.0) != (m0.vco1_.white_fm_ > 0.0)) {
+        return false;
+      }
+      if ((c.clock_jitter_sigma_s > 0.0) !=
+          (c0.clock_jitter_sigma_s > 0.0)) {
+        return false;
+      }
+      const SamplingFrontEnd::Params& fp = m.fe1_.front().params_;
+      const SamplingFrontEnd::Params& fp0 = m0.fe1_.front().params_;
+      if ((fp.noise_sigma_v > 0.0) != (fp0.noise_sigma_v > 0.0)) {
+        return false;
+      }
+      if ((fp.meta_window_s > 0.0) != (fp0.meta_window_s > 0.0)) {
+        return false;
+      }
+      if ((m.fe1_.front().cm_error_prob_ > 0.0) !=
+          (m0.fe1_.front().cm_error_prob_ > 0.0)) {
+        return false;
+      }
+      // The reference-ripple time series is shared across lanes, so with
+      // ripple enabled the reference itself must be uniform too.
+      if (c.vref_ripple_amp_v != c0.vref_ripple_amp_v ||
+          c.vref_ripple_freq_hz != c0.vref_ripple_freq_hz) {
+        return false;
+      }
+      if (c0.vref_ripple_amp_v > 0.0 && c.vrefp != c0.vrefp) return false;
+    }
+    return true;
+  }
+
   static lockstep::BatchedSetup build(
       const std::vector<VcoDsmModulator>& lanes) {
     const int W = static_cast<int>(lanes.size());
@@ -28,33 +78,35 @@ struct BatchedStateAccess {
     s.substeps = cfg.substeps;
     s.ts = 1.0 / cfg.fs_hz;
     s.dt = s.ts / cfg.substeps;
-    s.vctrl_mid = cfg.vctrl_mid;
-    s.f_center = m0.vco1_.center_freq_hz();
-    s.f_floor = 0.01 * s.f_center;
-    s.g_input = m0.node_p_.params_.g_input_s;
-    s.vrefp = cfg.vrefp;
     s.vref_ripple = cfg.vref_ripple_amp_v > 0.0;
     s.ripple_amp = cfg.vref_ripple_amp_v;
     s.ripple_freq = cfg.vref_ripple_freq_hz;
+    // Control-flow flags from lane 0; batchable() (checked by create())
+    // guarantees every lane agrees on them.
     s.thermal_noise = cfg.thermal_noise;
     s.white_fm = m0.vco1_.white_fm_ > 0.0;
-    // RingVco::advance caches 2*pi*sqrt(S_f*dt) on its first step; same
-    // expression here (baseline TU), shared by all lanes (S_f, dt shared).
-    s.fm_noise_amp =
-        2.0 * std::numbers::pi * std::sqrt(m0.vco1_.white_fm_ * s.dt);
-    s.jitter_sigma = cfg.clock_jitter_sigma_s;
-    const SamplingFrontEnd::Params& fp = m0.fe1_.front().params_;
-    s.comp_noise_sigma = fp.noise_sigma_v;
-    s.comp_meta_window = fp.meta_window_s;
-    s.comp_slew_div = std::max(fp.tap_slew_v_per_s, 1.0);
-    s.comp_buffer_delay = fp.buffer_delay_s;
-    s.cm_error_prob = m0.fe1_.front().cm_error_prob_;
+    s.has_jitter = cfg.clock_jitter_sigma_s > 0.0;
+    s.has_comp_noise = m0.fe1_.front().params_.noise_sigma_v > 0.0;
+    s.has_meta = m0.fe1_.front().params_.meta_window_s > 0.0;
+    s.has_cm_error = m0.fe1_.front().cm_error_prob_ > 0.0;
     s.record_bits = m0.opts_.record_bits;
     s.static_mapping = m0.opts_.mapping == ElementMapping::kStaticThermometer;
     s.d_init = SliceBits::alternating(n_slices).mask();
 
     const std::size_t lw = static_cast<std::size_t>(W);
     const std::size_t slw = static_cast<std::size_t>(n_slices) * lw;
+    s.vctrl_mid.resize(lw);
+    s.f_center.resize(lw);
+    s.f_floor.resize(lw);
+    s.g_input.resize(lw);
+    s.vrefp.resize(lw);
+    s.fm_noise_amp.resize(lw);
+    s.jitter_sigma.resize(lw);
+    s.comp_noise_sigma.resize(lw);
+    s.comp_meta_window.resize(lw);
+    s.comp_slew_div.resize(lw);
+    s.comp_buffer_delay.resize(lw);
+    s.cm_error_prob.resize(lw);
     s.scale.resize(lw);
     s.vcm_in.resize(lw);
     s.kvco1.resize(lw);
@@ -84,6 +136,25 @@ struct BatchedStateAccess {
     for (int w = 0; w < W; ++w) {
       const VcoDsmModulator& m = lanes[static_cast<std::size_t>(w)];
       const std::size_t sw = static_cast<std::size_t>(w);
+      // Formerly shared run constants, now per lane (PVT corners and
+      // amplitude points move them); each expression is the one the scalar
+      // modulator computes for its own config.
+      s.vctrl_mid[sw] = m.cfg_.vctrl_mid;
+      s.f_center[sw] = m.vco1_.center_freq_hz();
+      s.f_floor[sw] = 0.01 * s.f_center[sw];
+      s.g_input[sw] = m.node_p_.params_.g_input_s;
+      s.vrefp[sw] = m.cfg_.vrefp;
+      // RingVco::advance caches 2*pi*sqrt(S_f*dt) on its first step; same
+      // expression here (baseline TU), per lane (S_f may differ, dt shared).
+      s.fm_noise_amp[sw] =
+          2.0 * std::numbers::pi * std::sqrt(m.vco1_.white_fm_ * s.dt);
+      s.jitter_sigma[sw] = m.cfg_.clock_jitter_sigma_s;
+      const SamplingFrontEnd::Params& fp = m.fe1_.front().params_;
+      s.comp_noise_sigma[sw] = fp.noise_sigma_v;
+      s.comp_meta_window[sw] = fp.meta_window_s;
+      s.comp_slew_div[sw] = std::max(fp.tap_slew_v_per_s, 1.0);
+      s.comp_buffer_delay[sw] = fp.buffer_delay_s;
+      s.cm_error_prob[sw] = m.fe1_.front().cm_error_prob_;
       s.vcm_in[sw] = m.vcm_in_;
       s.kvco1[sw] = m.vco1_.kvco();
       s.kvco2[sw] = m.vco2_.kvco();
@@ -132,6 +203,7 @@ namespace {
 
 const lockstep::LockstepTable& tier_table(util::simd::Tier t) {
   switch (t) {
+    case util::simd::Tier::kAvx512: return lockstep::tier_avx512::table();
     case util::simd::Tier::kAvx2: return lockstep::tier_avx2::table();
     case util::simd::Tier::kSse2: return lockstep::tier_sse2::table();
     case util::simd::Tier::kScalar: break;
@@ -156,17 +228,24 @@ int BatchedModulator::preferred_width() {
 std::unique_ptr<BatchedModulator> BatchedModulator::create(
     const SimConfig& cfg, const std::vector<std::uint64_t>& seeds,
     const Options& opts) {
-  if (!width_supported(static_cast<int>(seeds.size()))) return nullptr;
+  std::vector<SimConfig> cfgs(seeds.size(), cfg);
+  for (std::size_t k = 0; k < seeds.size(); ++k) cfgs[k].seed = seeds[k];
+  return create(cfgs, opts);
+}
+
+std::unique_ptr<BatchedModulator> BatchedModulator::create(
+    const std::vector<SimConfig>& cfgs, const Options& opts) {
+  if (!width_supported(static_cast<int>(cfgs.size()))) return nullptr;
   // The current-steering bank threads one shared bias-noise stream through
   // every substep — a serial dependency the lane model cannot batch.
   if (opts.dac != DacKind::kResistor) return nullptr;
   std::vector<VcoDsmModulator> lanes;
-  lanes.reserve(seeds.size());
-  for (std::uint64_t seed : seeds) {
-    SimConfig lane_cfg = cfg;
-    lane_cfg.seed = seed;
-    lanes.emplace_back(lane_cfg, opts);
-  }
+  lanes.reserve(cfgs.size());
+  for (const SimConfig& lane_cfg : cfgs) lanes.emplace_back(lane_cfg, opts);
+  // Heterogeneous lanes (PVT corners, amplitude points) batch as long as
+  // the clock structure and noise-source flags agree; otherwise the caller
+  // falls back to the scalar path.
+  if (!BatchedStateAccess::batchable(lanes)) return nullptr;
   return std::unique_ptr<BatchedModulator>(
       new BatchedModulator(std::move(lanes)));
 }
@@ -191,14 +270,15 @@ const std::vector<ModulatorResult>& BatchedModulator::run(
         lane_scale[static_cast<std::size_t>(w)];
   }
 
-  // Same buffer reuse contract as the scalar SimWorkspace: clear() keeps
-  // capacity, so a warmed-up workspace runs allocation-free.
+  // Same buffer reuse contract as the scalar SimWorkspace: a warmed-up
+  // workspace runs allocation-free. counts/output are pre-sized to
+  // n_samples (not just reserved) — the kernel streams its per-clock
+  // results through raw data pointers with indexed stores, writing every
+  // element exactly once.
   ws.results.resize(static_cast<std::size_t>(W));
   for (ModulatorResult& res : ws.results) {
-    res.output.clear();
-    res.output.reserve(n_samples);
-    res.counts.clear();
-    res.counts.reserve(n_samples);
+    res.output.resize(n_samples);
+    res.counts.resize(n_samples);
     if (setup.record_bits) {
       res.slice_bits.resize(static_cast<std::size_t>(cfg.num_slices));
       for (auto& v : res.slice_bits) {
@@ -245,7 +325,9 @@ const std::vector<ModulatorResult>& BatchedModulator::run(
             (static_cast<double>(n) + frac[m]) * setup.ts;
         bv[k] = base(t);
         if (setup.vref_ripple) {
-          vv[k] = setup.vrefp +
+          // batchable() guarantees a uniform vrefp whenever ripple is on,
+          // so lane 0's reference stands for the whole batch.
+          vv[k] = setup.vrefp.front() +
                   setup.ripple_amp *
                       std::sin(kTwoPi * setup.ripple_freq * t);
         }

@@ -24,7 +24,8 @@
 //      metastability draw fires in only one lane.
 //
 // The kernel itself (batched_lockstep.h) is portable C++ compiled into
-// scalar/sse2/avx2 translation units and dispatched per util::simd tier.
+// scalar/sse2/avx2/avx512 translation units and dispatched per util::simd
+// tier.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +77,16 @@ class BatchedModulator {
   static std::unique_ptr<BatchedModulator> create(
       const SimConfig& cfg, const std::vector<std::uint64_t>& seeds,
       const Options& opts = Options{});
+
+  /// Heterogeneous batch: lane k is a scalar modulator built from cfgs[k]
+  /// verbatim (seed included). Lanes may differ in any run *value* — PVT
+  /// corners move vdd/vrefp/kvco/noise amplitudes, amplitude sweeps move
+  /// only the drive — but must share the clock structure (fs, substeps,
+  /// num_slices) and agree on every noise-source on/off flag, since the
+  /// lane RNG advances all streams together. Returns nullptr when the
+  /// shape is not batchable — callers fall back to the scalar path.
+  static std::unique_ptr<BatchedModulator> create(
+      const std::vector<SimConfig>& cfgs, const Options& opts = Options{});
 
   int width() const { return static_cast<int>(lanes_.size()); }
   const SimConfig& config() const { return lanes_.front().config(); }

@@ -28,10 +28,15 @@ namespace detail {
 inline constexpr double kZigR = 3.6541528853610088;
 inline constexpr double kZigM = 4503599627370496.0;  // 2^52
 
+// Structure-of-arrays layout, one cache-line-aligned array per column: the
+// lane-batched fast path (LaneRng::gaussian_lanes) gathers k[idx] and
+// w[idx] per lane with the layer indices coming from random bytes, so each
+// column is kept dense and 64-byte aligned — every gather touches at most
+// one line per column and the two columns never false-share.
 struct ZigTables {
-  std::array<std::uint64_t, 256> k{};  // layer accept thresholds
-  std::array<double, 256> w{};         // draw -> x scale per layer
-  std::array<double, 256> f{};         // pdf at each layer base
+  alignas(64) std::array<std::uint64_t, 256> k{};  // layer accept thresholds
+  alignas(64) std::array<double, 256> w{};  // draw -> x scale per layer
+  alignas(64) std::array<double, 256> f{};  // pdf at each layer base
 };
 
 consteval ZigTables make_zig_tables() {
@@ -211,15 +216,55 @@ class LaneRng {
   }
 
   /// One standard-normal draw per lane; identical per-lane sequence to
-  /// Rng::gaussian(). The ~99% ziggurat accept path stays in the lane loop;
-  /// rejections round-trip the lane state through the scalar slow path.
+  /// Rng::gaussian(). The ~99% ziggurat accept path runs packed across all
+  /// W lanes on the SoA tables; only rejected lanes round-trip the scalar
+  /// slow path.
   VCOADC_LANE_INLINE void gaussian_lanes(double out[W]) {
-    // The ziggurat accept path stays per lane: the layer tables are indexed
-    // by random bytes, so the convert / scale / sign flip per lane start
-    // from scalar table loads anyway. (A packed variant with one combined
-    // all-lanes-accept branch measured ~10% slower at W=4 on AVX2: the
-    // fallback re-runs the lane loop, and the combined branch mispredicts
-    // ~1 - 0.985^W of the time.)
+#if VCOADC_SIMD_NATIVE
+    // Lane-transposed fast path over the SoA ziggurat layout: one packed
+    // xoshiro step, per-lane gathers of the layer threshold/scale columns
+    // (the layer index is a random byte, so those two loads are the only
+    // scalar work left), then a packed convert, scale and branchless sign
+    // flip. The accept test is evaluated packed for every lane at once and
+    // the packed result is kept for every accepted lane; only rejected
+    // lanes (~1.5% each, independent) pay a scalar fixup. An earlier packed
+    // attempt measured ~10% slower at W=4 because its combined
+    // all-lanes-accept branch re-ran the entire lane loop on any reject —
+    // here a reject costs one slow_lane_ call and nothing else.
+    //
+    // Bit-identity: __builtin_convertvector performs the same u64->double
+    // conversion as static_cast, the multiply and the sign-bit XOR are the
+    // scalar path's exact per-lane IEEE/bit operations, and the reject
+    // predicate (rabs >= k[idx]) is the complement of the scalar accept —
+    // the per-lane draw sequence and accept/reject decisions are unchanged.
+    UV u;
+    next_v_(&u);
+    UV kv;
+    DV wv;
+    for (int w = 0; w < W; ++w) {
+      const std::size_t idx = static_cast<std::size_t>(u[w] & 255u);
+      kv[w] = detail::kZig.k[idx];
+      wv[w] = detail::kZig.w[idx];
+    }
+    const UV rabs = u >> 12;
+    const DV x = __builtin_convertvector(rabs, DV) * wv;
+    // GCC vector casts reinterpret bits (they are not value conversions),
+    // so this is the scalar path's bit_cast/XOR/bit_cast sign flip — and
+    // unlike std::bit_cast it is not a by-value vector call, so it draws
+    // no -Wpsabi at instantiation points outside the widest-ISA TUs.
+    const DV xs = (DV)((UV)x ^ ((u & 256u) << 55));
+    const auto rej = rabs >= kv;  // 0 / ~0 per lane
+    std::uint64_t any_rej = 0;
+    for (int w = 0; w < W; ++w) {
+      out[w] = xs[w];
+      any_rej |= static_cast<std::uint64_t>(rej[w]);
+    }
+    if (any_rej != 0) [[unlikely]] {
+      for (int w = 0; w < W; ++w) {
+        if (rej[w] != 0) out[w] = slow_lane_(w, u[w]);
+      }
+    }
+#else
     std::uint64_t u[W];
     next_lanes(u);
     for (int w = 0; w < W; ++w) {
@@ -236,15 +281,26 @@ class LaneRng {
         out[w] = slow_lane_(w, u[w]);
       }
     }
+#endif
   }
 
   /// One uniform [0,1) draw per lane (Rng::uniform's mantissa mapping).
   VCOADC_LANE_INLINE void uniform_lanes(double out[W]) {
+#if VCOADC_SIMD_NATIVE
+    // Packed throughout: the mantissa shift, the u64->double conversion
+    // (identical to static_cast per lane) and the 2^-53 scale have no
+    // rejection path, so no scalar tail exists at all.
+    UV u;
+    next_v_(&u);
+    const DV r = __builtin_convertvector(u >> 11, DV) * 0x1.0p-53;
+    for (int w = 0; w < W; ++w) out[w] = r[w];
+#else
     std::uint64_t u[W];
     next_lanes(u);
     for (int w = 0; w < W; ++w) {
       out[w] = static_cast<double>(u[w] >> 11) * 0x1.0p-53;
     }
+#endif
   }
 
   /// Advances only lane `w` (scalar xoshiro step). Used for the data-
@@ -284,6 +340,7 @@ class LaneRng {
 
 #if VCOADC_SIMD_NATIVE
   using UV = typename simd::native_u64vec<W>::type;
+  using DV = typename simd::native_vec<W>::type;
 
   /// Packed xoshiro256++ step for all lanes; the draw lands in *out. The
   /// rotates are spelled out and the result leaves through a pointer: a

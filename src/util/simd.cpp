@@ -8,16 +8,18 @@ namespace vcoadc::util::simd {
 
 namespace {
 
-// VCOADC_SIMD_CAP is injected by CMake (0 scalar, 1 sse2, 2 avx2); the
-// default build carries the full ladder and relies on runtime dispatch.
+// VCOADC_SIMD_CAP is injected by CMake (0 scalar, 1 sse2, 2 avx2,
+// 3 avx512); the default build carries the full ladder and relies on
+// runtime dispatch.
 #if !defined(VCOADC_SIMD_CAP)
-#define VCOADC_SIMD_CAP 2
+#define VCOADC_SIMD_CAP 3
 #endif
 
 Tier clamp_tier(int t) {
   if (t <= 0) return Tier::kScalar;
   if (t == 1) return Tier::kSse2;
-  return Tier::kAvx2;
+  if (t == 2) return Tier::kAvx2;
+  return Tier::kAvx512;
 }
 
 Tier min_tier(Tier a, Tier b) {
@@ -27,11 +29,12 @@ Tier min_tier(Tier a, Tier b) {
 /// Parses a tier spelling; anything unrecognized (including "auto" and an
 /// unset variable) means "no ceiling".
 Tier parse_tier(const char* s) {
-  if (s == nullptr) return Tier::kAvx2;
+  if (s == nullptr) return Tier::kAvx512;
   if (std::strcmp(s, "scalar") == 0) return Tier::kScalar;
   if (std::strcmp(s, "sse2") == 0) return Tier::kSse2;
   if (std::strcmp(s, "avx2") == 0) return Tier::kAvx2;
-  return Tier::kAvx2;
+  if (std::strcmp(s, "avx512") == 0) return Tier::kAvx512;
+  return Tier::kAvx512;
 }
 
 // -1 = no override; otherwise the forced tier (testing hook).
@@ -44,6 +47,7 @@ const char* tier_name(Tier t) {
     case Tier::kScalar: return "scalar";
     case Tier::kSse2: return "sse2";
     case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
   }
   return "scalar";
 }
@@ -52,9 +56,19 @@ Tier compiled_cap() { return clamp_tier(VCOADC_SIMD_CAP); }
 
 Tier cpu_tier() {
 #if defined(__x86_64__) || defined(__i386__)
-  // SSE2 is architectural on x86-64; probe only for the AVX2 step.
-  static const Tier t =
-      __builtin_cpu_supports("avx2") ? Tier::kAvx2 : Tier::kSse2;
+  // SSE2 is architectural on x86-64; probe the AVX2 step, then the AVX-512
+  // subset the avx512 tier TU is compiled for (foundation + DQ/VL for the
+  // 64-bit integer compares and 128/256-bit mixing, BW for byte masks).
+  static const Tier t = [] {
+    if (!__builtin_cpu_supports("avx2")) return Tier::kSse2;
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512bw")) {
+      return Tier::kAvx512;
+    }
+    return Tier::kAvx2;
+  }();
   return t;
 #else
   // Unknown ISA: the "sse2"/"avx2" TUs are portable C++ compiled without
@@ -78,11 +92,15 @@ Tier active_tier() {
 }
 
 int active_width() {
-  // One vector register of lanes at avx2 (W=4 == one ymm per live value;
-  // W=8 spills the kernel's ~20 live values catastrophically), two lanes
-  // elsewhere (the narrower tiers hit xmm pressure already at W=4). Both
-  // choices measured, not derived — see DESIGN.md 3i.
-  return active_tier() == Tier::kAvx2 ? 4 : 2;
+  // One vector register of lanes per tier: 8 at avx512 (32 zmm registers
+  // absorb the live values that spilled at W=8 on avx2), 4 at avx2 (one ymm
+  // per live value; W=8 spills the kernel's ~20 live values
+  // catastrophically), two lanes elsewhere (the narrower tiers hit xmm
+  // pressure already at W=4). All choices measured, not derived — see
+  // DESIGN.md 3i.
+  const Tier t = active_tier();
+  if (t == Tier::kAvx512) return 8;
+  return t == Tier::kAvx2 ? 4 : 2;
 }
 
 void set_tier_override_for_testing(int t) {

@@ -1,23 +1,26 @@
 // SIMD dispatch shim for the batched (structure-of-arrays) transient engine.
 //
 // The batched modulator compiles one portable lane-lockstep kernel into
-// three translation units with different codegen flags — scalar (tree
-// vectorizer off), sse2 (baseline x86-64), avx2 (-mavx2) — and picks one at
-// runtime. This header owns the tier model:
+// four translation units with different codegen flags — scalar (tree
+// vectorizer off), sse2 (baseline x86-64), avx2 (-mavx2), avx512
+// (-mavx512f/dq/vl/bw) — and picks one at runtime. This header owns the
+// tier model:
 //
-//   * compiled_cap()  - the VCOADC_SIMD CMake option (auto|avx2|sse2|scalar)
-//                       baked in as a compile-time ceiling.
+//   * compiled_cap()  - the VCOADC_SIMD CMake option
+//                       (auto|avx512|avx2|sse2|scalar) baked in as a
+//                       compile-time ceiling.
 //   * cpu_tier()      - what the executing CPU supports (CPUID probe).
 //   * env_cap()       - the VCOADC_SIMD environment variable, so a test run
 //                       can force the portable path on an AVX2 host without
 //                       a rebuild (ctest's scalar-fallback variant).
 //   * active_tier()   - min of the three, cached; the dispatcher's choice.
 //
-// Bit-identity contract: no tier TU enables FMA (AVX2 is requested without
-// -mfma and baseline x86-64 has no FMA), so the compiler can never contract
-// a*b+c across tiers, and every per-lane IEEE operation sequence is
-// identical in all three TUs. Which tier runs can therefore never change a
-// result bit — only how many lanes retire per cycle.
+// Bit-identity contract: no tier TU may contract a*b+c. AVX2 is requested
+// without -mfma and baseline x86-64 has no FMA; -mavx512f *implies* 512-bit
+// FMA, so the avx512 TU is additionally built with -ffp-contract=off (see
+// src/msim/CMakeLists.txt). Every per-lane IEEE operation sequence is
+// therefore identical in all four TUs, and which tier runs can never change
+// a result bit — only how many lanes retire per cycle.
 //
 // vec<double, W> is the fixed-width value type the kernel's straight-line
 // arithmetic uses: a plain array with elementwise operators, written so the
@@ -33,14 +36,16 @@ namespace vcoadc::util::simd {
 
 /// Instruction-set tiers, ordered: a higher tier strictly contains the
 /// lower one. Values are stable (used in env/CMake parsing and BENCH JSON).
-enum class Tier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+enum class Tier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
 
 /// Human name, e.g. for the CLI epilogue and BENCH_JSON.
 const char* tier_name(Tier t);
 
-/// Native doubles per vector register at this tier (1 / 2 / 4).
+/// Native doubles per vector register at this tier (1 / 2 / 4 / 8).
 constexpr int tier_width(Tier t) {
-  return t == Tier::kAvx2 ? 4 : (t == Tier::kSse2 ? 2 : 1);
+  return t == Tier::kAvx512
+             ? 8
+             : (t == Tier::kAvx2 ? 4 : (t == Tier::kSse2 ? 2 : 1));
 }
 
 /// Ceiling baked in by the VCOADC_SIMD CMake option.
@@ -50,17 +55,19 @@ Tier compiled_cap();
 Tier cpu_tier();
 
 /// Ceiling from the VCOADC_SIMD environment variable ("scalar" | "sse2" |
-/// "avx2" | "auto"/unset = no ceiling). Read once per process.
+/// "avx2" | "avx512" | "auto"/unset = no ceiling). Read once per process.
 Tier env_cap();
 
 /// The dispatch decision: min(compiled_cap, cpu_tier, env_cap), cached
 /// after the first call (the test override below invalidates the cache).
 Tier active_tier();
 
-/// Monte-Carlo lane width the active tier prefers: 4 on avx2 (one ymm per
-/// live kernel value; wider spills), 2 elsewhere (narrower tiers hit
-/// register pressure at 4, and even the scalar tier batches 2 lanes to
-/// amortize the shared input-signal evaluation). Measured, not derived.
+/// Monte-Carlo lane width the active tier prefers: 8 on avx512 (32 zmm
+/// registers hold the kernel's live values without the spills PR 7 measured
+/// at W=8 on avx2), 4 on avx2 (one ymm per live kernel value; wider spills),
+/// 2 elsewhere (narrower tiers hit register pressure at 4, and even the
+/// scalar tier batches 2 lanes to amortize the shared input-signal
+/// evaluation). Measured, not derived.
 int active_width();
 
 /// Test hook: force active_tier() to `t` regardless of CPU/env (still
@@ -249,6 +256,46 @@ VCOADC_SIMD_INLINE vec<W> select_lt(const vec<W>& a, double c,
 template <int W>
 VCOADC_SIMD_INLINE vec<W> vmax(const vec<W>& a, double floor_v) {
   return select_lt(a, floor_v, vec<W>::splat(floor_v), a);
+}
+
+// Vector-comparand variants: identical contracts to the scalar-comparand
+// forms above, but each lane compares against its own threshold. Used by the
+// heterogeneous-lane path (PVT corners / amplitude sweeps batched together),
+// where per-lane run constants replace the formerly shared scalars. With
+// every lane holding the same value these lower to the exact same compare +
+// blend as the scalar-comparand forms — homogeneous batches see identical
+// codegen and identical bits.
+
+/// Elementwise `a >= c ? t : f` with a per-lane comparand.
+template <int W>
+VCOADC_SIMD_INLINE vec<W> select_ge(const vec<W>& a, const vec<W>& c,
+                                    const vec<W>& t, const vec<W>& f) {
+  vec<W> r;
+#if VCOADC_SIMD_NATIVE
+  r.v = (a.v >= c.v) ? t.v : f.v;
+#else
+  for (int w = 0; w < W; ++w) r.v[w] = a.v[w] >= c.v[w] ? t.v[w] : f.v[w];
+#endif
+  return r;
+}
+
+/// Elementwise `a < c ? t : f` with a per-lane comparand.
+template <int W>
+VCOADC_SIMD_INLINE vec<W> select_lt(const vec<W>& a, const vec<W>& c,
+                                    const vec<W>& t, const vec<W>& f) {
+  vec<W> r;
+#if VCOADC_SIMD_NATIVE
+  r.v = (a.v < c.v) ? t.v : f.v;
+#else
+  for (int w = 0; w < W; ++w) r.v[w] = a.v[w] < c.v[w] ? t.v[w] : f.v[w];
+#endif
+  return r;
+}
+
+/// Elementwise max against a per-lane floor.
+template <int W>
+VCOADC_SIMD_INLINE vec<W> vmax(const vec<W>& a, const vec<W>& floor_v) {
+  return select_lt(a, floor_v, floor_v, a);
 }
 
 }  // namespace vcoadc::util::simd

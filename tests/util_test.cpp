@@ -106,6 +106,98 @@ TEST(Rng, BernoulliExtremes) {
   EXPECT_NEAR(ones / 10000.0, 0.3, 0.02);
 }
 
+// LaneRng's contract (the batched engine's bit-identity foundation): lane w
+// of a LaneRng<W> produces exactly the draw sequence an independent scalar
+// Rng with the same state would, under every draw kind and every width, and
+// a draw in one lane never perturbs another. Comparisons are on bit
+// patterns, not values, so even a -0.0 vs +0.0 drift would be caught.
+template <int W>
+void expect_lanes_match_scalar_streams() {
+  LaneRng<W> lanes;
+  Rng scalar[W];
+  for (int w = 0; w < W; ++w) {
+    scalar[w] = Rng(2000 + static_cast<std::uint64_t>(w));
+    lanes.set_lane(w, scalar[w]);
+  }
+  // Mixed schedule over every draw kind, including the per-lane scalar
+  // draws (next_lane / bernoulli_lane) that advance only one stream — the
+  // shape a metastability event or a ziggurat rejection produces.
+  std::uint64_t u[W];
+  double d[W];
+  for (int i = 0; i < 512; ++i) {
+    lanes.next_lanes(u);
+    for (int w = 0; w < W; ++w) EXPECT_EQ(u[w], scalar[w].next_u64());
+    lanes.gaussian_lanes(d);
+    for (int w = 0; w < W; ++w) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(d[w]),
+                std::bit_cast<std::uint64_t>(scalar[w].gaussian()));
+    }
+    lanes.uniform_lanes(d);
+    for (int w = 0; w < W; ++w) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(d[w]),
+                std::bit_cast<std::uint64_t>(scalar[w].uniform()));
+    }
+    // Data-dependent single-lane advance: only lane (i % W) moves.
+    const int hot = i % W;
+    EXPECT_EQ(lanes.bernoulli_lane(hot, 0.5), scalar[hot].bernoulli(0.5));
+  }
+}
+
+TEST(LaneRng, StreamsMatchScalarRngAtWidth2) {
+  expect_lanes_match_scalar_streams<2>();
+}
+
+TEST(LaneRng, StreamsMatchScalarRngAtWidth4) {
+  expect_lanes_match_scalar_streams<4>();
+}
+
+TEST(LaneRng, StreamsMatchScalarRngAtWidth8) {
+  expect_lanes_match_scalar_streams<8>();
+}
+
+// Golden pin of the gaussian stream: the first draws of lane 0 as exact
+// bit patterns (hex-float literals) plus an FNV-1a hash over the first 64
+// draws of every lane. Lane 0's sequence must not depend on W (streams are
+// independent), so one literal table covers all widths while the per-width
+// hash still covers every lane. If this test moves, the RNG or the
+// ziggurat tables changed and every recorded experiment is invalidated.
+template <int W>
+std::uint64_t gaussian_lanes_fnv(const double (&lane0_expect)[8]) {
+  LaneRng<W> lanes;
+  for (int w = 0; w < W; ++w) {
+    lanes.set_lane(w, Rng(1000 + static_cast<std::uint64_t>(w)));
+  }
+  double d[W];
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int i = 0; i < 64; ++i) {
+    lanes.gaussian_lanes(d);
+    if (i < 8) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(d[0]),
+                std::bit_cast<std::uint64_t>(lane0_expect[i]))
+          << "lane 0 draw " << i << " at W=" << W;
+    }
+    for (int w = 0; w < W; ++w) {
+      const std::uint64_t b = std::bit_cast<std::uint64_t>(d[w]);
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (b >> (8 * byte)) & 0xffu;
+        h *= 1099511628211ULL;
+      }
+    }
+  }
+  return h;
+}
+
+TEST(LaneRng, GaussianGoldenDraws) {
+  static constexpr double kLane0[8] = {
+      -0x1.8322e8fbc6593p-1, 0x1.3f8f1804a11e8p+0,  0x1.32baef9bb005bp-1,
+      0x1.808b70ed6aae9p-3,  0x1.174a824fe006cp+0,  0x1.c880220d59aabp-1,
+      0x1.19da81acf4ae7p-2,  -0x1.020be811da7e6p-7,
+  };
+  EXPECT_EQ(gaussian_lanes_fnv<2>(kLane0), 0x19a0167b86460a7cULL);
+  EXPECT_EQ(gaussian_lanes_fnv<4>(kLane0), 0x1f084cdd9aba1890ULL);
+  EXPECT_EQ(gaussian_lanes_fnv<8>(kLane0), 0xe15527913b7e90d1ULL);
+}
+
 TEST(Units, SiFormat) {
   EXPECT_EQ(si_format(750e6, "Hz"), "750 MHz");
   EXPECT_EQ(si_format(1.37e-3, "W"), "1.37 mW");
