@@ -3,6 +3,8 @@
 #include <set>
 #include <utility>
 
+#include "netlist/verilog_parser.h"
+
 namespace vcoadc::core {
 
 namespace {
@@ -435,7 +437,7 @@ std::shared_ptr<netlist::Design> decode_design(serde::Reader& r,
   return r.ok() ? d : nullptr;
 }
 
-// --- the six artifact codecs ----------------------------------------------
+// --- the stage-artifact codecs --------------------------------------------
 
 void encode_cell_library(const CellLibrary& lib, serde::Writer& w) {
   encode_library(lib, w);
@@ -696,6 +698,71 @@ std::shared_ptr<const RunResult> decode_run_result(serde::Reader& r) {
   return res;
 }
 
+void encode_hdl_emit_artifact(const HdlEmitResult& a, serde::Writer& w) {
+  // The emitted text is the payload of record; the parsed view is derived
+  // from it on decode and never serialized (so text and structure cannot
+  // drift on disk).
+  w.str(a.verilog);
+  w.str(a.top);
+  w.i64(a.instances_compared);
+  w.boolean(a.lib != nullptr);
+  if (a.lib != nullptr) encode_library(*a.lib, w);
+}
+
+std::shared_ptr<const HdlEmitResult> decode_hdl_emit_artifact(
+    serde::Reader& r) {
+  auto a = std::make_shared<HdlEmitResult>();
+  a->verilog = r.str();
+  a->top = r.str();
+  a->instances_compared = static_cast<int>(r.i64());
+  if (!r.boolean() || !r.ok()) return nullptr;
+  auto lib = decode_library(r);
+  if (lib == nullptr || !r.ok() || !r.at_end()) return nullptr;
+  auto parsed = std::make_shared<netlist::Design>(lib.get());
+  const netlist::ParseResult pr = netlist::parse_verilog(a->verilog, *parsed);
+  if (!pr.ok) return nullptr;  // corrupt-miss: stored text must re-parse
+  parsed->set_top(a->top);
+  if (parsed->find_module(a->top) == nullptr) return nullptr;
+  a->lib = std::move(lib);
+  a->parsed = std::move(parsed);
+  return a;
+}
+
+void encode_gate_sim_artifact(const GateSimResult& g, serde::Writer& w) {
+  w.boolean(g.comparator_ok);
+  w.f64(g.ring_period_s);
+  w.f64(g.ring_period_pred_s);
+  w.boolean(g.ring_ok);
+  w.size(g.n_samples);
+  w.i64(g.num_slices);
+  w.size(g.decoded.size());
+  for (const double v : g.decoded) w.f64(v);
+  w.size(g.decimated.size());
+  for (const double v : g.decimated) w.f64(v);
+  w.boolean(g.matches_behavioral);
+  w.u64(g.transitions);
+}
+
+std::shared_ptr<const GateSimResult> decode_gate_sim_artifact(
+    serde::Reader& r) {
+  auto g = std::make_shared<GateSimResult>();
+  g->comparator_ok = r.boolean();
+  g->ring_period_s = r.f64();
+  g->ring_period_pred_s = r.f64();
+  g->ring_ok = r.boolean();
+  g->n_samples = r.u64();
+  g->num_slices = static_cast<int>(r.i64());
+  for (std::vector<double>* vec : {&g->decoded, &g->decimated}) {
+    const std::size_t n = r.size();
+    vec->reserve(n);
+    for (std::size_t i = 0; i < n && r.ok(); ++i) vec->push_back(r.f64());
+  }
+  g->matches_behavioral = r.boolean();
+  g->transitions = r.u64();
+  if (!r.ok() || !r.at_end()) return nullptr;
+  return g;
+}
+
 }  // namespace
 
 const ArtifactCodec<CellLibrary>& cell_library_codec() {
@@ -731,6 +798,18 @@ const ArtifactCodec<synth::SynthesisResult>& synthesis_codec() {
 const ArtifactCodec<RunResult>& run_result_codec() {
   static const ArtifactCodec<RunResult> codec{
       "run_result", 1, &encode_run_result, &decode_run_result};
+  return codec;
+}
+
+const ArtifactCodec<HdlEmitResult>& hdl_emit_codec() {
+  static const ArtifactCodec<HdlEmitResult> codec{
+      "hdl_emit", 1, &encode_hdl_emit_artifact, &decode_hdl_emit_artifact};
+  return codec;
+}
+
+const ArtifactCodec<GateSimResult>& gate_sim_codec() {
+  static const ArtifactCodec<GateSimResult> codec{
+      "gate_sim", 1, &encode_gate_sim_artifact, &decode_gate_sim_artifact};
   return codec;
 }
 

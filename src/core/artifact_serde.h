@@ -45,5 +45,11 @@ const ArtifactCodec<synth::FloorplanStageResult>& floorplan_codec();
 const ArtifactCodec<synth::Placement>& placement_codec();
 const ArtifactCodec<synth::SynthesisResult>& synthesis_codec();
 const ArtifactCodec<RunResult>& run_result_codec();
+/// The HdlEmit artifact stores the emitted Verilog *text* plus the library
+/// it elaborates against; the parsed view is reconstructed by re-parsing
+/// the text on decode (a text the parser refuses is a corrupt-miss), so
+/// the stored bytes stay the flow's single source of truth.
+const ArtifactCodec<HdlEmitResult>& hdl_emit_codec();
+const ArtifactCodec<GateSimResult>& gate_sim_codec();
 
 }  // namespace vcoadc::core

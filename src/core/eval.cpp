@@ -23,6 +23,10 @@ const char* eval_kind_name(EvalKind kind) {
       return "migrate";
     case EvalKind::kOptimize:
       return "optimize";
+    case EvalKind::kHdlEmit:
+      return "hdl_emit";
+    case EvalKind::kGateSim:
+      return "gate_sim";
   }
   return "?";
 }
@@ -30,7 +34,8 @@ const char* eval_kind_name(EvalKind kind) {
 bool eval_kind_from_name(std::string_view name, EvalKind* out) {
   for (EvalKind k :
        {EvalKind::kDatasheet, EvalKind::kMonteCarlo, EvalKind::kCornerSweep,
-        EvalKind::kSynthesize, EvalKind::kMigrate, EvalKind::kOptimize}) {
+        EvalKind::kSynthesize, EvalKind::kMigrate, EvalKind::kOptimize,
+        EvalKind::kHdlEmit, EvalKind::kGateSim}) {
     if (name == eval_kind_name(k)) {
       *out = k;
       return true;
@@ -52,7 +57,23 @@ EvalResponse evaluate(const EvalRequest& req, const ExecContext& ctx) {
   ExecContext sub = ctx;
   sub.diag = &local;
 
-  switch (req.kind) {
+  // Gate-level backend selector: before a spec-driven driver runs, the
+  // emitted-HDL sign-off (hdl_emit + gate_sim) must pass for the request's
+  // spec. The stages cache like any other, so a warm context pays this
+  // once per spec; a failed sign-off refuses the request outright rather
+  // than reporting behavioral numbers the gate-level path contradicts.
+  bool signoff_ok = true;
+  if (req.backend == SimBackend::kGateLevel &&
+      req.kind != EvalKind::kOptimize && req.kind != EvalKind::kHdlEmit &&
+      req.kind != EvalKind::kGateSim) {
+    Flow flow(sub);
+    if (flow.gate_sim(req.spec, req.gate_sim) == nullptr) {
+      signoff_ok = false;
+      resp.ok = false;
+    }
+  }
+
+  if (signoff_ok) switch (req.kind) {
     case EvalKind::kDatasheet: {
       resp.datasheet = detail::datasheet_impl(sub, req.spec, req.datasheet);
       resp.ok = resp.datasheet.complete;
@@ -89,6 +110,18 @@ EvalResponse evaluate(const EvalRequest& req, const ExecContext& ctx) {
       resp.optimize =
           detail::optimize_impl(sub, req.optimize_target, req.optimize);
       resp.ok = !local.has_errors();
+      break;
+    }
+    case EvalKind::kHdlEmit: {
+      Flow flow(sub);
+      resp.hdl = flow.hdl_emit(req.spec);
+      resp.ok = resp.hdl != nullptr;
+      break;
+    }
+    case EvalKind::kGateSim: {
+      Flow flow(sub);
+      resp.gate = flow.gate_sim(req.spec, req.gate_sim);
+      resp.ok = resp.gate != nullptr;
       break;
     }
   }
@@ -201,8 +234,15 @@ bool eval_request_from_json(const json::Value& v, EvalRequest* out,
   if (!eval_kind_from_name(cmd->string, &req.kind)) {
     *error = "unknown cmd \"" + cmd->string +
              "\" (want datasheet|monte_carlo|corner_sweep|synthesize|"
-             "migrate|optimize)";
+             "migrate|optimize|hdl_emit|gate_sim)";
     return false;
+  }
+  if (const json::Value* b = v.find("backend")) {
+    if (!b->is_string() ||
+        !sim_backend_from_name(b->string, &req.backend)) {
+      *error = "\"backend\" must be \"behavioral\" or \"gate_level\"";
+      return false;
+    }
   }
   if (const json::Value* id = v.find("id")) {
     req.id = id->is_string() ? id->string : json::dump(*id);
@@ -283,6 +323,21 @@ bool eval_request_from_json(const json::Value& v, EvalRequest* out,
       req.optimize.seed = static_cast<std::uint64_t>(
           opt_number(o, "seed", static_cast<double>(req.optimize.seed)));
       break;
+    case EvalKind::kHdlEmit:
+      break;  // the stage has no options: the spec is the whole input
+    case EvalKind::kGateSim:
+      break;  // gate_sim options parse below for every kind
+  }
+  // Gate-sim options apply both to the kGateSim kind and to any request
+  // running under the gate-level backend, so they parse unconditionally.
+  req.gate_sim.sim.n_samples = static_cast<std::size_t>(opt_number(
+      o, "n_samples", static_cast<double>(req.gate_sim.sim.n_samples)));
+  req.gate_sim.ring_period_tol =
+      opt_number(o, "ring_period_tol", req.gate_sim.ring_period_tol);
+  if (o != nullptr) {
+    if (const json::Value* x = o->find("top"); x != nullptr && x->is_string()) {
+      req.gate_sim.top = x->string;
+    }
   }
   *out = std::move(req);
   return true;
@@ -401,6 +456,40 @@ json::Value eval_result_to_json(const EvalResponse& resp) {
       v.set("best_sndr_db", json::Value::make_number(r.best_sndr_db));
       v.set("evaluated", json::Value::make_number(
                              static_cast<double>(r.evaluated.size())));
+      break;
+    }
+    case EvalKind::kHdlEmit: {
+      if (resp.hdl == nullptr) break;
+      const HdlEmitResult& h = *resp.hdl;
+      v.set("top", json::Value::make_string(h.top));
+      v.set("verilog_bytes", json::Value::make_number(
+                                 static_cast<double>(h.verilog.size())));
+      v.set("modules",
+            json::Value::make_number(static_cast<double>(
+                h.parsed != nullptr ? h.parsed->modules().size() : 0)));
+      v.set("instances_compared",
+            json::Value::make_number(h.instances_compared));
+      break;
+    }
+    case EvalKind::kGateSim: {
+      if (resp.gate == nullptr) break;
+      const GateSimResult& g = *resp.gate;
+      v.set("comparator_ok", json::Value::make_bool(g.comparator_ok));
+      v.set("ring_ok", json::Value::make_bool(g.ring_ok));
+      v.set("ring_period_ps",
+            json::Value::make_number(g.ring_period_s * 1e12));
+      v.set("ring_period_pred_ps",
+            json::Value::make_number(g.ring_period_pred_s * 1e12));
+      v.set("n_samples", json::Value::make_number(
+                             static_cast<double>(g.n_samples)));
+      v.set("decoded_samples", json::Value::make_number(
+                                   static_cast<double>(g.decoded.size())));
+      v.set("decimated_samples",
+            json::Value::make_number(static_cast<double>(g.decimated.size())));
+      v.set("matches_behavioral",
+            json::Value::make_bool(g.matches_behavioral));
+      v.set("transitions", json::Value::make_number(
+                               static_cast<double>(g.transitions)));
       break;
     }
   }

@@ -44,10 +44,12 @@ enum class EvalKind {
   kSynthesize,
   kMigrate,
   kOptimize,
+  kHdlEmit,
+  kGateSim,
 };
 
 /// Wire name of a kind ("datasheet", "monte_carlo", "corner_sweep",
-/// "synthesize", "migrate", "optimize").
+/// "synthesize", "migrate", "optimize", "hdl_emit", "gate_sim").
 const char* eval_kind_name(EvalKind kind);
 
 /// Inverse of eval_kind_name; false when `name` matches no kind.
@@ -73,6 +75,14 @@ struct EvalRequest {
   /// loop uses it to match NDJSON responses to requests).
   std::string id;
   AdcSpec spec;
+  /// Simulation-backend selector (wire key "backend"). kGateLevel makes
+  /// every spec-driven kind run the gate-level sign-off (hdl_emit +
+  /// gate_sim, warm-cache cheap) before its driver, refusing the request
+  /// when the emitted HDL fails sign-off — the gate-level path's
+  /// cross-check becomes a precondition of the result. Ignored by
+  /// kOptimize (its spec member is unused) and redundant for
+  /// kHdlEmit/kGateSim (they are the stages themselves).
+  SimBackend backend = SimBackend::kBehavioral;
 
   DatasheetOptions datasheet;         // kDatasheet
   MonteCarloOptions monte_carlo;      // kMonteCarlo
@@ -81,6 +91,7 @@ struct EvalRequest {
   double migrate_target_node_nm = 180;  // kMigrate
   OptimizeTarget optimize_target;     // kOptimize (spec is unused)
   OptimizeOptions optimize;           // kOptimize
+  GateSimOptions gate_sim;            // kGateSim + gate-level backend runs
 };
 
 /// The matching response. Exactly the member selected by `kind` is
@@ -100,6 +111,8 @@ struct EvalResponse {
   std::shared_ptr<const synth::SynthesisResult> synthesis;  // kSynthesize
   std::shared_ptr<const MigratedDesign> migrated;           // kMigrate
   OptimizeResult optimize;            // kOptimize
+  std::shared_ptr<const HdlEmitResult> hdl;   // kHdlEmit
+  std::shared_ptr<const GateSimResult> gate;  // kGateSim
 };
 
 /// Runs one request on `ctx`. Never throws; invalid input yields

@@ -9,9 +9,13 @@
 #include "core/driver_impl.h"
 #include "core/eval.h"
 #include "core/serde.h"
+#include "core/backend.h"
 #include "msim/batched_modulator.h"
 #include "msim/modulator.h"
+#include "netlist/equivalence.h"
 #include "netlist/generator.h"
+#include "netlist/verilog_parser.h"
+#include "netlist/verilog_writer.h"
 #include "synth/net_db.h"
 #include "util/strings.h"
 #include "util/trace.h"
@@ -147,6 +151,21 @@ std::size_t approx_bytes_synthesis(const synth::SynthesisResult& s) {
   return n;
 }
 
+std::size_t approx_bytes_hdl(const HdlEmitResult& a) {
+  std::size_t n = sizeof(a) + a.verilog.size();
+  if (a.lib) n += approx_bytes_library(*a.lib);
+  if (a.parsed) {
+    for (const netlist::Module& m : a.parsed->modules()) {
+      n += m.instances().size() * 200;
+    }
+  }
+  return n;
+}
+
+std::size_t approx_bytes_gate(const GateSimResult& g) {
+  return sizeof(g) + (g.decoded.size() + g.decimated.size()) * sizeof(double);
+}
+
 std::size_t approx_bytes_run(const RunResult& r) {
   std::size_t n = sizeof(r);
   n += r.mod.output.size() * sizeof(double);
@@ -229,6 +248,52 @@ std::shared_ptr<const T> run_stage(const ExecContext& ctx, Stage stage,
   if (value) span.cache(hit, bytes_of ? bytes_of(*value) : sizeof(T));
   span.note("key=" + key.hex() + (from_store ? " src=store" : ""));
   return value;
+}
+
+/// Shared by the clean and fault paths of the HdlEmit stage: parses the
+/// emitted text back over the bundle's library, validates the structure
+/// and proves structural equivalence against the generated design — the
+/// gate the emitted text must clear before it becomes the artifact of
+/// record. Null with diagnostics (stage "hdl_emit") when any step fails.
+std::shared_ptr<const HdlEmitResult> check_emitted_hdl(
+    const ExecContext& ctx, const DesignBundle& bundle, std::string text) {
+  netlist::Design parsed(bundle.lib.get());
+  const netlist::ParseResult pr = netlist::parse_verilog(text, parsed);
+  if (!pr.ok) {
+    report_diags(ctx, {error_diag(
+                          "hdl_emit", "line " + std::to_string(pr.line),
+                          "emitted Verilog failed to re-parse: " + pr.error)});
+    return nullptr;
+  }
+  parsed.set_top(bundle.design->top());
+  std::vector<Diagnostic> diags;
+  for (Diagnostic& d : validate_netlist(parsed)) {
+    d.stage = "hdl_emit";  // the structure under test came from the text
+    diags.push_back(std::move(d));
+  }
+  netlist::EquivalenceOptions eopts;
+  eopts.match_drive = true;  // parse-back must be exact, not just functional
+  const netlist::EquivalenceResult eq =
+      netlist::check_equivalence(*bundle.design, parsed, eopts);
+  if (!eq.equivalent) {
+    for (const std::string& m : eq.mismatches) {
+      diags.push_back(error_diag("hdl_emit", "", m));
+    }
+    if (eq.mismatches.empty()) {
+      diags.push_back(error_diag(
+          "hdl_emit", "",
+          "emitted HDL is not equivalent to the generated design"));
+    }
+  }
+  report_diags(ctx, diags);
+  if (has_errors(diags) || !eq.equivalent) return nullptr;
+  auto art = std::make_shared<HdlEmitResult>();
+  art->verilog = std::move(text);
+  art->top = bundle.design->top();
+  art->lib = bundle.lib;
+  art->parsed = std::make_shared<const netlist::Design>(std::move(parsed));
+  art->instances_compared = eq.instances_compared;
+  return art;
 }
 
 }  // namespace
@@ -350,6 +415,10 @@ const char* stage_name(Stage s) {
       return "route";
     case Stage::kSimRun:
       return "sim_run";
+    case Stage::kHdlEmit:
+      return "hdl_emit";
+    case Stage::kGateSim:
+      return "gate_sim";
     case Stage::kReport:
       return "report";
   }
@@ -435,6 +504,39 @@ CacheKey sim_run_key(const AdcSpec& spec, const SimulationOptions& opts) {
   h.boolean(opts.record_bits);
   h.tag("wire_cap_f");
   h.f64(opts.wire_cap_f);
+  return h.digest();
+}
+
+CacheKey hdl_emit_key(const AdcSpec& spec) {
+  const CacheKey up = netlist_key(spec);
+  KeyHasher h;
+  h.u64(kKeyFormatVersion);
+  h.tag("stage:hdl_emit");
+  h.u64(up.lo);
+  h.u64(up.hi);
+  return h.digest();
+}
+
+CacheKey gate_sim_key(const AdcSpec& spec, const GateSimOptions& opts) {
+  // Canonicalize exactly as Flow::gate_sim runs it: the slice replay needs
+  // the behavioral reference's per-slice bitstreams, so record_bits is
+  // always on — (opts, record_bits=false) and (opts, record_bits=true) are
+  // the same stage run and must share a key.
+  SimulationOptions sim = opts.sim;
+  sim.record_bits = true;
+  const CacheKey hdl = hdl_emit_key(spec);
+  const CacheKey ref = sim_run_key(spec, sim);
+  KeyHasher h;
+  h.u64(kKeyFormatVersion);
+  h.tag("stage:gate_sim");
+  h.u64(hdl.lo);
+  h.u64(hdl.hi);
+  h.u64(ref.lo);
+  h.u64(ref.hi);
+  h.tag("ring_period_tol");
+  h.f64(opts.ring_period_tol);
+  h.tag("top");
+  h.str(opts.top);
   return h.digest();
 }
 
@@ -839,6 +941,94 @@ std::vector<std::shared_ptr<const RunResult>> Flow::sim_run_batch(
         }));
   }
   return out;
+}
+
+std::shared_ptr<const HdlEmitResult> Flow::hdl_emit(const AdcSpec& spec) {
+  const auto spec_diags = validate_spec(spec);
+  report_diags(ctx_, spec_diags);
+  if (has_errors(spec_diags)) return nullptr;
+  if (fault_fires(ctx_, Stage::kHdlEmit)) {
+    // Injected corruption: the emitted text loses a gate — the first
+    // comparator NOR3 degrades to an inverter, the way a bad merge of a
+    // hand-edited netlist would. The re-parse + LEC gate must catch it;
+    // the corrupted text is built outside the cache and never saved.
+    util::TraceSpan span(ctx_.trace, stage_name(Stage::kHdlEmit));
+    const DesignBundle bundle = netlist(spec);
+    if (bundle.design == nullptr) return nullptr;
+    std::string text = netlist::write_verilog(*bundle.design);
+    const std::size_t pos = text.find("NOR3X4");
+    if (pos != std::string::npos) text.replace(pos, 6, "INVX1");
+    if (check_emitted_hdl(ctx_, bundle, std::move(text)) != nullptr) {
+      report_diags(ctx_, {error_diag("hdl_emit", "",
+                                     "injected fault was not caught")});
+    }
+    return nullptr;
+  }
+  return run_stage<HdlEmitResult>(
+      ctx_, Stage::kHdlEmit, hdl_emit_key(spec), &approx_bytes_hdl,
+      &hdl_emit_codec(),
+      [this, &spec]() -> std::shared_ptr<const HdlEmitResult> {
+        const DesignBundle bundle = netlist(spec);
+        if (bundle.design == nullptr) return nullptr;  // already reported
+        return check_emitted_hdl(ctx_, bundle,
+                                 netlist::write_verilog(*bundle.design));
+      });
+}
+
+std::shared_ptr<const GateSimResult> Flow::gate_sim(
+    const AdcSpec& spec, const GateSimOptions& opts) {
+  GateSimOptions o = opts;
+  o.sim.record_bits = true;  // the slice replay consumes the bitstreams
+  if (fault_fires(ctx_, Stage::kGateSim)) {
+    // Injected corruption: the requested top module does not exist in the
+    // emitted design; resolution must reject it before the cache lookup.
+    o.top = "<fault_injected>";
+  }
+  auto diags = validate_spec(spec);
+  for (Diagnostic& d : validate_sim_options(o.sim)) {
+    diags.push_back(std::move(d));
+  }
+  if (!std::isfinite(o.ring_period_tol) || o.ring_period_tol <= 0) {
+    diags.push_back(error_diag("gate_sim", "ring_period_tol",
+                               "must be finite and positive"));
+  }
+  report_diags(ctx_, diags);
+  if (has_errors(diags)) return nullptr;
+  auto hdl = hdl_emit(spec);
+  if (hdl == nullptr) return nullptr;  // upstream already reported
+  if (o.top.empty()) o.top = hdl->parsed->top();
+  if (hdl->parsed->find_module(o.top) == nullptr) {
+    report_diags(ctx_,
+                 {error_diag("gate_sim", o.top,
+                             "unresolvable top module in the emitted design")});
+    return nullptr;  // before the cache lookup: a bad top never probes it
+  }
+  return run_stage<GateSimResult>(
+      ctx_, Stage::kGateSim, gate_sim_key(spec, o), &approx_bytes_gate,
+      &gate_sim_codec(),
+      [this, &spec, &o, &hdl]() -> std::shared_ptr<const GateSimResult> {
+        auto behavioral = sim_run(spec, o.sim);
+        if (behavioral == nullptr) return nullptr;
+        std::vector<Diagnostic> gdiags;
+        auto res = run_gate_level_signoff(*hdl->parsed, spec, *behavioral,
+                                          o, &gdiags);
+        report_diags(ctx_, gdiags);
+        return res;  // null on a failed sign-off — never cached
+      });
+}
+
+std::vector<double> Flow::decoded_stream(const AdcSpec& spec,
+                                         const SimulationOptions& sim,
+                                         SimBackend backend) {
+  if (backend == SimBackend::kGateLevel) {
+    GateSimOptions o;
+    o.sim = sim;
+    auto gate = gate_sim(spec, o);
+    return gate != nullptr ? gate->decimated : std::vector<double>{};
+  }
+  auto run = sim_run(spec, sim);
+  if (run == nullptr) return {};
+  return DigitalBackend(spec).process(run->mod.output);
 }
 
 NodeReport Flow::report(const AdcSpec& spec, const SimulationOptions& sim,

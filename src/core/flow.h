@@ -24,6 +24,11 @@
 //   SimRun       <- full spec (with the per-run seed/pvt overrides
 //                   canonicalized in) + n_samples + amplitude + fin +
 //                   comparator + dac + record_bits + wire_cap_f
+//   HdlEmit      <- Netlist (the emitted text is a pure function of the
+//                   generated design; the stage re-parses its own emission
+//                   and proves structural equivalence before caching)
+//   GateSim      <- HdlEmit + SimRun (the behavioral reference, with
+//                   record_bits canonicalized on) + ring tolerance + top
 //   Report       <- assembled from cached Route + SimRun; not memoized
 //                   itself (assembly is a clone + a struct fill).
 // ExecContext fields (threads, trace, cache) are never hashed: they must
@@ -37,6 +42,7 @@
 #include "core/artifact_cache.h"
 #include "core/exec_context.h"
 #include "core/migration.h"
+#include "core/sim_backend.h"
 #include "synth/synthesis_flow.h"
 
 namespace vcoadc::core {
@@ -49,6 +55,8 @@ enum class Stage {
   kPlacement,
   kRoute,
   kSimRun,
+  kHdlEmit,
+  kGateSim,
   kReport,
 };
 
@@ -93,6 +101,10 @@ CacheKey placement_key(const AdcSpec& spec,
 CacheKey synthesis_key(const AdcSpec& spec,
                        const synth::SynthesisOptions& opts);
 CacheKey sim_run_key(const AdcSpec& spec, const SimulationOptions& opts);
+CacheKey hdl_emit_key(const AdcSpec& spec);
+/// Canonicalizes `opts` the way Flow::gate_sim does (record_bits forced on
+/// in the embedded reference-run options) before hashing.
+CacheKey gate_sim_key(const AdcSpec& spec, const GateSimOptions& opts);
 
 /// Netlist-stage artifact: the cell library plus the gate-level design
 /// referencing it (the design holds a raw pointer into the library, so the
@@ -180,6 +192,31 @@ class Flow {
   std::vector<std::shared_ptr<const RunResult>> sim_run_batch(
       const AdcDesign& design,
       const std::vector<SimulationOptions>& opts_list);
+
+  /// HdlEmit stage: renders the Netlist artifact to structural Verilog,
+  /// re-parses the emission and proves structural equivalence against the
+  /// generated design — the emitted *text* becomes the artifact of record
+  /// (the store codec reconstructs the parsed view from the text). Null
+  /// with diagnostics when the round trip is not bit-equal.
+  std::shared_ptr<const HdlEmitResult> hdl_emit(const AdcSpec& spec);
+
+  /// GateSim stage: event-driven sign-off of the emitted HDL (pulls
+  /// HdlEmit and the behavioral SimRun reference first). Runs the Table-1
+  /// comparator truth table, the ring-period check and the slice replay,
+  /// and cross-checks the decoded + CIC-decimated stream bit-for-bit
+  /// against the behavioral path. Null with diagnostics on any failed
+  /// check; failed sign-offs are never cached.
+  std::shared_ptr<const GateSimResult> gate_sim(
+      const AdcSpec& spec, const GateSimOptions& opts = {});
+
+  /// The backend seam: the decoded + decimated output stream for a spec,
+  /// produced by the selected engine. Both backends feed the same
+  /// DigitalBackend, and gate_sim proves bit-identity before handing its
+  /// stream out, so callers see one contract regardless of backend. Empty
+  /// on failure (diagnostics through the context).
+  std::vector<double> decoded_stream(
+      const AdcSpec& spec, const SimulationOptions& sim = {},
+      SimBackend backend = SimBackend::kBehavioral);
 
   /// Report stage: synthesis + simulation with the layout's wire load
   /// folded into the power model. Assembled from the cached Route and

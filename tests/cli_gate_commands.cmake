@@ -1,0 +1,80 @@
+# CLI-level acceptance of the gate-level backend commands (ctest -P script).
+#
+# Exercises the emit-verilog / gatesim subcommands end to end over a shared
+# persistent store:
+#   1. emit-verilog writes the sign-off Verilog and reports equivalence;
+#   2. gatesim (warm store: the emitted HDL loads from disk) reports the
+#      comparator/ring checks passing and the decode bit-identical;
+#   3. gatesim --top=<nonexistent> must fail with a structured diagnostic
+#      naming the module, exit nonzero, and leave the store usable (a
+#      follow-up clean run still succeeds warm).
+#
+# Expects -DCLI=<vcoadc_cli path> -DWORK=<dir>.
+
+foreach(var CLI WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_gate_commands: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+set(STORE "${WORK}/store")
+set(SPEC --slices=4 --samples=256)
+
+# --- 1. emit-verilog ------------------------------------------------------
+execute_process(
+  COMMAND "${CLI}" emit-verilog ${SPEC} "--out=${WORK}" "--store=${STORE}"
+  OUTPUT_VARIABLE out1 ERROR_VARIABLE err1 RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "emit-verilog failed (${rc1}):\n${out1}\n${err1}")
+endif()
+if(NOT out1 MATCHES "instances verified equivalent")
+  message(FATAL_ERROR "emit-verilog did not report equivalence:\n${out1}")
+endif()
+if(NOT EXISTS "${WORK}/adc_top.v")
+  message(FATAL_ERROR "emit-verilog wrote no adc_top.v under ${WORK}")
+endif()
+file(SIZE "${WORK}/adc_top.v" VSIZE)
+if(VSIZE EQUAL 0)
+  message(FATAL_ERROR "emit-verilog wrote an empty adc_top.v")
+endif()
+
+# --- 2. gatesim over the warm store ---------------------------------------
+execute_process(
+  COMMAND "${CLI}" gatesim ${SPEC} "--store=${STORE}"
+  OUTPUT_VARIABLE out2 ERROR_VARIABLE err2 RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "gatesim failed (${rc2}):\n${out2}\n${err2}")
+endif()
+if(NOT out2 MATCHES "comparator truth table: pass")
+  message(FATAL_ERROR "gatesim comparator check did not pass:\n${out2}")
+endif()
+if(NOT out2 MATCHES "ring period .*: pass")
+  message(FATAL_ERROR "gatesim ring check did not pass:\n${out2}")
+endif()
+if(NOT out2 MATCHES "bit-identical")
+  message(FATAL_ERROR "gatesim decode was not bit-identical:\n${out2}")
+endif()
+
+# --- 3. unresolvable top: structured refusal, clean recovery --------------
+execute_process(
+  COMMAND "${CLI}" gatesim ${SPEC} --top=no_such_module "--store=${STORE}"
+  OUTPUT_VARIABLE out3 ERROR_VARIABLE err3 RESULT_VARIABLE rc3)
+if(rc3 EQUAL 0)
+  message(FATAL_ERROR "gatesim accepted a nonexistent top module:\n${out3}")
+endif()
+if(NOT err3 MATCHES "no_such_module")
+  message(FATAL_ERROR
+    "gatesim refusal did not name the bad module:\n${err3}")
+endif()
+execute_process(
+  COMMAND "${CLI}" gatesim ${SPEC} "--store=${STORE}"
+  OUTPUT_VARIABLE out4 ERROR_VARIABLE err4 RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR
+    "gatesim did not recover after the refused top (${rc4}):\n${err4}")
+endif()
+
+message(STATUS "cli gate commands: emit-verilog + gatesim pass, bad top "
+  "refused cleanly")

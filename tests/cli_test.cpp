@@ -52,5 +52,19 @@ TEST(ArgParser, NumericParsing) {
   EXPECT_DOUBLE_EQ(a.get_double("bw", 0), 5e6);
 }
 
+TEST(ArgParser, GateSimFlagVocabulary) {
+  // The vcoadc_cli gatesim flags: --top is a plain string, --ring-tol a
+  // double, and both must clear an unknown-flags registry that names them.
+  const auto a =
+      parse({"prog", "gatesim", "--top=ADC_slice", "--ring-tol=0.3"});
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "gatesim");
+  EXPECT_EQ(a.get("top", ""), "ADC_slice");
+  EXPECT_DOUBLE_EQ(a.get_double("ring-tol", 0.25), 0.3);
+  EXPECT_TRUE(a.unknown_flags({"top", "ring-tol"}).empty());
+  // A registry without them flags both (the CLI's typo guard).
+  EXPECT_EQ(a.unknown_flags({"node"}).size(), 2u);
+}
+
 }  // namespace
 }  // namespace vcoadc::util

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "core/artifact_cache.h"
 #include "core/datasheet.h"
 #include "core/flow.h"
 #include "core/monte_carlo.h"
@@ -33,6 +34,7 @@ TEST(EvalKindTest, NamesRoundTrip) {
       core::EvalKind::kDatasheet,  core::EvalKind::kMonteCarlo,
       core::EvalKind::kCornerSweep, core::EvalKind::kSynthesize,
       core::EvalKind::kMigrate,    core::EvalKind::kOptimize,
+      core::EvalKind::kHdlEmit,    core::EvalKind::kGateSim,
   };
   for (core::EvalKind k : kinds) {
     core::EvalKind back{};
@@ -95,6 +97,95 @@ TEST(EvalRequestJsonTest, UnknownKeysAreIgnoredForForwardCompat) {
   EXPECT_EQ(req.kind, core::EvalKind::kSynthesize);
   EXPECT_EQ(req.spec.num_slices, 8);
   EXPECT_EQ(req.synthesis.target_utilization, 0.5);
+}
+
+TEST(EvalRequestJsonTest, ParsesBackendAndGateSimOptions) {
+  json::ParseResult pr = json::parse(
+      "{\"cmd\": \"gate_sim\", \"backend\": \"gate_level\","
+      " \"spec\": {\"slices\": 4},"
+      " \"options\": {\"n_samples\": 256, \"ring_period_tol\": 0.5,"
+      " \"top\": \"ADC_slice\"}}");
+  ASSERT_TRUE(pr.ok) << pr.error;
+  core::EvalRequest req;
+  std::string err;
+  ASSERT_TRUE(core::eval_request_from_json(pr.value, &req, &err)) << err;
+  EXPECT_EQ(req.kind, core::EvalKind::kGateSim);
+  EXPECT_EQ(req.backend, core::SimBackend::kGateLevel);
+  EXPECT_EQ(req.gate_sim.sim.n_samples, 256u);
+  EXPECT_EQ(req.gate_sim.ring_period_tol, 0.5);
+  EXPECT_EQ(req.gate_sim.top, "ADC_slice");
+
+  // Default backend is behavioral; a malformed selector is refused.
+  pr = json::parse("{\"cmd\": \"hdl_emit\"}");
+  ASSERT_TRUE(pr.ok);
+  ASSERT_TRUE(core::eval_request_from_json(pr.value, &req, &err)) << err;
+  EXPECT_EQ(req.backend, core::SimBackend::kBehavioral);
+  pr = json::parse("{\"cmd\": \"hdl_emit\", \"backend\": \"spice\"}");
+  ASSERT_TRUE(pr.ok);
+  EXPECT_FALSE(core::eval_request_from_json(pr.value, &req, &err));
+  EXPECT_NE(err.find("backend"), std::string::npos);
+}
+
+TEST(EvalTest, HdlEmitAndGateSimKindsRoundTripThroughEvaluate) {
+  core::AdcSpec spec = small_spec();
+  spec.num_slices = 4;
+  core::ExecContext ctx;
+
+  core::EvalRequest hdl;
+  hdl.kind = core::EvalKind::kHdlEmit;
+  hdl.spec = spec;
+  const core::EvalResponse hresp = core::evaluate(hdl, ctx);
+  ASSERT_TRUE(hresp.ok);
+  ASSERT_NE(hresp.hdl, nullptr);
+  const json::Value hj = core::eval_result_to_json(hresp);
+  EXPECT_NE(hj.find("top"), nullptr);
+  EXPECT_GT(hj.find("verilog_bytes")->number_or(0), 0.0);
+  EXPECT_GT(hj.find("instances_compared")->number_or(0), 0.0);
+
+  core::EvalRequest gate;
+  gate.kind = core::EvalKind::kGateSim;
+  gate.spec = spec;
+  gate.gate_sim.sim.n_samples = 64;
+  const core::EvalResponse gresp = core::evaluate(gate, ctx);
+  ASSERT_TRUE(gresp.ok);
+  ASSERT_NE(gresp.gate, nullptr);
+  EXPECT_TRUE(gresp.gate->matches_behavioral);
+  const json::Value gj = core::eval_result_to_json(gresp);
+  EXPECT_TRUE(gj.find("comparator_ok")->bool_or(false));
+  EXPECT_TRUE(gj.find("ring_ok")->bool_or(false));
+  EXPECT_TRUE(gj.find("matches_behavioral")->bool_or(false));
+  EXPECT_EQ(gj.find("n_samples")->number_or(0), 64.0);
+}
+
+TEST(EvalTest, GateLevelBackendGatesSpecDrivenKinds) {
+  core::AdcSpec spec = small_spec();
+  spec.num_slices = 4;
+  core::ArtifactCache cache(128);
+  core::ExecContext ctx;
+  ctx.cache = &cache;
+
+  // A passing sign-off lets the driver run as usual.
+  core::EvalRequest req;
+  req.kind = core::EvalKind::kSynthesize;
+  req.spec = spec;
+  req.backend = core::SimBackend::kGateLevel;
+  req.gate_sim.sim.n_samples = 64;
+  const core::EvalResponse ok_resp = core::evaluate(req, ctx);
+  ASSERT_TRUE(ok_resp.ok);
+  ASSERT_NE(ok_resp.synthesis, nullptr);
+
+  // A failing sign-off (unresolvable top) refuses the request before the
+  // driver, with the refusal in the response diagnostics.
+  core::EvalRequest bad = req;
+  bad.gate_sim.top = "no_such_module";
+  const core::EvalResponse bad_resp = core::evaluate(bad, ctx);
+  EXPECT_FALSE(bad_resp.ok);
+  EXPECT_EQ(bad_resp.synthesis, nullptr);
+  bool named = false;
+  for (const auto& d : bad_resp.diagnostics) {
+    if (d.item == "no_such_module") named = true;
+  }
+  EXPECT_TRUE(named);
 }
 
 TEST(EvalTest, MonteCarloShimMatchesEvaluateExactly) {

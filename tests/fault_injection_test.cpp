@@ -137,8 +137,16 @@ TEST(FaultInjection, EveryStageSurfacesDiagnosticsAndRecovers) {
       "migrate",
       [&] { return flow.migrate(spec, 22.0).target_lib == nullptr; },
       [&] { return flow.migrate(spec, 22.0).target_lib != nullptr; });
+  check(
+      "hdl_emit", [&] { return flow.hdl_emit(spec) == nullptr; },
+      [&] { return flow.hdl_emit(spec) != nullptr; });
+  core::GateSimOptions gopts;
+  gopts.sim.n_samples = 64;
+  check(
+      "gate_sim", [&] { return flow.gate_sim(spec, gopts) == nullptr; },
+      [&] { return flow.gate_sim(spec, gopts) != nullptr; });
 
-  // After all eight injections, the warm cache still serves the original
+  // After all ten injections, the warm cache still serves the original
   // artifacts: the final report is bit-identical to the pre-fault one.
   h.sink.clear();
   const core::NodeReport again = flow.report(spec, sim);
@@ -170,6 +178,31 @@ TEST(FaultInjection, FaultedBuildsNeverPopulateTheCache) {
       []() { return std::shared_ptr<const core::DesignBundle>(); }, {}, &hit);
   EXPECT_FALSE(hit);
   EXPECT_EQ(probe, nullptr);
+
+  // A faulted HdlEmit corrupts the emitted text outside the cache path:
+  // the equivalence check refuses it and the hdl_emit key stays vacant.
+  h.plan.arm("hdl_emit", 1);
+  EXPECT_EQ(flow.hdl_emit(spec), nullptr);
+  hit = true;
+  const auto hdl_probe = h.cache.get_or_build<core::HdlEmitResult>(
+      core::hdl_emit_key(spec),
+      []() { return std::shared_ptr<const core::HdlEmitResult>(); }, {}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(hdl_probe, nullptr);
+
+  // A faulted GateSim fails top-module resolution before the lookup.
+  core::GateSimOptions gopts;
+  gopts.sim.n_samples = 64;
+  h.plan.arm("gate_sim", 1);
+  EXPECT_EQ(flow.gate_sim(spec, gopts), nullptr);
+  core::GateSimOptions canon = gopts;
+  canon.sim.record_bits = true;
+  hit = true;
+  const auto gate_probe = h.cache.get_or_build<core::GateSimResult>(
+      core::gate_sim_key(spec, canon),
+      []() { return std::shared_ptr<const core::GateSimResult>(); }, {}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(gate_probe, nullptr);
 }
 
 // ---------------------------------------------------------------------------

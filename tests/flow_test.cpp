@@ -147,6 +147,46 @@ TEST(FlowKeys, SeedAndPvtOverridesCanonicalize) {
             core::sim_run_key(pvt_baked, SimulationOptions{}));
 }
 
+TEST(FlowKeys, GateLevelStageKeysAreDeterministicAndSensitive) {
+  const AdcSpec a = AdcSpec::paper_40nm();
+  const AdcSpec b = AdcSpec::paper_40nm();
+  const core::GateSimOptions gopts;
+
+  // Deterministic for equal inputs.
+  EXPECT_EQ(core::hdl_emit_key(a), core::hdl_emit_key(b));
+  EXPECT_EQ(core::gate_sim_key(a, gopts), core::gate_sim_key(b, gopts));
+
+  // Distinct from every upstream stage key (no tag collisions).
+  std::set<std::string> keys{core::netlist_key(a).hex(),
+                             core::sim_run_key(a, gopts.sim).hex()};
+  EXPECT_TRUE(keys.insert(core::hdl_emit_key(a).hex()).second);
+  EXPECT_TRUE(keys.insert(core::gate_sim_key(a, gopts).hex()).second);
+
+  // Netlist-shaping spec fields reach both keys through the upstream fold.
+  AdcSpec more_slices = a;
+  more_slices.num_slices = 8;
+  EXPECT_NE(core::hdl_emit_key(more_slices), core::hdl_emit_key(a));
+  EXPECT_NE(core::gate_sim_key(more_slices, gopts),
+            core::gate_sim_key(a, gopts));
+
+  // Every gate-sim option is result-affecting.
+  core::GateSimOptions longer = gopts;
+  longer.sim.n_samples = 1 << 10;
+  EXPECT_NE(core::gate_sim_key(a, longer), core::gate_sim_key(a, gopts));
+  core::GateSimOptions tol = gopts;
+  tol.ring_period_tol = 0.5;
+  EXPECT_NE(core::gate_sim_key(a, tol), core::gate_sim_key(a, gopts));
+  core::GateSimOptions top = gopts;
+  top.top = "ADC_slice";
+  EXPECT_NE(core::gate_sim_key(a, top), core::gate_sim_key(a, gopts));
+
+  // record_bits canonicalizes on: the stage always replays per-slice bits,
+  // so a caller toggling the flag must land on the same artifact.
+  core::GateSimOptions bits = gopts;
+  bits.sim.record_bits = true;
+  EXPECT_EQ(core::gate_sim_key(a, bits), core::gate_sim_key(a, gopts));
+}
+
 TEST(FlowKeys, SynthesisOptionsChangeTheRightStages) {
   const AdcSpec spec = AdcSpec::paper_40nm();
   synth::SynthesisOptions base;
