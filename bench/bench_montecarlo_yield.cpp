@@ -10,6 +10,7 @@
 // the SNDR vectors must be bit-identical (the deterministic seeding
 // contract), and the wall-clock speedup is recorded in BENCH JSON so the
 // figure is trackable across revisions.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -132,6 +133,22 @@ int main(int argc, char** argv) {
          ++i) {
       persistent_identical = (mc_b.sndr_db[i] == mc.sndr_db[i]);
     }
+
+    // Lifecycle cost: bound the store to half its resident size and time
+    // the LRU gc pass — the price a long-lived serve process pays per
+    // gc trigger.
+    const auto probe = store_b.gc(~0ull);  // scan only: nothing evicted
+    const auto t_gc0 = std::chrono::steady_clock::now();
+    const auto gr = store_b.gc(probe.bytes_after / 2);
+    const double gc_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_gc0)
+            .count();
+    std::printf(
+        "store gc: %.1f KiB -> %.1f KiB | evicted %llu records in %.1f ms\n",
+        static_cast<double>(gr.bytes_before) / 1024.0,
+        static_cast<double>(gr.bytes_after) / 1024.0,
+        static_cast<unsigned long long>(gr.evicted), gc_wall_s * 1e3);
   }
   fs::remove_all(store_dir);
   const double persistent_warm_speedup =

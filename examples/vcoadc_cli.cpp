@@ -19,7 +19,12 @@
 //                  the behavioral engine through the shared digital backend
 //     serve        long-running evaluation service: newline-delimited JSON
 //                  requests on stdin, one JSON response per line on stdout
-//                  (spec flags are ignored; each request carries its own)
+//                  (spec flags are ignored; each request carries its own);
+//                  with --listen it serves many concurrent socket clients
+//                  from the same warm context instead of stdin
+//     client       connects to a serving process (--connect=<endpoint>),
+//                  forwards NDJSON requests from stdin and prints the
+//                  responses — the scriptable counterpart of --listen
 //
 //   options (all commands):
 //     --node=40         technology node [nm]
@@ -43,6 +48,15 @@
 //     --store=<dir>     persistent artifact store: stages load cached
 //                       artifacts written by earlier processes and save
 //                       their own (serve shares one store across requests)
+//     --store-max-bytes=<n>  size bound for --store: LRU garbage
+//                       collection over record mtimes keeps the directory
+//                       at or below n bytes (one-shot commands gc after
+//                       the run; serve gc's after any request that wrote)
+//     --listen=<ep>     serve transport: tcp:<port> (loopback) or a unix
+//                       socket path; many concurrent clients multiplex
+//                       onto the one warm context. SIGINT/SIGTERM drain
+//                       in-flight requests and shut down cleanly
+//     --connect=<ep>    client: endpoint of a serving process
 //     --trace[=json]    print per-stage timing after the run (tree or JSONL;
 //                       serve embeds a "trace" array per response, json only)
 //     --cache-stats     print artifact-cache counters after the run (serve
@@ -55,17 +69,19 @@
 
 #include "core/adc.h"
 #include "core/artifact_store.h"
-#include "core/batch.h"
 #include "core/datasheet.h"
 #include "core/eval.h"
 #include "core/flow.h"
+#include "core/serve_loop.h"
 #include "netlist/lef.h"
 #include "netlist/liberty.h"
 #include "netlist/spice.h"
 #include "netlist/verilog_writer.h"
 #include "synth/gdsii.h"
 #include "util/cli.h"
+#include "util/net.h"
 #include "util/simd.h"
+#include "util/strings.h"
 #include "util/trace.h"
 #include "util/units.h"
 
@@ -76,12 +92,14 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <simulate|synthesize|datasheet|montecarlo|corners|"
-               "export|emit-verilog|gatesim|serve> "
+               "export|emit-verilog|gatesim|serve|client> "
                "[--node=40] [--slices=16] [--fs=750e6] [--bw=5e6] "
                "[--samples=16384] [--runs=20] [--seed0=1000] "
                "[--batch-width=0] [--amp-sweep=0] [--top=<module>] "
                "[--ring-tol=0.25] [--out=.] [--threads=0] "
-               "[--store=<dir>] [--trace[=json]] [--cache-stats]\n",
+               "[--store=<dir>] [--store-max-bytes=<n>] "
+               "[--listen=<tcp:port|unix-path>] [--connect=<endpoint>] "
+               "[--trace[=json]] [--cache-stats]\n",
                prog);
   return 2;
 }
@@ -124,7 +142,8 @@ void print_flow_stats(const util::ArgParser& args, const util::Trace& trace,
           "-- artifact store --\n"
           "  hits %llu | misses %llu (absent %llu, corrupt %llu, "
           "version skew %llu)\n"
-          "  writes %llu (%llu failed) | read %.1f KiB | wrote %.1f KiB\n",
+          "  writes %llu (%llu failed) | read %.1f KiB | wrote %.1f KiB\n"
+          "  gc: evictions %llu | reclaimed %.1f KiB | tmp swept %llu\n",
           static_cast<unsigned long long>(ss.hits),
           static_cast<unsigned long long>(ss.misses),
           static_cast<unsigned long long>(ss.absent),
@@ -133,181 +152,105 @@ void print_flow_stats(const util::ArgParser& args, const util::Trace& trace,
           static_cast<unsigned long long>(ss.writes),
           static_cast<unsigned long long>(ss.write_failures),
           static_cast<double>(ss.bytes_read) / 1024.0,
-          static_cast<double>(ss.bytes_written) / 1024.0);
+          static_cast<double>(ss.bytes_written) / 1024.0,
+          static_cast<unsigned long long>(ss.evictions),
+          static_cast<double>(ss.gc_bytes_reclaimed) / 1024.0,
+          static_cast<unsigned long long>(ss.tmp_swept));
     }
   }
 }
 
-namespace json = util::json;
-
-/// Renders a per-request trace as a JSON array (one object per span, same
-/// records as --trace=json's JSONL, parsed back so the response stays one
-/// well-formed document).
-json::Value trace_to_json(const util::Trace& trace) {
-  json::Value arr = json::Value::make_array();
-  const std::string jsonl = trace.render_jsonl();
-  std::size_t pos = 0;
-  while (pos < jsonl.size()) {
-    std::size_t nl = jsonl.find('\n', pos);
-    if (nl == std::string::npos) nl = jsonl.size();
-    const std::string_view line(jsonl.data() + pos, nl - pos);
-    if (!line.empty()) {
-      json::ParseResult pr = json::parse(line);
-      arr.push(pr.ok ? std::move(pr.value)
-                     : json::Value::make_string(std::string(line)));
-    }
-    pos = nl + 1;
-  }
-  return arr;
-}
-
-/// Per-request cache/store counter deltas. `cold_builds` is the number of
-/// stages this request had to build from scratch: store misses when a
-/// persistent store backs the run (a memory-cache miss that loads from disk
-/// is warm), plain cache misses otherwise.
-json::Value cache_delta_json(const core::ArtifactCacheStats& c0,
-                             const core::ArtifactCacheStats& c1,
-                             const core::ArtifactStore* store,
-                             const core::ArtifactStoreStats& s0) {
-  json::Value o = json::Value::make_object();
-  const auto num = [](std::uint64_t v) {
-    return json::Value::make_number(static_cast<double>(v));
-  };
-  o.set("hits", num(c1.hits - c0.hits));
-  o.set("misses", num(c1.misses - c0.misses));
-  std::uint64_t cold = c1.misses - c0.misses;
-  if (store != nullptr) {
-    const core::ArtifactStoreStats s1 = store->stats();
-    o.set("store_hits", num(s1.hits - s0.hits));
-    o.set("store_misses", num(s1.misses - s0.misses));
-    o.set("store_writes", num(s1.writes - s0.writes));
-    cold = s1.misses - s0.misses;
-  }
-  o.set("cold_builds", num(cold));
-  // Active SIMD dispatch of the batched transient engine: clients asserting
-  // result_fp across hosts read this to know which tier produced the
-  // (bit-identical) result, and perf dashboards bucket timings by it.
-  o.set("simd_tier", json::Value::make_string(
-                         util::simd::tier_name(util::simd::active_tier())));
-  o.set("simd_width", num(static_cast<std::uint64_t>(
-                          util::simd::active_width())));
-  return o;
-}
-
-/// Echoes the request's "id" (as-is) into a response object, if present.
-void echo_id(const json::Value& req, json::Value* resp) {
-  if (const json::Value* id = req.find("id")) resp->set("id", *id);
-}
-
-json::Value error_response(const json::Value& req, const std::string& what) {
-  json::Value resp = json::Value::make_object();
-  echo_id(req, &resp);
-  resp.set("ok", json::Value::make_bool(false));
-  resp.set("error", json::Value::make_string(what));
-  return resp;
-}
-
-/// One evaluation request -> one response object. Diagnostics are request-
-/// local (fresh sink per request), the cache/store in `base` are shared
-/// across the whole serve session — that is the point of serving.
-json::Value handle_eval(const json::Value& reqv,
-                        const core::ExecContext& base, bool want_trace) {
-  core::EvalRequest req;
-  std::string err;
-  if (!core::eval_request_from_json(reqv, &req, &err)) {
-    return error_response(reqv, err);
-  }
-  util::DiagSink sink;
-  util::Trace trace;
-  core::ExecContext ctx = base;
-  ctx.diag = &sink;
-  ctx.trace = want_trace ? &trace : nullptr;
-  const core::EvalResponse resp = core::evaluate(req, ctx);
-
-  json::Value out = json::Value::make_object();
-  out.set("id", json::Value::make_string(resp.id));
-  out.set("cmd", json::Value::make_string(core::eval_kind_name(resp.kind)));
-  out.set("ok", json::Value::make_bool(resp.ok));
-  json::Value result = core::eval_result_to_json(resp);
-  out.set("result_fp",
-          json::Value::make_string(core::eval_result_fingerprint(result)));
-  out.set("result", std::move(result));
-  out.set("diagnostics", core::diagnostics_to_json(resp.diagnostics));
-  if (want_trace) out.set("trace", trace_to_json(trace));
-  return out;
-}
-
-/// {"cmd":"batch","requests":[...]} fans the sub-requests across a
-/// BatchRunner; sub-responses come back in request order and the outer ok
-/// is the conjunction. The shared cache/store make overlapping sub-requests
-/// (e.g. same spec, different analyses) converge on one stage build.
-json::Value handle_batch(const json::Value& reqv,
-                         const core::ExecContext& base, bool want_trace) {
-  const json::Value* reqs = reqv.find("requests");
-  if (reqs == nullptr || !reqs->is_array()) {
-    return error_response(reqv, "batch request needs a \"requests\" array");
-  }
-  core::BatchOptions bopts;
-  bopts.threads = base.threads;
-  core::BatchRunner runner(bopts);
-  std::vector<json::Value> results =
-      runner.map(reqs->array.size(), [&](std::size_t i, std::uint64_t) {
-        return handle_eval(reqs->array[i], base, want_trace);
-      });
-
-  json::Value out = json::Value::make_object();
-  echo_id(reqv, &out);
-  out.set("cmd", json::Value::make_string("batch"));
-  bool all_ok = true;
-  json::Value arr = json::Value::make_array();
-  for (json::Value& r : results) {
-    const json::Value* ok = r.find("ok");
-    all_ok = all_ok && ok != nullptr && ok->bool_or(false);
-    arr.push(std::move(r));
-  }
-  out.set("ok", json::Value::make_bool(all_ok));
-  out.set("results", std::move(arr));
-  return out;
-}
-
-/// The evaluation service: newline-delimited JSON requests on stdin, one
-/// response line each on stdout (nothing else is written to stdout — the
-/// stream stays machine-parseable). One warm ExecContext is shared by every
-/// request, so repeated specs hit the in-process cache; with --store the
-/// stage artifacts also persist across serve processes.
+/// The evaluation service: NDJSON requests in, one response line each out
+/// (nothing else is ever written to the response stream — it stays
+/// machine-parseable). One warm ExecContext is shared by every request, so
+/// repeated specs hit the in-process cache; with --store the stage
+/// artifacts also persist across serve processes. Transports (see
+/// core/serve_loop.h for the shared dispatch path):
+///   default   — stdin/stdout, one client (the original mode);
+///   --listen  — tcp:<port> or a unix socket path, many concurrent
+///               clients, per-connection request ordering preserved,
+///               SIGINT/SIGTERM drain in-flight requests and exit.
 int run_serve(const util::ArgParser& args, core::ExecContext ctx) {
-  const bool want_stats = args.has("cache-stats");
-  const bool want_trace = args.has("trace") && args.get("trace") == "json";
+  util::net::ignore_sigpipe();  // a dead client must fail a write, not us
   core::ArtifactCache cache(512);
   ctx.cache = &cache;
-  ctx.diag = nullptr;   // per-request sinks; nothing global to collect into
-  ctx.trace = nullptr;  // per-request traces when --trace=json
+  core::EvalServeOptions eopts;
+  eopts.cache_stats = args.has("cache-stats");
+  eopts.trace = args.has("trace") && args.get("trace") == "json";
+  eopts.store_max_bytes = static_cast<std::uint64_t>(
+      args.get_double("store-max-bytes", 0));
+  const core::ServeHandler handler = core::make_eval_handler(ctx, eopts);
 
+  if (args.has("listen")) {
+    const util::net::Endpoint ep = util::net::parse_endpoint(
+        args.get("listen"));
+    std::string err;
+    util::net::Listener listener = util::net::Listener::listen(ep, &err);
+    if (!listener.valid()) {
+      std::fprintf(stderr, "error: cannot listen on %s: %s\n",
+                   args.get("listen").c_str(), err.c_str());
+      return 1;
+    }
+    core::SocketServeOptions sopts;
+    sopts.stop = core::install_shutdown_signal_handlers();
+    std::fprintf(stderr, "serving on %s\n",
+                 ep.is_tcp ? util::format("tcp:127.0.0.1:%d",
+                                          listener.port()).c_str()
+                           : ep.unix_path.c_str());
+    const core::ServeResult res = core::serve_socket(listener, handler,
+                                                     sopts);
+    std::fprintf(stderr,
+                 "served %llu requests over %llu connections "
+                 "(%llu dropped)\n",
+                 static_cast<unsigned long long>(res.stats.requests),
+                 static_cast<unsigned long long>(
+                     res.stats.connections_accepted),
+                 static_cast<unsigned long long>(
+                     res.stats.connections_dropped));
+    if (!res.clean) {
+      std::fprintf(stderr, "error: %s\n", res.error.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  const core::ServeResult res = core::serve_stdio(stdin, stdout, handler);
+  if (!res.clean) {
+    // The reader of our stdout went away (closed pipe): responses can no
+    // longer be delivered, so exit cleanly with a diagnostic instead of
+    // evaluating into the void or dying on SIGPIPE.
+    std::fprintf(stderr, "error: serve stopped: %s\n", res.error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Scriptable socket client: forwards NDJSON request lines from stdin to
+/// a serving process and prints each response line to stdout. One request
+/// in flight at a time, so responses print in request order.
+int run_client(const util::ArgParser& args) {
+  util::net::ignore_sigpipe();
+  const util::net::Endpoint ep = util::net::parse_endpoint(
+      args.get("connect"));
+  std::string err;
+  util::net::Connection conn = util::net::dial(ep, &err);
+  if (!conn.valid()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    json::Value out;
-    json::ParseResult pr = json::parse(line);
-    if (!pr.ok) {
-      out = error_response(json::Value::make_null(),
-                           "request parse error: " + pr.error);
-    } else {
-      const core::ArtifactCacheStats c0 = cache.stats();
-      const core::ArtifactStoreStats s0 =
-          ctx.store != nullptr ? ctx.store->stats() : core::ArtifactStoreStats{};
-      const json::Value* cmd = pr.value.find("cmd");
-      if (cmd != nullptr && cmd->is_string() && cmd->string == "batch") {
-        out = handle_batch(pr.value, ctx, want_trace);
-      } else {
-        out = handle_eval(pr.value, ctx, want_trace);
-      }
-      if (want_stats) {
-        out.set("cache", cache_delta_json(c0, cache.stats(), ctx.store, s0));
-      }
+    if (!conn.write_line(line)) {
+      std::fprintf(stderr, "error: request write failed (server gone?)\n");
+      return 1;
     }
-    const std::string rendered = json::dump(out);
-    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
-    std::fputc('\n', stdout);
+    std::string resp;
+    if (conn.read_line(&resp) != util::net::Connection::ReadStatus::kLine) {
+      std::fprintf(stderr, "error: connection closed before a response\n");
+      return 1;
+    }
+    std::printf("%s\n", resp.c_str());
     std::fflush(stdout);
   }
   return 0;
@@ -321,13 +264,18 @@ int main(int argc, char** argv) {
                                            "samples", "runs", "seed0",
                                            "batch-width", "amp-sweep", "top",
                                            "ring-tol", "out", "threads",
-                                           "store", "trace", "cache-stats"});
+                                           "store", "store-max-bytes",
+                                           "listen", "connect", "trace",
+                                           "cache-stats"});
   if (!unknown.empty()) {
     std::fprintf(stderr, "unknown flag: %s\n", unknown[0].c_str());
     return usage(argv[0]);
   }
   if (args.positional().size() != 1) return usage(argv[0]);
   const std::string cmd = args.positional()[0];
+
+  // client is pure transport — no spec, no flow, no store of its own.
+  if (cmd == "client") return run_client(args);
 
   core::AdcSpec spec = core::AdcSpec::paper_40nm();
   spec.node_nm = args.get_double("node", 40);
@@ -347,6 +295,18 @@ int main(int argc, char** argv) {
   ctx.diag = &diags;
   if (args.has("trace")) ctx.trace = &trace;
   std::optional<core::ArtifactStore> store;
+  // Scope-exit GC: with --store-max-bytes, one-shot commands bound the
+  // store directory after their run (serve additionally gc's inline after
+  // any request that wrote, so a long-lived server never drifts over).
+  struct StoreGcGuard {
+    core::ArtifactStore* store = nullptr;
+    std::uint64_t max_bytes = 0;
+    ~StoreGcGuard() {
+      if (store != nullptr && max_bytes > 0) store->gc(max_bytes);
+    }
+  } gc_guard;
+  gc_guard.max_bytes =
+      static_cast<std::uint64_t>(args.get_double("store-max-bytes", 0));
   if (args.has("store")) {
     store.emplace(args.get("store", "."));
     if (!store->ok()) {
@@ -355,6 +315,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     ctx.store = &*store;
+    gc_guard.store = &*store;
   }
 
   // serve ignores the spec flags (each request carries its own spec), so it

@@ -1,8 +1,11 @@
 #include "core/artifact_store.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
+#include <vector>
 
 #include "core/serde.h"
 #include "util/strings.h"
@@ -72,6 +75,10 @@ ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   ok_ = !ec && fs::is_directory(dir_, ec) && !ec;
+  // Startup sweep: tmp files are orphans of writers killed mid-save (the
+  // write-then-rename window). Age-gated, so a store opened next to live
+  // writer processes never touches their in-flight files.
+  if (ok_) sweep_tmp();
 }
 
 void ArtifactStore::warn(util::DiagSink* diag, const std::string& item,
@@ -222,6 +229,9 @@ bool ArtifactStore::load(const CacheKey& key, std::string_view type_tag,
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
     stats_.bytes_read += record.size();
+    // Remembered so a later note_decode_failure can take these bytes
+    // back out of bytes_read: a codec-rejected record was never served.
+    hit_bytes_[key] = record.size();
   }
   return true;
 }
@@ -234,10 +244,131 @@ void ArtifactStore::note_decode_failure(const CacheKey& key,
     if (stats_.hits > 0) --stats_.hits;
     ++stats_.misses;
     ++stats_.corrupt;
+    // The demoted hit's bytes were never data actually served — undo the
+    // bytes_read the load charged, so byte counters never over-report.
+    // (The miss-taxonomy invariant misses == absent + corrupt +
+    // version_skew is preserved: the demotion increments both sides.)
+    const auto it = hit_bytes_.find(key);
+    if (it != hit_bytes_.end()) {
+      stats_.bytes_read -= std::min(stats_.bytes_read, it->second);
+      hit_bytes_.erase(it);
+    }
   }
   warn(diag, key.hex(),
        "payload failed to decode as '" + std::string(type_tag) +
            "'; rebuilding");
+}
+
+std::uint64_t ArtifactStore::sweep_tmp(double max_age_s,
+                                       util::DiagSink* diag) {
+  if (!ok_) return 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  std::uint64_t swept = 0;
+  for (fs::directory_iterator shard(dir_, ec), end;
+       !ec && shard != end; shard.increment(ec)) {
+    std::error_code sec;
+    if (!shard->is_directory(sec) || sec) continue;
+    for (fs::directory_iterator it(shard->path(), sec), send;
+         !sec && it != send; it.increment(sec)) {
+      const std::string name = it->path().filename().string();
+      if (name.find(".tmp.") == std::string::npos) continue;
+      std::error_code fec;
+      const auto mtime = fs::last_write_time(it->path(), fec);
+      if (fec) continue;  // vanished mid-scan (a writer just renamed it)
+      const double age_s =
+          std::chrono::duration<double>(now - mtime).count();
+      if (age_s < max_age_s) continue;  // a live writer's in-flight file
+      if (fs::remove(it->path(), fec) && !fec) {
+        ++swept;
+      } else if (fec) {
+        warn(diag, name, "tmp sweep could not remove: " + fec.message());
+      }
+    }
+  }
+  if (swept > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.tmp_swept += swept;
+  }
+  return swept;
+}
+
+ArtifactStore::GcResult ArtifactStore::gc(std::uint64_t max_bytes,
+                                          util::DiagSink* diag) {
+  GcResult res;
+  if (!ok_) return res;
+  res.tmp_swept = sweep_tmp(kDefaultTmpMaxAgeS, diag);
+
+  // Scan every shard for records, oldest-mtime-first eviction order. The
+  // scan is lock-free over the filesystem: records written concurrently
+  // with it may be missed this pass, so the bound is exact when quiescent
+  // and converges under churn (the serve loop re-runs gc after writes).
+  struct Rec {
+    std::string path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Rec> recs;
+  std::error_code ec;
+  for (fs::directory_iterator shard(dir_, ec), end;
+       !ec && shard != end; shard.increment(ec)) {
+    std::error_code sec;
+    if (!shard->is_directory(sec) || sec) continue;
+    for (fs::directory_iterator it(shard->path(), sec), send;
+         !sec && it != send; it.increment(sec)) {
+      if (it->path().extension() != ".art") continue;
+      std::error_code fec;
+      Rec r;
+      r.path = it->path().string();
+      r.size = it->file_size(fec);
+      if (fec) continue;
+      r.mtime = fs::last_write_time(it->path(), fec);
+      if (fec) continue;
+      res.bytes_before += r.size;
+      recs.push_back(std::move(r));
+    }
+  }
+  std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+
+  std::uint64_t total = res.bytes_before;
+  std::uint64_t freed = 0;
+  for (const Rec& r : recs) {
+    if (total <= max_bytes) break;
+    std::error_code fec;
+    // unlink, not truncate: a reader holding the record open keeps its
+    // complete bytes (POSIX unlink semantics), so no load is ever torn
+    // mid-read; the next opener gets a clean absent-miss and rebuilds.
+    if (fs::remove(r.path, fec) && !fec) {
+      total -= r.size;
+      freed += r.size;
+      ++res.evicted;
+    } else if (fec) {
+      warn(diag, r.path, "gc could not evict: " + fec.message());
+    }
+  }
+  res.bytes_after = total;
+
+  // Compaction: shard directories whose every record was evicted are
+  // removed. A concurrent writer that loses the (benign) race re-creates
+  // its shard in save(); at worst that one save reports write_failure
+  // and the stage keeps its built artifact.
+  for (fs::directory_iterator shard(dir_, ec), end;
+       !ec && shard != end; shard.increment(ec)) {
+    std::error_code sec;
+    if (!shard->is_directory(sec) || sec) continue;
+    if (fs::is_empty(shard->path(), sec) && !sec) {
+      fs::remove(shard->path(), sec);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += res.evicted;
+    stats_.gc_bytes_reclaimed += freed;
+  }
+  return res;
 }
 
 ArtifactStoreStats ArtifactStore::stats() const {

@@ -17,7 +17,12 @@
 //   - every failure mode (absent, truncated, corrupted, wrong version,
 //     wrong type tag) degrades to a miss — the stage rebuilds — with a
 //     kWarning Diagnostic for the non-absent cases; the store never
-//     throws across its boundary and never crashes the flow.
+//     throws across its boundary and never crashes the flow;
+//   - lifecycle: gc(max_bytes) bounds the directory by LRU-over-mtime
+//     eviction (an unlinked record is never torn for a reader that
+//     already opened it), sweep_tmp() reclaims the *.tmp.* orphans of
+//     killed writers (age-gated; runs at open and inside gc), and shard
+//     directories left empty are compacted away.
 //
 // On-disk layout: <dir>/<first-2-hex-of-key>/<32-hex-key>.art
 // Record framing (all little-endian, via serde::Writer):
@@ -29,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -48,8 +54,15 @@ struct ArtifactStoreStats {
   std::uint64_t version_skew = 0;  ///< container/key-format/type version
   std::uint64_t writes = 0;
   std::uint64_t write_failures = 0;
+  /// Bytes of record data actually *served*: a hit later demoted by
+  /// note_decode_failure (the codec rejected the payload) has its record
+  /// bytes subtracted again, so this never over-reports delivered data.
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  // Lifecycle counters (see gc() / sweep_tmp()):
+  std::uint64_t evictions = 0;           ///< records removed by gc
+  std::uint64_t gc_bytes_reclaimed = 0;  ///< on-disk bytes those freed
+  std::uint64_t tmp_swept = 0;  ///< stale *.tmp.* orphans removed
   double hit_rate() const {
     const double n = static_cast<double>(hits + misses);
     return n > 0 ? static_cast<double>(hits) / n : 0.0;
@@ -96,6 +109,36 @@ class ArtifactStore {
   /// or inspect records directly).
   std::string path_for(const CacheKey& key) const;
 
+  /// Age threshold for sweep_tmp(): a *.tmp.* file older than this is an
+  /// orphan of a killed writer (live writers hold a tmp for milliseconds,
+  /// the rename window), younger ones are presumed in flight and left
+  /// alone.
+  static constexpr double kDefaultTmpMaxAgeS = 900.0;
+
+  struct GcResult {
+    std::uint64_t bytes_before = 0;  ///< record bytes found by the scan
+    std::uint64_t bytes_after = 0;   ///< record bytes kept (<= max_bytes)
+    std::uint64_t evicted = 0;       ///< records unlinked
+    std::uint64_t tmp_swept = 0;     ///< stale tmp orphans unlinked
+  };
+
+  /// Size-bounded LRU garbage collection over record mtimes: sweeps stale
+  /// tmp orphans, then unlinks oldest-modified records until the resident
+  /// total is <= max_bytes, and finally removes shard directories left
+  /// empty (compaction). A record is never torn mid-read: loads read from
+  /// one open handle, which POSIX keeps valid across an unlink, and a
+  /// load that opens after the unlink sees a clean absent-miss (the stage
+  /// rebuilds). Thread-safe; never throws.
+  GcResult gc(std::uint64_t max_bytes, util::DiagSink* diag = nullptr);
+
+  /// Removes *.tmp.* files older than `max_age_s` — the leak left by
+  /// killed/crashed writers (save() is write-then-rename; a writer that
+  /// dies between the two strands its tmp forever). Runs at store open
+  /// and inside gc(). Age-gating keeps live concurrent writers' fresh
+  /// tmp files untouched. Returns the number swept.
+  std::uint64_t sweep_tmp(double max_age_s = kDefaultTmpMaxAgeS,
+                          util::DiagSink* diag = nullptr);
+
   ArtifactStoreStats stats() const;
 
  private:
@@ -104,9 +147,12 @@ class ArtifactStore {
 
   std::string dir_;
   bool ok_ = false;
-  mutable std::mutex mutex_;  ///< guards stats_ and tmp_counter_
+  mutable std::mutex mutex_;  ///< guards stats_, tmp_counter_, hit_bytes_
   ArtifactStoreStats stats_;
   std::uint64_t tmp_counter_ = 0;
+  /// Record size of the most recent hit per key, so note_decode_failure
+  /// can take the rejected record's bytes back out of bytes_read.
+  std::map<CacheKey, std::uint64_t> hit_bytes_;
 };
 
 }  // namespace vcoadc::core

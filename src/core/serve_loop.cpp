@@ -1,0 +1,182 @@
+// Transport half of the evaluation service: the stdio and socket loops
+// and the graceful-shutdown signal plumbing. The eval-request handler
+// lives in serve_handler.cpp so this file stays free of the evaluation
+// stack — the connection-handling tests (including the TSan variant)
+// compile it standalone against util/net and a stub handler.
+#include "core/serve_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <thread>
+
+#if !defined(_WIN32)
+#include <csignal>
+#endif
+
+namespace vcoadc::core {
+
+namespace {
+
+bool is_blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+ServeResult serve_stdio(std::FILE* in, std::FILE* out,
+                        const ServeHandler& handler) {
+  ServeResult res;
+  std::string line;
+  char chunk[4096];
+  bool eof = false;
+  while (!eof) {
+    line.clear();
+    // Assemble one line (fgets-based so the loop works over any FILE*,
+    // pipes included, and arbitrarily long requests).
+    while (true) {
+      if (std::fgets(chunk, sizeof chunk, in) == nullptr) {
+        eof = true;
+        break;
+      }
+      line += chunk;
+      if (!line.empty() && line.back() == '\n') {
+        line.pop_back();
+        break;
+      }
+    }
+    if (line.empty() || is_blank(line)) continue;
+    ++res.stats.requests;
+    const std::string resp = handler(line);
+    // A client that closed the pipe must stop the service cleanly, not
+    // kill it (SIGPIPE is ignored) and not let it keep evaluating into
+    // a void: check every write AND the flush.
+    if (std::fwrite(resp.data(), 1, resp.size(), out) != resp.size() ||
+        std::fputc('\n', out) == EOF || std::fflush(out) != 0) {
+      ++res.stats.write_failures;
+      res.clean = false;
+      res.error = std::string("response write failed: ") +
+                  std::strerror(errno);
+      return res;
+    }
+    ++res.stats.responses_written;
+  }
+  return res;
+}
+
+ServeResult serve_socket(util::net::Listener& listener,
+                         const ServeHandler& handler,
+                         const SocketServeOptions& opts) {
+  using util::net::Connection;
+  using util::net::Listener;
+
+  ServeResult res;
+  if (!listener.valid()) {
+    res.clean = false;
+    res.error = "listener is not open";
+    return res;
+  }
+
+  struct ConnWorker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::shared_ptr<ServeStats> stats;  ///< this connection's counters
+  };
+  std::list<ConnWorker> workers;
+
+  auto reap = [&](bool join_all) {
+    for (auto it = workers.begin(); it != workers.end();) {
+      if (join_all || it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        res.stats.requests += it->stats->requests;
+        res.stats.responses_written += it->stats->responses_written;
+        res.stats.write_failures += it->stats->write_failures;
+        res.stats.connections_dropped += it->stats->connections_dropped;
+        it = workers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (true) {
+    Connection conn;
+    const Listener::AcceptStatus st =
+        listener.accept(&conn, opts.stop, opts.poll_ms);
+    if (st == Listener::AcceptStatus::kStop) break;
+    if (st == Listener::AcceptStatus::kError) {
+      res.clean = false;
+      res.error = "accept failed";
+      break;
+    }
+    ++res.stats.connections_accepted;
+    ConnWorker w;
+    w.done = std::make_shared<std::atomic<bool>>(false);
+    w.stats = std::make_shared<ServeStats>();
+    w.thread = std::thread([conn = std::move(conn), &handler, &opts,
+                            done = w.done, stats = w.stats]() mutable {
+      std::string line;
+      while (true) {
+        const Connection::ReadStatus rs =
+            conn.read_line(&line, opts.stop, opts.poll_ms);
+        // kEof: client finished (a trailing partial line — a mid-line
+        // disconnect — is dropped, never dispatched). kStop: shutdown
+        // between requests; anything already read was answered below.
+        if (rs != Connection::ReadStatus::kLine) break;
+        if (is_blank(line)) continue;
+        ++stats->requests;
+        const std::string resp = handler(line);
+        // The response for an accepted request is always written, stop
+        // flag or not — that is the drain guarantee. A write failure
+        // means this client is gone: drop only this connection.
+        if (!conn.write_line(resp)) {
+          ++stats->write_failures;
+          ++stats->connections_dropped;
+          break;
+        }
+        ++stats->responses_written;
+      }
+      conn.close();
+      done->store(true, std::memory_order_release);
+    });
+    workers.push_back(std::move(w));
+    reap(false);  // fold finished connections as we go, bounding the list
+  }
+  listener.close();  // stop accepting; unlinks the unix socket path
+  reap(true);        // drain: every in-flight request finishes + responds
+  return res;
+}
+
+#if !defined(_WIN32)
+
+namespace {
+std::atomic<bool> g_shutdown_flag{false};
+extern "C" void vcoadc_serve_on_signal(int) {
+  g_shutdown_flag.store(true, std::memory_order_relaxed);
+}
+}  // namespace
+
+const std::atomic<bool>* install_shutdown_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = &vcoadc_serve_on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: a blocked poll returns EINTR promptly
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  return &g_shutdown_flag;
+}
+
+#else
+
+namespace {
+std::atomic<bool> g_shutdown_flag{false};
+}
+
+const std::atomic<bool>* install_shutdown_signal_handlers() {
+  return &g_shutdown_flag;
+}
+
+#endif
+
+}  // namespace vcoadc::core

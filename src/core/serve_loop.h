@@ -1,0 +1,105 @@
+// The evaluation service's request-dispatch loop, extracted from the CLI
+// so the stdio and socket transports share one path.
+//
+// Layering (bottom-up):
+//   * ServeHandler — one NDJSON request line in, one response line out
+//     (no trailing newline). Must be thread-safe: the socket transport
+//     calls it from concurrent per-connection threads.
+//   * serve_stdio(in, out, handler) — the original `vcoadc serve` loop:
+//     reads lines from `in`, writes one response line each to `out`. A
+//     failed write (the reader closed the pipe) stops the loop cleanly
+//     with clean == false instead of silently dropping responses; call
+//     util::net::ignore_sigpipe() first so the failure is an error
+//     return, not a fatal signal.
+//   * serve_socket(listener, handler, opts) — accepts connections until
+//     the stop flag, one thread per connection (blocking per-connection
+//     reads would starve a fixed pool, so threads are spawned per
+//     connection and reaped as they finish). Per-connection request
+//     ordering is preserved (one serial loop per connection); a dead
+//     client drops only its own connection. On stop the listener closes,
+//     every in-flight request finishes and its response is written
+//     (drain), then the connections close.
+//   * make_eval_handler(ctx, opts) — the evaluation-service handler:
+//     parses the request, dispatches core::evaluate / batch fan-out on
+//     the one shared warm ExecContext, embeds per-request cache/store
+//     deltas and traces, and triggers store GC after writing requests
+//     when a size bound is configured.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "core/exec_context.h"
+#include "util/net.h"
+
+namespace vcoadc::core {
+
+/// One request line -> one response line (no trailing '\n'). Thread-safe.
+using ServeHandler = std::function<std::string(const std::string& line)>;
+
+struct ServeStats {
+  std::uint64_t requests = 0;            ///< non-blank lines dispatched
+  std::uint64_t responses_written = 0;   ///< lines that reached the peer
+  std::uint64_t write_failures = 0;      ///< responses the peer never got
+  std::uint64_t connections_accepted = 0;  // socket transport only
+  std::uint64_t connections_dropped = 0;   ///< closed on a write failure
+};
+
+struct ServeResult {
+  /// False when the transport died under the service: the stdio sink
+  /// broke, or the listener failed. A client disconnecting is NOT an
+  /// error — socket serving stays clean and keeps the other connections.
+  bool clean = true;
+  std::string error;  ///< reason when !clean
+  ServeStats stats;
+};
+
+/// Stdio transport: newline-delimited requests on `in`, one response line
+/// each on `out` (nothing else is written — the stream stays pure NDJSON).
+/// Stops at EOF, or cleanly (clean = false, error filled) when a write or
+/// flush fails — the reader is gone, so continuing would drop responses
+/// silently.
+ServeResult serve_stdio(std::FILE* in, std::FILE* out,
+                        const ServeHandler& handler);
+
+struct SocketServeOptions {
+  /// Poll slice for accept/read loops; the stop flag is honored within
+  /// one slice.
+  int poll_ms = 200;
+  /// Graceful-shutdown flag (e.g. install_shutdown_signal_handlers()).
+  /// Null = serve until the listener errors.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// Socket transport over an already-listening socket. Thread-per-
+/// connection; requests on one connection are answered in order; the
+/// handler runs concurrently across connections (the shared cache's
+/// single-flight collapses duplicate stage builds).
+ServeResult serve_socket(util::net::Listener& listener,
+                         const ServeHandler& handler,
+                         const SocketServeOptions& opts = {});
+
+/// Installs SIGINT/SIGTERM handlers that set the returned flag (POSIX;
+/// a no-op returning an always-false flag elsewhere). Idempotent. The
+/// serve loops then drain in-flight requests and shut down cleanly.
+const std::atomic<bool>* install_shutdown_signal_handlers();
+
+struct EvalServeOptions {
+  bool cache_stats = false;  ///< embed a per-request "cache" delta object
+  bool trace = false;        ///< embed a per-request "trace" array
+  /// Size bound for ctx.store: after any request that wrote records, the
+  /// handler runs ArtifactStore::gc(store_max_bytes). 0 = unbounded.
+  std::uint64_t store_max_bytes = 0;
+};
+
+/// Builds the evaluation-service handler over one shared warm context.
+/// `ctx.cache`/`ctx.store` are shared by every request (that is the point
+/// of serving); diagnostics and traces are request-local. The returned
+/// handler is thread-safe and never throws.
+ServeHandler make_eval_handler(const ExecContext& ctx,
+                               const EvalServeOptions& opts);
+
+}  // namespace vcoadc::core

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -161,6 +162,8 @@ TEST(ArtifactStoreTest, NoteDecodeFailureDemotesHitToCorruptMiss) {
   std::vector<std::uint8_t> loaded;
   ASSERT_TRUE(store.load(kKey, "unit", 1, &loaded));
   ASSERT_EQ(store.stats().hits, 1u);
+  const std::uint64_t served = store.stats().bytes_read;
+  ASSERT_GT(served, 0u);  // the hit counted its record bytes
 
   util::DiagSink diags;
   store.note_decode_failure(kKey, "unit", &diags);
@@ -168,7 +171,19 @@ TEST(ArtifactStoreTest, NoteDecodeFailureDemotesHitToCorruptMiss) {
   EXPECT_EQ(st.hits, 0u);  // the stage rebuilt after all: not an avoided build
   EXPECT_EQ(st.misses, 1u);
   EXPECT_EQ(st.corrupt, 1u);
+  // Regression: the demoted hit's record bytes must leave bytes_read too —
+  // a rejected record was never *served* — and the miss taxonomy must
+  // still tile the misses exactly.
+  EXPECT_EQ(st.bytes_read, 0u);
+  EXPECT_EQ(st.misses, st.absent + st.corrupt + st.version_skew);
   EXPECT_EQ(diags.size(), 1u);
+
+  // A later genuine hit counts afresh (the per-key bookkeeping reset).
+  ASSERT_TRUE(store.load(kKey, "unit", 1, &loaded));
+  EXPECT_EQ(store.stats().bytes_read, served);
+  EXPECT_EQ(store.stats().misses,
+            store.stats().absent + store.stats().corrupt +
+                store.stats().version_skew);
 }
 
 TEST(ArtifactStoreTest, UnusableRootDegradesToMissesAndWriteFailures) {
@@ -197,6 +212,130 @@ TEST(ArtifactStoreTest, OverwriteSameKeyKeepsLatestIntact) {
   std::vector<std::uint8_t> loaded;
   ASSERT_TRUE(store.load(kKey, "unit", 1, &loaded));
   EXPECT_EQ(loaded, second);
+}
+
+// --- lifecycle: tmp-sweep and size-bounded GC -----------------------------
+
+/// Backdates a file's mtime by `seconds`, so age-gated sweeps and LRU
+/// ordering are deterministic regardless of test speed.
+void age_file(const fs::path& p, int seconds) {
+  fs::last_write_time(p,
+                      fs::last_write_time(p) - std::chrono::seconds(seconds));
+}
+
+std::uint64_t dir_record_bytes(const fs::path& root) {
+  std::uint64_t total = 0;
+  for (const auto& e : fs::recursive_directory_iterator(root)) {
+    if (e.is_regular_file() && e.path().extension() == ".art") {
+      total += static_cast<std::uint64_t>(e.file_size());
+    }
+  }
+  return total;
+}
+
+// Regression: a writer killed between write and rename leaked its *.tmp.*
+// file forever. Opening a store must sweep such orphans — but only old
+// ones, so a concurrent live writer's fresh tmp is never stolen.
+TEST(ArtifactStoreTest, OpenSweepsStaleTmpOrphanKeepsFreshTmp) {
+  TempStoreDir dir("tmpsweep");
+  fs::path shard;
+  {
+    core::ArtifactStore store(dir.str());
+    ASSERT_TRUE(store.save(kKey, "unit", 1, make_payload(64, 9)));
+    shard = fs::path(store.path_for(kKey)).parent_path();
+  }
+  ASSERT_TRUE(fs::exists(shard));
+  const fs::path orphan = shard / "deadbeef.art.tmp.12345.0";
+  const fs::path fresh = shard / "cafef00d.art.tmp.12345.1";
+  std::ofstream(orphan) << "killed writer leftovers";
+  std::ofstream(fresh) << "in-flight writer";
+  age_file(orphan, 3600);  // an hour stale: clearly orphaned
+
+  core::ArtifactStore reopened(dir.str());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE(fs::exists(orphan)) << "stale tmp must be swept at open";
+  EXPECT_TRUE(fs::exists(fresh)) << "fresh tmp may be a live writer's";
+  EXPECT_EQ(reopened.stats().tmp_swept, 1u);
+
+  // The real record survived the sweep.
+  std::vector<std::uint8_t> loaded;
+  EXPECT_TRUE(reopened.load(kKey, "unit", 1, &loaded));
+  fs::remove(fresh);
+}
+
+TEST(ArtifactStoreTest, GcEvictsOldestFirstDownToTheBound) {
+  TempStoreDir dir("gc_lru");
+  core::ArtifactStore store(dir.str());
+  ASSERT_TRUE(store.ok());
+
+  // Four records, mtimes spaced so LRU order is unambiguous: key 0 is the
+  // oldest, key 3 the newest.
+  constexpr int kN = 4;
+  std::uint64_t record_size = 0;
+  for (int i = 0; i < kN; ++i) {
+    const core::CacheKey key{static_cast<std::uint64_t>(i + 1), 0x77ull};
+    ASSERT_TRUE(store.save(key, "unit", 1, make_payload(2048, 3)));
+    const fs::path p = store.path_for(key);
+    record_size = static_cast<std::uint64_t>(fs::file_size(p));
+    age_file(p, (kN - i) * 100);
+  }
+
+  // Bound to two records' worth: the two oldest must go.
+  const core::ArtifactStore::GcResult gr = store.gc(2 * record_size);
+  EXPECT_EQ(gr.evicted, 2u);
+  EXPECT_EQ(gr.bytes_before, static_cast<std::uint64_t>(kN) * record_size);
+  EXPECT_LE(gr.bytes_after, 2 * record_size);
+  EXPECT_LE(dir_record_bytes(dir.path), 2 * record_size);
+
+  std::vector<std::uint8_t> loaded;
+  EXPECT_FALSE(store.load(core::CacheKey{1, 0x77ull}, "unit", 1, &loaded));
+  EXPECT_FALSE(store.load(core::CacheKey{2, 0x77ull}, "unit", 1, &loaded));
+  EXPECT_TRUE(store.load(core::CacheKey{3, 0x77ull}, "unit", 1, &loaded));
+  EXPECT_TRUE(store.load(core::CacheKey{4, 0x77ull}, "unit", 1, &loaded));
+
+  const core::ArtifactStoreStats st = store.stats();
+  EXPECT_EQ(st.evictions, 2u);
+  EXPECT_EQ(st.gc_bytes_reclaimed, 2 * record_size);
+  // Evicted records read as clean absent-misses, keeping the taxonomy
+  // tiling intact.
+  EXPECT_EQ(st.misses, st.absent + st.corrupt + st.version_skew);
+}
+
+TEST(ArtifactStoreTest, GcCompactsEmptyShardDirsAndIsIdempotent) {
+  TempStoreDir dir("gc_compact");
+  core::ArtifactStore store(dir.str());
+  const core::CacheKey key{0xabcdull, 0x1ull};
+  ASSERT_TRUE(store.save(key, "unit", 1, make_payload(512, 5)));
+  const fs::path shard = fs::path(store.path_for(key)).parent_path();
+  ASSERT_TRUE(fs::exists(shard));
+
+  // Bound of zero evicts everything; the shard dir goes with its record.
+  const auto gr = store.gc(0);
+  EXPECT_EQ(gr.evicted, 1u);
+  EXPECT_EQ(gr.bytes_after, 0u);
+  EXPECT_FALSE(fs::exists(shard)) << "empty shard dirs are compacted away";
+
+  // A second pass over the now-empty store is a no-op, not an error.
+  const auto gr2 = store.gc(0);
+  EXPECT_EQ(gr2.evicted, 0u);
+  EXPECT_EQ(gr2.bytes_before, 0u);
+
+  // The store still works after full eviction.
+  ASSERT_TRUE(store.save(key, "unit", 1, make_payload(512, 6)));
+  std::vector<std::uint8_t> loaded;
+  EXPECT_TRUE(store.load(key, "unit", 1, &loaded));
+}
+
+TEST(ArtifactStoreTest, GcUnderBoundEvictsNothing) {
+  TempStoreDir dir("gc_under");
+  core::ArtifactStore store(dir.str());
+  ASSERT_TRUE(store.save(kKey, "unit", 1, make_payload(512, 8)));
+  const auto gr = store.gc(1ull << 30);
+  EXPECT_EQ(gr.evicted, 0u);
+  EXPECT_EQ(gr.bytes_before, gr.bytes_after);
+  EXPECT_EQ(store.stats().evictions, 0u);
+  std::vector<std::uint8_t> loaded;
+  EXPECT_TRUE(store.load(kKey, "unit", 1, &loaded));
 }
 
 // --- typed codec round-trips ----------------------------------------------

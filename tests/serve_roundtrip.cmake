@@ -1,11 +1,15 @@
 # Cross-process round trip of `vcoadc_cli serve` (ctest -P script).
 #
-# Runs the serve loop twice over the same request fixture and the same
-# persistent artifact store:
+# Runs the serve loop three times over the same request fixture and the
+# same persistent artifact store:
 #   run 1: empty store — every stage builds cold and is persisted;
 #   run 2: fresh process, warm store — must report the *same* result
 #          fingerprints (bit-identical results across processes) and
-#          zero cold stage builds on every request.
+#          zero cold stage builds on every request;
+#   run 3: fresh process serving over a unix socket (--listen), driven by
+#          `vcoadc_cli client` — the socket transport must reproduce the
+#          stdio fingerprints with zero cold builds too, and a SIGTERM
+#          must shut the server down cleanly (socket file unlinked).
 #
 # Expects -DCLI=<vcoadc_cli path> -DFIXTURE=<requests.jsonl> -DWORK=<dir>.
 
@@ -78,3 +82,85 @@ endforeach()
 
 message(STATUS "serve round trip: ${N1} fingerprints identical, warm run"
   " had zero cold builds")
+
+# ---- run 3: the socket transport, warm over the same store -----------------
+if(NOT WIN32)
+  set(SOCK "${WORK}/serve.sock")
+  set(SRVLOG "${WORK}/server.stderr")
+  # Launch the server detached; `sh` prints the pid so we can TERM it.
+  execute_process(
+    COMMAND sh -c "exec '${CLI}' serve '--listen=${SOCK}' '--store=${STORE}' --cache-stats --threads=2 > '${WORK}/server.stdout' 2> '${SRVLOG}' & echo $!"
+    OUTPUT_VARIABLE SRV_PID
+    RESULT_VARIABLE rc)
+  string(STRIP "${SRV_PID}" SRV_PID)
+  if(NOT rc EQUAL 0 OR SRV_PID STREQUAL "")
+    message(FATAL_ERROR "could not launch socket server")
+  endif()
+
+  # Wait for the socket to appear (the server binds before accepting).
+  set(READY FALSE)
+  foreach(i RANGE 50)
+    if(EXISTS "${SOCK}")
+      set(READY TRUE)
+      break()
+    endif()
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+  endforeach()
+  if(NOT READY)
+    file(READ "${SRVLOG}" SRVERR)
+    message(FATAL_ERROR "socket never appeared; server stderr:\n${SRVERR}")
+  endif()
+
+  execute_process(
+    COMMAND "${CLI}" client "--connect=${SOCK}"
+    INPUT_FILE "${FIXTURE}"
+    OUTPUT_VARIABLE OUT3
+    ERROR_VARIABLE err3
+    RESULT_VARIABLE rc3)
+
+  # Graceful shutdown: SIGTERM drains and unlinks the socket path.
+  execute_process(COMMAND kill -TERM ${SRV_PID})
+  set(GONE FALSE)
+  foreach(i RANGE 50)
+    if(NOT EXISTS "${SOCK}")
+      set(GONE TRUE)
+      break()
+    endif()
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+  endforeach()
+
+  if(NOT rc3 EQUAL 0)
+    file(READ "${SRVLOG}" SRVERR)
+    message(FATAL_ERROR "socket client exited with ${rc3}\nclient stderr:\n"
+      "${err3}\nserver stderr:\n${SRVERR}")
+  endif()
+  if(OUT3 MATCHES "\"ok\":false")
+    message(FATAL_ERROR "socket serve reported a failed request:\n${OUT3}")
+  endif()
+  if(NOT GONE)
+    message(FATAL_ERROR "server did not shut down cleanly on SIGTERM"
+      " (socket file still present)")
+  endif()
+
+  # Same fingerprints as the stdio passes, and still zero cold builds:
+  # the transport changes nothing about evaluation or persistence.
+  string(REGEX MATCHALL "\"result_fp\":\"[0-9a-f]+\"" FP3 "${OUT3}")
+  if(NOT FP3 STREQUAL FP1)
+    message(FATAL_ERROR
+      "socket transport results differ from stdio:\nstdio: ${FP1}\n"
+      "socket: ${FP3}")
+  endif()
+  string(REGEX MATCHALL "\"cold_builds\":[0-9]+" COLD3 "${OUT3}")
+  list(LENGTH COLD3 NC3)
+  if(NC3 EQUAL 0)
+    message(FATAL_ERROR "no cold_builds counters in socket output:\n${OUT3}")
+  endif()
+  foreach(c IN LISTS COLD3)
+    if(NOT c STREQUAL "\"cold_builds\":0")
+      message(FATAL_ERROR
+        "warm socket run rebuilt stages cold (${c}):\n${OUT3}")
+    endif()
+  endforeach()
+  message(STATUS "socket transport: fingerprints identical to stdio, zero"
+    " cold builds, clean SIGTERM shutdown")
+endif()
